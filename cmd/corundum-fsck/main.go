@@ -1,0 +1,95 @@
+// Command corundum-fsck inspects a Corundum pool file without modifying
+// it: header fields, per-arena space accounting and structural
+// consistency, journal states (including transactions that a crash left
+// pending, which the next Open will roll back or forward), and the root
+// pointer. Exit code 1 means structural corruption was found; pending
+// journals alone are healthy (that is what recovery is for).
+//
+// Usage:
+//
+//	corundum-fsck <pool-file> [...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"corundum/internal/pool"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: corundum-fsck <pool-file> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		r, err := pool.Inspect(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corundum-fsck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		printReport(path, r)
+		if len(r.Errors) > 0 {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func printReport(path string, r *pool.Report) {
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  size        %d bytes\n", r.Size)
+	fmt.Printf("  generation  %d\n", r.Generation)
+	if r.RootOff == 0 {
+		fmt.Printf("  root        (unset)\n")
+	} else {
+		fmt.Printf("  root        offset %#x, type hash %#x\n", r.RootOff, r.RootType)
+	}
+	fmt.Printf("  journals    %d x %d bytes\n", r.Journals, r.JournalCap)
+
+	var inUse, free uint64
+	arenaErrs := 0
+	for _, a := range r.Arenas {
+		inUse += a.InUse
+		free += a.FreeBytes
+		if a.Err != "" {
+			arenaErrs++
+		}
+	}
+	fmt.Printf("  heap        %d arenas x %d bytes: %d in use, %d free\n",
+		len(r.Arenas), r.ArenaHeap, inUse, free)
+	for _, a := range r.Arenas {
+		if a.Err != "" || a.RedoLog != "clean" {
+			fmt.Printf("    arena %-3d %s%s\n", a.Index, a.RedoLog, errSuffix(a.Err))
+		}
+	}
+	pending := 0
+	for _, j := range r.JournalInfo {
+		if j.State != "idle" {
+			pending++
+			fmt.Printf("    journal %-3d epoch %-6d %s\n", j.Index, j.Epoch, j.State)
+		}
+	}
+	switch {
+	case len(r.Errors) > 0:
+		fmt.Printf("  status      CORRUPT: %d problem(s)\n", len(r.Errors))
+		for _, e := range r.Errors {
+			fmt.Printf("    ! %s\n", e)
+		}
+	case pending > 0:
+		fmt.Printf("  status      clean (crashed: %d transaction(s) pending recovery at next open)\n", pending)
+	default:
+		fmt.Printf("  status      clean\n")
+	}
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return " — " + e
+}

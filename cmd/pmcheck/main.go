@@ -1,0 +1,56 @@
+// Command pmcheck statically checks Go source for persistent-memory
+// safety violations against the Corundum programming rules: !PSafe types
+// in pools, transactions mutating captured volatile state, journals
+// escaping their transaction, goroutines spawned inside transactions, and
+// unsafe/reflect usage alongside the PM API.
+//
+// Usage:
+//
+//	pmcheck [path ...]
+//
+// Each path may be a file or a directory (walked recursively). Exit code
+// 1 means violations were found, making pmcheck suitable as a CI gate —
+// the Go rendition of the paper's compile-time enforcement.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"corundum/internal/check"
+)
+
+func main() {
+	paths := os.Args[1:]
+	if len(paths) == 0 {
+		paths = []string{"."}
+	}
+	bad := false
+	for _, path := range paths {
+		info, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(2)
+		}
+		var diags []check.Diagnostic
+		if info.IsDir() {
+			diags, err = check.Dir(path)
+		} else {
+			var src []byte
+			if src, err = os.ReadFile(path); err == nil {
+				diags, err = check.Source(path, src)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

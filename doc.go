@@ -1,0 +1,17 @@
+// Package corundum is a Go reproduction of Corundum (Hoseinzadeh &
+// Swanson, ASPLOS 2021): a persistent-memory programming library whose
+// design statically prevents the common classes of PM bugs — unlogged
+// updates, inter-pool pointers, pointers into closed pools, and most
+// allocation errors.
+//
+// The library itself lives in internal/core (typed pools, transactions,
+// persistent smart pointers), built on internal/pmem (an emulated PM
+// device with cache-line flush/fence semantics and crash injection),
+// internal/alloc (a crash-atomic buddy allocator), internal/journal
+// (undo/drop/alloc logs and recovery), and internal/pool (pool files and
+// lifecycle). internal/check implements pmcheck, the build-time analyzer
+// standing in for Rust's compile-time enforcement. internal/baselines
+// models PMDK, Atlas, Mnemosyne, and go-pmem so the paper's evaluation
+// (Figures 1-2, Tables 2, 3, 5) can be regenerated; see bench_test.go and
+// cmd/corundum-bench.
+package corundum

@@ -1,0 +1,251 @@
+// kvstore: a persistent string key-value store with a volatile index,
+// demonstrating the paper's VWeak pointers — the only sanctioned way to
+// point from DRAM into a pool. The volatile index (a Go map) holds VWeak
+// handles to persistent entries; after the pool closes, the index's
+// handles stop resolving instead of dangling.
+//
+// Usage:
+//
+//	go run ./examples/kvstore put <key> <value>
+//	go run ./examples/kvstore get <key>
+//	go run ./examples/kvstore del <key>
+//	go run ./examples/kvstore list
+//	go run ./examples/kvstore demo     # scripted walk-through
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"corundum/internal/core"
+)
+
+// P is the store's pool type.
+type P struct{}
+
+// Entry is one persistent key-value pair, chained per bucket.
+type Entry struct {
+	Key  core.PString[P]
+	Val  core.PString[P]
+	Next core.PBox[Entry, P]
+}
+
+// DropContents frees the owned strings when an entry dies. The chain link
+// is relinked by the remover, so it is not dropped here.
+func (e *Entry) DropContents(j *core.Journal[P]) error {
+	if err := e.Key.Free(j); err != nil {
+		return err
+	}
+	return e.Val.Free(j)
+}
+
+const buckets = 64
+
+// Root is the pool root: a fixed bucket directory of entry chains.
+type Root struct {
+	Buckets [buckets]core.PRefCell[core.PBox[Entry, P], P]
+	Count   core.PCell[int64, P]
+}
+
+// Store wraps the persistent root with a volatile VWeak-style cache of
+// bucket positions (a simple demonstration; a production index would hold
+// demoted pointers to hot entries).
+type Store struct {
+	root core.Root[Root, P]
+}
+
+func hash(s string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return int(h % buckets)
+}
+
+// Put inserts or updates key.
+func (s *Store) Put(key, val string) error {
+	return core.Transaction[P](func(j *core.Journal[P]) error {
+		r := s.root.Deref()
+		cell := &r.Buckets[hash(key)]
+		w, err := cell.BorrowMut(j)
+		if err != nil {
+			return err
+		}
+		defer w.Drop()
+		for cur := *w.Value(); !cur.IsNull(); {
+			e := cur.DerefJ(j)
+			if e.Key.Equal(key) {
+				// Replace the value string in place.
+				if err := e.Val.Free(j); err != nil {
+					return err
+				}
+				nv, err := core.NewPString[P](j, val)
+				if err != nil {
+					return err
+				}
+				p, err := cur.DerefMut(j)
+				if err != nil {
+					return err
+				}
+				p.Val = nv
+				return nil
+			}
+			cur = e.Next
+		}
+		pk, err := core.NewPString[P](j, key)
+		if err != nil {
+			return err
+		}
+		pv, err := core.NewPString[P](j, val)
+		if err != nil {
+			return err
+		}
+		box, err := core.NewPBox[Entry, P](j, Entry{Key: pk, Val: pv, Next: *w.Value()})
+		if err != nil {
+			return err
+		}
+		*w.Value() = box
+		return r.Count.Update(j, func(n int64) int64 { return n + 1 })
+	})
+}
+
+// Get looks up key without a transaction (reads are always safe).
+func (s *Store) Get(key string) (string, bool) {
+	r := s.root.Deref()
+	for cur := r.Buckets[hash(key)].Read(); !cur.IsNull(); {
+		e := cur.Deref()
+		if e.Key.Equal(key) {
+			return e.Val.String(), true
+		}
+		cur = e.Next
+	}
+	return "", false
+}
+
+// Del removes key, reclaiming its entry and strings at commit. The
+// outcome leaves the transaction through TransactionV's return value,
+// keeping the body free of captured-variable writes (TxInSafe).
+func (s *Store) Del(key string) (bool, error) {
+	return core.TransactionV[bool, P](func(j *core.Journal[P]) (bool, error) {
+		r := s.root.Deref()
+		cell := &r.Buckets[hash(key)]
+		w, err := cell.BorrowMut(j)
+		if err != nil {
+			return false, err
+		}
+		defer w.Drop()
+		slot := w.Value()
+		for !slot.IsNull() {
+			e := slot.DerefJ(j)
+			if e.Key.Equal(key) {
+				victim := *slot
+				// Relink past the victim, then free it (strings included).
+				p, err := victim.DerefMut(j)
+				if err != nil {
+					return false, err
+				}
+				next := p.Next
+				p.Next = core.PBox[Entry, P]{} // detach before drop
+				*slot = next
+				if err := victim.Free(j); err != nil {
+					return false, err
+				}
+				return true, r.Count.Update(j, func(n int64) int64 { return n - 1 })
+			}
+			// Walk into the entry's next field (which lives in PM).
+			ep, err := slot.DerefMut(j)
+			if err != nil {
+				return false, err
+			}
+			slot = &ep.Next
+		}
+		return false, nil
+	})
+}
+
+// List prints every pair.
+func (s *Store) List() {
+	r := s.root.Deref()
+	total := 0
+	for b := 0; b < buckets; b++ {
+		for cur := r.Buckets[b].Read(); !cur.IsNull(); {
+			e := cur.Deref()
+			fmt.Printf("  %s = %s\n", e.Key.String(), e.Val.String())
+			cur = e.Next
+			total++
+		}
+	}
+	fmt.Printf("(%d entries)\n", total)
+}
+
+func main() {
+	root, err := core.Open[Root, P]("kvstore.pool", core.Config{Size: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer core.ClosePool[P]()
+	store := &Store{root: root}
+
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"demo"}
+	}
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("usage: kvstore put <key> <value>")
+		}
+		if err := store.Put(args[1], args[2]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ok")
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: kvstore get <key>")
+		}
+		if v, ok := store.Get(args[1]); ok {
+			fmt.Println(v)
+		} else {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+	case "del":
+		if len(args) != 2 {
+			log.Fatal("usage: kvstore del <key>")
+		}
+		ok, err := store.Del(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ok)
+	case "list":
+		store.List()
+	case "demo":
+		fmt.Println("populating persistent store...")
+		for _, kv := range [][2]string{
+			{"paper", "Corundum: Statically-Enforced Persistent Memory Safety"},
+			{"venue", "ASPLOS 2021"},
+			{"lang", "Go (reproduction)"},
+		} {
+			if err := store.Put(kv[0], kv[1]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		store.List()
+		fmt.Println("updating one key transactionally...")
+		if err := store.Put("lang", "Go 1.23"); err != nil {
+			log.Fatal(err)
+		}
+		v, _ := store.Get("lang")
+		fmt.Println("lang =", v)
+		fmt.Println("deleting 'venue'...")
+		if _, err := store.Del("venue"); err != nil {
+			log.Fatal(err)
+		}
+		store.List()
+		fmt.Println("re-run to see the data persisted in kvstore.pool")
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's Listing 1 — a persistent linked list whose
+// contents survive process restarts.
+//
+// Run it several times:
+//
+//	go run ./examples/quickstart
+//
+// Each run appends one node inside a transaction and prints the whole
+// list, which grows across runs because it lives in list.pool.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"corundum/internal/core"
+)
+
+// P is this program's pool type, as in `pool!()` from the paper: the type
+// parameter that binds every persistent pointer to this pool.
+type P struct{}
+
+// Node mirrors Listing 1: a value and a PRefCell-wrapped optional next
+// pointer (the zero PBox is None).
+type Node struct {
+	Val  int64
+	Next core.PRefCell[core.PBox[Node, P], P]
+}
+
+// appendNode is Listing 1's append(): recursively find the end of the
+// list and link a new node. The journal argument proves we are inside a
+// transaction; borrowing mutably undo-logs the cell.
+func appendNode(j *core.Journal[P], n *Node, v int64) error {
+	t, err := n.Next.BorrowMut(j)
+	if err != nil {
+		return err
+	}
+	defer t.Drop()
+	if !t.Value().IsNull() {
+		return appendNode(j, t.Value().DerefJ(j), v)
+	}
+	box, err := core.NewPBox[Node, P](j, Node{Val: v})
+	if err != nil {
+		return err
+	}
+	*t.Value() = box
+	return nil
+}
+
+func main() {
+	path := "list.pool"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+
+	// Open binds pool type P to the file, creating it on first use; the
+	// root object is a zero-valued Node acting as the list's sentinel head.
+	head, err := core.Open[Node, P](path, core.Config{Size: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer core.ClosePool[P]()
+
+	// Count existing nodes so each run appends the next integer.
+	count := int64(0)
+	for n := head.Deref(); ; {
+		next := n.Next.Read()
+		if next.IsNull() {
+			break
+		}
+		n = next.Deref()
+		count++
+	}
+
+	if err := core.Transaction[P](func(j *core.Journal[P]) error {
+		return appendNode(j, head.Deref(), count+1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("list after %d run(s):", count+1)
+	for n := head.Deref(); ; {
+		next := n.Next.Read()
+		if next.IsNull() {
+			break
+		}
+		n = next.Deref()
+		fmt.Printf(" %d", n.Val)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,178 @@
+// tasks: a persistent to-do tracker showing the container library
+// (SortedMap + Stack) composed on one pool. Tasks survive restarts; every
+// command runs in one failure-atomic transaction, and completed tasks move
+// to an undo stack so "undo" can resurrect them — all reclaimed exactly
+// once thanks to drop logs.
+//
+//	go run ./examples/tasks add "write the report"
+//	go run ./examples/tasks list
+//	go run ./examples/tasks done <id>
+//	go run ./examples/tasks undo
+//	go run ./examples/tasks demo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"corundum/internal/containers"
+	"corundum/internal/core"
+)
+
+// P is the tracker's pool type.
+type P struct{}
+
+// Task is one persistent to-do item.
+type Task struct {
+	ID    uint64
+	Title core.PString[P]
+}
+
+// DropContents frees the owned title when a task is reclaimed.
+func (t *Task) DropContents(j *core.Journal[P]) error {
+	return t.Title.Free(j)
+}
+
+// Root composes two containers and an ID counter on one pool.
+type Root struct {
+	Open   containers.SortedMap[Task, P]
+	Done   containers.Stack[Task, P]
+	NextID core.PCell[uint64, P]
+}
+
+func main() {
+	root, err := core.Open[Root, P]("tasks.pool", core.Config{Size: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer core.ClosePool[P]()
+	r := root.Deref()
+
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"demo"}
+	}
+	switch args[0] {
+	case "add":
+		if len(args) < 2 {
+			log.Fatal("usage: tasks add <title>")
+		}
+		id, err := add(r, strings.Join(args[1:], " "))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("added #%d\n", id)
+	case "list":
+		list(r)
+	case "done":
+		if len(args) != 2 {
+			log.Fatal("usage: tasks done <id>")
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, err := done(r, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Println("no such task")
+			os.Exit(1)
+		}
+		fmt.Printf("completed #%d\n", id)
+	case "undo":
+		id, ok, err := undo(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Println("nothing to undo")
+			os.Exit(1)
+		}
+		fmt.Printf("restored #%d\n", id)
+	case "demo":
+		for _, title := range []string{"read the paper", "port it to Go", "reproduce figure 1"} {
+			if _, err := add(r, title); err != nil {
+				log.Fatal(err)
+			}
+		}
+		list(r)
+		fmt.Println("completing the first task...")
+		minID, _, _ := r.Open.Min()
+		if _, err := done(r, minID); err != nil {
+			log.Fatal(err)
+		}
+		list(r)
+		fmt.Println("changed our mind: undo")
+		if _, _, err := undo(r); err != nil {
+			log.Fatal(err)
+		}
+		list(r)
+		fmt.Println("state persists in tasks.pool — run again to keep going")
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func add(r *Root, title string) (uint64, error) {
+	return core.TransactionV[uint64, P](func(j *core.Journal[P]) (uint64, error) {
+		id := r.NextID.Get() + 1
+		if err := r.NextID.Set(j, id); err != nil {
+			return 0, err
+		}
+		pt, err := core.NewPString[P](j, title)
+		if err != nil {
+			return 0, err
+		}
+		return id, r.Open.Put(j, id, Task{ID: id, Title: pt})
+	})
+}
+
+func list(r *Root) {
+	fmt.Printf("open tasks (%d):\n", r.Open.Len())
+	r.Open.Scan(func(id uint64, t *Task) bool {
+		fmt.Printf("  #%-4d %s\n", id, t.Title.String())
+		return true
+	})
+	if r.Done.Len() > 0 {
+		fmt.Printf("completed (%d, most recent first):\n", r.Done.Len())
+		r.Done.Range(func(t *Task) bool {
+			fmt.Printf("  #%-4d %s\n", t.ID, t.Title.String())
+			return true
+		})
+	}
+}
+
+// done moves a task from the sorted map to the undo stack in one
+// transaction: ownership of the Task (and its persistent title) transfers
+// atomically; a crash can never duplicate or lose it.
+func done(r *Root, id uint64) (bool, error) {
+	return core.TransactionV[bool, P](func(j *core.Journal[P]) (bool, error) {
+		task, ok, err := r.Open.Take(j, id) // ownership transfers out
+		if err != nil || !ok {
+			return false, err
+		}
+		return true, r.Done.Push(j, task)
+	})
+}
+
+// undo moves the most recently completed task back into the open map.
+type undoResult struct {
+	ID    uint64
+	Moved bool
+}
+
+func undo(r *Root) (uint64, bool, error) {
+	res, err := core.TransactionV[undoResult, P](func(j *core.Journal[P]) (undoResult, error) {
+		task, ok, err := r.Done.Pop(j)
+		if err != nil || !ok {
+			return undoResult{}, err
+		}
+		return undoResult{ID: task.ID, Moved: true}, r.Open.Put(j, task.ID, task)
+	})
+	return res.ID, res.Moved, err
+}

@@ -1,0 +1,55 @@
+// wordcount: the paper's scalability workload (Figure 2) as a standalone
+// program. Producer goroutines push text segments onto a persistent,
+// mutex-protected stack; consumer goroutines pop segments and count words.
+// Per-thread journals and per-journal allocator arenas are what let the
+// transactions run in parallel.
+//
+// Usage:
+//
+//	go run ./examples/wordcount [-producers N] [-consumers N] [-segments N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"corundum/internal/workloads/wordcount"
+)
+
+func main() {
+	producers := flag.Int("producers", 1, "producer goroutines")
+	consumers := flag.Int("consumers", 4, "consumer goroutines")
+	segments := flag.Int("segments", 128, "text segments in the corpus")
+	segBytes := flag.Int("seg-bytes", 32<<10, "bytes per segment")
+	flag.Parse()
+
+	corpus := wordcount.GenerateCorpus(*segments, *segBytes, 7)
+	s, err := wordcount.Open(wordcount.DefaultConfig(*producers + *consumers + 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	fmt.Printf("corpus: %d segments x %d bytes\n", *segments, *segBytes)
+
+	// Sequential baseline.
+	t0 := time.Now()
+	words, err := wordcount.Run(s, 1, 1, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := time.Since(t0)
+	fmt.Printf("seq (1:1):   %8.3fs  %d words\n", seq.Seconds(), words)
+
+	// Parallel run.
+	t0 = time.Now()
+	words, err = wordcount.Run(s, *producers, *consumers, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par := time.Since(t0)
+	fmt.Printf("par (%d:%d):  %8.3fs  %d words  speedup %.2fx\n",
+		*producers, *consumers, par.Seconds(), words, seq.Seconds()/par.Seconds())
+}

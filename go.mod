@@ -1,0 +1,3 @@
+module corundum
+
+go 1.23

@@ -1,0 +1,110 @@
+// Package corundumeng adapts Corundum itself to the engine interface so
+// the Figure 1 workloads run on the same code paths the typed library
+// uses: per-journal undo logging with first-touch deduplication, drop logs
+// applied at commit, and the sharded crash-atomic buddy allocator.
+package corundumeng
+
+import (
+	"encoding/binary"
+
+	"corundum/internal/baselines/engine"
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+// Lib is the Corundum engine.
+type Lib struct {
+	// NoDedup disables the first-touch undo-log deduplication, so every
+	// store logs. Used only by the ablation benchmarks.
+	NoDedup bool
+}
+
+// Name implements engine.Lib.
+func (l Lib) Name() string {
+	if l.NoDedup {
+		return "Corundum-nodedup"
+	}
+	return "Corundum"
+}
+
+// Open implements engine.Lib.
+func (l Lib) Open(cfg engine.Config) (engine.Pool, error) {
+	// The single-threaded engine workloads need few journals; size the
+	// journal area with the pool so small pools keep most of their space
+	// as heap while large ones can log big initializations (the KVStore
+	// bucket directory is logged as one range).
+	journalCap := cfg.Size / 64
+	if journalCap < 64<<10 {
+		journalCap = 64 << 10
+	}
+	if journalCap > 1<<20 {
+		journalCap = 1 << 20
+	}
+	p, err := pool.Create("", pool.Config{
+		Size:       cfg.Size,
+		Journals:   8,
+		JournalCap: journalCap,
+		Mem:        cfg.Mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &enginePool{p: p, noDedup: l.NoDedup}, nil
+}
+
+type enginePool struct {
+	p       *pool.Pool
+	noDedup bool
+}
+
+func (ep *enginePool) Root() uint64         { return ep.p.RootOff() }
+func (ep *enginePool) Device() *pmem.Device { return ep.p.Device() }
+func (ep *enginePool) Close() error         { return ep.p.Close() }
+
+func (ep *enginePool) Tx(body func(tx engine.Tx) error) error {
+	return ep.p.Transaction(func(j *journal.Journal) error {
+		return body(&tx{p: ep.p, j: j, noDedup: ep.noDedup})
+	})
+}
+
+type tx struct {
+	p       *pool.Pool
+	j       *journal.Journal
+	noDedup bool
+}
+
+func (t *tx) Alloc(size uint64) (uint64, error) { return t.j.Alloc(size) }
+func (t *tx) Free(off, size uint64) error       { return t.j.DropLog(off, size) }
+
+func (t *tx) Load(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(t.p.Device().Bytes()[off:])
+}
+
+func (t *tx) Store(off, val uint64) error {
+	var err error
+	if t.noDedup {
+		err = t.j.DataLogForce(off, 8)
+	} else {
+		err = t.j.DataLog(off, 8)
+	}
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(t.p.Device().Bytes()[off:], val)
+	return nil
+}
+
+func (t *tx) StoreBytes(off uint64, data []byte) error {
+	if err := t.j.DataLog(off, uint64(len(data))); err != nil {
+		return err
+	}
+	copy(t.p.Device().Bytes()[off:], data)
+	return nil
+}
+
+func (t *tx) ReadBytes(off uint64, out []byte) {
+	copy(out, t.p.Device().Bytes()[off:])
+}
+
+func (t *tx) SetRoot(off uint64) error { return t.p.SetRoot(t.j, off, 0) }

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"time"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/baselines/engine"
+	"corundum/internal/pmem"
+	"corundum/internal/workloads"
+	"corundum/internal/workloads/wordcount"
+)
+
+// The ablation studies quantify two of DESIGN.md's design choices:
+//
+//  1. log-on-first-DerefMut deduplication: the paper notes Corundum "only
+//     logs the last one" when borrow_mut is called per link. AblationDedup
+//     measures the same workloads with deduplication disabled (every store
+//     logs), which is the go-pmem/Atlas discipline.
+//  2. per-thread journals and allocator arenas: AblationArenas runs the
+//     wordcount workload over pools configured with 1 journal (every
+//     transaction serializes on one journal and one arena) versus many.
+
+// AblationResult is one measurement pair. Fence counts are deterministic
+// (the emulated device counts them), so they isolate the protocol effect
+// from scheduler noise; seconds give the wall-clock view.
+type AblationResult struct {
+	Name           string
+	Baseline       float64 // seconds with the design choice enabled (Corundum)
+	Ablated        float64 // seconds with it disabled
+	BaselineFences uint64
+	AblatedFences  uint64
+}
+
+// AblationDedup measures insert workloads and a repeated-store
+// transaction with and without undo-log deduplication. The tree workloads
+// mostly store to distinct offsets per transaction, so dedup helps little
+// there — which is itself a finding; the repeated-store case (the
+// DerefMut-in-a-loop pattern of Listing 1) is where the paper's
+// log-on-first-touch rule removes almost all logging.
+func AblationDedup(n int, cfg engine.Config) ([]AblationResult, error) {
+	type sample struct {
+		sec    float64
+		fences uint64
+	}
+	run := func(lib engine.Lib) (bst, bt, rep sample, err error) {
+		p, err := lib.Open(cfg)
+		if err != nil {
+			return bst, bt, rep, err
+		}
+		defer p.Close()
+		w, err := workloads.NewBST(p)
+		if err != nil {
+			return bst, bt, rep, err
+		}
+		f0 := p.Device().Stats().Fences.Load()
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if err := w.Insert(uint64(i)*2654435761%uint64(4*n), uint64(i)); err != nil {
+				return bst, bt, rep, err
+			}
+		}
+		bst = sample{time.Since(t0).Seconds(), p.Device().Stats().Fences.Load() - f0}
+
+		p2, err := lib.Open(cfg)
+		if err != nil {
+			return bst, bt, rep, err
+		}
+		defer p2.Close()
+		w2, err := workloads.NewBTree(p2)
+		if err != nil {
+			return bst, bt, rep, err
+		}
+		f0 = p2.Device().Stats().Fences.Load()
+		t0 = time.Now()
+		for i := 0; i < n; i++ {
+			if err := w2.Insert(uint64(i)*2654435761%uint64(4*n)+1, uint64(i)); err != nil {
+				return bst, bt, rep, err
+			}
+		}
+		bt = sample{time.Since(t0).Seconds(), p2.Device().Stats().Fences.Load() - f0}
+
+		// Repeated stores to one word in one transaction, n/10 transactions.
+		p3, err := lib.Open(engine.Config{Size: 16 << 20, Mem: cfg.Mem})
+		if err != nil {
+			return bst, bt, rep, err
+		}
+		defer p3.Close()
+		var cell uint64
+		if err := p3.Tx(func(tx engine.Tx) error {
+			cell, err = tx.Alloc(8)
+			return err
+		}); err != nil {
+			return bst, bt, rep, err
+		}
+		f0 = p3.Device().Stats().Fences.Load()
+		t0 = time.Now()
+		for i := 0; i < n/10; i++ {
+			if err := p3.Tx(func(tx engine.Tx) error {
+				for k := 0; k < 64; k++ {
+					if err := tx.Store(cell, uint64(k)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return bst, bt, rep, err
+			}
+		}
+		rep = sample{time.Since(t0).Seconds(), p3.Device().Stats().Fences.Load() - f0}
+		return bst, bt, rep, nil
+	}
+
+	withBST, withBT, withRep, err := run(corundumeng.Lib{})
+	if err != nil {
+		return nil, err
+	}
+	noBST, noBT, noRep, err := run(corundumeng.Lib{NoDedup: true})
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "log dedup (BST INS)", Baseline: withBST.sec, Ablated: noBST.sec, BaselineFences: withBST.fences, AblatedFences: noBST.fences},
+		{Name: "log dedup (B+Tree INS)", Baseline: withBT.sec, Ablated: noBT.sec, BaselineFences: withBT.fences, AblatedFences: noBT.fences},
+		{Name: "log dedup (64x same-word stores)", Baseline: withRep.sec, Ablated: noRep.sec, BaselineFences: withRep.fences, AblatedFences: noRep.fences},
+	}, nil
+}
+
+// AblationArenas measures the wordcount workload with many journals/arenas
+// (the paper's per-thread design) versus a single shared one.
+func AblationArenas(segments, segBytes, consumers int) ([]AblationResult, error) {
+	corpus := wordcount.GenerateCorpus(segments, segBytes, 7)
+	measure := func(journals int) (float64, error) {
+		s, err := wordcount.Open(wordcount.DefaultConfig(journals))
+		if err != nil {
+			return 0, err
+		}
+		defer s.Close()
+		t0 := time.Now()
+		if _, err := wordcount.Run(s, 1, consumers, corpus); err != nil {
+			return 0, err
+		}
+		return time.Since(t0).Seconds(), nil
+	}
+	many, err := measure(consumers + 4)
+	if err != nil {
+		return nil, err
+	}
+	one, err := measure(1)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "per-thread journals (wordcount 1:N)", Baseline: many, Ablated: one},
+	}, nil
+}
+
+// Fences returns the device fence count consumed by running fn on a fresh
+// Corundum pool — used to compare the commit protocol's fence budget
+// against design variants in tests.
+func Fences(cfg engine.Config, fn func(p engine.Pool) error) (uint64, error) {
+	p, err := corundumeng.Lib{}.Open(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+	var dev *pmem.Device = p.Device()
+	before := dev.Stats().Fences.Load()
+	if err := fn(p); err != nil {
+		return 0, err
+	}
+	return dev.Stats().Fences.Load() - before, nil
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"corundum/internal/baselines/atlas"
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/baselines/engine"
+	"corundum/internal/baselines/gopmem"
+	"corundum/internal/baselines/mnemosyne"
+	"corundum/internal/baselines/pmdk"
+	"corundum/internal/workloads"
+)
+
+// Fig1Result is one bar of Figure 1: one library running one operation of
+// one workload.
+type Fig1Result struct {
+	Lib      string
+	Workload string
+	Op       string
+	Seconds  float64
+}
+
+// Libraries returns the five systems Figure 1 compares, Corundum last as
+// in the paper's legend order (PMDK, Atlas, Mnemosyne, go-pmem, Corundum).
+func Libraries() []engine.Lib {
+	return []engine.Lib{
+		pmdk.Lib{},
+		atlas.Lib{},
+		mnemosyne.Lib{},
+		gopmem.Lib{},
+		corundumeng.Lib{},
+	}
+}
+
+// Fig1 runs the paper's Figure 1 matrix: BST (INS, CHK), KVStore (PUT,
+// GET), and B+Tree (INS, CHK, REM, RAND) on every library, n operations
+// each with identical seeded inputs.
+func Fig1(n int, cfg engine.Config) ([]Fig1Result, error) {
+	var out []Fig1Result
+	for _, lib := range Libraries() {
+		rows, err := fig1Lib(lib, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lib.Name(), err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+func fig1Lib(lib engine.Lib, n int, cfg engine.Config) ([]Fig1Result, error) {
+	var out []Fig1Result
+	record := func(workload, op string, d time.Duration) {
+		out = append(out, Fig1Result{Lib: lib.Name(), Workload: workload, Op: op, Seconds: d.Seconds()})
+	}
+	keys := make([]uint64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range keys {
+		keys[i] = rng.Uint64() % uint64(4*n)
+	}
+
+	// BST: INS then CHK.
+	{
+		p, err := lib.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bst, err := workloads.NewBST(p)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for i, k := range keys {
+			if err := bst.Insert(k, uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		record("BST", "INS", time.Since(t0))
+		t0 = time.Now()
+		for _, k := range keys {
+			if _, _, err := bst.Lookup(k); err != nil {
+				return nil, err
+			}
+		}
+		record("BST", "CHK", time.Since(t0))
+		p.Close()
+	}
+
+	// KVStore: PUT then GET.
+	{
+		p, err := lib.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		kv, err := workloads.NewKVStore(p, 1<<14)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for i, k := range keys {
+			if err := kv.Put(k, uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		record("KVStore", "PUT", time.Since(t0))
+		t0 = time.Now()
+		for _, k := range keys {
+			if _, _, err := kv.Get(k); err != nil {
+				return nil, err
+			}
+		}
+		record("KVStore", "GET", time.Since(t0))
+		p.Close()
+	}
+
+	// B+Tree: INS, CHK, REM, RAND.
+	{
+		p, err := lib.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := workloads.NewBTree(p)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for i, k := range keys {
+			if err := bt.Insert(k, uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		record("B+Tree", "INS", time.Since(t0))
+		t0 = time.Now()
+		for _, k := range keys {
+			if _, _, err := bt.Lookup(k); err != nil {
+				return nil, err
+			}
+		}
+		record("B+Tree", "CHK", time.Since(t0))
+		t0 = time.Now()
+		for _, k := range keys[:n/2] {
+			if _, err := bt.Remove(k); err != nil {
+				return nil, err
+			}
+		}
+		record("B+Tree", "REM", time.Since(t0))
+		// RAND: a mixed workload (50% lookup, 25% insert, 25% remove).
+		mixed := rand.New(rand.NewSource(77))
+		t0 = time.Now()
+		for i := 0; i < n; i++ {
+			k := mixed.Uint64() % uint64(4*n)
+			switch mixed.Intn(4) {
+			case 0:
+				if err := bt.Insert(k, k); err != nil {
+					return nil, err
+				}
+			case 1:
+				if _, err := bt.Remove(k); err != nil {
+					return nil, err
+				}
+			default:
+				if _, _, err := bt.Lookup(k); err != nil {
+					return nil, err
+				}
+			}
+		}
+		record("B+Tree", "RAND", time.Since(t0))
+		p.Close()
+	}
+	return out, nil
+}

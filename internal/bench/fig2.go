@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"corundum/internal/workloads/wordcount"
+)
+
+// Fig2Result is one point of Figure 2: wordcount execution time at one
+// producer:consumer configuration, with speedup relative to the
+// sequential baseline.
+type Fig2Result struct {
+	Label     string
+	Producers int
+	Consumers int
+	Seconds   float64
+	Speedup   float64
+}
+
+// Fig2 reproduces the scalability experiment: the "seq" baseline (one
+// producer then one consumer, one goroutine) followed by 1:1 through
+// 1:maxConsumers producer:consumer splits. Per-thread journals and
+// allocator arenas are what make the parallel configurations scale.
+func Fig2(segments, segBytes, maxConsumers int) ([]Fig2Result, error) {
+	corpus := wordcount.GenerateCorpus(segments, segBytes, 2026)
+
+	s, err := wordcount.Open(wordcount.DefaultConfig(maxConsumers + 4))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	// Sequential baseline: push everything, then pop and count, in one
+	// goroutine (the paper's "one producer and one consumer object
+	// sequentially").
+	t0 := time.Now()
+	for _, seg := range corpus {
+		if err := s.Push(seg); err != nil {
+			return nil, err
+		}
+	}
+	local := make(map[string]int, 4096)
+	seqWords := 0
+	for {
+		text, ok, err := s.Pop()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		wordcount.CountWords(text, local)
+	}
+	for _, n := range local {
+		seqWords += n
+	}
+	seqTime := time.Since(t0)
+
+	out := []Fig2Result{{Label: "seq", Producers: 1, Consumers: 1, Seconds: seqTime.Seconds(), Speedup: 1}}
+	for c := 1; c <= maxConsumers; c++ {
+		t0 := time.Now()
+		words, err := wordcount.Run(s, 1, c, corpus)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(t0)
+		if words != seqWords {
+			return nil, fmt.Errorf("fig2: 1:%d counted %d words, seq counted %d", c, words, seqWords)
+		}
+		out = append(out, Fig2Result{
+			Label:     fmt.Sprintf("1:%d", c),
+			Producers: 1,
+			Consumers: c,
+			Seconds:   elapsed.Seconds(),
+			Speedup:   seqTime.Seconds() / elapsed.Seconds(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,30 @@
+// §3.9 "Threads in Transaction": spawning a goroutine inside a
+// transaction can orphan persistent allocations (the paper makes Parc
+// !Send for exactly this reason). The goroutine must receive a VWeak.
+package testdata
+
+import "corundum/internal/core"
+
+type P5 struct{}
+
+func spawnInTx() {
+	_ = core.Transaction[P5](func(j *core.Journal[P5]) error {
+		a, err := core.NewParc[int64, P5](j, 42)
+		if err != nil {
+			return err
+		}
+		go func() { // want PM004
+			_ = a
+		}()
+		return nil
+	})
+}
+
+func spawnWithVWeakIsStillFlagged() {
+	// Even handing off a VWeak must happen outside the transaction: the
+	// goroutine itself starts a new transaction to promote it.
+	_ = core.Transaction[P5](func(j *core.Journal[P5]) error {
+		go func() {}() // want PM004
+		return nil
+	})
+}

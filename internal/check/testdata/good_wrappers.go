@@ -1,0 +1,42 @@
+// Persistent wrapper types are PSafe: they hold pool offsets, not Go
+// pointers. pmcheck must accept them everywhere.
+package testdata
+
+import "corundum/internal/core"
+
+type P7 struct{}
+
+type Rich struct {
+	Count   int64
+	Label   core.PString[P7]
+	Values  core.PVec[int64, P7]
+	Child   core.PBox[Rich, P7]
+	Shared  core.Prc[int64, P7]
+	Guarded core.PMutex[int64, P7]
+	Matrix  [4][4]float64
+}
+
+func buildRich(j *core.Journal[P7]) error {
+	_, err := core.NewPBox[Rich, P7](j, Rich{Count: 1})
+	if err != nil {
+		return err
+	}
+	// Locals inside the transaction are fine (created within it).
+	total := int64(0)
+	for i := int64(0); i < 10; i++ {
+		total += i
+	}
+	_ = total
+	return nil
+}
+
+func wholeTx() error {
+	return core.Transaction[P7](func(j *core.Journal[P7]) error {
+		sum := 0
+		for i := 0; i < 3; i++ {
+			sum += i
+		}
+		_ = sum
+		return buildRich(j)
+	})
+}

@@ -1,0 +1,17 @@
+// TX-Journal-Only: the journal must not outlive its transaction.
+package testdata
+
+import "corundum/internal/core"
+
+type P4 struct{}
+
+var stashed *core.Journal[P4]
+
+func journalEscape() {
+	var grab *core.Journal[P4]
+	_ = core.Transaction[P4](func(j *core.Journal[P4]) error {
+		grab = j // want PM003
+		return nil
+	})
+	_ = grab
+}

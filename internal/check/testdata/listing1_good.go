@@ -1,0 +1,39 @@
+// A clean Corundum program: the paper's Listing 1 (persistent linked-list
+// append). pmcheck must report nothing.
+package testdata
+
+import "corundum/internal/core"
+
+type P struct{}
+
+type Node struct {
+	Val  int64
+	Next core.PRefCell[core.PBox[Node, P], P]
+}
+
+func appendNode(j *core.Journal[P], n *Node, v int64) error {
+	t, err := n.Next.BorrowMut(j)
+	if err != nil {
+		return err
+	}
+	defer t.Drop()
+	if !t.Value().IsNull() {
+		return appendNode(j, t.Value().DerefJ(j), v)
+	}
+	box, err := core.NewPBox[Node, P](j, Node{Val: v})
+	if err != nil {
+		return err
+	}
+	*t.Value() = box
+	return nil
+}
+
+func groovy(v int64) error {
+	root, err := core.Open[Node, P]("list.pool", core.Config{})
+	if err != nil {
+		return err
+	}
+	return core.Transaction[P](func(j *core.Journal[P]) error {
+		return appendNode(j, root.Deref(), v)
+	})
+}

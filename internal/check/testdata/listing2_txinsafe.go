@@ -1,0 +1,33 @@
+// The paper's Listing 2: a transaction must not modify captured volatile
+// state (TxInSafe) and must not leak the journal or persistent pointers
+// out through captured variables.
+package testdata
+
+import "corundum/internal/core"
+
+type P2 struct{}
+
+func listing2() {
+	done := false
+	var leaked core.PBox[int64, P2]
+	_ = core.Transaction[P2](func(j *core.Journal[P2]) error {
+		p1, err := core.NewPBox[int64, P2](j, 1)
+		if err != nil {
+			return err
+		}
+		done = true // want PM002
+		leaked = p1 // want PM002
+		return nil
+	})
+	_ = done
+	_ = leaked
+}
+
+func counterEscape() {
+	count := 0
+	_ = core.Transaction[P2](func(j *core.Journal[P2]) error {
+		count++ // want PM002
+		return nil
+	})
+	_ = count
+}

@@ -1,0 +1,29 @@
+// The paper's Listing 3: only persistent-safe objects may enter a pool.
+package testdata
+
+import "corundum/internal/core"
+
+type P3 struct{}
+
+type HasPointer struct {
+	Val  int64
+	Next *HasPointer
+}
+
+type HasString struct {
+	Name string
+}
+
+type HasSliceDeep struct {
+	Inner innerWithSlice
+}
+
+type innerWithSlice struct {
+	Data []byte
+}
+
+func listing3(j *core.Journal[P3]) {
+	_, _ = core.NewPBox[HasPointer, P3](j, HasPointer{})     // want PM001
+	_, _ = core.NewPrc[HasString, P3](j, HasString{})        // want PM001
+	_, _ = core.NewParc[HasSliceDeep, P3](j, HasSliceDeep{}) // want PM001
+}

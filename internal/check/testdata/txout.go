@@ -1,0 +1,24 @@
+// TxOutSafe: TransactionV returns the body's value, but persistent
+// pointers must not ride out on it.
+package testdata
+
+import "corundum/internal/core"
+
+type P9 struct{}
+
+func goodValueOut() (int64, error) {
+	return core.TransactionV[int64, P9](func(j *core.Journal[P9]) (int64, error) {
+		b, err := core.NewPBox[int64, P9](j, 7)
+		if err != nil {
+			return 0, err
+		}
+		return *b.DerefJ(j), nil // a copy of the data: fine
+	})
+}
+
+func badPointerOut() (core.PBox[int64, P9], error) {
+	return core.TransactionV[core.PBox[int64, P9], P9]( // want PM006
+		func(j *core.Journal[P9]) (core.PBox[int64, P9], error) {
+			return core.NewPBox[int64, P9](j, 7)
+		})
+}

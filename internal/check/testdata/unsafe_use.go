@@ -1,0 +1,22 @@
+// §3.1: all guarantees assume the program avoids unsafe code.
+package testdata
+
+import (
+	"unsafe" // want PM005
+
+	"corundum/internal/core"
+)
+
+type P6 struct{}
+
+func sketchy() {
+	_ = core.Transaction[P6](func(j *core.Journal[P6]) error {
+		b, err := core.NewPBox[int64, P6](j, 1)
+		if err != nil {
+			return err
+		}
+		p := (*uint64)(unsafe.Pointer(b.Deref()))
+		*p = 7 // an unlogged store the library can no longer see
+		return nil
+	})
+}

@@ -1,0 +1,16 @@
+// VWeak is the volatile half of the weak-pointer pair: it must never be
+// stored in a pool (its generation dies with the process). pmcheck's PM001
+// rejects it because it is not a persistent wrapper type.
+package testdata
+
+import "corundum/internal/core"
+
+type P8 struct{}
+
+type VolatileIndexEntry struct {
+	Hot core.VWeak[int64, P8]
+}
+
+func persistTheIndex(j *core.Journal[P8]) {
+	_, _ = core.NewPBox[VolatileIndexEntry, P8](j, VolatileIndexEntry{}) // want PM001
+}

@@ -1,0 +1,542 @@
+package containers
+
+import (
+	"math/rand"
+	"testing"
+
+	"corundum/internal/core"
+	"corundum/internal/pmem"
+)
+
+func cfg() core.Config {
+	return core.Config{Size: 32 << 20, Journals: 4, Mem: pmem.Options{}}
+}
+
+func open[T any, P any](t *testing.T) core.Root[T, P] {
+	t.Helper()
+	root, err := core.Open[T, P]("", cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = core.ClosePool[P]() })
+	return root
+}
+
+// --- Stack ------------------------------------------------------------
+
+type tagStack struct{}
+
+type stackRoot struct {
+	S Stack[int64, tagStack]
+}
+
+func TestStackLIFO(t *testing.T) {
+	root := open[stackRoot, tagStack](t)
+	s := &root.Deref().S
+	if err := core.Transaction[tagStack](func(j *core.Journal[tagStack]) error {
+		for i := int64(1); i <= 100; i++ {
+			if err := s.Push(j, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if top, ok := s.Peek(); !ok || top != 100 {
+		t.Fatalf("peek %d,%v", top, ok)
+	}
+	if err := core.Transaction[tagStack](func(j *core.Journal[tagStack]) error {
+		for i := int64(100); i >= 1; i-- {
+			v, ok, err := s.Pop(j)
+			if err != nil {
+				return err
+			}
+			if !ok || v != i {
+				t.Fatalf("pop %d,%v want %d", v, ok, i)
+			}
+		}
+		if _, ok, _ := s.Pop(j); ok {
+			t.Fatal("pop from empty stack")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every node must have been reclaimed.
+	st, _ := core.StatsOf[tagStack]()
+	if st.InUse != 64 { // just the root block
+		t.Fatalf("stack leaked %d bytes", st.InUse-64)
+	}
+}
+
+func TestStackClearReclaims(t *testing.T) {
+	root := open[stackRoot2, tagStack2](t)
+	s := &root.Deref().S
+	if err := core.Transaction[tagStack2](func(j *core.Journal[tagStack2]) error {
+		for i := int64(0); i < 50; i++ {
+			if err := s.Push(j, i); err != nil {
+				return err
+			}
+		}
+		return s.Clear(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len after clear %d", s.Len())
+	}
+	st, _ := core.StatsOf[tagStack2]()
+	if st.InUse != 64 {
+		t.Fatalf("clear leaked %d bytes", st.InUse-64)
+	}
+}
+
+type tagStack2 struct{}
+
+type stackRoot2 struct {
+	S Stack[int64, tagStack2]
+}
+
+// --- Queue ------------------------------------------------------------
+
+type tagQueue struct{}
+
+type queueRoot struct {
+	Q Queue[int64, tagQueue]
+}
+
+func TestQueueFIFO(t *testing.T) {
+	root := open[queueRoot, tagQueue](t)
+	q := &root.Deref().Q
+	rng := rand.New(rand.NewSource(1))
+	var model []int64
+	for step := 0; step < 500; step++ {
+		if err := core.Transaction[tagQueue](func(j *core.Journal[tagQueue]) error {
+			if len(model) > 0 && rng.Intn(2) == 0 {
+				v, ok, err := q.Dequeue(j)
+				if err != nil {
+					return err
+				}
+				if !ok || v != model[0] {
+					t.Fatalf("step %d: dequeue %d,%v want %d", step, v, ok, model[0])
+				}
+				model = model[1:]
+			} else {
+				v := rng.Int63n(1000)
+				if err := q.Enqueue(j, v); err != nil {
+					return err
+				}
+				model = append(model, v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("step %d: len %d vs %d", step, q.Len(), len(model))
+		}
+	}
+	if front, ok := q.Front(); len(model) > 0 && (!ok || front != model[0]) {
+		t.Fatalf("front %d,%v want %d", front, ok, model[0])
+	}
+	i := 0
+	q.Range(func(v *int64) bool {
+		if *v != model[i] {
+			t.Fatalf("range idx %d: %d vs %d", i, *v, model[i])
+		}
+		i++
+		return true
+	})
+	if err := core.Transaction[tagQueue](func(j *core.Journal[tagQueue]) error {
+		return q.Clear(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := core.StatsOf[tagQueue]()
+	if st.InUse != 64 {
+		t.Fatalf("queue leaked %d bytes", st.InUse-64)
+	}
+}
+
+// --- HashMap ----------------------------------------------------------
+
+type tagHM struct{}
+
+type hmRoot struct {
+	M HashMap[uint64, int64, tagHM]
+}
+
+func TestHashMapAgainstModel(t *testing.T) {
+	root := open[hmRoot, tagHM](t)
+	m := &root.Deref().M
+	model := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 3000; step++ {
+		k := uint64(rng.Intn(700))
+		if err := core.Transaction[tagHM](func(j *core.Journal[tagHM]) error {
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Int63()
+				if err := m.Put(j, k, v); err != nil {
+					return err
+				}
+				model[k] = v
+			case 2:
+				removed, err := m.Delete(j, k)
+				if err != nil {
+					return err
+				}
+				_, inModel := model[k]
+				if removed != inModel {
+					t.Fatalf("step %d: delete(%d)=%v model=%v", step, k, removed, inModel)
+				}
+				delete(model, k)
+			case 3:
+				got, ok := m.Get(k)
+				want, inModel := model[k]
+				if ok != inModel || (ok && got != want) {
+					t.Fatalf("step %d: get(%d)=%d,%v want %d,%v", step, k, got, ok, want, inModel)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("len %d vs %d", m.Len(), len(model))
+	}
+	seen := 0
+	m.Range(func(k uint64, v *int64) bool {
+		if model[k] != *v {
+			t.Fatalf("range: %d=%d model %d", k, *v, model[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("range saw %d, model %d", seen, len(model))
+	}
+}
+
+// TestHashMapOwnedValuesReclaimed: values owning persistent state (PString)
+// must be released on overwrite, delete, and clear.
+func TestHashMapOwnedValuesReclaimed(t *testing.T) {
+	root := open[hmsRoot, tagHMS](t)
+	m := &root.Deref().M
+	put := func(k uint64, s string) {
+		if err := core.Transaction[tagHMS](func(j *core.Journal[tagHMS]) error {
+			ps, err := core.NewPString[tagHMS](j, s)
+			if err != nil {
+				return err
+			}
+			return m.Put(j, k, valueWithString{S: ps})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1, "first value with some length to it")
+	base, _ := core.StatsOf[tagHMS]()
+	// Overwrite many times: steady state, no growth.
+	for i := 0; i < 20; i++ {
+		put(1, "replacement value with some length")
+	}
+	now, _ := core.StatsOf[tagHMS]()
+	if now.InUse != base.InUse {
+		t.Fatalf("overwrites leaked: %d -> %d bytes", base.InUse, now.InUse)
+	}
+	if err := core.Transaction[tagHMS](func(j *core.Journal[tagHMS]) error {
+		_, err := m.Delete(j, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := core.StatsOf[tagHMS]()
+	if after.InUse >= base.InUse {
+		t.Fatalf("delete did not release owned string: %d -> %d", base.InUse, after.InUse)
+	}
+}
+
+type tagHMS struct{}
+
+type valueWithString struct {
+	S core.PString[tagHMS]
+}
+
+func (v *valueWithString) DropContents(j *core.Journal[tagHMS]) error {
+	return v.S.Free(j)
+}
+
+type hmsRoot struct {
+	M HashMap[uint64, valueWithString, tagHMS]
+}
+
+// --- SortedMap ----------------------------------------------------------
+
+type tagSM struct{}
+
+type smRoot struct {
+	M SortedMap[int64, tagSM]
+}
+
+func TestSortedMapAgainstModel(t *testing.T) {
+	root := open[smRoot, tagSM](t)
+	m := &root.Deref().M
+	model := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 4000; step++ {
+		k := uint64(1 + rng.Intn(900))
+		if err := core.Transaction[tagSM](func(j *core.Journal[tagSM]) error {
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Int63()
+				if err := m.Put(j, k, v); err != nil {
+					return err
+				}
+				model[k] = v
+			case 2:
+				removed, err := m.Delete(j, k)
+				if err != nil {
+					return err
+				}
+				_, inModel := model[k]
+				if removed != inModel {
+					t.Fatalf("step %d: delete(%d)=%v model=%v", step, k, removed, inModel)
+				}
+				delete(model, k)
+			case 3:
+				got, ok := m.Get(k)
+				want, inModel := model[k]
+				if ok != inModel || (ok && got != want) {
+					t.Fatalf("step %d: get(%d)=%d,%v want %d,%v", step, k, got, ok, want, inModel)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if step%500 == 499 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Scan must enumerate the model in ascending order.
+	var prev uint64
+	seen := 0
+	m.Scan(func(k uint64, v *int64) bool {
+		if seen > 0 && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		if model[k] != *v {
+			t.Fatalf("scan %d=%d, model %d", k, *v, model[k])
+		}
+		prev = k
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("scan saw %d, model %d", seen, len(model))
+	}
+	if len(model) > 0 {
+		minK, _, ok := m.Min()
+		if !ok {
+			t.Fatal("Min failed")
+		}
+		for k := range model {
+			if k < minK {
+				t.Fatalf("Min %d but model has %d", minK, k)
+			}
+		}
+	}
+}
+
+func TestSortedMapSequentialFillAndDrain(t *testing.T) {
+	root := open[smRoot2, tagSM2](t)
+	m := &root.Deref().M
+	const n = 600
+	if err := core.Transaction[tagSM2](func(j *core.Journal[tagSM2]) error {
+		for i := uint64(1); i <= n; i++ {
+			if err := m.Put(j, i, int64(i*3)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != n {
+		t.Fatalf("len %d", m.Len())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := m.Get(i); !ok || v != int64(i*3) {
+			t.Fatalf("get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if err := core.Transaction[tagSM2](func(j *core.Journal[tagSM2]) error {
+		for i := uint64(1); i <= n; i++ {
+			removed, err := m.Delete(j, i)
+			if err != nil || !removed {
+				t.Fatalf("delete(%d) = %v,%v", i, removed, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len after drain %d", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagSM2 struct{}
+
+type smRoot2 struct {
+	M SortedMap[int64, tagSM2]
+}
+
+// --- crash atomicity across containers -----------------------------------
+
+type tagCrash struct{}
+
+type crashRoot struct {
+	S Stack[int64, tagCrash]
+	M HashMap[uint64, int64, tagCrash]
+}
+
+// TestContainersAbortConsistency aborts transactions mid-mutation across
+// two containers and verifies both roll back together.
+func TestContainersAbortConsistency(t *testing.T) {
+	root := open[crashRoot, tagCrash](t)
+	r := root.Deref()
+	if err := core.Transaction[tagCrash](func(j *core.Journal[tagCrash]) error {
+		if err := r.S.Push(j, 1); err != nil {
+			return err
+		}
+		return r.M.Put(j, 1, 100)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := core.StatsOf[tagCrash]()
+
+	boom := errAbort{}
+	err := core.Transaction[tagCrash](func(j *core.Journal[tagCrash]) error {
+		if err := r.S.Push(j, 2); err != nil {
+			return err
+		}
+		if err := r.M.Put(j, 2, 200); err != nil {
+			return err
+		}
+		if _, _, err := r.S.Pop(j); err != nil {
+			return err
+		}
+		if _, err := r.M.Delete(j, 1); err != nil {
+			return err
+		}
+		return boom
+	})
+	if err != boom {
+		t.Fatal(err)
+	}
+	if r.S.Len() != 1 || r.M.Len() != 1 {
+		t.Fatalf("abort leaked structure changes: stack %d, map %d", r.S.Len(), r.M.Len())
+	}
+	if v, ok := r.M.Get(1); !ok || v != 100 {
+		t.Fatalf("map content after abort: %d,%v", v, ok)
+	}
+	if top, ok := r.S.Peek(); !ok || top != 1 {
+		t.Fatalf("stack content after abort: %d,%v", top, ok)
+	}
+	after, _ := core.StatsOf[tagCrash]()
+	if after.InUse != base.InUse {
+		t.Fatalf("abort leaked memory: %d -> %d", base.InUse, after.InUse)
+	}
+}
+
+type errAbort struct{}
+
+func (errAbort) Error() string { return "deliberate abort" }
+
+// TestTakeTransfersOwnership: Take must return the value with its owned
+// persistent state intact (not dropped), unlike Delete.
+func TestTakeTransfersOwnership(t *testing.T) {
+	root := open[takeRoot, tagTake](t)
+	m := &root.Deref().M
+	if err := core.Transaction[tagTake](func(j *core.Journal[tagTake]) error {
+		s, err := core.NewPString[tagTake](j, "owned by the value")
+		if err != nil {
+			return err
+		}
+		return m.Put(j, 5, ownedVal{S: s})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var taken ownedVal
+	if err := core.Transaction[tagTake](func(j *core.Journal[tagTake]) error {
+		var ok bool
+		var err error
+		taken, ok, err = m.Take(j, 5)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("take missed the key")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := taken.S.String(); got != "owned by the value" {
+		t.Fatalf("taken value's string was dropped: %q", got)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len after take %d", m.Len())
+	}
+	// SortedMap.Take too.
+	sm := &root.Deref().SM
+	if err := core.Transaction[tagTake](func(j *core.Journal[tagTake]) error {
+		s, err := core.NewPString[tagTake](j, "sorted owned")
+		if err != nil {
+			return err
+		}
+		if err := sm.Put(j, 9, ownedVal{S: s}); err != nil {
+			return err
+		}
+		v, ok, err := sm.Take(j, 9)
+		if err != nil || !ok {
+			t.Fatalf("sorted take: %v %v", ok, err)
+		}
+		if v.S.StringJ(j) != "sorted owned" {
+			t.Fatalf("sorted taken string: %q", v.S.StringJ(j))
+		}
+		return v.S.Free(j) // we own it now; release to avoid a leak
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagTake struct{}
+
+type ownedVal struct {
+	S core.PString[tagTake]
+}
+
+func (v *ownedVal) DropContents(j *core.Journal[tagTake]) error { return v.S.Free(j) }
+
+type takeRoot struct {
+	M  HashMap[uint64, ownedVal, tagTake]
+	SM SortedMap[ownedVal, tagTake]
+}

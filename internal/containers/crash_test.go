@@ -1,0 +1,121 @@
+package containers
+
+import (
+	"testing"
+
+	"corundum/internal/core"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+type tagSweep struct{}
+
+type sweepRoot struct {
+	M SortedMap[int64, tagSweep]
+}
+
+// TestSortedMapCrashSweep injects a crash at every device operation during
+// a transaction that inserts enough keys to split B+Tree nodes, then
+// deletes one. After recovery the map must hold exactly the pre- or
+// post-transaction contents, pass its structural invariants, and leak no
+// memory — the container-level restatement of Tx-Are-Atomic.
+func TestSortedMapCrashSweep(t *testing.T) {
+	for crashAt := 1; ; crashAt += 7 {
+		cfg := core.Config{Size: 16 << 20, Journals: 2, Mem: pmem.Options{TrackCrash: true}}
+		root, err := core.Open[sweepRoot, tagSweep]("", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := core.DeviceOf[tagSweep]()
+
+		// Seed with enough keys to have a multi-level tree.
+		if err := core.Transaction[tagSweep](func(j *core.Journal[tagSweep]) error {
+			m := &root.Deref().M
+			for i := uint64(1); i <= 40; i++ {
+				if err := m.Put(j, i*2, int64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		base, _ := core.StatsOf[tagSweep]()
+
+		var count int
+		dev.SetFaultInjector(func(op pmem.Op) bool {
+			count++
+			return count == crashAt
+		})
+		finished := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrInjectedCrash {
+					panic(r)
+				}
+			}()
+			_ = core.Transaction[tagSweep](func(j *core.Journal[tagSweep]) error {
+				m := &root.Deref().M
+				// Splits, an update, and a delete in one transaction.
+				for i := uint64(0); i < 6; i++ {
+					if err := m.Put(j, 101+i*2, int64(i)); err != nil {
+						return err
+					}
+				}
+				if err := m.Put(j, 2, -1); err != nil {
+					return err
+				}
+				_, err := m.Delete(j, 40)
+				return err
+			})
+			finished = true
+		}()
+		dev.SetFaultInjector(nil)
+		sweepDone := finished && crashAt > count
+
+		dev.Crash()
+		if err := core.ClosePool[tagSweep](); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := pool.Attach(dev)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		adopted, err := core.Adopt[sweepRoot, tagSweep](p2)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		m := &adopted.Deref().M
+
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		v2, _ := m.Get(2)
+		_, has40 := m.Get(40)
+		_, has101 := m.Get(101)
+		committed := v2 == -1
+		switch {
+		case committed:
+			if has40 || !has101 || m.Len() != 40+6-1 {
+				t.Fatalf("crashAt=%d: half-applied commit: len=%d has40=%v has101=%v", crashAt, m.Len(), has40, has101)
+			}
+		default:
+			if !has40 || has101 || m.Len() != 40 {
+				t.Fatalf("crashAt=%d: half-applied rollback: len=%d has40=%v has101=%v", crashAt, m.Len(), has40, has101)
+			}
+			if got := p2.InUse(); got != base.InUse {
+				t.Fatalf("crashAt=%d: rollback leaked: %d -> %d", crashAt, base.InUse, got)
+			}
+		}
+		if err := p2.CheckConsistency(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		_ = core.ClosePool[tagSweep]()
+		if sweepDone {
+			return
+		}
+		if crashAt > 100000 {
+			t.Fatal("sweep did not terminate")
+		}
+	}
+}

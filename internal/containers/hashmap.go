@@ -1,0 +1,208 @@
+package containers
+
+import (
+	"corundum/internal/core"
+)
+
+// Integer constrains hash map keys to integer kinds: their bytes are fully
+// significant (no padding), so hashing the value directly is sound.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+type hmEntry[K Integer, V any, P any] struct {
+	Key  K
+	Val  V
+	Next core.PBox[hmEntry[K, V, P], P]
+}
+
+// HashMap is a persistent chained hash map with integer keys. The zero
+// value is usable: the bucket directory is allocated lazily by the first
+// insert (inside that insert's transaction, so even initialization is
+// failure-atomic). Like every container here it is a PSafe value type,
+// embedded in a pool root or another persistent struct.
+type HashMap[K Integer, V any, P any] struct {
+	buckets core.PVec[core.PBox[hmEntry[K, V, P], P], P]
+	size    core.PCell[int64, P]
+}
+
+// defaultBuckets is the directory size (the map chains beyond it).
+const defaultBuckets = 1024
+
+func (m *HashMap[K, V, P]) bucketIndex(key K) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % defaultBuckets)
+}
+
+func (m *HashMap[K, V, P]) ensureBuckets(j *core.Journal[P]) error {
+	for m.buckets.Len() < defaultBuckets {
+		if err := m.buckets.Push(j, core.PBox[hmEntry[K, V, P], P]{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put inserts or updates key.
+func (m *HashMap[K, V, P]) Put(j *core.Journal[P], key K, val V) error {
+	if err := m.ensureBuckets(j); err != nil {
+		return err
+	}
+	b := m.bucketIndex(key)
+	head := *m.buckets.AtJ(j, b)
+	for cur := head; !cur.IsNull(); {
+		e := cur.DerefJ(j)
+		if e.Key == key {
+			p, err := cur.DerefMut(j)
+			if err != nil {
+				return err
+			}
+			// The old value may own persistent state; release it before
+			// overwriting, or it would leak.
+			if err := dropVal(j, &p.Val); err != nil {
+				return err
+			}
+			p.Val = val
+			return nil
+		}
+		cur = e.Next
+	}
+	entry, err := core.NewPBox[hmEntry[K, V, P], P](j, hmEntry[K, V, P]{Key: key, Val: val, Next: head})
+	if err != nil {
+		return err
+	}
+	if err := m.buckets.Set(j, b, entry); err != nil {
+		return err
+	}
+	return m.size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Get looks up key without a transaction.
+func (m *HashMap[K, V, P]) Get(key K) (val V, ok bool) {
+	if m.buckets.Len() < defaultBuckets {
+		return val, false
+	}
+	for cur := m.buckets.Get(m.bucketIndex(key)); !cur.IsNull(); {
+		e := cur.Deref()
+		if e.Key == key {
+			return e.Val, true
+		}
+		cur = e.Next
+	}
+	return val, false
+}
+
+// Delete removes key, reporting whether it was present. The value's owned
+// persistent state is released; use Take to transfer ownership instead.
+func (m *HashMap[K, V, P]) Delete(j *core.Journal[P], key K) (bool, error) {
+	_, removed, err := m.remove(j, key, true)
+	return removed, err
+}
+
+// Take removes key and returns its value without dropping the value's
+// owned persistent state: ownership transfers to the caller.
+func (m *HashMap[K, V, P]) Take(j *core.Journal[P], key K) (V, bool, error) {
+	return m.remove(j, key, false)
+}
+
+func (m *HashMap[K, V, P]) remove(j *core.Journal[P], key K, drop bool) (taken V, removed bool, err error) {
+	if m.buckets.Len() < defaultBuckets {
+		return taken, false, nil
+	}
+	b := m.bucketIndex(key)
+	cur := *m.buckets.AtJ(j, b)
+	if cur.IsNull() {
+		return taken, false, nil
+	}
+	release := func(box core.PBox[hmEntry[K, V, P], P]) error {
+		e := box.DerefJ(j)
+		if drop {
+			if err := dropVal(j, &e.Val); err != nil {
+				return err
+			}
+		} else {
+			taken = e.Val
+		}
+		return box.Free(j)
+	}
+	if cur.DerefJ(j).Key == key {
+		if err := m.buckets.Set(j, b, cur.DerefJ(j).Next); err != nil {
+			return taken, false, err
+		}
+		if err := release(cur); err != nil {
+			return taken, false, err
+		}
+		return taken, true, m.size.Update(j, func(n int64) int64 { return n - 1 })
+	}
+	for prev := cur; ; {
+		next := prev.DerefJ(j).Next
+		if next.IsNull() {
+			return taken, false, nil
+		}
+		if next.DerefJ(j).Key == key {
+			p, err := prev.DerefMut(j)
+			if err != nil {
+				return taken, false, err
+			}
+			p.Next = next.DerefJ(j).Next
+			if err := release(next); err != nil {
+				return taken, false, err
+			}
+			return taken, true, m.size.Update(j, func(n int64) int64 { return n - 1 })
+		}
+		prev = next
+	}
+}
+
+// Len returns the number of entries.
+func (m *HashMap[K, V, P]) Len() int { return int(m.size.Get()) }
+
+// Range visits every entry until f returns false.
+func (m *HashMap[K, V, P]) Range(f func(key K, val *V) bool) {
+	if m.buckets.Len() < defaultBuckets {
+		return
+	}
+	for b := 0; b < defaultBuckets; b++ {
+		for cur := m.buckets.Get(b); !cur.IsNull(); {
+			e := cur.Deref()
+			if !f(e.Key, &e.Val) {
+				return
+			}
+			cur = e.Next
+		}
+	}
+}
+
+// Clear drops every entry (the directory stays allocated).
+func (m *HashMap[K, V, P]) Clear(j *core.Journal[P]) error {
+	if m.buckets.Len() < defaultBuckets {
+		return nil
+	}
+	for b := 0; b < defaultBuckets; b++ {
+		for cur := *m.buckets.AtJ(j, b); !cur.IsNull(); {
+			e := cur.DerefJ(j)
+			next := e.Next
+			if err := dropVal(j, &e.Val); err != nil {
+				return err
+			}
+			if err := cur.Free(j); err != nil {
+				return err
+			}
+			cur = next
+		}
+		if err := m.buckets.Set(j, b, core.PBox[hmEntry[K, V, P], P]{}); err != nil {
+			return err
+		}
+	}
+	return m.size.Set(j, 0)
+}
+
+// DropContents releases every entry and the directory when the map itself
+// is freed.
+func (m *HashMap[K, V, P]) DropContents(j *core.Journal[P]) error {
+	if err := m.Clear(j); err != nil {
+		return err
+	}
+	return m.buckets.Free(j)
+}

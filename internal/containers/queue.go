@@ -1,0 +1,108 @@
+package containers
+
+import (
+	"corundum/internal/core"
+)
+
+type queueNode[T any, P any] struct {
+	Val  T
+	Next core.PBox[queueNode[T, P], P]
+}
+
+// Queue is a persistent FIFO. The zero value is an empty queue.
+type Queue[T any, P any] struct {
+	head core.PCell[core.PBox[queueNode[T, P], P], P]
+	tail core.PCell[core.PBox[queueNode[T, P], P], P]
+	size core.PCell[int64, P]
+}
+
+// Enqueue appends v at the back.
+func (q *Queue[T, P]) Enqueue(j *core.Journal[P], v T) error {
+	node, err := core.NewPBox[queueNode[T, P], P](j, queueNode[T, P]{Val: v})
+	if err != nil {
+		return err
+	}
+	old := q.tail.Get()
+	if old.IsNull() {
+		if err := q.head.Set(j, node); err != nil {
+			return err
+		}
+	} else {
+		p, err := old.DerefMut(j)
+		if err != nil {
+			return err
+		}
+		p.Next = node
+	}
+	if err := q.tail.Set(j, node); err != nil {
+		return err
+	}
+	return q.size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Dequeue removes and returns the front value; ok is false when empty.
+func (q *Queue[T, P]) Dequeue(j *core.Journal[P]) (val T, ok bool, err error) {
+	front := q.head.Get()
+	if front.IsNull() {
+		return val, false, nil
+	}
+	n := front.DerefJ(j)
+	val = n.Val
+	if err := q.head.Set(j, n.Next); err != nil {
+		return val, false, err
+	}
+	if n.Next.IsNull() {
+		if err := q.tail.Set(j, core.PBox[queueNode[T, P], P]{}); err != nil {
+			return val, false, err
+		}
+	}
+	if err := front.Free(j); err != nil {
+		return val, false, err
+	}
+	return val, true, q.size.Update(j, func(n int64) int64 { return n - 1 })
+}
+
+// Front returns the next value to be dequeued without removing it.
+func (q *Queue[T, P]) Front() (val T, ok bool) {
+	front := q.head.Get()
+	if front.IsNull() {
+		return val, false
+	}
+	return front.Deref().Val, true
+}
+
+// Len returns the number of elements.
+func (q *Queue[T, P]) Len() int { return int(q.size.Get()) }
+
+// Range visits elements front to back until f returns false.
+func (q *Queue[T, P]) Range(f func(v *T) bool) {
+	for cur := q.head.Get(); !cur.IsNull(); {
+		n := cur.Deref()
+		if !f(&n.Val) {
+			return
+		}
+		cur = n.Next
+	}
+}
+
+// Clear drops every element (including persistent state the elements own).
+func (q *Queue[T, P]) Clear(j *core.Journal[P]) error {
+	for cur := q.head.Get(); !cur.IsNull(); {
+		n := cur.DerefJ(j)
+		next := n.Next
+		if err := dropVal(j, &n.Val); err != nil {
+			return err
+		}
+		if err := cur.Free(j); err != nil {
+			return err
+		}
+		cur = next
+	}
+	if err := q.head.Set(j, core.PBox[queueNode[T, P], P]{}); err != nil {
+		return err
+	}
+	if err := q.tail.Set(j, core.PBox[queueNode[T, P], P]{}); err != nil {
+		return err
+	}
+	return q.size.Set(j, 0)
+}

@@ -1,0 +1,143 @@
+package containers
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corundum/internal/core"
+)
+
+type tagQuickSM struct{}
+
+type quickSMRoot struct {
+	M SortedMap[uint64, tagQuickSM]
+}
+
+// TestSortedMapQuick drives the B+Tree with quick-generated operation
+// sequences, checking the model, the structural invariants, and ordered
+// iteration after each sequence.
+func TestSortedMapQuick(t *testing.T) {
+	root := open[quickSMRoot, tagQuickSM](t)
+	m := &root.Deref().M
+
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  uint64
+	}
+	model := map[uint64]uint64{}
+	f := func(ops []op) bool {
+		for _, o := range ops {
+			key := uint64(o.Key%512) + 1
+			if err := core.Transaction[tagQuickSM](func(j *core.Journal[tagQuickSM]) error {
+				switch o.Kind % 3 {
+				case 0:
+					if err := m.Put(j, key, o.Val); err != nil {
+						return err
+					}
+					model[key] = o.Val
+				case 1:
+					removed, err := m.Delete(j, key)
+					if err != nil {
+						return err
+					}
+					if _, in := model[key]; removed != in {
+						t.Fatalf("delete(%d)=%v model=%v", key, removed, in)
+					}
+					delete(model, key)
+				case 2:
+					got, ok := m.Get(key)
+					want, in := model[key]
+					if ok != in || (ok && got != want) {
+						t.Fatalf("get(%d)=%d,%v want %d,%v", key, got, ok, want, in)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		var prev uint64
+		first := true
+		ordered := true
+		m.Scan(func(k uint64, v *uint64) bool {
+			if !first && k <= prev {
+				ordered = false
+			}
+			if model[k] != *v {
+				ordered = false
+			}
+			prev, first = k, false
+			return true
+		})
+		return ordered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagQuickStk struct{}
+
+type quickStkRoot struct {
+	S Stack[uint64, tagQuickStk]
+	Q Queue[uint64, tagQuickStk]
+}
+
+// TestStackQueueQuick: stacks reverse, queues preserve; any push/enqueue
+// sequence drained fully returns the model's order, with zero leaks.
+func TestStackQueueQuick(t *testing.T) {
+	root := open[quickStkRoot, tagQuickStk](t)
+	r := root.Deref()
+	f := func(vals []uint64) bool {
+		if err := core.Transaction[tagQuickStk](func(j *core.Journal[tagQuickStk]) error {
+			for _, v := range vals {
+				if err := r.S.Push(j, v); err != nil {
+					return err
+				}
+				if err := r.Q.Enqueue(j, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		if err := core.Transaction[tagQuickStk](func(j *core.Journal[tagQuickStk]) error {
+			for i := len(vals) - 1; i >= 0; i-- {
+				v, has, err := r.S.Pop(j)
+				if err != nil {
+					return err
+				}
+				if !has || v != vals[i] {
+					ok = false
+				}
+			}
+			for i := 0; i < len(vals); i++ {
+				v, has, err := r.Q.Dequeue(j)
+				if err != nil {
+					return err
+				}
+				if !has || v != vals[i] {
+					ok = false
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := core.StatsOf[tagQuickStk]()
+		return ok && r.S.Len() == 0 && r.Q.Len() == 0 && st.InUse == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

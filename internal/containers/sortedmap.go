@@ -1,0 +1,534 @@
+package containers
+
+import (
+	"fmt"
+
+	"corundum/internal/core"
+)
+
+// SortedMap is a persistent B+Tree with 8-way fanout and uint64 keys — the
+// typed counterpart of the evaluation's B+Tree workload, built on PBox and
+// DerefMut instead of raw offsets. Leaves chain for ordered scans. The
+// zero value is an empty map.
+const (
+	smMaxKeys = 7
+	smMinKeys = 3
+)
+
+type smNode[V any, P any] struct {
+	NKeys    int64
+	Leaf     bool
+	Keys     [smMaxKeys]uint64
+	Children [smMaxKeys + 1]core.PBox[smNode[V, P], P] // internal nodes
+	Vals     [smMaxKeys]V                              // leaves
+	NextLeaf core.PBox[smNode[V, P], P]
+}
+
+// SortedMap's root pointer and size live in cells so the map is a plain
+// PSafe value type.
+type SortedMap[V any, P any] struct {
+	root core.PCell[core.PBox[smNode[V, P], P], P]
+	size core.PCell[int64, P]
+}
+
+func newSMNode[V any, P any](j *core.Journal[P], leaf bool) (core.PBox[smNode[V, P], P], error) {
+	return core.NewPBox[smNode[V, P], P](j, smNode[V, P]{Leaf: leaf})
+}
+
+func (m *SortedMap[V, P]) ensureRoot(j *core.Journal[P]) (core.PBox[smNode[V, P], P], error) {
+	r := m.root.Get()
+	if !r.IsNull() {
+		return r, nil
+	}
+	leaf, err := newSMNode[V, P](j, true)
+	if err != nil {
+		return leaf, err
+	}
+	return leaf, m.root.Set(j, leaf)
+}
+
+// Len returns the number of keys.
+func (m *SortedMap[V, P]) Len() int { return int(m.size.Get()) }
+
+// Get looks up key without a transaction.
+func (m *SortedMap[V, P]) Get(key uint64) (val V, ok bool) {
+	cur := m.root.Get()
+	if cur.IsNull() {
+		return val, false
+	}
+	for {
+		n := cur.Deref()
+		if n.Leaf {
+			for i := 0; i < int(n.NKeys); i++ {
+				if n.Keys[i] == key {
+					return n.Vals[i], true
+				}
+			}
+			return val, false
+		}
+		i := 0
+		for i < int(n.NKeys) && key >= n.Keys[i] {
+			i++
+		}
+		cur = n.Children[i]
+	}
+}
+
+// Put inserts or updates key. Full nodes split on the way down.
+func (m *SortedMap[V, P]) Put(j *core.Journal[P], key uint64, val V) error {
+	root, err := m.ensureRoot(j)
+	if err != nil {
+		return err
+	}
+	if root.DerefJ(j).NKeys == smMaxKeys {
+		nr, err := newSMNode[V, P](j, false)
+		if err != nil {
+			return err
+		}
+		p, err := nr.DerefMut(j)
+		if err != nil {
+			return err
+		}
+		p.Children[0] = root
+		if err := m.splitChild(j, nr, 0); err != nil {
+			return err
+		}
+		if err := m.root.Set(j, nr); err != nil {
+			return err
+		}
+		root = nr
+	}
+	return m.insertNonFull(j, root, key, val)
+}
+
+func (m *SortedMap[V, P]) insertNonFull(j *core.Journal[P], cur core.PBox[smNode[V, P], P], key uint64, val V) error {
+	for {
+		n := cur.DerefJ(j)
+		if n.Leaf {
+			for i := 0; i < int(n.NKeys); i++ {
+				if n.Keys[i] == key {
+					p, err := cur.DerefMut(j)
+					if err != nil {
+						return err
+					}
+					if err := dropVal(j, &p.Vals[i]); err != nil {
+						return err
+					}
+					p.Vals[i] = val
+					return nil
+				}
+			}
+			p, err := cur.DerefMut(j)
+			if err != nil {
+				return err
+			}
+			i := int(p.NKeys)
+			for i > 0 && p.Keys[i-1] > key {
+				p.Keys[i] = p.Keys[i-1]
+				p.Vals[i] = p.Vals[i-1]
+				i--
+			}
+			p.Keys[i] = key
+			p.Vals[i] = val
+			p.NKeys++
+			if err := m.size.Update(j, func(n int64) int64 { return n + 1 }); err != nil {
+				return err
+			}
+			return nil
+		}
+		i := 0
+		for i < int(n.NKeys) && key >= n.Keys[i] {
+			i++
+		}
+		child := n.Children[i]
+		if child.DerefJ(j).NKeys == smMaxKeys {
+			if err := m.splitChild(j, cur, i); err != nil {
+				return err
+			}
+			if key >= cur.DerefJ(j).Keys[i] {
+				i++
+			}
+			child = cur.DerefJ(j).Children[i]
+		}
+		cur = child
+	}
+}
+
+// splitChild splits the full child at index i of parent (which has room).
+func (m *SortedMap[V, P]) splitChild(j *core.Journal[P], parent core.PBox[smNode[V, P], P], i int) error {
+	child := parent.DerefJ(j).Children[i]
+	c, err := child.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	right, err := newSMNode[V, P](j, c.Leaf)
+	if err != nil {
+		return err
+	}
+	r, err := right.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	mid := smMaxKeys / 2
+	var upKey uint64
+	if c.Leaf {
+		moved := smMaxKeys - mid
+		for k := 0; k < moved; k++ {
+			r.Keys[k] = c.Keys[mid+k]
+			r.Vals[k] = c.Vals[mid+k]
+		}
+		r.NKeys = int64(moved)
+		r.NextLeaf = c.NextLeaf
+		c.NextLeaf = right
+		c.NKeys = int64(mid)
+		upKey = r.Keys[0]
+	} else {
+		moved := smMaxKeys - mid - 1
+		for k := 0; k < moved; k++ {
+			r.Keys[k] = c.Keys[mid+1+k]
+		}
+		for k := 0; k <= moved; k++ {
+			r.Children[k] = c.Children[mid+1+k]
+		}
+		r.NKeys = int64(moved)
+		upKey = c.Keys[mid]
+		c.NKeys = int64(mid)
+	}
+	p, err := parent.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	for k := int(p.NKeys); k > i; k-- {
+		p.Keys[k] = p.Keys[k-1]
+		p.Children[k+1] = p.Children[k]
+	}
+	p.Keys[i] = upKey
+	p.Children[i+1] = right
+	p.NKeys++
+	return nil
+}
+
+// Delete removes key, rebalancing so every non-root node keeps at least
+// smMinKeys keys. It reports whether the key was present. Persistent state
+// the value owns is released; use Take to transfer ownership instead.
+func (m *SortedMap[V, P]) Delete(j *core.Journal[P], key uint64) (bool, error) {
+	_, removed, err := m.remove(j, key, true)
+	return removed, err
+}
+
+// Take removes key and returns its value without dropping the value's
+// owned persistent state: ownership transfers to the caller, like Pop on a
+// stack. A crash still sees the whole transaction atomically.
+func (m *SortedMap[V, P]) Take(j *core.Journal[P], key uint64) (V, bool, error) {
+	return m.remove(j, key, false)
+}
+
+func (m *SortedMap[V, P]) remove(j *core.Journal[P], key uint64, drop bool) (V, bool, error) {
+	var taken V
+	root := m.root.Get()
+	if root.IsNull() {
+		return taken, false, nil
+	}
+	removed, err := m.removeFrom(j, root, key, drop, &taken)
+	if err != nil {
+		return taken, false, err
+	}
+	r := root.DerefJ(j)
+	if !r.Leaf && r.NKeys == 0 {
+		// Shrink an empty internal root.
+		if err := m.root.Set(j, r.Children[0]); err != nil {
+			return taken, false, err
+		}
+		if err := root.Free(j); err != nil {
+			return taken, false, err
+		}
+	}
+	if removed {
+		if err := m.size.Update(j, func(n int64) int64 { return n - 1 }); err != nil {
+			return taken, false, err
+		}
+	}
+	return taken, removed, nil
+}
+
+func (m *SortedMap[V, P]) removeFrom(j *core.Journal[P], cur core.PBox[smNode[V, P], P], key uint64, drop bool, taken *V) (bool, error) {
+	n := cur.DerefJ(j)
+	if n.Leaf {
+		for i := 0; i < int(n.NKeys); i++ {
+			if n.Keys[i] == key {
+				p, err := cur.DerefMut(j)
+				if err != nil {
+					return false, err
+				}
+				if drop {
+					if err := dropVal(j, &p.Vals[i]); err != nil {
+						return false, err
+					}
+				} else {
+					*taken = p.Vals[i]
+				}
+				for k := i; k < int(p.NKeys)-1; k++ {
+					p.Keys[k] = p.Keys[k+1]
+					p.Vals[k] = p.Vals[k+1]
+				}
+				var zero V
+				p.Vals[p.NKeys-1] = zero
+				p.NKeys--
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	i := 0
+	for i < int(n.NKeys) && key >= n.Keys[i] {
+		i++
+	}
+	child := n.Children[i]
+	removed, err := m.removeFrom(j, child, key, drop, taken)
+	if err != nil {
+		return false, err
+	}
+	if child.DerefJ(j).NKeys < smMinKeys {
+		if err := m.rebalance(j, cur, i); err != nil {
+			return false, err
+		}
+	}
+	return removed, nil
+}
+
+func (m *SortedMap[V, P]) rebalance(j *core.Journal[P], parent core.PBox[smNode[V, P], P], i int) error {
+	p := parent.DerefJ(j)
+	nk := int(p.NKeys)
+	if i > 0 && p.Children[i-1].DerefJ(j).NKeys > smMinKeys {
+		return m.borrowFromLeft(j, parent, i)
+	}
+	if i < nk && p.Children[i+1].DerefJ(j).NKeys > smMinKeys {
+		return m.borrowFromRight(j, parent, i)
+	}
+	if i > 0 {
+		return m.merge(j, parent, i-1)
+	}
+	return m.merge(j, parent, i)
+}
+
+func (m *SortedMap[V, P]) borrowFromLeft(j *core.Journal[P], parent core.PBox[smNode[V, P], P], i int) error {
+	p, err := parent.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	left, err := p.Children[i-1].DerefMut(j)
+	if err != nil {
+		return err
+	}
+	child, err := p.Children[i].DerefMut(j)
+	if err != nil {
+		return err
+	}
+	ck, lk := int(child.NKeys), int(left.NKeys)
+	for k := ck; k > 0; k-- {
+		child.Keys[k] = child.Keys[k-1]
+	}
+	if child.Leaf {
+		for k := ck; k > 0; k-- {
+			child.Vals[k] = child.Vals[k-1]
+		}
+		child.Keys[0] = left.Keys[lk-1]
+		child.Vals[0] = left.Vals[lk-1]
+		var zero V
+		left.Vals[lk-1] = zero
+		p.Keys[i-1] = child.Keys[0]
+	} else {
+		for k := ck + 1; k > 0; k-- {
+			child.Children[k] = child.Children[k-1]
+		}
+		child.Keys[0] = p.Keys[i-1]
+		child.Children[0] = left.Children[lk]
+		p.Keys[i-1] = left.Keys[lk-1]
+	}
+	left.NKeys--
+	child.NKeys++
+	return nil
+}
+
+func (m *SortedMap[V, P]) borrowFromRight(j *core.Journal[P], parent core.PBox[smNode[V, P], P], i int) error {
+	p, err := parent.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	child, err := p.Children[i].DerefMut(j)
+	if err != nil {
+		return err
+	}
+	right, err := p.Children[i+1].DerefMut(j)
+	if err != nil {
+		return err
+	}
+	ck, rk := int(child.NKeys), int(right.NKeys)
+	rightFirstKey := right.Keys[0]
+	if child.Leaf {
+		child.Keys[ck] = rightFirstKey
+		child.Vals[ck] = right.Vals[0]
+	} else {
+		// The parent separator comes down; right's old first key goes up.
+		child.Keys[ck] = p.Keys[i]
+		child.Children[ck+1] = right.Children[0]
+	}
+	for k := 0; k < rk-1; k++ {
+		right.Keys[k] = right.Keys[k+1]
+	}
+	if child.Leaf {
+		for k := 0; k < rk-1; k++ {
+			right.Vals[k] = right.Vals[k+1]
+		}
+		var zero V
+		right.Vals[rk-1] = zero
+		p.Keys[i] = right.Keys[0] // leaf separators mirror the leaf head
+	} else {
+		for k := 0; k < rk; k++ {
+			right.Children[k] = right.Children[k+1]
+		}
+		p.Keys[i] = rightFirstKey
+	}
+	right.NKeys--
+	child.NKeys++
+	return nil
+}
+
+// merge folds child i+1 of parent into child i and frees the right node.
+func (m *SortedMap[V, P]) merge(j *core.Journal[P], parent core.PBox[smNode[V, P], P], i int) error {
+	p, err := parent.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	leftBox := p.Children[i]
+	rightBox := p.Children[i+1]
+	left, err := leftBox.DerefMut(j)
+	if err != nil {
+		return err
+	}
+	right := rightBox.DerefJ(j)
+	lk, rk := int(left.NKeys), int(right.NKeys)
+	if left.Leaf {
+		for k := 0; k < rk; k++ {
+			left.Keys[lk+k] = right.Keys[k]
+			left.Vals[lk+k] = right.Vals[k]
+		}
+		left.NKeys = int64(lk + rk)
+		left.NextLeaf = right.NextLeaf
+	} else {
+		left.Keys[lk] = p.Keys[i]
+		for k := 0; k < rk; k++ {
+			left.Keys[lk+1+k] = right.Keys[k]
+		}
+		for k := 0; k <= rk; k++ {
+			left.Children[lk+1+k] = right.Children[k]
+		}
+		left.NKeys = int64(lk + 1 + rk)
+	}
+	nk := int(p.NKeys)
+	for k := i; k < nk-1; k++ {
+		p.Keys[k] = p.Keys[k+1]
+	}
+	for k := i + 1; k < nk; k++ {
+		p.Children[k] = p.Children[k+1]
+	}
+	p.NKeys--
+	// The right node's values were copied, not dropped: ownership moved.
+	return rightBox.Free(j)
+}
+
+// Min returns the smallest key and its value.
+func (m *SortedMap[V, P]) Min() (key uint64, val V, ok bool) {
+	cur := m.root.Get()
+	if cur.IsNull() {
+		return 0, val, false
+	}
+	for !cur.Deref().Leaf {
+		cur = cur.Deref().Children[0]
+	}
+	n := cur.Deref()
+	if n.NKeys == 0 {
+		return 0, val, false
+	}
+	return n.Keys[0], n.Vals[0], true
+}
+
+// Scan visits pairs in ascending key order until f returns false.
+func (m *SortedMap[V, P]) Scan(f func(key uint64, val *V) bool) {
+	cur := m.root.Get()
+	if cur.IsNull() {
+		return
+	}
+	for !cur.Deref().Leaf {
+		cur = cur.Deref().Children[0]
+	}
+	for !cur.IsNull() {
+		n := cur.Deref()
+		for i := 0; i < int(n.NKeys); i++ {
+			if !f(n.Keys[i], &n.Vals[i]) {
+				return
+			}
+		}
+		cur = n.NextLeaf
+	}
+}
+
+// CheckInvariants validates ordering, occupancy, uniform depth, and the
+// size counter (test helper).
+func (m *SortedMap[V, P]) CheckInvariants() error {
+	root := m.root.Get()
+	if root.IsNull() {
+		if m.Len() != 0 {
+			return fmt.Errorf("sortedmap: empty tree but size %d", m.Len())
+		}
+		return nil
+	}
+	leafDepth := 0
+	total, err := m.checkNode(root, 0, ^uint64(0), true, 1, &leafDepth)
+	if err != nil {
+		return err
+	}
+	if total != m.Len() {
+		return fmt.Errorf("sortedmap: size %d but %d keys in leaves", m.Len(), total)
+	}
+	return nil
+}
+
+func (m *SortedMap[V, P]) checkNode(cur core.PBox[smNode[V, P], P], lo, hi uint64, isRoot bool, depth int, leafDepth *int) (int, error) {
+	n := cur.Deref()
+	nk := int(n.NKeys)
+	if !isRoot && nk < smMinKeys {
+		return 0, fmt.Errorf("sortedmap: node underfull (%d keys)", nk)
+	}
+	prev := lo
+	for i := 0; i < nk; i++ {
+		k := n.Keys[i]
+		if k < prev || k >= hi {
+			return 0, fmt.Errorf("sortedmap: key %d outside [%d,%d)", k, lo, hi)
+		}
+		prev = k
+	}
+	if n.Leaf {
+		if *leafDepth == 0 {
+			*leafDepth = depth
+		} else if *leafDepth != depth {
+			return 0, fmt.Errorf("sortedmap: uneven leaf depth")
+		}
+		return nk, nil
+	}
+	total := 0
+	childLo := lo
+	for i := 0; i <= nk; i++ {
+		childHi := hi
+		if i < nk {
+			childHi = n.Keys[i]
+		}
+		sub, err := m.checkNode(n.Children[i], childLo, childHi, false, depth+1, leafDepth)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+		childLo = childHi
+	}
+	return total, nil
+}

@@ -1,0 +1,110 @@
+// Package containers provides ready-made persistent data structures built
+// entirely on the public Corundum API: a stack, a queue, an integer-keyed
+// hash map, and a B+Tree sorted map. Each is a PSafe value type meant to
+// be embedded in a pool root (or another persistent struct); all mutating
+// methods take the transaction's journal, so every structure inherits
+// failure atomicity, leak freedom, and crash recovery from the library —
+// the compositionality the paper's design goals are meant to buy.
+//
+// The structures are not internally synchronized: wrap them in a PMutex
+// (or guard them with one) to share across goroutines, as the wordcount
+// workload does with its stack.
+package containers
+
+import (
+	"corundum/internal/core"
+)
+
+type stackNode[T any, P any] struct {
+	Val  T
+	Next core.PBox[stackNode[T, P], P]
+}
+
+// dropVal cascades a free into a value that owns persistent pointers (it
+// implements core.PDrop). Pop-style operations do NOT call it: they
+// transfer ownership of the value to the caller.
+func dropVal[T any, P any](j *core.Journal[P], v *T) error {
+	if d, ok := any(v).(core.PDrop[P]); ok {
+		return d.DropContents(j)
+	}
+	return nil
+}
+
+// Stack is a persistent LIFO. The zero value is an empty stack.
+type Stack[T any, P any] struct {
+	head core.PCell[core.PBox[stackNode[T, P], P], P]
+	size core.PCell[int64, P]
+}
+
+// Push adds v to the top.
+func (s *Stack[T, P]) Push(j *core.Journal[P], v T) error {
+	node, err := core.NewPBox[stackNode[T, P], P](j, stackNode[T, P]{Val: v, Next: s.head.Get()})
+	if err != nil {
+		return err
+	}
+	if err := s.head.Set(j, node); err != nil {
+		return err
+	}
+	return s.size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Pop removes and returns the top value; ok is false when empty. The
+// popped node is reclaimed at commit.
+func (s *Stack[T, P]) Pop(j *core.Journal[P]) (val T, ok bool, err error) {
+	top := s.head.Get()
+	if top.IsNull() {
+		return val, false, nil
+	}
+	n := top.DerefJ(j)
+	val = n.Val
+	if err := s.head.Set(j, n.Next); err != nil {
+		return val, false, err
+	}
+	if err := top.Free(j); err != nil {
+		return val, false, err
+	}
+	return val, true, s.size.Update(j, func(n int64) int64 { return n - 1 })
+}
+
+// Peek returns the top value without removing it.
+func (s *Stack[T, P]) Peek() (val T, ok bool) {
+	top := s.head.Get()
+	if top.IsNull() {
+		return val, false
+	}
+	return top.Deref().Val, true
+}
+
+// Len returns the number of elements.
+func (s *Stack[T, P]) Len() int { return int(s.size.Get()) }
+
+// Range visits elements from top to bottom until f returns false.
+func (s *Stack[T, P]) Range(f func(v *T) bool) {
+	for cur := s.head.Get(); !cur.IsNull(); {
+		n := cur.Deref()
+		if !f(&n.Val) {
+			return
+		}
+		cur = n.Next
+	}
+}
+
+// Clear drops every element (including persistent state the elements
+// own), reclaiming all nodes at commit.
+func (s *Stack[T, P]) Clear(j *core.Journal[P]) error {
+	for cur := s.head.Get(); !cur.IsNull(); {
+		n := cur.DerefJ(j)
+		next := n.Next
+		if err := dropVal(j, &n.Val); err != nil {
+			return err
+		}
+		if err := cur.Free(j); err != nil {
+			return err
+		}
+		cur = next
+	}
+	if err := s.head.Set(j, core.PBox[stackNode[T, P], P]{}); err != nil {
+		return err
+	}
+	return s.size.Set(j, 0)
+}

@@ -1,0 +1,213 @@
+package containers
+
+import (
+	"corundum/internal/core"
+)
+
+type smEntry[V any, P any] struct {
+	Key  core.PString[P]
+	Val  V
+	Next core.PBox[smEntry[V, P], P]
+}
+
+// StrMap is a persistent hash map with string keys: keys are owned
+// PStrings in the pool, lookups hash the volatile string and compare
+// against pool bytes without allocating. The zero value is usable. Like
+// every container here it is a PSafe value type embedded in a pool root.
+type StrMap[V any, P any] struct {
+	buckets core.PVec[core.PBox[smEntry[V, P], P], P]
+	size    core.PCell[int64, P]
+}
+
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func (m *StrMap[V, P]) bucketIndex(key string) int {
+	return int(strHash(key) % defaultBuckets)
+}
+
+func (m *StrMap[V, P]) ensureBuckets(j *core.Journal[P]) error {
+	for m.buckets.Len() < defaultBuckets {
+		if err := m.buckets.Push(j, core.PBox[smEntry[V, P], P]{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put inserts or updates key. On insert the key string is copied into the
+// pool; on update the old value's owned state is released first.
+func (m *StrMap[V, P]) Put(j *core.Journal[P], key string, val V) error {
+	if err := m.ensureBuckets(j); err != nil {
+		return err
+	}
+	b := m.bucketIndex(key)
+	head := *m.buckets.AtJ(j, b)
+	for cur := head; !cur.IsNull(); {
+		e := cur.DerefJ(j)
+		if e.Key.Equal(key) {
+			p, err := cur.DerefMut(j)
+			if err != nil {
+				return err
+			}
+			if err := dropVal(j, &p.Val); err != nil {
+				return err
+			}
+			p.Val = val
+			return nil
+		}
+		cur = e.Next
+	}
+	pk, err := core.NewPString[P](j, key)
+	if err != nil {
+		return err
+	}
+	entry, err := core.NewPBox[smEntry[V, P], P](j, smEntry[V, P]{Key: pk, Val: val, Next: head})
+	if err != nil {
+		return err
+	}
+	if err := m.buckets.Set(j, b, entry); err != nil {
+		return err
+	}
+	return m.size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Get looks up key without a transaction or allocation.
+func (m *StrMap[V, P]) Get(key string) (val V, ok bool) {
+	if m.buckets.Len() < defaultBuckets {
+		return val, false
+	}
+	for cur := m.buckets.Get(m.bucketIndex(key)); !cur.IsNull(); {
+		e := cur.Deref()
+		if e.Key.Equal(key) {
+			return e.Val, true
+		}
+		cur = e.Next
+	}
+	return val, false
+}
+
+// Delete removes key, releasing the key string and the value's owned
+// state. Use Take to transfer the value's ownership instead.
+func (m *StrMap[V, P]) Delete(j *core.Journal[P], key string) (bool, error) {
+	_, removed, err := m.removeStr(j, key, true)
+	return removed, err
+}
+
+// Take removes key and returns its value without dropping the value's
+// owned persistent state (the key string is still released).
+func (m *StrMap[V, P]) Take(j *core.Journal[P], key string) (V, bool, error) {
+	return m.removeStr(j, key, false)
+}
+
+func (m *StrMap[V, P]) removeStr(j *core.Journal[P], key string, drop bool) (taken V, removed bool, err error) {
+	if m.buckets.Len() < defaultBuckets {
+		return taken, false, nil
+	}
+	b := m.bucketIndex(key)
+	release := func(box core.PBox[smEntry[V, P], P]) error {
+		e := box.DerefJ(j)
+		if err := e.Key.Free(j); err != nil {
+			return err
+		}
+		if drop {
+			if err := dropVal(j, &e.Val); err != nil {
+				return err
+			}
+		} else {
+			taken = e.Val
+		}
+		return box.Free(j)
+	}
+	cur := *m.buckets.AtJ(j, b)
+	if cur.IsNull() {
+		return taken, false, nil
+	}
+	if cur.DerefJ(j).Key.Equal(key) {
+		if err := m.buckets.Set(j, b, cur.DerefJ(j).Next); err != nil {
+			return taken, false, err
+		}
+		if err := release(cur); err != nil {
+			return taken, false, err
+		}
+		return taken, true, m.size.Update(j, func(n int64) int64 { return n - 1 })
+	}
+	for prev := cur; ; {
+		next := prev.DerefJ(j).Next
+		if next.IsNull() {
+			return taken, false, nil
+		}
+		if next.DerefJ(j).Key.Equal(key) {
+			p, err := prev.DerefMut(j)
+			if err != nil {
+				return taken, false, err
+			}
+			p.Next = next.DerefJ(j).Next
+			if err := release(next); err != nil {
+				return taken, false, err
+			}
+			return taken, true, m.size.Update(j, func(n int64) int64 { return n - 1 })
+		}
+		prev = next
+	}
+}
+
+// Len returns the number of entries.
+func (m *StrMap[V, P]) Len() int { return int(m.size.Get()) }
+
+// Range visits every entry until f returns false. The key is materialized
+// as a volatile string per visit.
+func (m *StrMap[V, P]) Range(f func(key string, val *V) bool) {
+	if m.buckets.Len() < defaultBuckets {
+		return
+	}
+	for b := 0; b < defaultBuckets; b++ {
+		for cur := m.buckets.Get(b); !cur.IsNull(); {
+			e := cur.Deref()
+			if !f(e.Key.String(), &e.Val) {
+				return
+			}
+			cur = e.Next
+		}
+	}
+}
+
+// Clear drops every entry, keys and owned values included.
+func (m *StrMap[V, P]) Clear(j *core.Journal[P]) error {
+	if m.buckets.Len() < defaultBuckets {
+		return nil
+	}
+	for b := 0; b < defaultBuckets; b++ {
+		for cur := *m.buckets.AtJ(j, b); !cur.IsNull(); {
+			e := cur.DerefJ(j)
+			next := e.Next
+			if err := e.Key.Free(j); err != nil {
+				return err
+			}
+			if err := dropVal(j, &e.Val); err != nil {
+				return err
+			}
+			if err := cur.Free(j); err != nil {
+				return err
+			}
+			cur = next
+		}
+		if err := m.buckets.Set(j, b, core.PBox[smEntry[V, P], P]{}); err != nil {
+			return err
+		}
+	}
+	return m.size.Set(j, 0)
+}
+
+// DropContents releases everything when the map itself is freed.
+func (m *StrMap[V, P]) DropContents(j *core.Journal[P]) error {
+	if err := m.Clear(j); err != nil {
+		return err
+	}
+	return m.buckets.Free(j)
+}

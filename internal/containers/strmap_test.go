@@ -1,0 +1,148 @@
+package containers
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"corundum/internal/core"
+)
+
+type tagStrMap struct{}
+
+type strMapRoot struct {
+	M StrMap[int64, tagStrMap]
+}
+
+func TestStrMapAgainstModel(t *testing.T) {
+	root := open[strMapRoot, tagStrMap](t)
+	m := &root.Deref().M
+	model := map[string]int64{}
+	rng := rand.New(rand.NewSource(6))
+	key := func() string { return fmt.Sprintf("key-%d", rng.Intn(300)) }
+	for step := 0; step < 2000; step++ {
+		k := key()
+		if err := core.Transaction[tagStrMap](func(j *core.Journal[tagStrMap]) error {
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Int63()
+				if err := m.Put(j, k, v); err != nil {
+					return err
+				}
+				model[k] = v
+			case 2:
+				removed, err := m.Delete(j, k)
+				if err != nil {
+					return err
+				}
+				_, in := model[k]
+				if removed != in {
+					t.Fatalf("step %d: delete(%q)=%v model=%v", step, k, removed, in)
+				}
+				delete(model, k)
+			case 3:
+				got, ok := m.Get(k)
+				want, in := model[k]
+				if ok != in || (ok && got != want) {
+					t.Fatalf("step %d: get(%q)=%d,%v want %d,%v", step, k, got, ok, want, in)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("len %d vs %d", m.Len(), len(model))
+	}
+	seen := 0
+	m.Range(func(k string, v *int64) bool {
+		if model[k] != *v {
+			t.Fatalf("range %q=%d model %d", k, *v, model[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("range saw %d, model %d", seen, len(model))
+	}
+}
+
+// TestStrMapKeysReclaimed: every key string is pool-owned and must be
+// released on delete and clear — churn cannot grow the pool.
+func TestStrMapKeysReclaimed(t *testing.T) {
+	root := open[strMapRoot2, tagStrMap2](t)
+	m := &root.Deref().M
+	// Prime the directory so steady-state measurement excludes it.
+	if err := core.Transaction[tagStrMap2](func(j *core.Journal[tagStrMap2]) error {
+		if err := m.Put(j, "prime", 0); err != nil {
+			return err
+		}
+		_, err := m.Delete(j, "prime")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := core.StatsOf[tagStrMap2]()
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("churn-key-with-some-length-%d", i)
+		if err := core.Transaction[tagStrMap2](func(j *core.Journal[tagStrMap2]) error {
+			if err := m.Put(j, k, int64(i)); err != nil {
+				return err
+			}
+			_, err := m.Delete(j, k)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, _ := core.StatsOf[tagStrMap2]()
+	if now.InUse != base.InUse {
+		t.Fatalf("key churn leaked %d bytes", now.InUse-base.InUse)
+	}
+}
+
+type tagStrMap2 struct{}
+
+type strMapRoot2 struct {
+	M StrMap[int64, tagStrMap2]
+}
+
+// TestStrMapQuick: arbitrary (possibly non-UTF8, empty, colliding) keys
+// behave exactly like a Go map.
+func TestStrMapQuick(t *testing.T) {
+	root := open[strMapRoot3, tagStrMap3](t)
+	m := &root.Deref().M
+	model := map[string]int64{}
+	f := func(keys []string, vals []int64) bool {
+		for i, k := range keys {
+			v := int64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if err := core.Transaction[tagStrMap3](func(j *core.Journal[tagStrMap3]) error {
+				return m.Put(j, k, v)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+		for k, want := range model {
+			got, ok := m.Get(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagStrMap3 struct{}
+
+type strMapRoot3 struct {
+	M StrMap[int64, tagStrMap3]
+}

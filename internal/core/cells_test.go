@@ -1,0 +1,642 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+// --- PCell ---------------------------------------------------------------
+
+type tagCell struct{}
+
+type cellRoot struct {
+	A PCell[int64, tagCell]
+	B PCell[[4]int32, tagCell]
+}
+
+func TestPCellSetGetAbort(t *testing.T) {
+	root := openMem[cellRoot, tagCell](t)
+	r := root.Deref()
+	if err := Transaction[tagCell](func(j *Journal[tagCell]) error {
+		if err := r.A.Set(j, 5); err != nil {
+			return err
+		}
+		return r.B.Set(j, [4]int32{1, 2, 3, 4})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.A.Get() != 5 || r.B.Get() != [4]int32{1, 2, 3, 4} {
+		t.Fatalf("values: %d %v", r.A.Get(), r.B.Get())
+	}
+
+	boom := errors.New("boom")
+	_ = Transaction[tagCell](func(j *Journal[tagCell]) error {
+		if err := r.A.Set(j, 99); err != nil {
+			return err
+		}
+		return boom
+	})
+	if got := r.A.Get(); got != 5 {
+		t.Fatalf("aborted Set leaked: %d", got)
+	}
+
+	if err := Transaction[tagCell](func(j *Journal[tagCell]) error {
+		return r.A.Update(j, func(v int64) int64 { return v * 2 })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.A.Get(); got != 10 {
+		t.Fatalf("Update result %d, want 10", got)
+	}
+}
+
+// --- PRefCell ------------------------------------------------------------
+
+type tagRef struct{}
+
+type refRoot struct {
+	C PRefCell[int64, tagRef]
+}
+
+func TestPRefCellBorrowRules(t *testing.T) {
+	root := openMem[refRoot, tagRef](t)
+	c := &root.Deref().C
+
+	// Multiple simultaneous readers are fine.
+	r1 := c.Borrow()
+	r2 := c.Borrow()
+	if *r1.Value() != 0 || *r2.Value() != 0 {
+		t.Fatal("fresh cell not zero")
+	}
+
+	// A mutable borrow while readers exist panics.
+	err := Transaction[tagRef](func(j *Journal[tagRef]) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("BorrowMut with active readers did not panic")
+			}
+		}()
+		_, _ = c.BorrowMut(j)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Drop()
+	r2.Drop()
+	r2.Drop() // double drop is a no-op
+
+	// Writer excludes readers.
+	if err := Transaction[tagRef](func(j *Journal[tagRef]) error {
+		w, err := c.BorrowMut(j)
+		if err != nil {
+			return err
+		}
+		*w.Value() = 42
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Borrow with active writer did not panic")
+				}
+			}()
+			c.Borrow()
+		}()
+		w.Drop()
+		// After dropping, reading is fine again.
+		if got := c.Read(); got != 42 {
+			t.Errorf("read %d, want 42", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRefCellWriterReleasedAtTxEnd(t *testing.T) {
+	root := openMem[refRoot2, tagRef2](t)
+	c := &root.Deref().C
+	if err := Transaction[tagRef2](func(j *Journal[tagRef2]) error {
+		w, err := c.BorrowMut(j)
+		if err != nil {
+			return err
+		}
+		*w.Value() = 7
+		return nil // no explicit Drop: the transaction must release it
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Borrow() // would panic if the writer leaked past the tx
+	defer r.Drop()
+	if *r.Value() != 7 {
+		t.Fatalf("value %d", *r.Value())
+	}
+}
+
+type tagRef2 struct{}
+
+type refRoot2 struct {
+	C PRefCell[int64, tagRef2]
+}
+
+func TestPRefCellAbortRestores(t *testing.T) {
+	root := openMem[refRoot3, tagRef3](t)
+	c := &root.Deref().C
+	if err := Transaction[tagRef3](func(j *Journal[tagRef3]) error {
+		w, err := c.BorrowMut(j)
+		if err != nil {
+			return err
+		}
+		*w.Value() = 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_ = Transaction[tagRef3](func(j *Journal[tagRef3]) error {
+		w, err := c.BorrowMut(j)
+		if err != nil {
+			return err
+		}
+		*w.Value() = 2
+		return boom
+	})
+	if got := c.Read(); got != 1 {
+		t.Fatalf("aborted write leaked: %d", got)
+	}
+}
+
+type tagRef3 struct{}
+
+type refRoot3 struct {
+	C PRefCell[int64, tagRef3]
+}
+
+// --- PMutex ----------------------------------------------------------------
+
+type tagMtx struct{}
+
+type mtxRoot struct {
+	Counter PMutex[int64, tagMtx]
+}
+
+func TestPMutexConcurrentIncrements(t *testing.T) {
+	root := openMem[mtxRoot, tagMtx](t)
+	m := &root.Deref().Counter
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := Transaction[tagMtx](func(j *Journal[tagMtx]) error {
+					p, err := m.Lock(j)
+					if err != nil {
+						return err
+					}
+					*p++
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := Transaction[tagMtx](func(j *Journal[tagMtx]) error {
+		if got := *m.LockRead(j); got != workers*rounds {
+			t.Errorf("counter = %d, want %d", got, workers*rounds)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMutexReentrantWithinTx(t *testing.T) {
+	root := openMem[mtxRoot2, tagMtx2](t)
+	m := &root.Deref().C
+	if err := Transaction[tagMtx2](func(j *Journal[tagMtx2]) error {
+		p1, err := m.Lock(j)
+		if err != nil {
+			return err
+		}
+		*p1 = 3
+		p2, err := m.Lock(j) // must not deadlock
+		if err != nil {
+			return err
+		}
+		if *p2 != 3 {
+			t.Errorf("re-entrant lock sees %d", *p2)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagMtx2 struct{}
+
+type mtxRoot2 struct {
+	C PMutex[int64, tagMtx2]
+}
+
+func TestPMutexAbortRestoresAndUnlocks(t *testing.T) {
+	root := openMem[mtxRoot3, tagMtx3](t)
+	m := &root.Deref().C
+	boom := errors.New("boom")
+	_ = Transaction[tagMtx3](func(j *Journal[tagMtx3]) error {
+		p, err := m.Lock(j)
+		if err != nil {
+			return err
+		}
+		*p = 9
+		return boom
+	})
+	// The lock must be free again and the value rolled back.
+	if err := Transaction[tagMtx3](func(j *Journal[tagMtx3]) error {
+		if got := *m.LockRead(j); got != 0 {
+			t.Errorf("aborted write leaked: %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagMtx3 struct{}
+
+type mtxRoot3 struct {
+	C PMutex[int64, tagMtx3]
+}
+
+// --- PString ---------------------------------------------------------------
+
+type tagStr struct{}
+
+type strRoot struct {
+	S PCell[PString[tagStr], tagStr]
+}
+
+func TestPStringRoundTrip(t *testing.T) {
+	root := openMem[strRoot, tagStr](t)
+	r := root.Deref()
+	if err := Transaction[tagStr](func(j *Journal[tagStr]) error {
+		s, err := NewPString[tagStr](j, "hello persistent world")
+		if err != nil {
+			return err
+		}
+		return r.S.Set(j, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.S.Get()
+	if s.String() != "hello persistent world" {
+		t.Fatalf("got %q", s.String())
+	}
+	if !s.Equal("hello persistent world") || s.Equal("other") || s.Equal("hello persistent worl?") {
+		t.Fatal("Equal misbehaves")
+	}
+	if s.Len() != len("hello persistent world") {
+		t.Fatalf("len %d", s.Len())
+	}
+
+	var empty PString[tagStr]
+	if empty.String() != "" || empty.Len() != 0 || !empty.Equal("") {
+		t.Fatal("zero PString is not the empty string")
+	}
+
+	before, _ := StatsOf[tagStr]()
+	if err := Transaction[tagStr](func(j *Journal[tagStr]) error {
+		return s.Free(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := StatsOf[tagStr]()
+	if after.InUse >= before.InUse {
+		t.Fatal("Free did not reclaim string bytes")
+	}
+}
+
+// --- PVec --------------------------------------------------------------------
+
+type tagVec struct{}
+
+type vecRoot struct {
+	V PVec[int64, tagVec]
+}
+
+func TestPVecPushGrowPopSurviveRestart(t *testing.T) {
+	root := openMem[vecRoot, tagVec](t)
+	v := &root.Deref().V
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := Transaction[tagVec](func(j *Journal[tagVec]) error {
+			return v.Push(j, int64(i*i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Len() != n {
+		t.Fatalf("len = %d", v.Len())
+	}
+	for i := 0; i < n; i++ {
+		if got := v.Get(i); got != int64(i*i) {
+			t.Fatalf("v[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+	if err := Transaction[tagVec](func(j *Journal[tagVec]) error {
+		val, ok, err := v.Pop(j)
+		if err != nil || !ok {
+			t.Errorf("pop failed: %v %v", ok, err)
+		}
+		if val != int64((n-1)*(n-1)) {
+			t.Errorf("pop = %d", val)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != n-1 {
+		t.Fatalf("len after pop = %d", v.Len())
+	}
+
+	sum := int64(0)
+	v.Range(func(i int, val *int64) bool { sum += *val; return true })
+	want := int64(0)
+	for i := 0; i < n-1; i++ {
+		want += int64(i * i)
+	}
+	if sum != want {
+		t.Fatalf("range sum %d, want %d", sum, want)
+	}
+}
+
+func TestPVecGrowthAborts(t *testing.T) {
+	root := openMem[vecRoot2, tagVec2](t)
+	v := &root.Deref().V
+	// Fill to capacity 4.
+	if err := Transaction[tagVec2](func(j *Journal[tagVec2]) error {
+		for i := 0; i < 4; i++ {
+			if err := v.Push(j, int64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := StatsOf[tagVec2]()
+	boom := errors.New("boom")
+	// This push triggers a grow, then the tx aborts: old storage must
+	// survive, new storage must be reclaimed.
+	_ = Transaction[tagVec2](func(j *Journal[tagVec2]) error {
+		if err := v.Push(j, 99); err != nil {
+			return err
+		}
+		return boom
+	})
+	if v.Len() != 4 {
+		t.Fatalf("len after aborted grow = %d", v.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if v.Get(i) != int64(i) {
+			t.Fatalf("element %d corrupted: %d", i, v.Get(i))
+		}
+	}
+	after, _ := StatsOf[tagVec2]()
+	if after.InUse != before.InUse {
+		t.Fatalf("aborted grow leaked: %d -> %d", before.InUse, after.InUse)
+	}
+}
+
+type tagVec2 struct{}
+
+type vecRoot2 struct {
+	V PVec[int64, tagVec2]
+}
+
+// --- typed crash sweep --------------------------------------------------
+
+type tagSweep struct{}
+
+type sweepRoot struct {
+	Val  PCell[int64, tagSweep]
+	List PRefCell[PBox[int64, tagSweep], tagSweep]
+}
+
+// TestTypedCrashSweep performs a transaction exercising PCell, PRefCell,
+// PBox allocation and freeing, with a crash injected at every device
+// operation; after recovery the root state must be exactly pre- or
+// post-transaction.
+func TestTypedCrashSweep(t *testing.T) {
+	for crashAt := 1; crashAt < 260; crashAt += 2 {
+		path := "" // in-memory
+		root, err := Open[sweepRoot, tagSweep](path, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mustState[tagSweep]()
+		dev := st.dev
+
+		// Seed: Val=1, List -> box(10).
+		if err := Transaction[tagSweep](func(j *Journal[tagSweep]) error {
+			r := root.Deref()
+			if err := r.Val.Set(j, 1); err != nil {
+				return err
+			}
+			b, err := NewPBox[int64, tagSweep](j, 10)
+			if err != nil {
+				return err
+			}
+			w, err := r.List.BorrowMut(j)
+			if err != nil {
+				return err
+			}
+			*w.Value() = b
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		inUseBefore, _ := StatsOf[tagSweep]()
+
+		var count int
+		dev.SetFaultInjector(func(op pmem.Op) bool {
+			count++
+			return count == crashAt
+		})
+		finished := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrInjectedCrash {
+					panic(r)
+				}
+			}()
+			_ = Transaction[tagSweep](func(j *Journal[tagSweep]) error {
+				r := root.Deref()
+				if err := r.Val.Set(j, 2); err != nil {
+					return err
+				}
+				w, err := r.List.BorrowMut(j)
+				if err != nil {
+					return err
+				}
+				old := *w.Value()
+				nb, err := NewPBox[int64, tagSweep](j, 20)
+				if err != nil {
+					return err
+				}
+				*w.Value() = nb
+				return old.Free(j)
+			})
+			finished = true
+		}()
+		dev.SetFaultInjector(nil)
+		sweepDone := finished && crashAt > count
+
+		// Simulate restart: power loss first (nothing may flush after the
+		// crash point), then drop the stale binding.
+		dev.Crash()
+		if err := ClosePool[tagSweep](); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := pool.Attach(dev)
+		if err != nil {
+			t.Fatalf("crashAt=%d: reattach: %v", crashAt, err)
+		}
+		adopted, err := Adopt[sweepRoot, tagSweep](p2)
+		if err != nil {
+			t.Fatalf("crashAt=%d: adopt: %v", crashAt, err)
+		}
+
+		r := adopted.Deref()
+		val := r.Val.Get()
+		box := r.List.Read()
+		switch val {
+		case 1:
+			if got := *box.Deref(); got != 10 {
+				t.Fatalf("crashAt=%d: pre-state box holds %d", crashAt, got)
+			}
+		case 2:
+			if got := *box.Deref(); got != 20 {
+				t.Fatalf("crashAt=%d: post-state box holds %d", crashAt, got)
+			}
+		default:
+			t.Fatalf("crashAt=%d: torn Val %d", crashAt, val)
+		}
+		// Exactly one box allocated either way: no leak, no double free.
+		if got := p2.InUse(); got != inUseBefore.InUse {
+			t.Fatalf("crashAt=%d: in-use drifted %d -> %d (val=%d)", crashAt, inUseBefore.InUse, got, val)
+		}
+		if err := p2.CheckConsistency(); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		_ = ClosePool[tagSweep]()
+		if sweepDone {
+			return
+		}
+	}
+	t.Fatal("crash sweep never exhausted the operation count; raise the bound")
+}
+
+// --- refcount property ----------------------------------------------------
+
+type tagProp struct{}
+
+// TestPrcRefcountProperty drives a random clone/drop/downgrade/upgrade
+// sequence and checks the persistent counts always match a volatile model,
+// and that the block is freed exactly when both counts reach zero.
+func TestPrcRefcountProperty(t *testing.T) {
+	openMem[int64, tagProp](t)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var r Prc[int64, tagProp]
+		if err := Transaction[tagProp](func(j *Journal[tagProp]) error {
+			var err error
+			r, err = NewPrc[int64, tagProp](j, seed)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		strong, weak := 1, 0
+		baseline, _ := StatsOf[tagProp]()
+
+		for step := 0; step < 60 && strong > 0; step++ {
+			if err := Transaction[tagProp](func(j *Journal[tagProp]) error {
+				switch rng.Intn(4) {
+				case 0:
+					if _, err := r.PClone(j); err != nil {
+						return err
+					}
+					strong++
+				case 1:
+					if strong > 0 {
+						if err := r.Drop(j); err != nil {
+							return err
+						}
+						strong--
+					}
+				case 2:
+					if _, err := r.Downgrade(j); err != nil {
+						return err
+					}
+					weak++
+				case 3:
+					if weak > 0 {
+						w := PWeak[int64, tagProp]{off: r.off}
+						ok := strong > 0
+						_, gotOk, err := w.Upgrade(j)
+						if err != nil {
+							return err
+						}
+						if gotOk != ok {
+							t.Errorf("seed %d step %d: upgrade ok=%v want %v", seed, step, gotOk, ok)
+						}
+						if gotOk {
+							strong++
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if strong > 0 {
+				if got := r.StrongCount(); got != uint64(strong) {
+					t.Fatalf("seed %d step %d: strong %d, model %d", seed, step, got, strong)
+				}
+				if got := r.WeakCount(); got != uint64(weak) {
+					t.Fatalf("seed %d step %d: weak %d, model %d", seed, step, got, weak)
+				}
+			}
+		}
+		// Drain remaining strongs and weaks; block must be reclaimed.
+		if err := Transaction[tagProp](func(j *Journal[tagProp]) error {
+			for ; strong > 0; strong-- {
+				if err := r.Drop(j); err != nil {
+					return err
+				}
+			}
+			w := PWeak[int64, tagProp]{off: r.off}
+			for ; weak > 0; weak-- {
+				if err := w.Drop(j); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		final, _ := StatsOf[tagProp]()
+		if final.InUse != baseline.InUse-64 { // the rc block (16+8 -> 64) is gone
+			t.Fatalf("seed %d: block not reclaimed: baseline %d, final %d", seed, baseline.InUse, final.InUse)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInterPoolAssignmentDoesNotCompile reproduces the paper's Listing 4
+// at the Go compiler: the crosspool testdata program stores a PBox bound
+// to pool P2 into a cell bound to pool P1, and the build must fail with a
+// type mismatch. This is the *static* inter-pool guarantee — the one place
+// Go's type system delivers exactly what Rust's does.
+func TestInterPoolAssignmentDoesNotCompile(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir, err := filepath.Abs("testdata/crosspool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-o", os.DevNull, ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("the cross-pool program compiled; the inter-pool guarantee is gone")
+	}
+	msg := string(out)
+	if !strings.Contains(msg, "cannot use") || !strings.Contains(msg, "PBox") {
+		t.Fatalf("build failed for the wrong reason:\n%s", msg)
+	}
+	if !strings.Contains(msg, "P1") || !strings.Contains(msg, "P2") {
+		t.Fatalf("error does not mention the mismatched pools:\n%s", msg)
+	}
+}

@@ -1,0 +1,757 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+func testCfg() Config {
+	return Config{Size: 8 << 20, Journals: 4, JournalCap: 64 << 10, Mem: pmem.Options{TrackCrash: true}}
+}
+
+// openMem opens an anonymous in-memory pool for tag P and schedules its
+// closure. Each test declares its own tag type, since a tag binds at most
+// one pool at a time.
+func openMem[T any, P any](t *testing.T) Root[T, P] {
+	t.Helper()
+	root, err := Open[T, P]("", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ClosePool[P]() })
+	return root
+}
+
+// --- Open / ClosePool -------------------------------------------------
+
+type tagOpen struct{}
+
+func TestOpenCreatesZeroRoot(t *testing.T) {
+	type R struct {
+		A int64
+		B [4]uint32
+	}
+	root := openMem[R, tagOpen](t)
+	r := root.Deref()
+	if r.A != 0 || r.B != [4]uint32{} {
+		t.Fatalf("fresh root not zeroed: %+v", r)
+	}
+}
+
+type tagDouble struct{}
+
+func TestDoubleBindRejected(t *testing.T) {
+	openMem[int64, tagDouble](t)
+	if _, err := Open[int64, tagDouble]("", testCfg()); !errors.Is(err, ErrPoolBound) {
+		t.Fatalf("second bind err = %v, want ErrPoolBound", err)
+	}
+}
+
+type tagReopen struct{}
+
+func TestFileReopenPreservesRootAndChecksType(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.pool")
+	type R struct{ N PCell[int64, tagReopen] }
+
+	root, err := Open[R, tagReopen](path, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Transaction[tagReopen](func(j *Journal[tagReopen]) error {
+		return root.Deref().N.Set(j, 41)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ClosePool[tagReopen](); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the wrong root type: rejected.
+	type Wrong struct{ X, Y int64 }
+	if _, err := Open[Wrong, tagReopen](path, testCfg()); !errors.Is(err, pool.ErrWrongRoot) {
+		t.Fatalf("wrong-root open err = %v, want ErrWrongRoot", err)
+	}
+
+	// Reopen correctly: value survives.
+	root2, err := Open[R, tagReopen](path, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ClosePool[tagReopen]()
+	if got := root2.Deref().N.Get(); got != 41 {
+		t.Fatalf("value after reopen = %d, want 41", got)
+	}
+}
+
+type tagNotOpen struct{}
+
+func TestTransactionWithoutOpenPool(t *testing.T) {
+	err := Transaction[tagNotOpen](func(*Journal[tagNotOpen]) error { return nil })
+	if !errors.Is(err, ErrPoolNotOpen) {
+		t.Fatalf("err = %v, want ErrPoolNotOpen", err)
+	}
+}
+
+// --- PSafe ------------------------------------------------------------
+
+type tagPSafe struct{}
+
+func TestPSafeRejectsVolatilePointers(t *testing.T) {
+	openMem[int64, tagPSafe](t)
+	type BadNode struct {
+		Val  int64
+		Next *BadNode // volatile pointer: !PSafe (Listing 3 analogue)
+	}
+	err := Transaction[tagPSafe](func(j *Journal[tagPSafe]) error {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("NewPBox of !PSafe type did not panic")
+			} else if _, ok := r.(*PSafeError); !ok {
+				t.Errorf("panic value %T, want *PSafeError", r)
+			}
+		}()
+		_, err := NewPBox[BadNode, tagPSafe](j, BadNode{})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSafeTable(t *testing.T) {
+	type ok1 struct {
+		A int32
+		B [8]float64
+		C struct{ X, Y uint8 }
+	}
+	type bad1 struct{ S string }
+	type bad2 struct{ M map[int]int }
+	type bad3 struct{ F func() }
+	type bad4 struct{ C chan int }
+	type bad5 struct{ I interface{} }
+	type bad6 struct{ U uintptr }
+	type bad7 struct{ B []byte }
+	type okPtr struct {
+		B PBox[int64, tagPSafe]
+		R Prc[int64, tagPSafe]
+		S PString[tagPSafe]
+		V PVec[int64, tagPSafe]
+	}
+
+	for _, c := range []struct {
+		name string
+		v    interface{}
+		ok   bool
+	}{
+		{"plain struct", ok1{}, true},
+		{"persistent pointers", okPtr{}, true},
+		{"string", bad1{}, false},
+		{"map", bad2{}, false},
+		{"func", bad3{}, false},
+		{"chan", bad4{}, false},
+		{"interface", bad5{}, false},
+		{"uintptr", bad6{}, false},
+		{"slice", bad7{}, false},
+	} {
+		err := CheckPSafe(reflect.TypeOf(c.v))
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpectedly rejected: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: unexpectedly accepted", c.name)
+		}
+	}
+}
+
+// --- PBox ---------------------------------------------------------------
+
+type tagBox struct{}
+
+func TestPBoxRoundTrip(t *testing.T) {
+	openMem[int64, tagBox](t)
+	var b PBox[int64, tagBox]
+	if !b.IsNull() {
+		t.Fatal("zero PBox not null")
+	}
+	if err := Transaction[tagBox](func(j *Journal[tagBox]) error {
+		var err error
+		b, err = NewPBox[int64, tagBox](j, 123)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := *b.Deref(); got != 123 {
+		t.Fatalf("deref = %d, want 123", got)
+	}
+
+	if err := Transaction[tagBox](func(j *Journal[tagBox]) error {
+		p, err := b.DerefMut(j)
+		if err != nil {
+			return err
+		}
+		*p = 456
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := *b.Deref(); got != 456 {
+		t.Fatalf("after mutation = %d, want 456", got)
+	}
+}
+
+func TestPBoxAbortRollsBackValueAndAllocation(t *testing.T) {
+	openMem[int64, tagBox2](t)
+	var b PBox[int64, tagBox2]
+	if err := Transaction[tagBox2](func(j *Journal[tagBox2]) error {
+		var err error
+		b, err = NewPBox[int64, tagBox2](j, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := StatsOf[tagBox2]()
+
+	boom := errors.New("boom")
+	err := Transaction[tagBox2](func(j *Journal[tagBox2]) error {
+		p, err := b.DerefMut(j)
+		if err != nil {
+			return err
+		}
+		*p = 2
+		if _, err := NewPBox[int64, tagBox2](j, 9); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := *b.Deref(); got != 1 {
+		t.Fatalf("aborted mutation leaked: %d", got)
+	}
+	after, _ := StatsOf[tagBox2]()
+	if after.InUse != before.InUse {
+		t.Fatalf("aborted allocation leaked: %d -> %d bytes", before.InUse, after.InUse)
+	}
+}
+
+type tagBox2 struct{}
+
+func TestPBoxFreeReclaimsAtCommit(t *testing.T) {
+	openMem[int64, tagBox3](t)
+	var b PBox[int64, tagBox3]
+	if err := Transaction[tagBox3](func(j *Journal[tagBox3]) error {
+		var err error
+		b, err = NewPBox[int64, tagBox3](j, 5)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := StatsOf[tagBox3]()
+	if err := Transaction[tagBox3](func(j *Journal[tagBox3]) error {
+		return b.Free(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := StatsOf[tagBox3]()
+	if after.InUse >= before.InUse {
+		t.Fatalf("free did not reclaim: %d -> %d", before.InUse, after.InUse)
+	}
+}
+
+type tagBox3 struct{}
+
+func TestPBoxPClone(t *testing.T) {
+	openMem[int64, tagBoxClone](t)
+	if err := Transaction[tagBoxClone](func(j *Journal[tagBoxClone]) error {
+		b, err := NewPBox[int64, tagBoxClone](j, 7)
+		if err != nil {
+			return err
+		}
+		c, err := b.PClone(j)
+		if err != nil {
+			return err
+		}
+		if c.Offset() == b.Offset() {
+			t.Error("PClone aliased instead of copying")
+		}
+		if *c.DerefJ(j) != 7 {
+			t.Errorf("clone value %d", *c.DerefJ(j))
+		}
+		p, err := b.DerefMut(j)
+		if err != nil {
+			return err
+		}
+		*p = 8
+		if *c.DerefJ(j) != 7 {
+			t.Error("clone shares storage with original")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagBoxClone struct{}
+
+// --- Listing 1: persistent linked list ---------------------------------
+
+type tagList struct{}
+
+// listNode mirrors Listing 1's Node: a value and a PRefCell-wrapped
+// optional next pointer.
+type listNode struct {
+	Val  int64
+	Next PRefCell[PBox[listNode, tagList], tagList]
+}
+
+// DropContents releases the tail recursively when a node is freed.
+func (n *listNode) DropContents(j *Journal[tagList]) error {
+	next := n.Next.Read()
+	return next.Free(j)
+}
+
+// appendNode reproduces Listing 1's append(): walk to the end, link a new
+// node.
+func appendNode(j *Journal[tagList], n *listNode, v int64) error {
+	t, err := n.Next.BorrowMut(j)
+	if err != nil {
+		return err
+	}
+	defer t.Drop()
+	if !t.Value().IsNull() {
+		return appendNode(j, t.Value().DerefJ(j), v)
+	}
+	box, err := NewPBox[listNode, tagList](j, listNode{Val: v})
+	if err != nil {
+		return err
+	}
+	*t.Value() = box
+	return nil
+}
+
+func collectList(root *listNode) []int64 {
+	var out []int64
+	n := root
+	for {
+		next := n.Next.Read()
+		if next.IsNull() {
+			return out
+		}
+		n = next.Deref()
+		out = append(out, n.Val)
+	}
+}
+
+func TestLinkedListAppendAndRecovery(t *testing.T) {
+	root := openMem[listNode, tagList](t)
+	for v := int64(1); v <= 5; v++ {
+		if err := Transaction[tagList](func(j *Journal[tagList]) error {
+			return appendNode(j, root.Deref(), v)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectList(root.Deref())
+	want := []int64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("list = %v, want %v", got, want)
+		}
+	}
+
+	// An aborted append leaves the list untouched and leaks nothing.
+	before, _ := StatsOf[tagList]()
+	boom := errors.New("boom")
+	err := Transaction[tagList](func(j *Journal[tagList]) error {
+		if err := appendNode(j, root.Deref(), 6); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := collectList(root.Deref()); len(got) != 5 {
+		t.Fatalf("aborted append visible: %v", got)
+	}
+	after, _ := StatsOf[tagList]()
+	if after.InUse != before.InUse {
+		t.Fatalf("aborted append leaked %d bytes", after.InUse-before.InUse)
+	}
+}
+
+// --- Prc / PWeak --------------------------------------------------------
+
+type tagRc struct{}
+
+func TestPrcCloneDropLifecycle(t *testing.T) {
+	openMem[int64, tagRc](t)
+	var r Prc[int64, tagRc]
+	if err := Transaction[tagRc](func(j *Journal[tagRc]) error {
+		var err error
+		r, err = NewPrc[int64, tagRc](j, 11)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.StrongCount() != 1 {
+		t.Fatalf("strong = %d, want 1", r.StrongCount())
+	}
+	if err := Transaction[tagRc](func(j *Journal[tagRc]) error {
+		_, err := r.PClone(j)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.StrongCount() != 2 {
+		t.Fatalf("strong after clone = %d, want 2", r.StrongCount())
+	}
+	if *r.Deref() != 11 {
+		t.Fatalf("value = %d", *r.Deref())
+	}
+
+	before, _ := StatsOf[tagRc]()
+	if err := Transaction[tagRc](func(j *Journal[tagRc]) error {
+		return r.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := StatsOf[tagRc]()
+	if mid.InUse != before.InUse {
+		t.Fatal("block freed while a strong reference remained")
+	}
+	if err := Transaction[tagRc](func(j *Journal[tagRc]) error {
+		return r.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := StatsOf[tagRc]()
+	if after.InUse >= before.InUse {
+		t.Fatal("last drop did not reclaim the block")
+	}
+}
+
+func TestPrcCloneAbortRestoresCount(t *testing.T) {
+	openMem[int64, tagRcAbort](t)
+	var r Prc[int64, tagRcAbort]
+	if err := Transaction[tagRcAbort](func(j *Journal[tagRcAbort]) error {
+		var err error
+		r, err = NewPrc[int64, tagRcAbort](j, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_ = Transaction[tagRcAbort](func(j *Journal[tagRcAbort]) error {
+		if _, err := r.PClone(j); err != nil {
+			return err
+		}
+		if _, err := r.PClone(j); err != nil {
+			return err
+		}
+		return boom
+	})
+	if got := r.StrongCount(); got != 1 {
+		t.Fatalf("strong after aborted clones = %d, want 1", got)
+	}
+}
+
+type tagRcAbort struct{}
+
+func TestPWeakUpgradeLifecycle(t *testing.T) {
+	openMem[int64, tagWeak](t)
+	var r Prc[int64, tagWeak]
+	var w PWeak[int64, tagWeak]
+	if err := Transaction[tagWeak](func(j *Journal[tagWeak]) error {
+		var err error
+		r, err = NewPrc[int64, tagWeak](j, 3)
+		if err != nil {
+			return err
+		}
+		w, err = r.Downgrade(j)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.WeakCount() != 1 {
+		t.Fatalf("weak = %d", r.WeakCount())
+	}
+
+	// Upgrade while alive succeeds.
+	if err := Transaction[tagWeak](func(j *Journal[tagWeak]) error {
+		s, ok, err := w.Upgrade(j)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Error("upgrade failed while value alive")
+		}
+		return s.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the last strong reference; upgrade must now fail, and dropping
+	// the weak must free the block.
+	if err := Transaction[tagWeak](func(j *Journal[tagWeak]) error {
+		return r.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transaction[tagWeak](func(j *Journal[tagWeak]) error {
+		_, ok, err := w.Upgrade(j)
+		if err != nil {
+			return err
+		}
+		if ok {
+			t.Error("upgrade succeeded after value dropped")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transaction[tagWeak](func(j *Journal[tagWeak]) error {
+		return w.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := StatsOf[tagWeak]()
+	rootBlock := uint64(64) // the int64 root's block
+	if st.InUse != rootBlock {
+		t.Fatalf("weak-death did not free block: in use %d, want %d", st.InUse, rootBlock)
+	}
+}
+
+type tagWeak struct{}
+
+// --- Parc ----------------------------------------------------------------
+
+type tagParc struct{}
+
+func TestParcConcurrentClones(t *testing.T) {
+	openMem[int64, tagParc](t)
+	var r Parc[int64, tagParc]
+	if err := Transaction[tagParc](func(j *Journal[tagParc]) error {
+		var err error
+		r, err = NewParc[int64, tagParc](j, 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := Transaction[tagParc](func(j *Journal[tagParc]) error {
+					_, err := r.PClone(j)
+					return err
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.StrongCount(); got != 1+workers*rounds {
+		t.Fatalf("strong = %d, want %d", got, 1+workers*rounds)
+	}
+}
+
+func TestParcVWeakCrossGoroutine(t *testing.T) {
+	openMem[int64, tagParcV](t)
+	var r Parc[int64, tagParcV]
+	if err := Transaction[tagParcV](func(j *Journal[tagParcV]) error {
+		var err error
+		r, err = NewParc[int64, tagParcV](j, 77)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := r.Demote()
+	got := make(chan int64, 1)
+	go func() {
+		// The paper's pattern: the child goroutine promotes the volatile
+		// weak pointer inside its own transaction.
+		_ = Transaction[tagParcV](func(j *Journal[tagParcV]) error {
+			s, ok, err := w.Promote(j)
+			if err != nil || !ok {
+				got <- -1
+				return err
+			}
+			got <- *s.DerefJ(j)
+			return s.Drop(j)
+		})
+	}()
+	if v := <-got; v != 77 {
+		t.Fatalf("cross-goroutine value = %d, want 77", v)
+	}
+}
+
+type tagParcV struct{}
+
+// --- VWeak and pool closure ----------------------------------------------
+
+type tagVW struct{}
+
+func TestVWeakFailsAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vweak.pool")
+	root, err := Open[int64, tagVW](path, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = root
+	var r Prc[int64, tagVW]
+	if err := Transaction[tagVW](func(j *Journal[tagVW]) error {
+		var err error
+		r, err = NewPrc[int64, tagVW](j, 9)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := r.Demote()
+
+	// While the pool is open, promotion succeeds.
+	if err := Transaction[tagVW](func(j *Journal[tagVW]) error {
+		s, ok, err := w.Promote(j)
+		if err != nil || !ok {
+			t.Error("promote failed while pool open")
+			return err
+		}
+		return s.Drop(j)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ClosePool[tagVW](); err != nil {
+		t.Fatal(err)
+	}
+	// Pool closed: transactions fail, so the stale VWeak cannot even reach
+	// Promote — the paper's first line of defence.
+	if err := Transaction[tagVW](func(*Journal[tagVW]) error { return nil }); !errors.Is(err, ErrPoolNotOpen) {
+		t.Fatalf("tx on closed pool: %v", err)
+	}
+
+	// Reopen: the generation changed, so the old VWeak must not promote.
+	if _, err := Open[int64, tagVW](path, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	defer ClosePool[tagVW]()
+	if err := Transaction[tagVW](func(j *Journal[tagVW]) error {
+		_, ok, err := w.Promote(j)
+		if ok {
+			t.Error("stale VWeak promoted after reopen")
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagVWeakPSafe struct{}
+
+func TestVWeakIsNotPSafe(t *testing.T) {
+	// VWeak contains no Go pointers, so only the name-based rule rejects it;
+	// persisting one would resurrect a dead pool generation after restart.
+	type sneaky struct {
+		W VWeak[int64, tagVWeakPSafe]
+	}
+	if err := CheckPSafe(reflect.TypeOf(sneaky{})); err == nil {
+		t.Fatal("VWeak accepted as PSafe")
+	}
+	type sneaky2 struct {
+		W ParcVWeak[int64, tagVWeakPSafe]
+	}
+	if err := CheckPSafe(reflect.TypeOf(sneaky2{})); err == nil {
+		t.Fatal("ParcVWeak accepted as PSafe")
+	}
+	// The persistent weak pointer is the sanctioned pool-resident form.
+	type fine struct {
+		W PWeak[int64, tagVWeakPSafe]
+	}
+	if err := CheckPSafe(reflect.TypeOf(fine{})); err != nil {
+		t.Fatalf("PWeak rejected: %v", err)
+	}
+}
+
+// --- TransactionV / TxOutSafe ------------------------------------------
+
+type tagTxV struct{}
+
+func TestTransactionVReturnsValues(t *testing.T) {
+	openMem[int64, tagTxV](t)
+	got, err := TransactionV[int64, tagTxV](func(j *Journal[tagTxV]) (int64, error) {
+		b, err := NewPBox[int64, tagTxV](j, 21)
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = b.Free(j) }()
+		return *b.DerefJ(j) * 2, nil
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("TransactionV = %d, %v", got, err)
+	}
+
+	// On error the zero value comes back and the tx rolled back.
+	boom := errors.New("boom")
+	got, err = TransactionV[int64, tagTxV](func(j *Journal[tagTxV]) (int64, error) {
+		return 99, boom
+	})
+	if !errors.Is(err, boom) || got != 0 {
+		t.Fatalf("aborted TransactionV = %d, %v", got, err)
+	}
+}
+
+func TestTxOutSafeRejectsPersistentPointers(t *testing.T) {
+	openMem[int64, tagTxV2](t)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("returning a PBox from TransactionV did not panic")
+		}
+		if _, ok := r.(*TxOutSafeError); !ok {
+			t.Fatalf("panic value %T, want *TxOutSafeError", r)
+		}
+	}()
+	_, _ = TransactionV[PBox[int64, tagTxV2], tagTxV2](func(j *Journal[tagTxV2]) (PBox[int64, tagTxV2], error) {
+		return NewPBox[int64, tagTxV2](j, 1)
+	})
+}
+
+type tagTxV2 struct{}
+
+func TestTxOutSafeTable(t *testing.T) {
+	type okOut struct {
+		N int64
+		S string
+		W VWeak[int64, tagTxV] // the sanctioned volatile handle
+	}
+	type badNested struct {
+		Inner struct {
+			B PBox[int64, tagTxV]
+		}
+	}
+	if err := CheckTxOutSafe(reflect.TypeOf(okOut{})); err != nil {
+		t.Errorf("okOut rejected: %v", err)
+	}
+	if err := CheckTxOutSafe(reflect.TypeOf(badNested{})); err == nil {
+		t.Error("nested PBox accepted as TxOutSafe")
+	}
+	if err := CheckTxOutSafe(reflect.TypeOf([]Prc[int64, tagTxV]{})); err == nil {
+		t.Error("slice of Prc accepted as TxOutSafe")
+	}
+	if err := CheckTxOutSafe(reflect.TypeOf(map[int]PString[tagTxV]{})); err == nil {
+		t.Error("map of PString accepted as TxOutSafe")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"corundum/internal/pool"
+)
+
+// Edge-case coverage: nil dereferences panic with clear messages, zero
+// values behave as documented, and misuse of the lifecycle APIs fails
+// cleanly rather than corrupting anything.
+
+type tagEdge struct{}
+
+type edgeRoot struct {
+	V PVec[int64, tagEdge]
+	C PRefCell[int64, tagEdge]
+}
+
+func TestNilDerefsPanic(t *testing.T) {
+	openMem[edgeRoot, tagEdge](t)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	var b PBox[int64, tagEdge]
+	mustPanic("nil PBox.Deref", func() { _ = b.Deref() })
+	_ = Transaction[tagEdge](func(j *Journal[tagEdge]) error {
+		mustPanic("nil PBox.DerefMut", func() { _, _ = b.DerefMut(j) })
+		var r Prc[int64, tagEdge]
+		mustPanic("nil Prc.PClone", func() { _, _ = r.PClone(j) })
+		return nil
+	})
+}
+
+func TestPVecBoundsPanic(t *testing.T) {
+	root := openMem[edgeRoot2, tagEdge2](t)
+	v := &root.Deref().V
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	v.At(0)
+}
+
+type tagEdge2 struct{}
+
+type edgeRoot2 struct {
+	V PVec[int64, tagEdge2]
+}
+
+func TestPVecZeroValueBehaviour(t *testing.T) {
+	root := openMem[edgeRoot3, tagEdge3](t)
+	v := &root.Deref().V
+	if v.Len() != 0 || v.Cap() != 0 {
+		t.Fatalf("zero vec: len=%d cap=%d", v.Len(), v.Cap())
+	}
+	if err := Transaction[tagEdge3](func(j *Journal[tagEdge3]) error {
+		if _, ok, err := v.Pop(j); ok || err != nil {
+			t.Errorf("pop from empty vec: ok=%v err=%v", ok, err)
+		}
+		if err := v.Free(j); err != nil { // freeing an empty vec is a no-op
+			return err
+		}
+		if err := v.Push(j, 5); err != nil {
+			return err
+		}
+		return v.Truncate(j, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 {
+		t.Fatalf("len after truncate %d", v.Len())
+	}
+}
+
+type tagEdge3 struct{}
+
+type edgeRoot3 struct {
+	V PVec[int64, tagEdge3]
+}
+
+func TestRefDropIdempotentAndValuePanicsAfter(t *testing.T) {
+	root := openMem[edgeRoot4, tagEdge4](t)
+	c := &root.Deref().C
+	r := c.Borrow()
+	r.Drop()
+	r.Drop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Value after Drop did not panic")
+		}
+	}()
+	_ = r.Value()
+}
+
+type tagEdge4 struct{}
+
+type edgeRoot4 struct {
+	C PRefCell[int64, tagEdge4]
+}
+
+type tagEdge5 struct{}
+
+func TestAdoptRejectsWrongRootType(t *testing.T) {
+	cfg := testCfg()
+	root, err := Open[int64, tagEdge5]("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = root
+	dev := DeviceOf[tagEdge5]()
+	if err := ClosePool[tagEdge5](); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pool.Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type wrong struct{ A, B, C int64 }
+	if _, err := Adopt[wrong, tagEdge5](p2); !errors.Is(err, pool.ErrWrongRoot) {
+		t.Fatalf("adopt with wrong type: %v", err)
+	}
+	// Correct adoption still works afterwards (the failed one unbound).
+	if _, err := Adopt[int64, tagEdge5](p2); err != nil {
+		t.Fatal(err)
+	}
+	_ = ClosePool[tagEdge5]()
+}
+
+type tagEdge6 struct{}
+
+func TestStatsAndCloseErrors(t *testing.T) {
+	if _, err := StatsOf[tagEdge6](); !errors.Is(err, ErrPoolNotOpen) {
+		t.Fatalf("StatsOf unbound: %v", err)
+	}
+	if err := ClosePool[tagEdge6](); !errors.Is(err, ErrPoolNotOpen) {
+		t.Fatalf("ClosePool unbound: %v", err)
+	}
+}
+
+type tagEdge7 struct{}
+
+type edgeRoot7 struct {
+	S PCell[PString[tagEdge7], tagEdge7]
+}
+
+func TestPStringJournalVariantAndRootOffset(t *testing.T) {
+	root := openMem[edgeRoot7, tagEdge7](t)
+	if root.Offset() == 0 {
+		t.Fatal("root offset zero")
+	}
+	if err := Transaction[tagEdge7](func(j *Journal[tagEdge7]) error {
+		s, err := NewPString[tagEdge7](j, "via journal")
+		if err != nil {
+			return err
+		}
+		if s.StringJ(j) != "via journal" {
+			t.Errorf("StringJ = %q", s.StringJ(j))
+		}
+		var empty PString[tagEdge7]
+		if empty.StringJ(j) != "" {
+			t.Error("empty StringJ not empty")
+		}
+		if err := empty.Free(j); err != nil {
+			return err
+		}
+		return root.Deref().S.Set(j, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagEdge8 struct{}
+
+func TestPBoxNullFreeAndClone(t *testing.T) {
+	openMem[int64, tagEdge8](t)
+	if err := Transaction[tagEdge8](func(j *Journal[tagEdge8]) error {
+		var b PBox[int64, tagEdge8]
+		if err := b.Free(j); err != nil { // freeing null is a no-op
+			return err
+		}
+		c, err := b.PClone(j) // cloning null yields null
+		if err != nil {
+			return err
+		}
+		if !c.IsNull() {
+			t.Error("clone of null box not null")
+		}
+		var w PWeak[int64, tagEdge8]
+		if err := w.Drop(j); err != nil { // dropping null weak is a no-op
+			return err
+		}
+		if _, ok, err := w.Upgrade(j); ok || err != nil {
+			t.Errorf("upgrade of null weak: %v %v", ok, err)
+		}
+		var vw VWeak[int64, tagEdge8]
+		if _, ok, err := vw.Promote(j); ok || err != nil {
+			t.Errorf("promote of null vweak: %v %v", ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

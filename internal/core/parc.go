@@ -1,0 +1,183 @@
+package core
+
+import "sync"
+
+// Parc is the thread-safe persistent reference-counted pointer, the analog
+// of Rust's Arc. Its count updates take a per-referent lock that is held
+// until the transaction ends, so count changes are both crash-consistent
+// (logged, like the paper's "Parc takes a log every time it increments or
+// decrements") and isolated from concurrent transactions.
+//
+// The paper makes Parc !Send to keep orphaned references from escaping a
+// transaction via thread::spawn; Go cannot forbid sending values to
+// goroutines, so the pmcheck analyzer reports `go` statements inside
+// transactions that capture persistent pointers, and ParcVWeak is the
+// sanctioned cross-goroutine handle (exactly the paper's remedy).
+type Parc[T any, P any] struct {
+	off uint64
+}
+
+// NewParc allocates a reference-counted T with a strong count of one.
+func NewParc[T any, P any](j *Journal[P], val T) (Parc[T, P], error) {
+	mustPSafe[T]()
+	buf := make([]byte, rcBlockSize[T]())
+	buf[0] = 1
+	copy(buf[rcHeaderSize:], bytesOf(&val))
+	off, err := j.inner.AllocInit(buf)
+	if err != nil {
+		return Parc[T, P]{}, err
+	}
+	return Parc[T, P]{off: off}, nil
+}
+
+// IsNull reports whether this is the zero Parc.
+func (r Parc[T, P]) IsNull() bool { return r.off == 0 }
+
+// Deref returns a read-only view of the shared value.
+func (r Parc[T, P]) Deref() *T {
+	return derefAt[T](mustState[P](), r.off+rcHeaderSize)
+}
+
+// DerefJ is Deref using the transaction's pool handle.
+func (r Parc[T, P]) DerefJ(j *Journal[P]) *T {
+	return derefAt[T](j.st, r.off+rcHeaderSize)
+}
+
+// StrongCount reads the current strong count (racy by nature, like
+// Arc::strong_count).
+func (r Parc[T, P]) StrongCount() uint64 { return derefAt[rcHeader](mustState[P](), r.off).strong }
+
+// WeakCount reads the current weak count.
+func (r Parc[T, P]) WeakCount() uint64 { return derefAt[rcHeader](mustState[P](), r.off).weak }
+
+// lockCounts acquires the referent's count lock for the rest of the
+// transaction (re-entrant within it).
+func lockCounts[P any](j *Journal[P], off uint64) {
+	muAny, _ := j.st.locks.LoadOrStore(off, &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	j.inner.HoldLock(off, mu.Lock, mu.Unlock)
+}
+
+func (r Parc[T, P]) logCountsLocked(j *Journal[P]) error {
+	if r.off == 0 {
+		panic("corundum: nil Parc")
+	}
+	lockCounts(j, r.off)
+	return j.inner.DataLog(r.off, rcHeaderSize)
+}
+
+// PClone creates another strong reference, crash-consistently and
+// atomically with respect to concurrent transactions.
+func (r Parc[T, P]) PClone(j *Journal[P]) (Parc[T, P], error) {
+	if err := r.logCountsLocked(j); err != nil {
+		return Parc[T, P]{}, err
+	}
+	derefAt[rcHeader](j.st, r.off).strong++
+	return r, nil
+}
+
+// Drop releases one strong reference, dropping the value and scheduling
+// deallocation when the last strong (and weak) reference dies.
+func (r Parc[T, P]) Drop(j *Journal[P]) error {
+	if r.off == 0 {
+		return nil
+	}
+	if err := r.logCountsLocked(j); err != nil {
+		return err
+	}
+	h := derefAt[rcHeader](j.st, r.off)
+	if h.strong == 0 {
+		panic("corundum: Parc.Drop with zero strong count")
+	}
+	h.strong--
+	if h.strong > 0 {
+		return nil
+	}
+	if err := dropContents(j, derefAt[T](j.st, r.off+rcHeaderSize)); err != nil {
+		return err
+	}
+	if h.weak == 0 {
+		return j.inner.DropLog(r.off, rcBlockSize[T]())
+	}
+	return nil
+}
+
+// Downgrade returns a persistent weak pointer.
+func (r Parc[T, P]) Downgrade(j *Journal[P]) (ParcWeak[T, P], error) {
+	if err := r.logCountsLocked(j); err != nil {
+		return ParcWeak[T, P]{}, err
+	}
+	derefAt[rcHeader](j.st, r.off).weak++
+	return ParcWeak[T, P]{off: r.off}, nil
+}
+
+// Demote returns a volatile weak pointer. ParcVWeak is Send-safe in the
+// paper's terms: it is the type to hand to other goroutines.
+func (r Parc[T, P]) Demote() ParcVWeak[T, P] {
+	st := mustState[P]()
+	return ParcVWeak[T, P]{off: r.off, gen: st.gen}
+}
+
+// ParcWeak is the persistent weak companion of Parc.
+type ParcWeak[T any, P any] struct {
+	off uint64
+}
+
+// IsNull reports whether this is the zero ParcWeak.
+func (w ParcWeak[T, P]) IsNull() bool { return w.off == 0 }
+
+// Upgrade attempts to obtain a strong reference; ok=false if the value is
+// gone.
+func (w ParcWeak[T, P]) Upgrade(j *Journal[P]) (Parc[T, P], bool, error) {
+	if w.off == 0 {
+		return Parc[T, P]{}, false, nil
+	}
+	lockCounts(j, w.off)
+	h := derefAt[rcHeader](j.st, w.off)
+	if h.strong == 0 {
+		return Parc[T, P]{}, false, nil
+	}
+	if err := j.inner.DataLog(w.off, rcHeaderSize); err != nil {
+		return Parc[T, P]{}, false, err
+	}
+	h.strong++
+	return Parc[T, P]{off: w.off}, true, nil
+}
+
+// Drop releases the weak reference.
+func (w ParcWeak[T, P]) Drop(j *Journal[P]) error {
+	if w.off == 0 {
+		return nil
+	}
+	lockCounts(j, w.off)
+	if err := j.inner.DataLog(w.off, rcHeaderSize); err != nil {
+		return err
+	}
+	h := derefAt[rcHeader](j.st, w.off)
+	if h.weak == 0 {
+		panic("corundum: ParcWeak.Drop with zero weak count")
+	}
+	h.weak--
+	if h.weak == 0 && h.strong == 0 {
+		return j.inner.DropLog(w.off, rcBlockSize[T]())
+	}
+	return nil
+}
+
+// ParcVWeak is the volatile weak pointer for Parc referents — the paper's
+// mechanism for passing persistent state between threads: spawn the
+// goroutine with a ParcVWeak and Promote it inside that goroutine's own
+// transaction.
+type ParcVWeak[T any, P any] struct {
+	off uint64
+	gen uint64
+}
+
+// Promote converts the volatile pointer back into a strong Parc if the
+// pool incarnation matches and the value is still alive.
+func (w ParcVWeak[T, P]) Promote(j *Journal[P]) (Parc[T, P], bool, error) {
+	if w.off == 0 || w.gen != j.st.gen {
+		return Parc[T, P]{}, false, nil
+	}
+	return ParcWeak[T, P]{off: w.off}.Upgrade(j)
+}

@@ -1,0 +1,103 @@
+package core
+
+import "unsafe"
+
+// PDrop lets a persistent type release the persistent pointers it owns when
+// its container is freed. Rust drops struct fields recursively; Go has no
+// destructors, so owning types implement PDrop and the smart pointers call
+// it before releasing their own storage. Types composed only of plain data
+// need not implement it.
+type PDrop[P any] interface {
+	DropContents(j *Journal[P]) error
+}
+
+// dropContents invokes v's PDrop implementation, if any.
+func dropContents[T any, P any](j *Journal[P], v *T) error {
+	if d, ok := any(v).(PDrop[P]); ok {
+		return d.DropContents(j)
+	}
+	return nil
+}
+
+// PBox is an unshared pointer to a T stored in pool P — the persistent
+// Box. The zero value is the null box, playing the role of
+// Option<Pbox<T>>::None (offset 0 is pool metadata, never an object).
+//
+// Because the pool tag is part of the type, a PBox[T, P1] cannot be stored
+// where a PBox[T, P2] is expected: inter-pool pointers are compile errors.
+type PBox[T any, P any] struct {
+	off uint64
+}
+
+// NewPBox allocates persistent memory in P and moves val into it, in one
+// failure-atomic step (the paper's Pbox::AtomicInit). It requires a
+// transaction: an aborted or crashed transaction reclaims the allocation.
+func NewPBox[T any, P any](j *Journal[P], val T) (PBox[T, P], error) {
+	mustPSafe[T]()
+	off, err := j.inner.AllocInit(bytesOf(&val))
+	if err != nil {
+		return PBox[T, P]{}, err
+	}
+	return PBox[T, P]{off: off}, nil
+}
+
+// IsNull reports whether the box is the null box.
+func (b PBox[T, P]) IsNull() bool { return b.off == 0 }
+
+// Offset exposes the raw pool offset (diagnostics and tests).
+func (b PBox[T, P]) Offset() uint64 { return b.off }
+
+// Deref returns a read-only view of the boxed value. Like the paper's
+// Deref it is a direct, zero-copy pointer into the mapped pool. Panics on
+// the null box.
+func (b PBox[T, P]) Deref() *T {
+	return derefAt[T](mustState[P](), b.off)
+}
+
+// DerefJ is Deref for code already holding a journal; it skips the pool
+// registry lookup (the fast in-transaction path).
+func (b PBox[T, P]) DerefJ(j *Journal[P]) *T {
+	return derefAt[T](j.st, b.off)
+}
+
+// DerefMut returns a mutable view of the boxed value, undo-logging it
+// first. Only the first DerefMut in a transaction pays for logging, exactly
+// as Table 5 distinguishes "DerefMut (the 1st time)" from later ones.
+func (b PBox[T, P]) DerefMut(j *Journal[P]) (*T, error) {
+	if b.off == 0 {
+		panic("corundum: nil PBox dereference")
+	}
+	if err := j.inner.DataLog(b.off, sizeOf[T]()); err != nil {
+		return nil, err
+	}
+	return derefAt[T](j.st, b.off), nil
+}
+
+// PClone creates a new box holding a copy of the value (the paper's
+// Pbox::pclone: a fresh allocation plus memcpy).
+func (b PBox[T, P]) PClone(j *Journal[P]) (PBox[T, P], error) {
+	if b.off == 0 {
+		return PBox[T, P]{}, nil
+	}
+	src := derefAt[T](j.st, b.off)
+	off, err := j.inner.AllocInit(unsafe.Slice((*byte)(unsafe.Pointer(src)), sizeOf[T]()))
+	if err != nil {
+		return PBox[T, P]{}, err
+	}
+	return PBox[T, P]{off: off}, nil
+}
+
+// Free drops the boxed value (recursively, via PDrop) and schedules its
+// storage for deallocation at commit. Rust does this when a Pbox goes out
+// of scope; Go callers do it when they unlink the box from its owner.
+// Freeing the null box is a no-op. Double frees are caught by the
+// allocator's order map at commit.
+func (b PBox[T, P]) Free(j *Journal[P]) error {
+	if b.off == 0 {
+		return nil
+	}
+	if err := dropContents(j, derefAt[T](j.st, b.off)); err != nil {
+		return err
+	}
+	return j.inner.DropLog(b.off, sizeOf[T]())
+}

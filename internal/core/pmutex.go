@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// PMutex provides thread-safe interior mutability for persistent data: the
+// persistent Mutex<T>. Lock returns a mutable, undo-logged view and holds
+// the lock until the end of the transaction, which is what gives Corundum
+// transactions isolation (Design Goal 5): no other transaction can observe
+// the protected data until this one commits and releases the lock.
+//
+// The lock word itself is volatile (a sync.Mutex in a per-pool side
+// table): locks must not survive a crash, so keeping them out of PM gives
+// crash-unlock for free.
+type PMutex[T any, P any] struct {
+	value T
+}
+
+// NewPMutex returns a mutex-protected value for use in struct literals.
+func NewPMutex[T any, P any](val T) PMutex[T, P] { return PMutex[T, P]{value: val} }
+
+// Lock acquires the mutex (blocking), undo-logs the protected value, and
+// returns a mutable view. The mutex is released when the transaction ends
+// — there is no unlock method, just as the paper's PMutexGuard cannot
+// outlive its transaction. Re-locking inside the same transaction is a
+// no-op re-entry.
+func (m *PMutex[T, P]) Lock(j *Journal[P]) (*T, error) {
+	off := j.st.offsetOf(unsafe.Pointer(m))
+	muAny, _ := j.st.locks.LoadOrStore(off, &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	j.inner.HoldLock(off, mu.Lock, mu.Unlock)
+	if err := j.inner.DataLog(off, sizeOf[T]()); err != nil {
+		return nil, err
+	}
+	return &m.value, nil
+}
+
+// LockRead acquires the mutex for the rest of the transaction and returns
+// a read-only view without logging (cheaper when the critical section only
+// reads).
+func (m *PMutex[T, P]) LockRead(j *Journal[P]) *T {
+	off := j.st.offsetOf(unsafe.Pointer(m))
+	muAny, _ := j.st.locks.LoadOrStore(off, &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	j.inner.HoldLock(off, mu.Lock, mu.Unlock)
+	return &m.value
+}

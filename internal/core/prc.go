@@ -1,0 +1,203 @@
+package core
+
+// Prc is a persistent reference-counted pointer, the analog of Rust's Rc:
+// dynamic persistent allocation with thread-unsafe reference counting. Use
+// Parc when the pointer is shared across goroutines. The counts live in PM
+// next to the value and every count update is undo-logged, so clones and
+// drops roll back with their transaction.
+//
+// Memory layout of the referent block: [strong u64][weak u64][T].
+type Prc[T any, P any] struct {
+	off uint64
+}
+
+const rcHeaderSize = 16
+
+// rcHeader is the persistent reference-count header preceding the value.
+type rcHeader struct {
+	strong uint64
+	weak   uint64
+}
+
+func rcBlockSize[T any]() uint64 { return rcHeaderSize + sizeOf[T]() }
+
+func (r Prc[T, P]) header(st *poolState) *rcHeader {
+	return derefAt[rcHeader](st, r.off)
+}
+
+// NewPrc allocates a reference-counted T in P with a strong count of one,
+// failure-atomically.
+func NewPrc[T any, P any](j *Journal[P], val T) (Prc[T, P], error) {
+	mustPSafe[T]()
+	buf := make([]byte, rcBlockSize[T]())
+	buf[0] = 1 // strong = 1 (little-endian)
+	copy(buf[rcHeaderSize:], bytesOf(&val))
+	off, err := j.inner.AllocInit(buf)
+	if err != nil {
+		return Prc[T, P]{}, err
+	}
+	return Prc[T, P]{off: off}, nil
+}
+
+// IsNull reports whether this is the zero Prc.
+func (r Prc[T, P]) IsNull() bool { return r.off == 0 }
+
+// Deref returns a read-only view of the shared value.
+func (r Prc[T, P]) Deref() *T {
+	return derefAt[T](mustState[P](), r.off+rcHeaderSize)
+}
+
+// DerefJ is Deref using the transaction's pool handle.
+func (r Prc[T, P]) DerefJ(j *Journal[P]) *T {
+	return derefAt[T](j.st, r.off+rcHeaderSize)
+}
+
+// DerefMut returns a mutable, undo-logged view. Rust's Rc does not allow
+// this (shared data is immutable without a cell); Corundum programs wrap
+// shared mutable state in PRefCell or PMutex, and so should Go callers —
+// but the method exists for single-owner phases, mirroring
+// Rc::get_mut-style use.
+func (r Prc[T, P]) DerefMut(j *Journal[P]) (*T, error) {
+	if err := j.inner.DataLog(r.off+rcHeaderSize, sizeOf[T]()); err != nil {
+		return nil, err
+	}
+	return derefAt[T](j.st, r.off+rcHeaderSize), nil
+}
+
+// StrongCount reads the current strong count.
+func (r Prc[T, P]) StrongCount() uint64 { return r.header(mustState[P]()).strong }
+
+// WeakCount reads the current weak count.
+func (r Prc[T, P]) WeakCount() uint64 { return r.header(mustState[P]()).weak }
+
+// PClone creates another strong reference to the same value, logging the
+// count update in j (the paper's pclone(j)).
+func (r Prc[T, P]) PClone(j *Journal[P]) (Prc[T, P], error) {
+	if err := r.logHeader(j); err != nil {
+		return Prc[T, P]{}, err
+	}
+	r.header(j.st).strong++
+	return r, nil
+}
+
+// Drop releases one strong reference. When the last strong reference
+// drops, the value's contents are dropped (via PDrop) and, if no weak
+// references remain, the block is scheduled for deallocation at commit.
+func (r Prc[T, P]) Drop(j *Journal[P]) error {
+	if r.off == 0 {
+		return nil
+	}
+	if err := r.logHeader(j); err != nil {
+		return err
+	}
+	h := r.header(j.st)
+	if h.strong == 0 {
+		panic("corundum: Prc.Drop with zero strong count")
+	}
+	h.strong--
+	if h.strong > 0 {
+		return nil
+	}
+	if err := dropContents(j, derefAt[T](j.st, r.off+rcHeaderSize)); err != nil {
+		return err
+	}
+	if h.weak == 0 {
+		return j.inner.DropLog(r.off, rcBlockSize[T]())
+	}
+	return nil
+}
+
+// Downgrade returns a persistent weak pointer, incrementing the weak count
+// under the journal's log.
+func (r Prc[T, P]) Downgrade(j *Journal[P]) (PWeak[T, P], error) {
+	if err := r.logHeader(j); err != nil {
+		return PWeak[T, P]{}, err
+	}
+	r.header(j.st).weak++
+	return PWeak[T, P]{off: r.off}, nil
+}
+
+// Demote returns a volatile weak pointer bound to this open incarnation of
+// the pool. VWeak is the only bridge from volatile structures into PM; it
+// holds no reference count and is invalidated by pool closure (generation
+// check at promote time).
+func (r Prc[T, P]) Demote() VWeak[T, P] {
+	st := mustState[P]()
+	return VWeak[T, P]{off: r.off, gen: st.gen}
+}
+
+func (r Prc[T, P]) logHeader(j *Journal[P]) error {
+	if r.off == 0 {
+		panic("corundum: nil Prc")
+	}
+	return j.inner.DataLog(r.off, rcHeaderSize)
+}
+
+// PWeak is a persistent weak reference to a Prc/Parc referent: it does not
+// keep the value alive, enabling cyclic structures without leaks.
+type PWeak[T any, P any] struct {
+	off uint64
+}
+
+// IsNull reports whether this is the zero PWeak.
+func (w PWeak[T, P]) IsNull() bool { return w.off == 0 }
+
+// Upgrade attempts to obtain a strong reference. It returns ok=false when
+// the value has already been dropped (strong count zero), matching
+// Option<Prc> in the paper's Table 1.
+func (w PWeak[T, P]) Upgrade(j *Journal[P]) (Prc[T, P], bool, error) {
+	if w.off == 0 {
+		return Prc[T, P]{}, false, nil
+	}
+	h := derefAt[rcHeader](j.st, w.off)
+	if h.strong == 0 {
+		return Prc[T, P]{}, false, nil
+	}
+	if err := j.inner.DataLog(w.off, rcHeaderSize); err != nil {
+		return Prc[T, P]{}, false, err
+	}
+	h.strong++
+	return Prc[T, P]{off: w.off}, true, nil
+}
+
+// Drop releases the weak reference; the block is deallocated once both
+// counts reach zero.
+func (w PWeak[T, P]) Drop(j *Journal[P]) error {
+	if w.off == 0 {
+		return nil
+	}
+	if err := j.inner.DataLog(w.off, rcHeaderSize); err != nil {
+		return err
+	}
+	h := derefAt[rcHeader](j.st, w.off)
+	if h.weak == 0 {
+		panic("corundum: PWeak.Drop with zero weak count")
+	}
+	h.weak--
+	if h.weak == 0 && h.strong == 0 {
+		return j.inner.DropLog(w.off, rcBlockSize[T]())
+	}
+	return nil
+}
+
+// VWeak is a volatile weak pointer to persistent data: the only sanctioned
+// way to keep a reference to pool data in DRAM (volatile indexes, caches,
+// inter-goroutine handoff). It records the pool generation at creation;
+// Promote fails after the pool closes or the machine restarts, reproducing
+// the paper's dynamic defence against dereferencing into closed heaps.
+type VWeak[T any, P any] struct {
+	off uint64
+	gen uint64
+}
+
+// Promote attempts to convert the volatile weak pointer into a strong
+// Prc. It can only be called inside a transaction (it needs j), which is
+// only possible while the pool is open; the generation check rejects
+// pointers from a previous incarnation; the strong-count check rejects
+// dropped values.
+func (w VWeak[T, P]) Promote(j *Journal[P]) (Prc[T, P], bool, error) {
+	if w.off == 0 || w.gen != j.st.gen {
+		return Prc[T, P]{}, false, nil
+	}
+	return PWeak[T, P]{off: w.off}.Upgrade(j)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// PSafe is the Go rendition of Corundum's PSafe auto trait: a type may live
+// in a persistent pool only if every byte of it is meaningful after a
+// restart. Primitive arithmetic types and structs/arrays composed of them
+// qualify; anything holding a volatile Go reference (pointer, slice, map,
+// string, channel, function, interface) does not, because the referenced
+// memory vanishes with the process.
+//
+// Rust enforces this at compile time with an auto trait. Go's type system
+// cannot, so the library enforces it at the first use of each type
+// (reflection, cached) and the pmcheck analyzer enforces it at build time;
+// together they reproduce the paper's Only-Persistent-Objects goal with the
+// enforcement point moved as early as Go allows.
+
+var psafeCache sync.Map // reflect.Type -> error (nil entry means safe)
+
+// notPSafeByName lists library types that contain no Go pointers (so the
+// structural walk would accept them) but are semantically volatile and
+// must never be stored in a pool: VWeak and ParcVWeak carry a pool
+// generation that dies with the process, exactly the kind of value whose
+// persistence the paper's VWeak design exists to prevent.
+var notPSafeByName = []string{"VWeak[", "ParcVWeak["}
+
+// PSafeError explains why a type cannot be stored in persistent memory.
+type PSafeError struct {
+	Root   reflect.Type
+	Via    string // field path from Root to the offending type
+	Reason string
+}
+
+func (e *PSafeError) Error() string {
+	where := e.Root.String()
+	if e.Via != "" {
+		where += "." + e.Via
+	}
+	return fmt.Sprintf("corundum: %s is not PSafe: %s", where, e.Reason)
+}
+
+// CheckPSafe reports whether t may be placed in a pool. Results are cached.
+func CheckPSafe(t reflect.Type) error {
+	if cached, ok := psafeCache.Load(t); ok {
+		if cached == nil {
+			return nil
+		}
+		return cached.(error)
+	}
+	err := checkPSafe(t, t, "")
+	if err == nil {
+		psafeCache.Store(t, nil)
+	} else {
+		psafeCache.Store(t, err)
+	}
+	return err
+}
+
+func checkPSafe(root, t reflect.Type, via string) error {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return nil
+	case reflect.Uintptr:
+		return &PSafeError{root, via, "uintptr holds a volatile address"}
+	case reflect.Pointer:
+		return &PSafeError{root, via, "Go pointers reference volatile memory; use PBox/Prc/Parc"}
+	case reflect.Slice:
+		return &PSafeError{root, via, "slices reference volatile memory; use PVec"}
+	case reflect.String:
+		return &PSafeError{root, via, "strings reference volatile memory; use PString"}
+	case reflect.Map:
+		return &PSafeError{root, via, "maps live on the volatile heap"}
+	case reflect.Chan:
+		return &PSafeError{root, via, "channels are inherently transient"}
+	case reflect.Func:
+		return &PSafeError{root, via, "function values are inherently transient"}
+	case reflect.Interface:
+		return &PSafeError{root, via, "interfaces carry volatile type descriptors"}
+	case reflect.UnsafePointer:
+		return &PSafeError{root, via, "unsafe.Pointer references volatile memory"}
+	case reflect.Array:
+		return checkPSafe(root, t.Elem(), joinPath(via, "[]"))
+	case reflect.Struct:
+		if t.PkgPath() == reflect.TypeOf(PSafeError{}).PkgPath() {
+			for _, prefix := range notPSafeByName {
+				if len(t.Name()) >= len(prefix) && t.Name()[:len(prefix)] == prefix {
+					return &PSafeError{root, via, t.Name() + " is a volatile weak pointer; it must live in DRAM (store a PWeak in the pool instead)"}
+				}
+			}
+		}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if err := checkPSafe(root, f.Type, joinPath(via, f.Name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return &PSafeError{root, via, "unsupported kind " + t.Kind().String()}
+	}
+}
+
+func joinPath(via, elem string) string {
+	if via == "" {
+		return elem
+	}
+	return via + "." + elem
+}
+
+// mustPSafe panics with a descriptive error when T is not PSafe. The typed
+// constructors call it, so an unsafe type is rejected the first time a
+// program tries to put it in a pool — the closest Go gets to Listing 3's
+// compile error (pmcheck reports the same at build time).
+func mustPSafe[T any]() {
+	var zero T
+	if err := CheckPSafe(reflect.TypeOf(zero)); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests (testing/quick) over the core persistent data types:
+// random operation sequences must leave the persistent structure
+// byte-equivalent to a volatile model, and memory accounting exact.
+
+type tagQuickVec struct{}
+
+type quickVecRoot struct {
+	V PVec[int64, tagQuickVec]
+}
+
+// TestPVecMatchesSliceModel drives PVec with random push/pop/set/truncate
+// sequences and compares against a plain slice after every transaction.
+func TestPVecMatchesSliceModel(t *testing.T) {
+	root := openMem[quickVecRoot, tagQuickVec](t)
+	v := &root.Deref().V
+
+	type op struct {
+		Kind byte
+		Val  int64
+		Idx  uint8
+	}
+	f := func(ops []op) bool {
+		// Reset the vector between runs.
+		if err := Transaction[tagQuickVec](func(j *Journal[tagQuickVec]) error {
+			return v.Free(j)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var model []int64
+		for _, o := range ops {
+			if err := Transaction[tagQuickVec](func(j *Journal[tagQuickVec]) error {
+				switch o.Kind % 4 {
+				case 0: // push
+					if err := v.Push(j, o.Val); err != nil {
+						return err
+					}
+					model = append(model, o.Val)
+				case 1: // pop
+					got, ok, err := v.Pop(j)
+					if err != nil {
+						return err
+					}
+					if ok != (len(model) > 0) {
+						t.Fatalf("pop ok=%v model len %d", ok, len(model))
+					}
+					if ok {
+						want := model[len(model)-1]
+						model = model[:len(model)-1]
+						if got != want {
+							t.Fatalf("pop %d want %d", got, want)
+						}
+					}
+				case 2: // set
+					if len(model) > 0 {
+						i := int(o.Idx) % len(model)
+						if err := v.Set(j, i, o.Val); err != nil {
+							return err
+						}
+						model[i] = o.Val
+					}
+				case 3: // truncate
+					if len(model) > 0 {
+						n := int(o.Idx) % (len(model) + 1)
+						if err := v.Truncate(j, n); err != nil {
+							return err
+						}
+						model = model[:n]
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v.Len() != len(model) {
+			return false
+		}
+		for i := range model {
+			if v.Get(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagQuickStr struct{}
+
+// TestPStringRoundTripProperty: any byte string survives the PM round trip
+// and its storage is reclaimed exactly.
+func TestPStringRoundTripProperty(t *testing.T) {
+	openMem[int64, tagQuickStr](t)
+	base, _ := StatsOf[tagQuickStr]()
+	f := func(s string) bool {
+		var ps PString[tagQuickStr]
+		if err := Transaction[tagQuickStr](func(j *Journal[tagQuickStr]) error {
+			var err error
+			ps, err = NewPString[tagQuickStr](j, s)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ok := ps.String() == s && ps.Len() == len(s) && ps.Equal(s)
+		if err := Transaction[tagQuickStr](func(j *Journal[tagQuickStr]) error {
+			return ps.Free(j)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		now, _ := StatsOf[tagQuickStr]()
+		return ok && now.InUse == base.InUse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tagQuickCell struct{}
+
+type quickCellRoot struct {
+	C PCell[[4]uint64, tagQuickCell]
+}
+
+// TestPCellSetGetProperty: whatever value goes in comes back, and an
+// aborted overwrite never sticks.
+func TestPCellSetGetProperty(t *testing.T) {
+	root := openMem[quickCellRoot, tagQuickCell](t)
+	c := &root.Deref().C
+	boom := errAbortQ{}
+	f := func(a, b [4]uint64) bool {
+		if err := Transaction[tagQuickCell](func(j *Journal[tagQuickCell]) error {
+			return c.Set(j, a)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if c.Get() != a {
+			return false
+		}
+		_ = Transaction[tagQuickCell](func(j *Journal[tagQuickCell]) error {
+			if err := c.Set(j, b); err != nil {
+				return err
+			}
+			return boom
+		})
+		return c.Get() == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errAbortQ struct{}
+
+func (errAbortQ) Error() string { return "abort" }

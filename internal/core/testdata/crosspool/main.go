@@ -1,0 +1,29 @@
+// This program must NOT compile: it assigns a persistent pointer from one
+// pool where a pointer into another pool is expected — the paper's
+// Listing 4. The test TestInterPoolAssignmentDoesNotCompile builds this
+// package and asserts the compiler rejects it with a type error, which is
+// the static half of Design Goal 2 (Ptrs-Are-Safe) carried over to Go
+// verbatim: PBox[T, P1] and PBox[T, P2] are distinct types.
+package main
+
+import "corundum/internal/core"
+
+type P1 struct{}
+type P2 struct{}
+
+func main() {
+	_, _ = core.Open[int64, P1]("a.pool", core.Config{})
+	_, _ = core.Open[int64, P2]("b.pool", core.Config{})
+	_ = core.Transaction[P1](func(j1 *core.Journal[P1]) error {
+		return core.Transaction[P2](func(j2 *core.Journal[P2]) error {
+			boxInP2, err := core.NewPBox[int64, P2](j2, 1)
+			if err != nil {
+				return err
+			}
+			var cell core.PCell[core.PBox[int64, P1], P1]
+			// ERROR: cannot use boxInP2 (type PBox[int64, P2]) as
+			// PBox[int64, P1] — pools do not mix.
+			return cell.Set(j1, boxInP2)
+		})
+	})
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// TransactionV runs body atomically on pool P and returns the body's value
+// alongside its error — the paper's transactions, which return the lambda's
+// result bounded by TxOutSafe. Returning a value this way (instead of
+// writing a captured variable, which pmcheck's PM002 flags) keeps the
+// TxInSafe discipline intact: if the transaction aborts, the caller gets
+// the error and must ignore the value, and no pre-existing volatile state
+// was mutated inside the body.
+//
+// TxOutSafe is enforced at the first use of each return type R: persistent
+// pointers (PBox, Prc, Parc, PWeak, ...) and journals must not escape the
+// transaction, because outside it they could be stored in volatile
+// structures that survive an abort or outlive the pool. Plain values,
+// copies of persistent data, and VWeak/ParcVWeak (the sanctioned volatile
+// handles) pass.
+func TransactionV[R any, P any](body func(j *Journal[P]) (R, error)) (R, error) {
+	mustTxOutSafe[R]()
+	var out R
+	err := Transaction[P](func(j *Journal[P]) error {
+		var err error
+		out, err = body(j)
+		return err
+	})
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	return out, nil
+}
+
+var txOutCache sync.Map // reflect.Type -> error (nil = safe)
+
+// notTxOutSafe lists the library types whose values must not escape a
+// transaction. VWeak and ParcVWeak are deliberately absent: they are the
+// paper's bridge from volatile memory into pools.
+var notTxOutSafe = []string{
+	"PBox[", "Prc[", "Parc[", "PWeak[", "ParcWeak[",
+	"PVec[", "PString[", "PCell[", "PRefCell[", "PMutex[",
+	"Journal[", "Root[", "Ref[", "RefMut[",
+}
+
+// TxOutSafeError explains why a type may not be returned from a transaction.
+type TxOutSafeError struct {
+	Root   reflect.Type
+	Via    string
+	Reason string
+}
+
+func (e *TxOutSafeError) Error() string {
+	where := e.Root.String()
+	if e.Via != "" {
+		where += "." + e.Via
+	}
+	return fmt.Sprintf("corundum: %s is not TxOutSafe: %s", where, e.Reason)
+}
+
+// CheckTxOutSafe reports whether values of t may leave a transaction.
+func CheckTxOutSafe(t reflect.Type) error {
+	if cached, ok := txOutCache.Load(t); ok {
+		if cached == nil {
+			return nil
+		}
+		return cached.(error)
+	}
+	err := checkTxOutSafe(t, t, "", 0)
+	if err == nil {
+		txOutCache.Store(t, nil)
+	} else {
+		txOutCache.Store(t, err)
+	}
+	return err
+}
+
+func checkTxOutSafe(root, t reflect.Type, via string, depth int) error {
+	if depth > 16 {
+		return nil // recursive volatile type; nothing persistent below
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		if t.PkgPath() == reflect.TypeOf(PSafeError{}).PkgPath() {
+			name := t.Name()
+			for _, prefix := range notTxOutSafe {
+				if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+					return &TxOutSafeError{root, via, name + " is a persistent pointer/handle; it must not outlive its transaction (return a copy of the data, or a VWeak)"}
+				}
+			}
+		}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if err := checkTxOutSafe(root, f.Type, joinPath(via, f.Name), depth+1); err != nil {
+				return err
+			}
+		}
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		return checkTxOutSafe(root, t.Elem(), joinPath(via, "[]"), depth+1)
+	case reflect.Map:
+		if err := checkTxOutSafe(root, t.Key(), joinPath(via, "key"), depth+1); err != nil {
+			return err
+		}
+		return checkTxOutSafe(root, t.Elem(), joinPath(via, "value"), depth+1)
+	}
+	return nil
+}
+
+func mustTxOutSafe[R any]() {
+	if err := CheckTxOutSafe(reflect.TypeOf((*R)(nil)).Elem()); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,437 @@
+// Package journal implements Corundum's per-thread journal objects: the
+// undo log that makes transactions failure-atomic. Before a transaction
+// mutates persistent data it logs the old bytes (DataLog); allocations are
+// logged so an aborted transaction reclaims them (AllocLog); deallocations
+// are deferred to commit via drop logs (DropLog), so an aborted transaction
+// keeps its objects. Recovery walks every journal left behind by a crash
+// and rolls the pool back (or, for a crash during commit, forward).
+package journal
+
+import (
+	"errors"
+	"fmt"
+
+	"corundum/internal/alloc"
+	"corundum/internal/pmem"
+)
+
+// Heap is the allocator surface a journal needs. The pool implements it by
+// routing to the right buddy arena, keeping this package decoupled from
+// pool layout.
+type Heap interface {
+	// AllocEx allocates from the arena bound to this journal, folding the
+	// extra updates into the allocation's crash-atomic step.
+	AllocEx(arena int, size uint64, payload []byte, extra func(off uint64) []alloc.Update) (uint64, error)
+	// Free returns a block to whichever arena owns it.
+	Free(off, size uint64) error
+	// IsAllocated reports whether off is an allocated block of size's order.
+	IsAllocated(off, size uint64) bool
+}
+
+// Journal states, persisted in the low byte of the state word at the log
+// buffer head; the remaining seven bytes carry the transaction epoch. The
+// state word and the first log entry share a cache line, so opening a
+// transaction's log costs no fence beyond the first entry's own. Every
+// entry's checksum is seeded with the epoch, which makes entries from
+// different transactions structurally unmixable: recovery can never pair
+// a state word with another transaction's entries, even under adversarial
+// cache eviction.
+const (
+	stateIdle       = 0 // buffer contents are meaningless; nothing to recover
+	stateRunning    = 1 // an in-flight transaction: roll back on recovery
+	stateCommitting = 2 // commit point reached: roll drops forward
+)
+
+// stateSize is the on-media size of the state word at the buffer head.
+const stateSize = 8
+
+// slotSize is the directory footprint per journal: one cache line to avoid
+// false sharing between concurrently running transactions.
+const slotSize = pmem.CacheLineSize
+
+// ErrTxTooLarge reports that a single log entry cannot fit a journal
+// segment (one undo payload larger than a continuation page), or that the
+// arena ran out of space for continuation pages. Transactions themselves
+// are unbounded: the journal chains pages from its arena as it grows, as
+// the paper's journals do.
+var ErrTxTooLarge = errors.New("journal: log entry exceeds journal segment capacity")
+
+// Journal is one persistent journal and the volatile bookkeeping for the
+// transaction currently using it. A journal serves one transaction at a
+// time; the pool hands idle journals to new transactions.
+type Journal struct {
+	dev     *pmem.Device
+	heap    Heap
+	arena   int    // allocator arena this journal allocates from
+	slotOff uint64 // directory entry
+	bufOff  uint64
+	bufCap  uint64
+
+	// Volatile transaction state.
+	epoch     uint64   // current transaction epoch (seeds entry CRCs)
+	started   bool     // the stateRunning word has been staged
+	flushedTo uint64   // log bytes below this are persisted (deferred appends lag)
+	tail      uint64   // next append position within the buffer
+	segEnd    uint64   // end of the current log segment (head buffer or chained page)
+	pages     []uint64 // continuation pages chained by this transaction
+	live      []entry  // entries this tx appended (commit/rollback use
+	//                             these instead of re-scanning and re-checksumming
+	//                             the persistent log; recovery scans)
+	logged  map[uint64]struct{} // data offsets already undo-logged this tx
+	held    map[uint64]struct{} // lock keys held until transaction end
+	depth   int                 // flattened-nesting depth
+	defers  []func()            // run after commit or abort (lock releases)
+	aborted bool
+}
+
+// DirSize returns the directory bytes needed for n journal slots.
+func DirSize(n int) uint64 { return uint64(n) * slotSize }
+
+// Format initializes n journal slots: directory at dirOff (reserved for
+// future metadata), buffers of bufCap bytes each at bufOff. It returns the
+// journals. The caller persists the containing region.
+func Format(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) []*Journal {
+	js := make([]*Journal, n)
+	zero := make([]byte, slotSize)
+	for i := range js {
+		slot := dirOff + uint64(i)*slotSize
+		dev.Write(slot, zero)
+		b := bufOff + uint64(i)*bufCap
+		dev.Write(b, make([]byte, stateSize+1)) // stateIdle + terminator
+		dev.Persist(b, stateSize+1)
+		js[i] = attach(dev, heap, i, slot, b, bufCap)
+	}
+	dev.Persist(dirOff, DirSize(n))
+	return js
+}
+
+// Attach reconnects to n existing journal slots without recovering them;
+// call Recover on the set first.
+func Attach(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) []*Journal {
+	js := make([]*Journal, n)
+	for i := range js {
+		js[i] = attach(dev, heap, i, dirOff+uint64(i)*slotSize, bufOff+uint64(i)*bufCap, bufCap)
+	}
+	return js
+}
+
+func attach(dev *pmem.Device, heap Heap, arena int, slotOff, bufOff, bufCap uint64) *Journal {
+	j := &Journal{dev: dev, heap: heap, arena: arena, slotOff: slotOff, bufOff: bufOff, bufCap: bufCap}
+	// Resume epochs above whatever is durable so new entries can never
+	// validate against a stale state word.
+	j.epoch = stateWord(dev, bufOff) >> 8
+	return j
+}
+
+// stateWord reads the journal's packed [epoch<<8 | state] word.
+func stateWord(dev *pmem.Device, bufOff uint64) uint64 {
+	return leUint64(dev.Bytes()[bufOff:])
+}
+
+// Arena returns the allocator arena index bound to this journal.
+func (j *Journal) Arena() int { return j.arena }
+
+// Device returns the underlying device (used by the typed layer for direct
+// loads and stores).
+func (j *Journal) Device() *pmem.Device { return j.dev }
+
+// Begin starts (or, when nested, joins) a transaction on this journal.
+// Nested begins flatten, as in the paper: only the outermost End commits.
+// Begin touches no persistent memory: the journal becomes durably active
+// with its first log append (the state word rides the first entry's
+// flush+fence, sharing its cache line).
+func (j *Journal) Begin() {
+	if j.depth == 0 {
+		j.tail = j.bufOff + stateSize
+		j.segEnd = j.bufOff + j.bufCap
+		j.pages = j.pages[:0]
+		j.epoch++
+		j.started = false
+		j.flushedTo = j.bufOff
+		j.aborted = false
+		j.live = j.live[:0]
+		if j.logged == nil {
+			j.logged = make(map[uint64]struct{}, 16)
+		}
+	}
+	j.depth++
+}
+
+// Depth reports the current flattened-nesting depth.
+func (j *Journal) Depth() int { return j.depth }
+
+// Defer registers fn to run after the outermost End (commit or abort).
+// The typed layer uses it to release PMutexes at transaction end.
+func (j *Journal) Defer(fn func()) { j.defers = append(j.defers, fn) }
+
+// HoldLock acquires a lock for the remainder of the transaction: lock runs
+// now, unlock after the outermost End. Re-acquiring the same key in the
+// same transaction is a no-op, which is what makes PMutex and Parc
+// operations re-entrant within a transaction while still holding their
+// locks to the commit point for isolation (Design Goal 5).
+func (j *Journal) HoldLock(key uint64, lock, unlock func()) {
+	if j.held == nil {
+		j.held = make(map[uint64]struct{}, 4)
+	}
+	if _, ok := j.held[key]; ok {
+		return
+	}
+	lock()
+	j.held[key] = struct{}{}
+	j.Defer(func() {
+		delete(j.held, key)
+		unlock()
+	})
+}
+
+// Holds reports whether the transaction currently holds the lock key.
+func (j *Journal) Holds(key uint64) bool {
+	_, ok := j.held[key]
+	return ok
+}
+
+// MarkAborted poisons the transaction so the outermost End rolls back.
+func (j *Journal) MarkAborted() { j.aborted = true }
+
+// End closes one nesting level. At the outermost level it commits the
+// transaction (or aborts, if MarkAborted was called) and runs deferred
+// callbacks. It reports whether the transaction committed.
+func (j *Journal) End() bool {
+	if j.depth == 0 {
+		panic("journal: End without Begin")
+	}
+	j.depth--
+	if j.depth > 0 {
+		return !j.aborted
+	}
+	committed := !j.aborted
+	if j.aborted {
+		j.rollback()
+	} else {
+		j.commit()
+	}
+	for i := len(j.defers) - 1; i >= 0; i-- {
+		j.defers[i]()
+	}
+	j.defers = j.defers[:0]
+	clear(j.logged)
+	return committed
+}
+
+// DataLog takes an undo log of [off, off+n) unless this transaction already
+// logged that offset. The mutation may only happen after DataLog returns,
+// mirroring how Corundum's DerefMut logs on first dereference. Payloads
+// larger than a journal segment are chunked across entries, so snapshot
+// size is unbounded.
+func (j *Journal) DataLog(off, n uint64) error {
+	if _, done := j.logged[off]; done {
+		return nil
+	}
+	if err := j.appendChunked(off, n); err != nil {
+		return err
+	}
+	j.logged[off] = struct{}{}
+	return nil
+}
+
+// maxDataPayload bounds one data entry's payload so that an entry plus a
+// chain-link reservation always fits a continuation page.
+const maxDataPayload = chainPageSize / 2
+
+func (j *Journal) appendChunked(off, n uint64) error {
+	for n > 0 {
+		chunk := min(n, maxDataPayload)
+		if err := j.append(entryData, off, chunk, j.dev.Bytes()[off:off+chunk]); err != nil {
+			return err
+		}
+		off += chunk
+		n -= chunk
+	}
+	return nil
+}
+
+// DataLogForce appends an undo entry unconditionally, bypassing the
+// first-touch deduplication. It exists for the ablation study that
+// quantifies what the paper's log-on-first-DerefMut rule is worth; library
+// code always uses DataLog.
+func (j *Journal) DataLogForce(off, n uint64) error {
+	return j.appendChunked(off, n)
+}
+
+// Logged reports whether off was already undo-logged in this transaction.
+func (j *Journal) Logged(off uint64) bool {
+	_, ok := j.logged[off]
+	return ok
+}
+
+// Alloc obtains size bytes from the journal's arena and logs the
+// allocation, so that an abort or crash before commit reclaims it. The
+// block and the log entry become durable in one crash-atomic step.
+func (j *Journal) Alloc(size uint64) (uint64, error) {
+	return j.allocEx(size, nil)
+}
+
+// AllocInit allocates and initializes a block with data in one
+// crash-atomic step, logging the allocation.
+func (j *Journal) AllocInit(data []byte) (uint64, error) {
+	return j.allocEx(uint64(len(data)), data)
+}
+
+func (j *Journal) allocEx(size uint64, payload []byte) (uint64, error) {
+	hdr, payloadOff, err := j.reserve(entryAlloc, size)
+	if err != nil {
+		return 0, err
+	}
+	_ = payloadOff
+	off, err := j.heap.AllocEx(j.arena, size, payload, func(block uint64) []alloc.Update {
+		return j.sealUpdates(hdr, entryAlloc, block, size)
+	})
+	if err != nil {
+		// Nothing was committed; drop the reservation.
+		j.tail = hdr
+		return 0, err
+	}
+	j.finishAppend(hdr)
+	j.live = append(j.live, entry{kind: entryAlloc, off: off, size: size})
+	return off, nil
+}
+
+// DropLog records that the block at off (of the given size) should be freed
+// when the transaction commits. An abort keeps the block, matching drop
+// semantics: deallocation is deferred and failure-atomic.
+//
+// Unlike data entries, drop entries gate nothing until commit: they are
+// only read on the roll-forward path, which starts with the commit
+// point's own fence. So the append is not persisted here — commit flushes
+// the log tail before publishing stateCommitting — making DropLog nearly
+// free (the paper measures it at tens of nanoseconds, size-independent).
+func (j *Journal) DropLog(off, size uint64) error {
+	return j.appendDeferred(entryDrop, off, size)
+}
+
+// commit makes the transaction durable and applies deferred drops:
+//  1. flush every mutated range (the undo entries name them) and fence,
+//  2. persist state=committing — the commit point,
+//  3. free drop-logged blocks (idempotent against re-crash),
+//  4. persist state=idle, which retires the log in one atomic word.
+func (j *Journal) commit() {
+	if !j.started {
+		return // read-only transaction: no PM traffic at all
+	}
+	// The volatile mirror lists exactly the entries this transaction
+	// appended; recovery is the only reader that must scan the persistent
+	// log itself.
+	entries := j.live
+	if len(entries) == 0 {
+		// Activated (e.g. a failed reserve) but nothing valid logged.
+		j.setState(stateIdle)
+		j.tail = j.bufOff + stateSize
+		j.freePages()
+		return
+	}
+	for _, e := range entries {
+		if e.kind == entryData {
+			j.dev.MarkDirty(e.off, e.size)
+			j.dev.Flush(e.off, e.size)
+		}
+	}
+	hasDrops := false
+	for _, e := range entries {
+		if e.kind == entryDrop {
+			hasDrops = true
+			break
+		}
+	}
+	if j.flushedTo < j.tail+1 {
+		// Deferred (drop) appends: flush the log tail so the single data
+		// fence below makes log and data durable together, BEFORE any state
+		// transition is even written. The commit record must never be able
+		// to reach the media (e.g. via cache eviction) ahead of the entries
+		// it governs.
+		j.dev.Flush(j.flushedTo, j.tail+1-j.flushedTo)
+		j.flushedTo = j.tail + 1
+	}
+	j.dev.Fence()
+	if !hasDrops {
+		// The idle transition is the commit point; nothing destructive
+		// follows, so one persist retires the log.
+		j.setState(stateIdle)
+		j.tail = j.bufOff + stateSize
+		j.freePages()
+		return
+	}
+	j.setState(stateCommitting) // commit point: drops may now apply
+	for _, e := range entries {
+		if e.kind == entryDrop {
+			if err := j.heap.Free(e.off, e.size); err != nil {
+				panic(fmt.Sprintf("journal: drop of %#x failed: %v", e.off, err))
+			}
+		}
+	}
+	// Lazy retire: flushed but not fenced. Any later fence carries it, and
+	// a crash that still observes stateCommitting merely re-applies the
+	// drops idempotently; epoch-seeded checksums stop any later
+	// transaction's entries from being mistaken for this one's.
+	j.writeState(stateIdle)
+	j.dev.Flush(j.bufOff, stateSize)
+	j.tail = j.bufOff + stateSize
+	j.freePages()
+}
+
+// freePages returns chained continuation pages to the arena. Called only
+// after the log is retired: the first buddy operation fences, making the
+// idle state durable before any page's contents are disturbed, so a crash
+// can never strand recovery inside a recycled page.
+func (j *Journal) freePages() {
+	for _, page := range j.pages {
+		if err := j.heap.Free(page, chainPageSize); err != nil {
+			panic(fmt.Sprintf("journal: freeing chained page %#x: %v", page, err))
+		}
+	}
+	j.pages = j.pages[:0]
+}
+
+// rollback undoes the transaction: restore old bytes in reverse order,
+// reclaim logged allocations, skip drops.
+func (j *Journal) rollback() {
+	if !j.started {
+		return
+	}
+	entries := j.live
+	if len(entries) == 0 {
+		j.setState(stateIdle)
+		j.tail = j.bufOff + stateSize
+		j.freePages()
+		return
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		switch e.kind {
+		case entryData:
+			copy(j.dev.Bytes()[e.off:], e.payload)
+			j.dev.MarkDirty(e.off, e.size)
+			j.dev.Flush(e.off, e.size)
+		case entryAlloc:
+			if err := j.heap.Free(e.off, e.size); err != nil {
+				panic(fmt.Sprintf("journal: rollback free of %#x failed: %v", e.off, err))
+			}
+		}
+	}
+	j.dev.Fence()
+	j.setState(stateIdle)
+	j.tail = j.bufOff + stateSize
+	j.freePages()
+}
+
+// writeState stores the packed state+epoch word without persisting it.
+func (j *Journal) writeState(s byte) {
+	var w [8]byte
+	putUint64(w[:], j.epoch<<8|uint64(s))
+	j.dev.Write(j.bufOff, w[:])
+}
+
+// setState persists the journal's state word (8-byte atomic on real PM).
+func (j *Journal) setState(s byte) {
+	j.writeState(s)
+	j.dev.Persist(j.bufOff, stateSize)
+}

@@ -1,0 +1,269 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"corundum/internal/alloc"
+)
+
+func leUint64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func putUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// Log entry kinds. entryEnd doubles as the buffer terminator, so an empty
+// buffer is a single zero byte.
+const (
+	entryEnd   = 0
+	entryData  = 1 // undo log: payload holds the old bytes of [off, off+size)
+	entryAlloc = 2 // allocation to reclaim on abort
+	entryDrop  = 3 // deallocation to apply on commit
+	entryLink  = 4 // continuation: the log continues in the page at off
+)
+
+// chainPageSize is the size of journal continuation pages. When a
+// transaction outgrows its head buffer, the journal chains pages allocated
+// from its arena, as the paper's journals do; the link entry is sealed in
+// the same crash-atomic step as the page allocation, so pages can never
+// leak.
+const chainPageSize = 64 << 10
+
+// entryHdrSize is the fixed header per entry:
+//
+//	[0]     kind
+//	[1:4]   pad
+//	[4:8]   crc32 over (kind, off, size, payload)
+//	[8:16]  off
+//	[16:24] size
+//
+// Data entries carry a payload of size bytes after the header, padded to 8.
+// The CRC makes torn tail entries detectable: an entry that did not finish
+// persisting before a crash fails its checksum and is treated as never
+// appended, which is sound because the caller only mutates data after the
+// corresponding append returned.
+const entryHdrSize = 24
+
+type entry struct {
+	kind    byte
+	off     uint64
+	size    uint64
+	payload []byte // nil except for data entries
+}
+
+// entryCRC seeds every entry checksum with the transaction epoch, binding
+// entries to the state word that governs them.
+func entryCRC(epoch uint64, kind byte, off, size uint64, payload []byte) uint32 {
+	var h [25]byte
+	binary.LittleEndian.PutUint64(h[0:], epoch)
+	h[8] = kind
+	binary.LittleEndian.PutUint64(h[9:], off)
+	binary.LittleEndian.PutUint64(h[17:], size)
+	crc := crc32.ChecksumIEEE(h[:])
+	if len(payload) > 0 {
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+	}
+	return crc
+}
+
+func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// append writes a complete entry followed by a fresh terminator and
+// persists it with a single fence. The first append of a transaction also
+// writes the stateRunning word at the buffer head — it shares the first
+// entry's cache line, so durably activating the journal costs no extra
+// fence.
+func (j *Journal) append(kind byte, off, size uint64, payload []byte) error {
+	plen := pad8(uint64(len(payload)))
+	total := entryHdrSize + plen
+	if err := j.ensureRoom(total); err != nil {
+		return err
+	}
+	// Flush from the watermark: this covers any deferred (drop) entries
+	// sitting between the last persisted byte and this entry, so recovery's
+	// scan can never hit a torn gap before a persisted entry.
+	flushFrom := j.flushedTo
+	if !j.started {
+		j.writeState(stateRunning)
+		j.started = true
+	}
+	var hdr [entryHdrSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[4:], entryCRC(j.epoch, kind, off, size, payload))
+	binary.LittleEndian.PutUint64(hdr[8:], off)
+	binary.LittleEndian.PutUint64(hdr[16:], size)
+	j.dev.Write(j.tail, hdr[:])
+	if len(payload) > 0 {
+		j.dev.Write(j.tail+entryHdrSize, payload)
+	}
+	j.dev.Write(j.tail+total, []byte{entryEnd})
+	j.dev.Flush(flushFrom, j.tail+total+1-flushFrom)
+	j.dev.Fence()
+	j.flushedTo = j.tail + total
+	var pl []byte
+	if kind == entryData {
+		pl = j.dev.Bytes()[j.tail+entryHdrSize : j.tail+entryHdrSize+size]
+	}
+	j.live = append(j.live, entry{kind: kind, off: off, size: size, payload: pl})
+	j.tail += total
+	return nil
+}
+
+// reserve stages an alloc entry whose kind/crc/off words stay invalid until
+// the allocator's redo batch seals them. It pre-persists the size field and
+// the trailing terminator (the batch's own fences order them before the
+// allocation's commit point), along with the stateRunning word on a
+// transaction's first append.
+func (j *Journal) reserve(kind byte, size uint64) (hdrOff, payloadOff uint64, err error) {
+	if err := j.ensureRoom(entryHdrSize); err != nil {
+		return 0, 0, err
+	}
+	return j.reserveAt(j.tail, kind, size)
+}
+
+// sealUpdates returns the word writes that validate a reserved entry: the
+// off and size fields and the kind+crc word. Folded into the allocator's
+// redo batch, the entry becomes valid exactly when the allocation commits.
+// Every field the checksum covers is part of the seal — nothing about the
+// entry's validity depends on fence ordering, which adversarial cache
+// eviction does not respect.
+func (j *Journal) sealUpdates(hdrOff uint64, kind byte, off, size uint64) []alloc.Update {
+	crc := entryCRC(j.epoch, kind, off, size, nil)
+	word0 := uint64(kind) | uint64(crc)<<32
+	return []alloc.Update{
+		{Off: hdrOff + 8, Val: off, Width: 8},
+		{Off: hdrOff + 16, Val: size, Width: 8},
+		{Off: hdrOff, Val: word0, Width: 8},
+	}
+}
+
+// appendDeferred writes an entry without persisting it; commit flushes the
+// log tail before the commit point. Only entry kinds that are never read
+// on the rollback path (drops) may use it.
+func (j *Journal) appendDeferred(kind byte, off, size uint64) error {
+	total := uint64(entryHdrSize)
+	if err := j.ensureRoom(total); err != nil {
+		return err
+	}
+	if !j.started {
+		j.writeState(stateRunning)
+		j.started = true
+	}
+	var hdr [entryHdrSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[4:], entryCRC(j.epoch, kind, off, size, nil))
+	binary.LittleEndian.PutUint64(hdr[8:], off)
+	binary.LittleEndian.PutUint64(hdr[16:], size)
+	j.dev.Write(j.tail, hdr[:])
+	j.dev.Write(j.tail+total, []byte{entryEnd})
+	// flushedTo intentionally not advanced: this entry is deferred.
+	j.live = append(j.live, entry{kind: kind, off: off, size: size})
+	j.tail += total
+	return nil
+}
+
+// ensureRoom guarantees the current segment can hold an entry of `total`
+// bytes plus a terminator and, if not, chains a continuation page. A link
+// entry (header + terminator) is always reserved at the segment end so
+// chaining itself can never run out of room.
+func (j *Journal) ensureRoom(total uint64) error {
+	if total+entryHdrSize+1 > chainPageSize {
+		return ErrTxTooLarge // the entry cannot fit even a fresh page
+	}
+	if j.tail+total+1+entryHdrSize <= j.segEnd {
+		return nil
+	}
+	return j.chainPage()
+}
+
+// chainPage allocates a continuation page from the journal's arena and
+// links it with an entryLink sealed inside the allocation's crash-atomic
+// redo batch: after a crash, the link entry is valid exactly when the page
+// is allocated, so pages never leak and scans never follow garbage.
+func (j *Journal) chainPage() error {
+	hdr, _, err := j.reserveAt(j.tail, entryLink, chainPageSize)
+	if err != nil {
+		return err
+	}
+	// The page's first byte must be a terminator once the link goes live;
+	// the 1-byte payload is staged through the same redo batch.
+	page, err := j.heap.AllocEx(j.arena, chainPageSize, []byte{entryEnd}, func(block uint64) []alloc.Update {
+		return j.sealUpdates(hdr, entryLink, block, chainPageSize)
+	})
+	if err != nil {
+		j.tail = hdr
+		return fmt.Errorf("%w: chaining a journal page: %v", ErrTxTooLarge, err)
+	}
+	j.pages = append(j.pages, page)
+	j.tail = page
+	j.segEnd = page + chainPageSize
+	j.flushedTo = page
+	return nil
+}
+
+// reserveAt writes an unsealed entry header (kind stays invalid) at pos
+// and pre-flushes it, covering any deferred entries below the watermark.
+func (j *Journal) reserveAt(pos uint64, kind byte, size uint64) (hdrOff, payloadOff uint64, err error) {
+	if !j.started {
+		j.writeState(stateRunning)
+		j.started = true
+	}
+	if j.flushedTo < pos {
+		j.dev.Flush(j.flushedTo, pos-j.flushedTo)
+		j.flushedTo = pos
+	}
+	var hdr [entryHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[16:], size)
+	j.dev.Write(pos, hdr[:])
+	j.dev.Write(pos+entryHdrSize, []byte{entryEnd})
+	j.dev.Flush(pos, entryHdrSize+1)
+	j.flushedTo = pos + entryHdrSize
+	return pos, pos + entryHdrSize, nil
+}
+
+func (j *Journal) finishAppend(hdrOff uint64) {
+	j.tail = hdrOff + entryHdrSize
+}
+
+// scanBuffer decodes a journal's entries under the given epoch, stopping
+// at the terminator or at the first entry with a bad checksum (a torn
+// tail, or an entry from a different transaction).
+func scanBuffer(mem []byte, bufOff, bufCap, epoch uint64) []entry {
+	var entries []entry
+	pos := bufOff + stateSize
+	end := bufOff + bufCap
+	const maxPages = 1 << 16 // cycle/corruption guard
+	pages := 0
+	for pos+entryHdrSize <= end {
+		kind := mem[pos]
+		if kind == entryEnd {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(mem[pos+4:])
+		off := binary.LittleEndian.Uint64(mem[pos+8:])
+		size := binary.LittleEndian.Uint64(mem[pos+16:])
+		var payload []byte
+		next := pos + entryHdrSize
+		if kind == entryData {
+			if next+pad8(size) > end {
+				break // corrupt length; treat as torn
+			}
+			payload = mem[next : next+size]
+			next += pad8(size)
+		}
+		if entryCRC(epoch, kind, off, size, payload) != crc {
+			break // torn or foreign entry: never completed, never acted on
+		}
+		entries = append(entries, entry{kind: kind, off: off, size: size, payload: payload})
+		if kind == entryLink {
+			pages++
+			if pages > maxPages || off+size > uint64(len(mem)) {
+				break
+			}
+			pos = off
+			end = off + size
+			continue
+		}
+		pos = next
+	}
+	return entries
+}

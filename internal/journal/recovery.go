@@ -1,0 +1,93 @@
+package journal
+
+import (
+	"corundum/internal/pmem"
+)
+
+// Recover walks every journal slot after a crash and restores atomicity:
+//
+//   - A journal in stateIdle has no in-flight transaction; its buffer
+//     contents (if any) are stale and ignored.
+//   - A journal in stateRunning belongs to a transaction that never
+//     reached its commit point: its data entries are undone in reverse,
+//     its allocations reclaimed, its drops ignored.
+//   - A journal in stateCommitting crashed after the commit point: its
+//     updates stand and only its deferred drops still need applying.
+//
+// Both paths are idempotent (allocator state is consulted before every
+// free), so a crash during recovery is handled by running Recover again.
+// It returns the number of transactions rolled back and rolled forward.
+func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) (rolledBack, rolledForward int) {
+	for i := 0; i < n; i++ {
+		bOff := bufOff + uint64(i)*bufCap
+		word := stateWord(dev, bOff)
+		state := byte(word)
+		epoch := word >> 8
+		if state == stateIdle {
+			continue
+		}
+		entries := scanBuffer(dev.Bytes(), bOff, bufCap, epoch)
+		var pages []entry
+		for _, e := range entries {
+			if e.kind == entryLink {
+				pages = append(pages, e)
+			}
+		}
+		switch state {
+		case stateCommitting:
+			for _, e := range entries {
+				if e.kind == entryDrop && heap.IsAllocated(e.off, e.size) {
+					if err := heap.Free(e.off, e.size); err != nil {
+						panic("journal: recovery drop failed: " + err.Error())
+					}
+				}
+			}
+			rolledForward++
+		default: // stateRunning
+			if len(entries) == 0 {
+				// Activated but nothing valid logged: nothing to undo.
+				clearSlot(dev, bOff)
+				continue
+			}
+			for k := len(entries) - 1; k >= 0; k-- {
+				e := entries[k]
+				switch e.kind {
+				case entryData:
+					copy(dev.Bytes()[e.off:], e.payload)
+					dev.MarkDirty(e.off, e.size)
+					dev.Flush(e.off, e.size)
+				case entryAlloc:
+					if heap.IsAllocated(e.off, e.size) {
+						if err := heap.Free(e.off, e.size); err != nil {
+							panic("journal: recovery free failed: " + err.Error())
+						}
+					}
+				}
+			}
+			dev.Fence()
+			rolledBack++
+		}
+		clearSlot(dev, bOff)
+		// With the log durably retired, reclaim its continuation pages
+		// (idempotently: a crash during a previous recovery may have freed
+		// some already).
+		for _, pg := range pages {
+			if heap.IsAllocated(pg.off, pg.size) {
+				if err := heap.Free(pg.off, pg.size); err != nil {
+					panic("journal: recovery page free failed: " + err.Error())
+				}
+			}
+		}
+	}
+	return rolledBack, rolledForward
+}
+
+// clearSlot retires a recovered journal: state idle, epoch preserved (the
+// next attach resumes above it).
+func clearSlot(dev *pmem.Device, bufOff uint64) {
+	word := stateWord(dev, bufOff)
+	var w [8]byte
+	putUint64(w[:], (word>>8)<<8|stateIdle)
+	dev.Write(bufOff, w[:])
+	dev.Persist(bufOff, stateSize)
+}

@@ -1,0 +1,13 @@
+package pmem
+
+import "unsafe"
+
+// alignedBytes returns a size-byte slice whose first byte sits on a cache
+// line boundary. The typed layer takes struct pointers directly into the
+// arena (DAX-style), so the arena base must be at least as aligned as any
+// persistent object; allocator blocks are cache-line aligned within it.
+func alignedBytes(size int) []byte {
+	raw := make([]byte, size+CacheLineSize)
+	off := int(CacheLineSize-uintptr(unsafe.Pointer(&raw[0]))%CacheLineSize) % CacheLineSize
+	return raw[off : off+size]
+}

@@ -1,0 +1,364 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Device is an emulated persistent-memory device.
+//
+// The live contents (what loads observe) are in buf; callers may take
+// pointers directly into buf via Bytes, which models DAX-mapped PM where
+// loads and stores bypass the OS entirely. Stores land in the emulated CPU
+// cache: they are visible immediately but do not survive a crash until the
+// affected cache lines are Flushed and a Fence has completed. When crash
+// tracking is enabled, the device maintains a shadow copy holding exactly
+// the bytes that would survive power loss, so tests can cut power at any
+// instruction boundary and observe the surviving state.
+//
+// All methods are safe for concurrent use. Distinct goroutines writing the
+// same cache line concurrently is a data race in the program under test,
+// exactly as on real hardware.
+type Device struct {
+	path  string
+	prof  Profile
+	buf   []byte
+	track bool
+
+	// dirty is an atomic bitset with one bit per cache line: set while the
+	// line has stores that have not been flushed.
+	dirty []atomic.Uint64
+
+	// shadow and pending exist only when crash tracking is on. shadow holds
+	// fenced (durable) bytes. pending holds lines that have been flushed but
+	// not yet fenced; a crash in that window loses them too (worst case).
+	shadowMu sync.Mutex
+	shadow   []byte
+	pending  map[uint32][]byte
+
+	stats Stats
+
+	injectMu sync.Mutex
+	inject   func(op Op) bool
+	poisoned atomic.Bool
+}
+
+// Op identifies a device operation for fault injection and statistics.
+type Op int
+
+// Device operations observable by fault injectors.
+const (
+	OpWrite Op = iota
+	OpFlush
+	OpFence
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	case OpFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Stats counts device operations since creation. Counters are cumulative
+// and safe to read concurrently.
+type Stats struct {
+	Writes  atomic.Uint64
+	Flushes atomic.Uint64
+	Fences  atomic.Uint64
+}
+
+// ErrInjectedCrash is the panic value raised when a fault injector fires.
+// Harnesses recover it, call Crash, and then exercise recovery.
+var ErrInjectedCrash = errors.New("pmem: injected crash")
+
+// Options configures a Device.
+type Options struct {
+	// Profile selects injected latencies. The zero value means NoDelay.
+	Profile Profile
+	// TrackCrash enables the shadow persistence layer needed by Crash and
+	// fault injection. It costs one extra copy of the arena plus bookkeeping
+	// on every Flush/Fence, so benchmarks leave it off.
+	TrackCrash bool
+}
+
+// New creates a device of the given size backed only by memory.
+func New(size int, opts Options) *Device {
+	if size <= 0 || size%CacheLineSize != 0 {
+		panic(fmt.Sprintf("pmem: size %d must be a positive multiple of %d", size, CacheLineSize))
+	}
+	if opts.Profile.Name == "" {
+		opts.Profile = NoDelay
+	}
+	d := &Device{
+		prof:  opts.Profile,
+		buf:   alignedBytes(size),
+		track: opts.TrackCrash,
+		dirty: make([]atomic.Uint64, (size/CacheLineSize+63)/64),
+	}
+	if d.track {
+		d.shadow = make([]byte, size)
+		d.pending = make(map[uint32][]byte)
+	}
+	return d
+}
+
+// OpenFile creates a device backed by the file at path. If the file exists
+// its contents become both the live and the durable state (as after a clean
+// reboot); otherwise the device starts zeroed and the file is created on
+// Sync or Close.
+func OpenFile(path string, size int, opts Options) (*Device, error) {
+	d := New(size, opts)
+	d.path = path
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(data) != size {
+			return nil, fmt.Errorf("pmem: %s holds %d bytes, want %d", path, len(data), size)
+		}
+		copy(d.buf, data)
+		if d.track {
+			copy(d.shadow, data)
+		}
+	case os.IsNotExist(err):
+		// Fresh pool file; nothing to load.
+	default:
+		return nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return len(d.buf) }
+
+// Profile returns the active latency profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Stats returns the operation counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// Bytes exposes the live contents for direct, DAX-style access. Callers
+// that store through this slice must report the written range with
+// MarkDirty for crash tracking to stay sound.
+func (d *Device) Bytes() []byte { return d.buf }
+
+// MarkDirty records that [off, off+n) has been stored to through Bytes.
+// It is cheap (atomic bit sets) and must precede the Flush that persists
+// the range.
+func (d *Device) MarkDirty(off, n uint64) {
+	d.bounds(off, n)
+	first := off / CacheLineSize
+	last := (off + n - 1) / CacheLineSize
+	for line := first; line <= last; line++ {
+		d.dirty[line/64].Or(1 << (line % 64))
+	}
+}
+
+// Write copies data into the device at off and marks it dirty, charging the
+// profile's write latency once. It models a small store done by library
+// metadata code (allocator words, log headers).
+func (d *Device) Write(off uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	d.maybeInject(OpWrite)
+	d.stats.Writes.Add(1)
+	copy(d.buf[off:], data)
+	d.MarkDirty(off, uint64(len(data)))
+	spin(d.prof.WriteDelay)
+}
+
+// Read copies n bytes at off into a fresh slice, charging read latency once.
+func (d *Device) Read(off, n uint64) []byte {
+	d.bounds(off, n)
+	out := make([]byte, n)
+	copy(out, d.buf[off:off+n])
+	spin(d.prof.ReadDelay)
+	return out
+}
+
+// Flush issues a write-back for every cache line overlapping [off, off+n),
+// like a CLWB loop. Flushed lines still need a Fence before they are
+// guaranteed durable.
+func (d *Device) Flush(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	d.bounds(off, n)
+	first := off / CacheLineSize
+	last := (off + n - 1) / CacheLineSize
+	for line := first; line <= last; line++ {
+		d.maybeInject(OpFlush)
+		d.stats.Flushes.Add(1)
+		word := &d.dirty[line/64]
+		mask := uint64(1) << (line % 64)
+		if word.Load()&mask != 0 {
+			word.And(^mask)
+			if d.track {
+				d.stageLine(uint32(line))
+			}
+		}
+		spin(d.prof.FlushDelay)
+	}
+}
+
+// Fence completes all outstanding write-backs, like SFENCE. After Fence
+// returns, every previously Flushed line survives a crash.
+func (d *Device) Fence() {
+	d.maybeInject(OpFence)
+	d.stats.Fences.Add(1)
+	if d.track {
+		d.shadowMu.Lock()
+		for line, data := range d.pending {
+			copy(d.shadow[uint64(line)*CacheLineSize:], data)
+		}
+		clear(d.pending)
+		d.shadowMu.Unlock()
+	}
+	spin(d.prof.FenceDelay)
+}
+
+// Persist is the common Flush-then-Fence sequence.
+func (d *Device) Persist(off, n uint64) {
+	d.Flush(off, n)
+	d.Fence()
+}
+
+func (d *Device) stageLine(line uint32) {
+	start := uint64(line) * CacheLineSize
+	cp := make([]byte, CacheLineSize)
+	copy(cp, d.buf[start:start+CacheLineSize])
+	d.shadowMu.Lock()
+	d.pending[line] = cp
+	d.shadowMu.Unlock()
+}
+
+// Crash simulates power loss: the live contents revert to the durable
+// state, losing every store that was not flushed and fenced. It requires
+// TrackCrash. The device remains usable, modelling the machine rebooting
+// with the same PM module installed.
+func (d *Device) Crash() {
+	if !d.track {
+		panic("pmem: Crash requires Options.TrackCrash")
+	}
+	d.poisoned.Store(false) // the machine reboots
+	d.shadowMu.Lock()
+	defer d.shadowMu.Unlock()
+	copy(d.buf, d.shadow)
+	clear(d.pending)
+	for i := range d.dirty {
+		d.dirty[i].Store(0)
+	}
+}
+
+// CrashWithEviction simulates power loss where, additionally, some dirty
+// cache lines happened to be evicted (and therefore persisted) before the
+// crash, as real caches may do. Each unflushed dirty line persists with
+// probability 1/2 under the given seed. Software that is correct on real
+// PM must tolerate any subset, so tests sweep seeds.
+func (d *Device) CrashWithEviction(seed int64) {
+	if !d.track {
+		panic("pmem: CrashWithEviction requires Options.TrackCrash")
+	}
+	d.poisoned.Store(false) // the machine reboots
+	rng := rand.New(rand.NewSource(seed))
+	d.shadowMu.Lock()
+	defer d.shadowMu.Unlock()
+	// Evicted dirty lines and flushed-not-fenced lines may each persist.
+	for w := range d.dirty {
+		bits := d.dirty[w].Load()
+		for b := 0; bits != 0; b++ {
+			if bits&1 != 0 && rng.Intn(2) == 0 {
+				line := uint64(w*64 + b)
+				start := line * CacheLineSize
+				copy(d.shadow[start:start+CacheLineSize], d.buf[start:start+CacheLineSize])
+			}
+			bits >>= 1
+		}
+		d.dirty[w].Store(0)
+	}
+	lines := make([]uint32, 0, len(d.pending))
+	for line := range d.pending {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines) // deterministic per seed: map order must not leak in
+	for _, line := range lines {
+		if rng.Intn(2) == 0 {
+			copy(d.shadow[uint64(line)*CacheLineSize:], d.pending[line])
+		}
+	}
+	clear(d.pending)
+	copy(d.buf, d.shadow)
+}
+
+// SetFaultInjector installs fn, called before every Write, Flush, and
+// Fence. If fn returns true the device panics with ErrInjectedCrash;
+// harnesses recover, call Crash, and exercise recovery. Pass nil to remove.
+func (d *Device) SetFaultInjector(fn func(op Op) bool) {
+	d.injectMu.Lock()
+	d.inject = fn
+	d.injectMu.Unlock()
+}
+
+func (d *Device) maybeInject(op Op) {
+	if d.poisoned.Load() {
+		// Power is already off: nothing executes after a crash. Poisoning
+		// keeps deferred cleanup in the program under test from touching the
+		// media after the injected crash point, which real power loss makes
+		// impossible.
+		panic(ErrInjectedCrash)
+	}
+	d.injectMu.Lock()
+	fn := d.inject
+	d.injectMu.Unlock()
+	if fn != nil && fn(op) {
+		d.poisoned.Store(true)
+		panic(ErrInjectedCrash)
+	}
+}
+
+// Sync writes the durable state to the backing file, if any. With crash
+// tracking the shadow is written (only fenced data is durable); without it
+// the live buffer is written, modelling a clean shutdown where caches are
+// flushed by the platform (ADR/eADR).
+func (d *Device) Sync() error {
+	if d.path == "" {
+		return nil
+	}
+	src := d.buf
+	if d.track {
+		d.shadowMu.Lock()
+		src = append([]byte(nil), d.shadow...)
+		d.shadowMu.Unlock()
+	}
+	if err := os.WriteFile(d.path, src, 0o644); err != nil {
+		return fmt.Errorf("pmem: sync %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// Close flushes everything (clean shutdown) and syncs the backing file.
+func (d *Device) Close() error {
+	if d.track {
+		d.Flush(0, uint64(len(d.buf)))
+		d.Fence()
+	}
+	return d.Sync()
+}
+
+func (d *Device) bounds(off, n uint64) {
+	if off+n > uint64(len(d.buf)) || off+n < off {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of size %d", off, off+n, len(d.buf)))
+	}
+}

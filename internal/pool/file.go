@@ -1,0 +1,22 @@
+package pool
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// readFilePrefix reads the first n bytes of path without loading the whole
+// file, enough to parse a pool header and learn the pool's true size.
+func readFilePrefix(path string, n int) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("pool: %s too short for a pool header: %w", path, err)
+	}
+	return buf, nil
+}

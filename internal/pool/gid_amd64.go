@@ -1,0 +1,12 @@
+//go:build amd64
+
+package pool
+
+// getg is implemented in gid_amd64.s.
+func getg() uintptr
+
+// gid returns a stable identity for the calling goroutine: its g pointer.
+// A recycled g only ever reappears after the previous goroutine exited,
+// and transactions cannot outlive their goroutine (endTx is deferred), so
+// identity collisions cannot alias live transactions.
+func gid() uint64 { return uint64(getg()) }

@@ -1,0 +1,14 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// Returns the current goroutine's g pointer, read from thread-local
+// storage. The pointer is stable for the goroutine's lifetime, which is
+// all the nested-transaction flattening needs: an identity, not the
+// numeric goid (so no fragile g-struct field offsets are involved).
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

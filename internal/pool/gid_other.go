@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package pool
+
+import "runtime"
+
+// gid extracts the runtime's goroutine id from the stack header — the
+// portable fallback for architectures without the assembly fast path. It
+// costs a few microseconds per call, paid once per Transaction.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Format: "goroutine 123 [...".
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"corundum/internal/alloc"
+	"corundum/internal/pmem"
+)
+
+// Report is a structural description of a pool image, produced without
+// running recovery — what corundum-fsck prints. It is safe on a crashed
+// image: nothing is written.
+type Report struct {
+	Size        int
+	Generation  uint64
+	RootOff     uint64
+	RootType    uint64
+	Journals    int
+	JournalCap  int
+	ArenaHeap   uint64
+	Arenas      []ArenaReport
+	JournalInfo []JournalReport
+	// Errors collects structural problems; empty means the image is
+	// consistent (pending journals are not errors — recovery handles them).
+	Errors []string
+}
+
+// ArenaReport summarizes one allocator arena.
+type ArenaReport struct {
+	Index     int
+	InUse     uint64
+	FreeBytes uint64
+	RedoLog   string // "clean" or "committed (will replay)"
+	Err       string // structural inconsistency, if any
+}
+
+// JournalReport summarizes one journal slot.
+type JournalReport struct {
+	Index   int
+	State   string // idle | running (will roll back) | committing (will roll forward)
+	Epoch   uint64
+	Entries int
+}
+
+// Inspect reads the pool file at path and returns its structural report.
+func Inspect(path string) (*Report, error) {
+	raw, err := readHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	size := int(binary.LittleEndian.Uint64(raw[hdrSize:]))
+	dev, err := pmem.OpenFile(path, size, pmem.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return InspectDevice(dev)
+}
+
+// InspectDevice inspects an already-loaded pool image.
+func InspectDevice(dev *pmem.Device) (*Report, error) {
+	hdr := dev.Bytes()[:headerSize]
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(hdr[off:]) }
+	if get(hdrMagic) != magic {
+		return nil, ErrNotAPool
+	}
+	if get(hdrVersion) != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, get(hdrVersion))
+	}
+	r := &Report{
+		Size:       int(get(hdrSize)),
+		Generation: get(hdrGeneration),
+		RootOff:    get(hdrRoot),
+		RootType:   get(hdrRootType),
+		Journals:   int(get(hdrJournals)),
+		JournalCap: int(get(hdrJournalCap)),
+		ArenaHeap:  get(hdrArenaHeap),
+	}
+	if r.Size != dev.Size() {
+		r.Errors = append(r.Errors, fmt.Sprintf("header size %d != image size %d", r.Size, dev.Size()))
+		return r, nil
+	}
+	g, err := computeGeometry(r.Size, r.Journals, r.JournalCap)
+	if err != nil {
+		r.Errors = append(r.Errors, "geometry: "+err.Error())
+		return r, nil
+	}
+	if g.arenaHeap != r.ArenaHeap {
+		r.Errors = append(r.Errors, fmt.Sprintf("computed arena heap %d != recorded %d", g.arenaHeap, r.ArenaHeap))
+		return r, nil
+	}
+
+	for i := 0; i < r.Journals; i++ {
+		bOff := g.bufOff + uint64(i)*g.bufCap
+		word := binary.LittleEndian.Uint64(dev.Bytes()[bOff:])
+		jr := JournalReport{Index: i, Epoch: word >> 8}
+		switch byte(word) {
+		case 0:
+			jr.State = "idle"
+		case 1:
+			jr.State = "running (will roll back)"
+		case 2:
+			jr.State = "committing (will roll forward)"
+		default:
+			jr.State = fmt.Sprintf("corrupt (%d)", byte(word))
+			r.Errors = append(r.Errors, fmt.Sprintf("journal %d: invalid state byte %d", i, byte(word)))
+		}
+		r.JournalInfo = append(r.JournalInfo, jr)
+	}
+
+	for i := 0; i < r.Journals; i++ {
+		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
+		heap := g.heapOff + uint64(i)*g.arenaHeap
+		ar := ArenaReport{Index: i, RedoLog: "clean"}
+		if binary.LittleEndian.Uint64(dev.Bytes()[meta:]) != 0 {
+			ar.RedoLog = "committed (will replay)"
+		}
+		if err := alloc.Validate(dev, meta, heap, g.arenaHeap); err != nil {
+			ar.Err = err.Error()
+			r.Errors = append(r.Errors, fmt.Sprintf("arena %d: %v", i, err))
+			r.Arenas = append(r.Arenas, ar)
+			continue
+		}
+		// Opening replays a committed redo log; inspect a scratch copy so
+		// fsck stays read-only.
+		scratch := pmem.New(dev.Size(), pmem.Options{})
+		copy(scratch.Bytes(), dev.Bytes())
+		a := alloc.Open(scratch, meta, heap, g.arenaHeap)
+		ar.InUse = a.InUse()
+		ar.FreeBytes = a.FreeBytes()
+		if err := a.CheckConsistency(); err != nil {
+			ar.Err = err.Error()
+			r.Errors = append(r.Errors, fmt.Sprintf("arena %d: %v", i, err))
+		}
+		r.Arenas = append(r.Arenas, ar)
+	}
+
+	if r.RootOff != 0 {
+		inAnyArena := false
+		for i := 0; i < r.Journals; i++ {
+			start := g.heapOff + uint64(i)*g.arenaHeap
+			if r.RootOff >= start && r.RootOff < start+g.arenaHeap {
+				inAnyArena = true
+			}
+		}
+		if !inAnyArena {
+			r.Errors = append(r.Errors, fmt.Sprintf("root offset %#x outside every arena heap", r.RootOff))
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,383 @@
+// Package pool implements Corundum's persistent memory pools: a PM-backed
+// file holding metadata, a root pointer, journals, and a sharded
+// crash-atomic heap. A pool is self-contained — every offset stored inside
+// it refers to the same pool — and carries a generation number that
+// invalidates volatile weak pointers across close/reopen cycles.
+package pool
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"corundum/internal/alloc"
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+)
+
+const (
+	magic         = 0x434F52554E44554D // "CORUNDUM"
+	formatVersion = 1
+	headerSize    = 2 * pmem.CacheLineSize
+)
+
+// Header word offsets.
+const (
+	hdrMagic = 8 * iota
+	hdrVersion
+	hdrGeneration
+	hdrRoot
+	hdrRootType
+	hdrSize
+	hdrJournals
+	hdrJournalCap
+	hdrArenaHeap
+)
+
+// Pool state errors.
+var (
+	ErrClosed       = errors.New("pool: pool is closed")
+	ErrNotAPool     = errors.New("pool: file is not a Corundum pool")
+	ErrWrongVersion = errors.New("pool: incompatible format version")
+	ErrWrongRoot    = errors.New("pool: root type differs from the one the pool was created with")
+	ErrNoSpace      = errors.New("pool: size too small for the requested configuration")
+)
+
+// Config sizes a pool at creation. The parameters are persisted in the pool
+// header, so reopening needs no configuration.
+type Config struct {
+	// Size is the total pool footprint in bytes (default 64 MiB).
+	Size int
+	// Journals is the number of journal slots and heap arenas; it bounds
+	// how many transactions run concurrently (default 16).
+	Journals int
+	// JournalCap is the head log buffer per journal in bytes (default
+	// 256 KiB). Transactions that outgrow it chain continuation pages from
+	// their arena, so this only tunes how much logging avoids allocation.
+	JournalCap int
+	// Mem selects latency and crash-tracking behaviour of the device.
+	Mem pmem.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size == 0 {
+		c.Size = 64 << 20
+	}
+	if c.Journals <= 0 {
+		c.Journals = 16
+	}
+	if c.JournalCap == 0 {
+		c.JournalCap = 256 << 10
+	}
+	// The head buffer must hold the state word plus at least one maximal
+	// entry and a chain-link reservation; 4 KiB is a comfortable floor.
+	if c.JournalCap < 4<<10 {
+		c.JournalCap = 4 << 10
+	}
+	return c
+}
+
+// Pool is an open persistent memory pool.
+type Pool struct {
+	dev      *pmem.Device
+	arenas   []*alloc.Buddy
+	journals []*journal.Journal
+	freeJ    chan int
+
+	heapStart  uint64 // first heap byte (arena 0)
+	arenaSpan  uint64 // heap bytes per arena
+	generation uint64
+
+	mu     sync.RWMutex
+	open   bool
+	active map[uint64]*journal.Journal // goroutine id -> journal (flattening)
+}
+
+type geometry struct {
+	dirOff, bufOff, bufCap uint64
+	nJournals              int
+	metaOff, heapOff       uint64
+	arenaHeap              uint64
+}
+
+func computeGeometry(size, nJournals, journalCap int) (geometry, error) {
+	g := geometry{
+		dirOff:    headerSize,
+		bufOff:    headerSize + journal.DirSize(nJournals),
+		bufCap:    uint64(journalCap),
+		nJournals: nJournals,
+	}
+	g.metaOff = g.bufOff + uint64(nJournals*journalCap)
+	avail := int64(size) - int64(g.metaOff)
+	if avail <= 0 {
+		return g, ErrNoSpace
+	}
+	// Each arena needs MetaSize(h) + h; MetaSize grows ~h/64, so start from
+	// an optimistic estimate and shrink to fit.
+	h := uint64(avail) / uint64(nJournals) * 64 / 66
+	h &^= alloc.Granule - 1
+	for h > 0 {
+		need := uint64(nJournals) * (alloc.MetaSize(h) + h)
+		if g.metaOff+need <= uint64(size) {
+			break
+		}
+		h -= alloc.Granule
+	}
+	if h < 16*alloc.Granule {
+		return g, ErrNoSpace
+	}
+	g.arenaHeap = h
+	g.heapOff = g.metaOff + uint64(nJournals)*alloc.MetaSize(h)
+	return g, nil
+}
+
+// Create formats a new pool. If path is empty the pool lives only in
+// memory, which tests and benchmarks use.
+func Create(path string, cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	g, err := computeGeometry(cfg.Size, cfg.Journals, cfg.JournalCap)
+	if err != nil {
+		return nil, err
+	}
+	var dev *pmem.Device
+	if path == "" {
+		dev = pmem.New(cfg.Size, cfg.Mem)
+	} else {
+		dev, err = pmem.OpenFile(path, cfg.Size, cfg.Mem)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, active: make(map[uint64]*journal.Journal)}
+	for i := 0; i < g.nJournals; i++ {
+		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
+		heap := g.heapOff + uint64(i)*g.arenaHeap
+		p.arenas = append(p.arenas, alloc.Format(dev, meta, heap, g.arenaHeap))
+	}
+	p.journals = journal.Format(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
+	p.initFreeList()
+
+	hdr := make([]byte, headerSize)
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(hdr[off:], v) }
+	put(hdrMagic, magic)
+	put(hdrVersion, formatVersion)
+	put(hdrGeneration, 1)
+	put(hdrSize, uint64(cfg.Size))
+	put(hdrJournals, uint64(cfg.Journals))
+	put(hdrJournalCap, uint64(cfg.JournalCap))
+	put(hdrArenaHeap, g.arenaHeap)
+	dev.Write(0, hdr)
+	dev.Persist(0, headerSize)
+	p.generation = 1
+	p.open = true
+	return p, nil
+}
+
+// Open attaches to an existing pool created with Create, running allocator
+// and journal recovery first, and bumping the generation so that stale
+// volatile weak pointers from the previous incarnation cannot resolve.
+// The header stores the full geometry, so no configuration is needed.
+func Open(path string, mem pmem.Options) (*Pool, error) {
+	if path == "" {
+		return nil, errors.New("pool: Open requires a path; use Create for in-memory pools")
+	}
+	raw, err := readHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	size := int(binary.LittleEndian.Uint64(raw[hdrSize:]))
+	dev, err := pmem.OpenFile(path, size, mem)
+	if err != nil {
+		return nil, err
+	}
+	return Attach(dev)
+}
+
+// Attach builds a Pool over an already-loaded device that contains a
+// formatted pool image. It runs full recovery. Tests use it to reopen a
+// crashed in-memory pool; Open uses it for files.
+func Attach(dev *pmem.Device) (*Pool, error) {
+	hdr := dev.Bytes()[:headerSize]
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(hdr[off:]) }
+	if get(hdrMagic) != magic {
+		return nil, ErrNotAPool
+	}
+	if get(hdrVersion) != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, get(hdrVersion))
+	}
+	size := int(get(hdrSize))
+	nJournals := int(get(hdrJournals))
+	journalCap := int(get(hdrJournalCap))
+	if size != dev.Size() {
+		return nil, fmt.Errorf("pool: header size %d != device size %d", size, dev.Size())
+	}
+	g, err := computeGeometry(size, nJournals, journalCap)
+	if err != nil {
+		return nil, err
+	}
+	if g.arenaHeap != get(hdrArenaHeap) {
+		return nil, fmt.Errorf("pool: computed arena heap %d != recorded %d", g.arenaHeap, get(hdrArenaHeap))
+	}
+
+	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, active: make(map[uint64]*journal.Journal)}
+	for i := 0; i < nJournals; i++ {
+		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
+		heap := g.heapOff + uint64(i)*g.arenaHeap
+		p.arenas = append(p.arenas, alloc.Open(dev, meta, heap, g.arenaHeap))
+	}
+	journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
+	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
+	p.initFreeList()
+
+	// Bump the generation: this incarnation's volatile pointers must not be
+	// confused with the previous one's.
+	p.generation = get(hdrGeneration) + 1
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], p.generation)
+	dev.Write(hdrGeneration, w[:])
+	dev.Persist(hdrGeneration, 8)
+	p.open = true
+	return p, nil
+}
+
+func readHeader(path string) ([]byte, error) {
+	raw, err := readFilePrefix(path, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(raw[hdrMagic:]) != magic {
+		return nil, ErrNotAPool
+	}
+	return raw, nil
+}
+
+func (p *Pool) initFreeList() {
+	p.freeJ = make(chan int, len(p.journals))
+	for i := range p.journals {
+		p.freeJ <- i
+	}
+}
+
+// Device exposes the underlying emulated PM device.
+func (p *Pool) Device() *pmem.Device { return p.dev }
+
+// Generation identifies this open incarnation of the pool.
+func (p *Pool) Generation() uint64 { return p.generation }
+
+// IsOpen reports whether the pool accepts transactions.
+func (p *Pool) IsOpen() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.open
+}
+
+// Journals reports the number of journal slots (the transaction
+// concurrency bound).
+func (p *Pool) Journals() int { return len(p.journals) }
+
+// RootOff returns the offset of the root object, or 0 if none was set.
+func (p *Pool) RootOff() uint64 {
+	return binary.LittleEndian.Uint64(p.dev.Bytes()[hdrRoot:])
+}
+
+// RootTypeHash returns the hash of the root type recorded at first open.
+func (p *Pool) RootTypeHash() uint64 {
+	return binary.LittleEndian.Uint64(p.dev.Bytes()[hdrRootType:])
+}
+
+// SetRoot records the root object (and its type hash) inside transaction
+// j, undo-logged like any other persistent update.
+func (p *Pool) SetRoot(j *journal.Journal, off, typeHash uint64) error {
+	if err := j.DataLog(hdrRoot, 16); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(p.dev.Bytes()[hdrRoot:], off)
+	binary.LittleEndian.PutUint64(p.dev.Bytes()[hdrRootType:], typeHash)
+	return nil
+}
+
+// AllocEx, Free and IsAllocated implement journal.Heap by routing to the
+// arena that owns the offset.
+
+// AllocEx allocates from the given arena, folding extra updates into the
+// allocation's crash-atomic step.
+func (p *Pool) AllocEx(arena int, size uint64, payload []byte, extra func(off uint64) []alloc.Update) (uint64, error) {
+	return p.arenas[arena].AllocEx(size, payload, extra)
+}
+
+// Free returns a block to the arena that owns it.
+func (p *Pool) Free(off, size uint64) error {
+	return p.arenaFor(off).Free(off, size)
+}
+
+// IsAllocated reports whether off is an allocated block of size's order.
+func (p *Pool) IsAllocated(off, size uint64) bool {
+	a := p.arenaForOrNil(off)
+	return a != nil && a.IsAllocated(off, size)
+}
+
+func (p *Pool) arenaFor(off uint64) *alloc.Buddy {
+	a := p.arenaForOrNil(off)
+	if a == nil {
+		panic(fmt.Sprintf("pool: offset %#x outside every arena", off))
+	}
+	return a
+}
+
+func (p *Pool) arenaForOrNil(off uint64) *alloc.Buddy {
+	if off < p.heapStart {
+		return nil
+	}
+	i := (off - p.heapStart) / p.arenaSpan
+	if int(i) >= len(p.arenas) {
+		return nil
+	}
+	return p.arenas[i]
+}
+
+// InUse reports allocated bytes across all arenas.
+func (p *Pool) InUse() uint64 {
+	var total uint64
+	for _, a := range p.arenas {
+		total += a.InUse()
+	}
+	return total
+}
+
+// FreeBytes reports free heap bytes across all arenas.
+func (p *Pool) FreeBytes() uint64 {
+	var total uint64
+	for _, a := range p.arenas {
+		total += a.FreeBytes()
+	}
+	return total
+}
+
+// CheckConsistency validates every arena's structural invariants.
+func (p *Pool) CheckConsistency() error {
+	for i, a := range p.arenas {
+		if err := a.CheckConsistency(); err != nil {
+			return fmt.Errorf("arena %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes the pool and detaches it. In-flight transactions must have
+// finished; subsequent Transaction calls fail with ErrClosed. Volatile weak
+// pointers into the pool become unpromotable.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if !p.open {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.open = false
+	p.mu.Unlock()
+	return p.dev.Close()
+}
+
+// ArenaInUse reports allocated bytes in one arena (diagnostics).
+func (p *Pool) ArenaInUse(i int) uint64 { return p.arenas[i].InUse() }

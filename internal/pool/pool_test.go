@@ -1,0 +1,439 @@
+package pool
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+)
+
+func testConfig() Config {
+	return Config{
+		Size:       8 << 20,
+		Journals:   4,
+		JournalCap: 64 << 10,
+		Mem:        pmem.Options{TrackCrash: true},
+	}
+}
+
+func newPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := Create("", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// crashAndReattach simulates a machine crash and reboot for an in-memory pool.
+func crashAndReattach(t *testing.T, p *Pool) *Pool {
+	t.Helper()
+	p.Device().Crash()
+	p2, err := Attach(p.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p2
+}
+
+func (p *Pool) write8(off, val uint64) {
+	binary.LittleEndian.PutUint64(p.dev.Bytes()[off:], val)
+}
+
+func (p *Pool) read8(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(p.dev.Bytes()[off:])
+}
+
+func TestCreateAndBasicTransaction(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(8)
+		if err != nil {
+			return err
+		}
+		p.write8(cell, 77)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.read8(cell); got != 77 {
+		t.Fatalf("got %d, want 77", got)
+	}
+}
+
+func TestTransactionErrorRollsBack(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.write8(cell, 5)
+	p.Device().MarkDirty(cell, 8)
+	p.Device().Persist(cell, 8)
+
+	boom := errors.New("boom")
+	err := p.Transaction(func(j *journal.Journal) error {
+		if err := j.DataLog(cell, 8); err != nil {
+			return err
+		}
+		p.write8(cell, 6)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if got := p.read8(cell); got != 5 {
+		t.Fatalf("value after failed tx = %d, want 5", got)
+	}
+}
+
+func TestTransactionPanicRollsBackAndRepanics(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.write8(cell, 1)
+	p.Device().MarkDirty(cell, 8)
+	p.Device().Persist(cell, 8)
+
+	func() {
+		defer func() {
+			if r := recover(); r != "kaboom" {
+				t.Fatalf("recovered %v, want kaboom", r)
+			}
+		}()
+		_ = p.Transaction(func(j *journal.Journal) error {
+			if err := j.DataLog(cell, 8); err != nil {
+				return err
+			}
+			p.write8(cell, 2)
+			panic("kaboom")
+		})
+	}()
+	if got := p.read8(cell); got != 1 {
+		t.Fatalf("value after panicked tx = %d, want 1", got)
+	}
+	// The journal must have been released: another tx must not block.
+	if err := p.Transaction(func(*journal.Journal) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedTransactionsFlattenAcrossCalls(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(8)
+		if err != nil {
+			return err
+		}
+		p.write8(cell, 1)
+		return p.Transaction(func(j2 *journal.Journal) error {
+			if j2 != j {
+				t.Error("nested transaction got a different journal")
+			}
+			if err := j2.DataLog(cell, 8); err != nil {
+				return err
+			}
+			p.write8(cell, 2)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.read8(cell); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestNestedAbortAbortsOuter(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.write8(cell, 10)
+	p.Device().MarkDirty(cell, 8)
+	p.Device().Persist(cell, 8)
+
+	boom := errors.New("inner boom")
+	err := p.Transaction(func(j *journal.Journal) error {
+		if err := j.DataLog(cell, 8); err != nil {
+			return err
+		}
+		p.write8(cell, 11)
+		if err := p.Transaction(func(*journal.Journal) error { return boom }); err != nil {
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := p.read8(cell); got != 10 {
+		t.Fatalf("outer updates survived inner abort: %d", got)
+	}
+}
+
+func TestConcurrentTransactionsUseDistinctJournals(t *testing.T) {
+	p := newPool(t)
+	const workers = 8
+	const rounds = 50
+	cells := make([]uint64, workers)
+	for i := range cells {
+		i := i
+		if err := p.Transaction(func(j *journal.Journal) error {
+			var err error
+			cells[i], err = j.Alloc(8)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				err := p.Transaction(func(j *journal.Journal) error {
+					if err := j.DataLog(cells[w], 8); err != nil {
+						return err
+					}
+					p.write8(cells[w], p.read8(cells[w])+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range cells {
+		if got := p.read8(cells[w]); got != rounds {
+			t.Fatalf("worker %d cell = %d, want %d", w, got, rounds)
+		}
+	}
+}
+
+func TestRootSetAndRecovered(t *testing.T) {
+	p := newPool(t)
+	var root uint64
+	err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		root, err = j.Alloc(64)
+		if err != nil {
+			return err
+		}
+		return p.SetRoot(j, root, 0xDEAD)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := crashAndReattach(t, p)
+	if got := p2.RootOff(); got != root {
+		t.Fatalf("root after crash = %#x, want %#x", got, root)
+	}
+	if got := p2.RootTypeHash(); got != 0xDEAD {
+		t.Fatalf("root type hash = %#x", got)
+	}
+}
+
+func TestRootSetRolledBackOnCrash(t *testing.T) {
+	p := newPool(t)
+	// Crash mid-transaction: SetRoot and the allocation must both vanish.
+	dev := p.Device()
+	var count int
+	dev.SetFaultInjector(func(op pmem.Op) bool {
+		count++
+		return count == 40 // somewhere inside the tx
+	})
+	func() {
+		defer func() { recover() }()
+		_ = p.Transaction(func(j *journal.Journal) error {
+			off, err := j.Alloc(64)
+			if err != nil {
+				return err
+			}
+			return p.SetRoot(j, off, 1)
+		})
+	}()
+	dev.SetFaultInjector(nil)
+	p2 := crashAndReattach(t, p)
+	if got := p2.RootOff(); got != 0 {
+		t.Fatalf("root leaked from aborted tx: %#x", got)
+	}
+	if p2.InUse() != 0 {
+		t.Fatalf("allocation leaked: %d bytes in use", p2.InUse())
+	}
+}
+
+func TestClosedPoolRejectsTransactions(t *testing.T) {
+	p := newPool(t)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Transaction(func(*journal.Journal) error { return nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestGenerationBumpsOnReopen(t *testing.T) {
+	p := newPool(t)
+	g1 := p.Generation()
+	p2 := crashAndReattach(t, p)
+	if p2.Generation() <= g1 {
+		t.Fatalf("generation did not advance: %d -> %d", g1, p2.Generation())
+	}
+}
+
+func TestFilePoolRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.pool")
+	cfg := testConfig()
+	p, err := Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.AllocInit([]byte("durable!"))
+		if err != nil {
+			return err
+		}
+		return p.SetRoot(j, cell, 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := p2.RootOff()
+	if got := string(p2.Device().Bytes()[off : off+8]); got != "durable!" {
+		t.Fatalf("reloaded %q", got)
+	}
+}
+
+func TestOpenRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := writeJunk(path, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, pmem.Options{}); !errors.Is(err, ErrNotAPool) {
+		t.Fatalf("err = %v, want ErrNotAPool", err)
+	}
+}
+
+func TestTooSmallConfigRejected(t *testing.T) {
+	_, err := Create("", Config{Size: 4096, Journals: 4, JournalCap: 1 << 20})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestInTransaction(t *testing.T) {
+	p := newPool(t)
+	if _, ok := p.InTransaction(); ok {
+		t.Fatal("InTransaction true outside any tx")
+	}
+	err := p.Transaction(func(j *journal.Journal) error {
+		got, ok := p.InTransaction()
+		if !ok || got != j {
+			t.Error("InTransaction did not see the active journal")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaRoutingAcrossJournals(t *testing.T) {
+	p := newPool(t)
+	// Allocate from one arena, free from a transaction that happens to use
+	// a different journal: the pool must route the free to the owner arena.
+	var off uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		off, err = j.Alloc(128)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inUse := p.InUse()
+	if err := p.Transaction(func(j *journal.Journal) error {
+		return j.DropLog(off, 128)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InUse(); got != inUse-128 {
+		t.Fatalf("in use = %d, want %d", got, inUse-128)
+	}
+}
+
+func writeJunk(path string, n int) error {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	return writeFileHelper(path, buf)
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestConfigFloors(t *testing.T) {
+	p, err := Create("", Config{Size: 8 << 20, Journals: -3, JournalCap: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Journals() != 16 {
+		t.Fatalf("journals = %d, want default 16", p.Journals())
+	}
+	// A tiny JournalCap must have been floored: a transaction logging a
+	// few hundred bytes works without chaining issues.
+	if err := p.Transaction(func(j *journal.Journal) error {
+		off, err := j.Alloc(256)
+		if err != nil {
+			return err
+		}
+		return j.DataLog(off, 256)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

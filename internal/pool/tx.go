@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"fmt"
+
+	"corundum/internal/journal"
+)
+
+// Transaction runs fn inside a failure-atomic transaction on this pool.
+// The journal passed to fn is the capability needed by every mutating
+// operation, which is how the TX-Journal-Only invariant is kept: journals
+// exist only here.
+//
+// Nested calls from the same goroutine flatten, as in the paper: the inner
+// body joins the outer transaction and only the outermost commit publishes
+// anything. If fn returns an error or panics, the whole (outermost)
+// transaction rolls back; panics are re-raised after rollback, mirroring
+// Corundum's behaviour under panic!().
+func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
+	p.mu.RLock()
+	if !p.open {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	g := gid()
+	j, nested := p.active[g]
+	p.mu.RUnlock()
+
+	if !nested {
+		idx := <-p.freeJ // waits if all journals are busy
+		j = p.journals[idx]
+		p.mu.Lock()
+		p.active[g] = j
+		p.mu.Unlock()
+	}
+
+	j.Begin()
+	var err error
+	done := false
+	defer func() {
+		if !done {
+			// fn panicked: roll back, release, and let the panic continue.
+			j.MarkAborted()
+			p.endTx(g, j, nested)
+		}
+	}()
+	err = fn(j)
+	done = true
+	if err != nil {
+		j.MarkAborted()
+	}
+	committed := p.endTx(g, j, nested)
+	if err == nil && !committed && !nested {
+		return fmt.Errorf("pool: transaction aborted")
+	}
+	return err
+}
+
+// endTx closes one nesting level and, at the outermost level, returns the
+// journal to the free list. It reports whether the transaction committed
+// (meaningful only at the outermost level).
+func (p *Pool) endTx(g uint64, j *journal.Journal, nested bool) bool {
+	committed := j.End()
+	if !nested {
+		p.mu.Lock()
+		delete(p.active, g)
+		p.mu.Unlock()
+		p.freeJ <- j.Arena()
+	}
+	return committed
+}
+
+// InTransaction reports whether the calling goroutine is inside a
+// transaction on this pool, and returns its journal if so.
+func (p *Pool) InTransaction() (*journal.Journal, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	j, ok := p.active[gid()]
+	return j, ok
+}

@@ -1,0 +1,245 @@
+// Package torture runs randomized crash-injection campaigns against a
+// live pool: every iteration executes a random transaction while power may
+// be cut at a random device operation; after each crash the pool is
+// recovered and the persistent state is checked against a volatile model.
+// The linearizability contract checked is the standard one for
+// failure-atomic transactions: a transaction that returned successfully
+// must be fully visible after recovery; a transaction interrupted by the
+// crash may be fully visible or fully absent; nothing may ever be torn.
+//
+// This is the in-repo counterpart of PM testing tools like Yat and PMTest
+// from the paper's related work (§5) — but running against the emulated
+// device, so campaigns are deterministic per seed and run in CI.
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corundum/internal/containers"
+	"corundum/internal/core"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+// Tag is the pool tag torture campaigns run in.
+type Tag struct{}
+
+// Root composes the structures under torture.
+type Root struct {
+	Map   containers.SortedMap[int64, Tag]
+	Stack containers.Stack[int64, Tag]
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Iterations  int
+	Crashes     int
+	RolledBack  int // interrupted transactions that ended up absent
+	RolledFwd   int // interrupted transactions that ended up visible
+	Evictions   int // crashes with adversarial cache eviction
+	FinalMapLen int
+}
+
+// model mirrors the persistent state in volatile memory.
+type model struct {
+	m     map[uint64]int64
+	stack []int64
+}
+
+func (mo *model) clone() *model {
+	c := &model{m: make(map[uint64]int64, len(mo.m)), stack: append([]int64(nil), mo.stack...)}
+	for k, v := range mo.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Campaign runs iterations random transactions with crash injection under
+// the given seed and returns statistics. It returns an error on any
+// consistency violation — torn state, structural corruption, or a lost
+// acknowledged transaction.
+func Campaign(seed int64, iterations int) (*Result, error) {
+	cfg := core.Config{Size: 32 << 20, Journals: 4, Mem: pmem.Options{TrackCrash: true}}
+	root, err := core.Open[Root, Tag]("", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer core.ClosePool[Tag]()
+
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{}
+	mo := &model{m: map[uint64]int64{}}
+
+	for i := 0; i < iterations; i++ {
+		res.Iterations++
+		pending := mo.clone()
+		crashAt := 1 + rng.Intn(400)
+		evict := rng.Intn(4) == 0
+		evictSeed := rng.Int63()
+
+		dev := core.DeviceOf[Tag]()
+		var count int
+		dev.SetFaultInjector(func(op pmem.Op) bool {
+			count++
+			return count == crashAt
+		})
+
+		acked := false
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrInjectedCrash {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			err := core.Transaction[Tag](func(j *core.Journal[Tag]) error {
+				return randomTx(j, root.Deref(), rng, pending)
+			})
+			if err != nil {
+				panic(fmt.Sprintf("torture: transaction error: %v", err))
+			}
+			acked = true
+		}()
+		dev.SetFaultInjector(nil)
+
+		if acked {
+			mo = pending
+			continue
+		}
+		if !crashed {
+			return nil, fmt.Errorf("iteration %d: transaction neither acked nor crashed", i)
+		}
+		res.Crashes++
+
+		// Power loss and reboot.
+		if evict {
+			res.Evictions++
+			dev.CrashWithEviction(evictSeed)
+		} else {
+			dev.Crash()
+		}
+		if err := core.ClosePool[Tag](); err != nil {
+			return nil, err
+		}
+		p2, err := pool.Attach(dev)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: recovery failed: %w", i, err)
+		}
+		if err := p2.CheckConsistency(); err != nil {
+			return nil, fmt.Errorf("iteration %d: heap corrupt after recovery: %w", i, err)
+		}
+		adopted, err := core.Adopt[Root, Tag](p2)
+		if err != nil {
+			return nil, err
+		}
+		root = adopted
+
+		switch matchErr, pendErr := verify(root.Deref(), mo), verify(root.Deref(), pending); {
+		case matchErr == nil:
+			res.RolledBack++
+		case pendErr == nil:
+			res.RolledFwd++
+			mo = pending
+		default:
+			return nil, fmt.Errorf("iteration %d (crashAt=%d evict=%v): state is neither pre- nor post-transaction:\n pre: %v\n post: %v",
+				i, crashAt, evict, matchErr, pendErr)
+		}
+	}
+	res.FinalMapLen = len(mo.m)
+	// Final structural check.
+	if err := root.Deref().Map.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return res, verify(root.Deref(), mo)
+}
+
+// randomTx applies 1-6 random operations inside one transaction, updating
+// the pending model to match.
+func randomTx(j *core.Journal[Tag], r *Root, rng *rand.Rand, pending *model) error {
+	ops := 1 + rng.Intn(6)
+	for k := 0; k < ops; k++ {
+		switch rng.Intn(5) {
+		case 0, 1: // map put
+			key := uint64(1 + rng.Intn(200))
+			val := rng.Int63()
+			if err := r.Map.Put(j, key, val); err != nil {
+				return err
+			}
+			pending.m[key] = val
+		case 2: // map delete
+			key := uint64(1 + rng.Intn(200))
+			removed, err := r.Map.Delete(j, key)
+			if err != nil {
+				return err
+			}
+			_, in := pending.m[key]
+			if removed != in {
+				return fmt.Errorf("delete(%d) disagreed with model", key)
+			}
+			delete(pending.m, key)
+		case 3: // stack push
+			v := rng.Int63()
+			if err := r.Stack.Push(j, v); err != nil {
+				return err
+			}
+			pending.stack = append(pending.stack, v)
+		case 4: // stack pop
+			v, ok, err := r.Stack.Pop(j)
+			if err != nil {
+				return err
+			}
+			if ok != (len(pending.stack) > 0) {
+				return fmt.Errorf("pop disagreed with model")
+			}
+			if ok {
+				want := pending.stack[len(pending.stack)-1]
+				pending.stack = pending.stack[:len(pending.stack)-1]
+				if v != want {
+					return fmt.Errorf("pop %d want %d", v, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// verify compares the persistent structures to a model.
+func verify(r *Root, mo *model) error {
+	if got := r.Map.Len(); got != len(mo.m) {
+		return fmt.Errorf("map len %d, model %d", got, len(mo.m))
+	}
+	bad := error(nil)
+	seen := 0
+	r.Map.Scan(func(k uint64, v *int64) bool {
+		want, ok := mo.m[k]
+		if !ok || want != *v {
+			bad = fmt.Errorf("map key %d = %d, model %d (present=%v)", k, *v, want, ok)
+			return false
+		}
+		seen++
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if seen != len(mo.m) {
+		return fmt.Errorf("scan saw %d keys, model %d", seen, len(mo.m))
+	}
+	if got := r.Stack.Len(); got != len(mo.stack) {
+		return fmt.Errorf("stack len %d, model %d", got, len(mo.stack))
+	}
+	i := len(mo.stack) - 1
+	r.Stack.Range(func(v *int64) bool {
+		if *v != mo.stack[i] {
+			bad = fmt.Errorf("stack[%d] = %d, model %d", i, *v, mo.stack[i])
+			return false
+		}
+		i--
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,23 @@
+package torture
+
+import "testing"
+
+// TestCampaigns runs several deterministic crash campaigns. Any torn
+// state, corruption, or lost acknowledged transaction fails the test.
+func TestCampaigns(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := Campaign(seed, 150)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Crashes == 0 {
+			t.Errorf("seed %d: campaign never crashed; injection broken?", seed)
+		}
+		if res.RolledBack+res.RolledFwd != res.Crashes {
+			t.Errorf("seed %d: crash accounting off: %d+%d != %d",
+				seed, res.RolledBack, res.RolledFwd, res.Crashes)
+		}
+		t.Logf("seed %d: %d iterations, %d crashes (%d rolled back, %d rolled forward, %d with eviction), final map %d keys",
+			seed, res.Iterations, res.Crashes, res.RolledBack, res.RolledFwd, res.Evictions, res.FinalMapLen)
+	}
+}

@@ -1,0 +1,189 @@
+// Package workloads implements the paper's evaluation data structures —
+// BST, KVStore (hash map), and an 8-way B+Tree — against the engine
+// interface, so one implementation of each algorithm runs unmodified on
+// Corundum and on every baseline library model, as the paper's Figure 1
+// requires ("we reimplemented them in Corundum and the other libraries
+// using the same algorithms").
+package workloads
+
+import (
+	"corundum/internal/baselines/engine"
+)
+
+// BST node layout: [key][val][left][right], 32 bytes.
+const (
+	bstKey   = 0
+	bstVal   = 8
+	bstLeft  = 16
+	bstRight = 24
+	bstSize  = 32
+)
+
+// BST is a persistent binary search tree over one engine pool. The root
+// object is a single word holding the offset of the tree's root node.
+type BST struct {
+	pool engine.Pool
+	head uint64 // offset of the root pointer cell
+}
+
+// NewBST initializes a BST in the pool.
+func NewBST(p engine.Pool) (*BST, error) {
+	b := &BST{pool: p}
+	err := p.Tx(func(tx engine.Tx) error {
+		cell, err := tx.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(cell, 0); err != nil {
+			return err
+		}
+		b.head = cell
+		return tx.SetRoot(cell)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AttachBST reconnects to a BST previously created in the pool.
+func AttachBST(p engine.Pool) *BST {
+	return &BST{pool: p, head: p.Root()}
+}
+
+// Insert adds (or updates) key failure-atomically.
+func (b *BST) Insert(key, val uint64) error {
+	return b.pool.Tx(func(tx engine.Tx) error {
+		slot := b.head // the pointer word we may rewrite
+		for {
+			node := tx.Load(slot)
+			if node == 0 {
+				n, err := tx.Alloc(bstSize)
+				if err != nil {
+					return err
+				}
+				if err := tx.Store(n+bstKey, key); err != nil {
+					return err
+				}
+				if err := tx.Store(n+bstVal, val); err != nil {
+					return err
+				}
+				if err := tx.Store(n+bstLeft, 0); err != nil {
+					return err
+				}
+				if err := tx.Store(n+bstRight, 0); err != nil {
+					return err
+				}
+				return tx.Store(slot, n)
+			}
+			k := tx.Load(node + bstKey)
+			switch {
+			case key == k:
+				return tx.Store(node+bstVal, val)
+			case key < k:
+				slot = node + bstLeft
+			default:
+				slot = node + bstRight
+			}
+		}
+	})
+}
+
+// Lookup finds key; it runs inside a transaction so every library pays its
+// own read path (the paper's CHK operation).
+func (b *BST) Lookup(key uint64) (val uint64, found bool, err error) {
+	err = b.pool.Tx(func(tx engine.Tx) error {
+		node := tx.Load(b.head)
+		for node != 0 {
+			k := tx.Load(node + bstKey)
+			switch {
+			case key == k:
+				val = tx.Load(node + bstVal)
+				found = true
+				return nil
+			case key < k:
+				node = tx.Load(node + bstLeft)
+			default:
+				node = tx.Load(node + bstRight)
+			}
+		}
+		return nil
+	})
+	return val, found, err
+}
+
+// Remove deletes key, reclaiming its node. It returns whether the key was
+// present.
+func (b *BST) Remove(key uint64) (removed bool, err error) {
+	err = b.pool.Tx(func(tx engine.Tx) error {
+		slot := b.head
+		node := tx.Load(slot)
+		for node != 0 {
+			k := tx.Load(node + bstKey)
+			if key == k {
+				break
+			}
+			if key < k {
+				slot = node + bstLeft
+			} else {
+				slot = node + bstRight
+			}
+			node = tx.Load(slot)
+		}
+		if node == 0 {
+			return nil
+		}
+		left := tx.Load(node + bstLeft)
+		right := tx.Load(node + bstRight)
+		switch {
+		case left == 0:
+			if err := tx.Store(slot, right); err != nil {
+				return err
+			}
+		case right == 0:
+			if err := tx.Store(slot, left); err != nil {
+				return err
+			}
+		default:
+			// Two children: splice the in-order successor into place.
+			succSlot := node + bstRight
+			succ := right
+			for l := tx.Load(succ + bstLeft); l != 0; l = tx.Load(succ + bstLeft) {
+				succSlot = succ + bstLeft
+				succ = l
+			}
+			if err := tx.Store(node+bstKey, tx.Load(succ+bstKey)); err != nil {
+				return err
+			}
+			if err := tx.Store(node+bstVal, tx.Load(succ+bstVal)); err != nil {
+				return err
+			}
+			if err := tx.Store(succSlot, tx.Load(succ+bstRight)); err != nil {
+				return err
+			}
+			node = succ // free the spliced-out node instead
+		}
+		removed = true
+		return tx.Free(node, bstSize)
+	})
+	return removed, err
+}
+
+// Size counts nodes (test helper; walks inside one transaction).
+func (b *BST) Size() (int, error) {
+	n := 0
+	err := b.pool.Tx(func(tx engine.Tx) error {
+		var walk func(node uint64)
+		walk = func(node uint64) {
+			if node == 0 {
+				return
+			}
+			n++
+			walk(tx.Load(node + bstLeft))
+			walk(tx.Load(node + bstRight))
+		}
+		walk(tx.Load(b.head))
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,575 @@
+package workloads
+
+import (
+	"fmt"
+
+	"corundum/internal/baselines/engine"
+)
+
+// BTree is the paper's "optimized, balanced B+Tree with 8-way fanout":
+// internal nodes hold up to 7 keys and 8 children; leaves hold up to 7
+// key/value pairs and chain to the next leaf for ordered scans.
+//
+// Node layout (136 bytes, one 256-byte block):
+//
+//	+0   nkeys
+//	+8   leaf flag
+//	+16  keys[7]
+//	+72  ptrs[8]   internal: children; leaf: values in ptrs[0..6], next leaf in ptrs[7]
+const (
+	btMaxKeys = 7
+	btMinKeys = 3
+	btNKeys   = 0
+	btLeaf    = 8
+	btKeys    = 16
+	btPtrs    = 72
+	btSize    = 136
+)
+
+// BTree is a persistent B+Tree over one engine pool.
+type BTree struct {
+	pool engine.Pool
+	head uint64 // offset of the root pointer cell
+}
+
+func btKeyOff(node uint64, i int) uint64 { return node + btKeys + uint64(i)*8 }
+func btPtrOff(node uint64, i int) uint64 { return node + btPtrs + uint64(i)*8 }
+
+// NewBTree initializes an empty tree (a single empty leaf).
+func NewBTree(p engine.Pool) (*BTree, error) {
+	t := &BTree{pool: p}
+	err := p.Tx(func(tx engine.Tx) error {
+		leaf, err := newNode(tx, true)
+		if err != nil {
+			return err
+		}
+		cell, err := tx.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(cell, leaf); err != nil {
+			return err
+		}
+		t.head = cell
+		return tx.SetRoot(cell)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AttachBTree reconnects to a tree previously created in the pool.
+func AttachBTree(p engine.Pool) *BTree {
+	return &BTree{pool: p, head: p.Root()}
+}
+
+func newNode(tx engine.Tx, leaf bool) (uint64, error) {
+	n, err := tx.Alloc(btSize)
+	if err != nil {
+		return 0, err
+	}
+	zero := make([]byte, btSize)
+	if leaf {
+		zero[btLeaf] = 1
+	}
+	if err := tx.StoreBytes(n, zero); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Lookup finds key (the paper's CHK).
+func (t *BTree) Lookup(key uint64) (val uint64, found bool, err error) {
+	err = t.pool.Tx(func(tx engine.Tx) error {
+		node := tx.Load(t.head)
+		for {
+			nk := int(tx.Load(node + btNKeys))
+			if tx.Load(node+btLeaf) != 0 {
+				for i := 0; i < nk; i++ {
+					if tx.Load(btKeyOff(node, i)) == key {
+						val = tx.Load(btPtrOff(node, i))
+						found = true
+						return nil
+					}
+				}
+				return nil
+			}
+			i := 0
+			for i < nk && key >= tx.Load(btKeyOff(node, i)) {
+				i++
+			}
+			node = tx.Load(btPtrOff(node, i))
+		}
+	})
+	return val, found, err
+}
+
+// Insert adds or updates key (the paper's INS). Full nodes split on the
+// way down, so the recursion never needs to back up.
+func (t *BTree) Insert(key, val uint64) error {
+	return t.pool.Tx(func(tx engine.Tx) error {
+		root := tx.Load(t.head)
+		if tx.Load(root+btNKeys) == btMaxKeys {
+			// Grow a new root and split the old one under it.
+			nr, err := newNode(tx, false)
+			if err != nil {
+				return err
+			}
+			if err := tx.Store(btPtrOff(nr, 0), root); err != nil {
+				return err
+			}
+			if err := t.splitChild(tx, nr, 0); err != nil {
+				return err
+			}
+			if err := tx.Store(t.head, nr); err != nil {
+				return err
+			}
+			root = nr
+		}
+		return t.insertNonFull(tx, root, key, val)
+	})
+}
+
+func (t *BTree) insertNonFull(tx engine.Tx, node, key, val uint64) error {
+	for {
+		nk := int(tx.Load(node + btNKeys))
+		if tx.Load(node+btLeaf) != 0 {
+			// Update in place if present.
+			for i := 0; i < nk; i++ {
+				if tx.Load(btKeyOff(node, i)) == key {
+					return tx.Store(btPtrOff(node, i), val)
+				}
+			}
+			// Shift larger keys right and insert.
+			i := nk
+			for i > 0 && tx.Load(btKeyOff(node, i-1)) > key {
+				if err := tx.Store(btKeyOff(node, i), tx.Load(btKeyOff(node, i-1))); err != nil {
+					return err
+				}
+				if err := tx.Store(btPtrOff(node, i), tx.Load(btPtrOff(node, i-1))); err != nil {
+					return err
+				}
+				i--
+			}
+			if err := tx.Store(btKeyOff(node, i), key); err != nil {
+				return err
+			}
+			if err := tx.Store(btPtrOff(node, i), val); err != nil {
+				return err
+			}
+			return tx.Store(node+btNKeys, uint64(nk+1))
+		}
+		i := 0
+		for i < nk && key >= tx.Load(btKeyOff(node, i)) {
+			i++
+		}
+		child := tx.Load(btPtrOff(node, i))
+		if tx.Load(child+btNKeys) == btMaxKeys {
+			if err := t.splitChild(tx, node, i); err != nil {
+				return err
+			}
+			if key >= tx.Load(btKeyOff(node, i)) {
+				i++
+			}
+			child = tx.Load(btPtrOff(node, i))
+		}
+		node = child
+	}
+}
+
+// splitChild splits the full child at index i of parent (which has room).
+func (t *BTree) splitChild(tx engine.Tx, parent uint64, i int) error {
+	child := tx.Load(btPtrOff(parent, i))
+	leaf := tx.Load(child+btLeaf) != 0
+	right, err := newNode(tx, leaf)
+	if err != nil {
+		return err
+	}
+	mid := btMaxKeys / 2 // 3
+	var upKey uint64
+	if leaf {
+		// Leaf split: the right half keeps btMaxKeys-mid entries; the first
+		// right key is copied up.
+		moved := btMaxKeys - mid
+		for k := 0; k < moved; k++ {
+			if err := tx.Store(btKeyOff(right, k), tx.Load(btKeyOff(child, mid+k))); err != nil {
+				return err
+			}
+			if err := tx.Store(btPtrOff(right, k), tx.Load(btPtrOff(child, mid+k))); err != nil {
+				return err
+			}
+		}
+		if err := tx.Store(right+btNKeys, uint64(moved)); err != nil {
+			return err
+		}
+		// Chain leaves: right takes child's next; child points to right.
+		if err := tx.Store(btPtrOff(right, btMaxKeys), tx.Load(btPtrOff(child, btMaxKeys))); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(child, btMaxKeys), right); err != nil {
+			return err
+		}
+		if err := tx.Store(child+btNKeys, uint64(mid)); err != nil {
+			return err
+		}
+		upKey = tx.Load(btKeyOff(right, 0))
+	} else {
+		// Internal split: the middle key moves up.
+		moved := btMaxKeys - mid - 1
+		for k := 0; k < moved; k++ {
+			if err := tx.Store(btKeyOff(right, k), tx.Load(btKeyOff(child, mid+1+k))); err != nil {
+				return err
+			}
+		}
+		for k := 0; k <= moved; k++ {
+			if err := tx.Store(btPtrOff(right, k), tx.Load(btPtrOff(child, mid+1+k))); err != nil {
+				return err
+			}
+		}
+		if err := tx.Store(right+btNKeys, uint64(moved)); err != nil {
+			return err
+		}
+		upKey = tx.Load(btKeyOff(child, mid))
+		if err := tx.Store(child+btNKeys, uint64(mid)); err != nil {
+			return err
+		}
+	}
+	// Shift the parent's keys/pointers right of i and link the new child.
+	nk := int(tx.Load(parent + btNKeys))
+	for k := nk; k > i; k-- {
+		if err := tx.Store(btKeyOff(parent, k), tx.Load(btKeyOff(parent, k-1))); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(parent, k+1), tx.Load(btPtrOff(parent, k))); err != nil {
+			return err
+		}
+	}
+	if err := tx.Store(btKeyOff(parent, i), upKey); err != nil {
+		return err
+	}
+	if err := tx.Store(btPtrOff(parent, i+1), right); err != nil {
+		return err
+	}
+	return tx.Store(parent+btNKeys, uint64(nk+1))
+}
+
+// Remove deletes key (the paper's REM), rebalancing by borrowing from or
+// merging with siblings so every non-root node keeps at least btMinKeys
+// keys.
+func (t *BTree) Remove(key uint64) (removed bool, err error) {
+	err = t.pool.Tx(func(tx engine.Tx) error {
+		root := tx.Load(t.head)
+		r, err := t.removeFrom(tx, root, key)
+		if err != nil {
+			return err
+		}
+		removed = r
+		// Shrink the root when an internal root empties out.
+		if tx.Load(root+btLeaf) == 0 && tx.Load(root+btNKeys) == 0 {
+			newRoot := tx.Load(btPtrOff(root, 0))
+			if err := tx.Store(t.head, newRoot); err != nil {
+				return err
+			}
+			return tx.Free(root, btSize)
+		}
+		return nil
+	})
+	return removed, err
+}
+
+func (t *BTree) removeFrom(tx engine.Tx, node, key uint64) (bool, error) {
+	nk := int(tx.Load(node + btNKeys))
+	if tx.Load(node+btLeaf) != 0 {
+		for i := 0; i < nk; i++ {
+			if tx.Load(btKeyOff(node, i)) == key {
+				for k := i; k < nk-1; k++ {
+					if err := tx.Store(btKeyOff(node, k), tx.Load(btKeyOff(node, k+1))); err != nil {
+						return false, err
+					}
+					if err := tx.Store(btPtrOff(node, k), tx.Load(btPtrOff(node, k+1))); err != nil {
+						return false, err
+					}
+				}
+				return true, tx.Store(node+btNKeys, uint64(nk-1))
+			}
+		}
+		return false, nil
+	}
+	i := 0
+	for i < nk && key >= tx.Load(btKeyOff(node, i)) {
+		i++
+	}
+	child := tx.Load(btPtrOff(node, i))
+	removed, err := t.removeFrom(tx, child, key)
+	if err != nil {
+		return false, err
+	}
+	if tx.Load(child+btNKeys) < btMinKeys {
+		if err := t.rebalance(tx, node, i); err != nil {
+			return false, err
+		}
+	}
+	return removed, nil
+}
+
+// rebalance fixes the underfull child at index i of parent by borrowing
+// from a sibling or merging with one.
+func (t *BTree) rebalance(tx engine.Tx, parent uint64, i int) error {
+	nk := int(tx.Load(parent + btNKeys))
+	child := tx.Load(btPtrOff(parent, i))
+	if i > 0 {
+		left := tx.Load(btPtrOff(parent, i-1))
+		if tx.Load(left+btNKeys) > btMinKeys {
+			return t.borrowFromLeft(tx, parent, i, left, child)
+		}
+	}
+	if i < nk {
+		right := tx.Load(btPtrOff(parent, i+1))
+		if tx.Load(right+btNKeys) > btMinKeys {
+			return t.borrowFromRight(tx, parent, i, child, right)
+		}
+	}
+	if i > 0 {
+		return t.merge(tx, parent, i-1)
+	}
+	return t.merge(tx, parent, i)
+}
+
+func (t *BTree) borrowFromLeft(tx engine.Tx, parent uint64, i int, left, child uint64) error {
+	ck := int(tx.Load(child + btNKeys))
+	lk := int(tx.Load(left + btNKeys))
+	leaf := tx.Load(child+btLeaf) != 0
+	// Make room at the front of child.
+	for k := ck; k > 0; k-- {
+		if err := tx.Store(btKeyOff(child, k), tx.Load(btKeyOff(child, k-1))); err != nil {
+			return err
+		}
+	}
+	hi := ck
+	if !leaf {
+		hi = ck + 1
+	}
+	for k := hi; k > 0; k-- {
+		if err := tx.Store(btPtrOff(child, k), tx.Load(btPtrOff(child, k-1))); err != nil {
+			return err
+		}
+	}
+	if leaf {
+		if err := tx.Store(btKeyOff(child, 0), tx.Load(btKeyOff(left, lk-1))); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(child, 0), tx.Load(btPtrOff(left, lk-1))); err != nil {
+			return err
+		}
+		if err := tx.Store(btKeyOff(parent, i-1), tx.Load(btKeyOff(child, 0))); err != nil {
+			return err
+		}
+	} else {
+		if err := tx.Store(btKeyOff(child, 0), tx.Load(btKeyOff(parent, i-1))); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(child, 0), tx.Load(btPtrOff(left, lk))); err != nil {
+			return err
+		}
+		if err := tx.Store(btKeyOff(parent, i-1), tx.Load(btKeyOff(left, lk-1))); err != nil {
+			return err
+		}
+	}
+	if err := tx.Store(left+btNKeys, uint64(lk-1)); err != nil {
+		return err
+	}
+	return tx.Store(child+btNKeys, uint64(ck+1))
+}
+
+func (t *BTree) borrowFromRight(tx engine.Tx, parent uint64, i int, child, right uint64) error {
+	ck := int(tx.Load(child + btNKeys))
+	rk := int(tx.Load(right + btNKeys))
+	leaf := tx.Load(child+btLeaf) != 0
+	rightFirstKey := tx.Load(btKeyOff(right, 0))
+	rightFirstPtr := tx.Load(btPtrOff(right, 0))
+	if leaf {
+		if err := tx.Store(btKeyOff(child, ck), rightFirstKey); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(child, ck), rightFirstPtr); err != nil {
+			return err
+		}
+	} else {
+		if err := tx.Store(btKeyOff(child, ck), tx.Load(btKeyOff(parent, i))); err != nil {
+			return err
+		}
+		if err := tx.Store(btPtrOff(child, ck+1), rightFirstPtr); err != nil {
+			return err
+		}
+	}
+	// Shift right's contents left.
+	for k := 0; k < rk-1; k++ {
+		if err := tx.Store(btKeyOff(right, k), tx.Load(btKeyOff(right, k+1))); err != nil {
+			return err
+		}
+	}
+	hi := rk - 1
+	if !leaf {
+		hi = rk
+	}
+	for k := 0; k < hi; k++ {
+		if err := tx.Store(btPtrOff(right, k), tx.Load(btPtrOff(right, k+1))); err != nil {
+			return err
+		}
+	}
+	// The parent separator becomes right's old first key (internal) or
+	// right's new first key (leaf, where separators mirror leaf heads).
+	sep := rightFirstKey
+	if leaf {
+		sep = tx.Load(btKeyOff(right, 0))
+	}
+	if err := tx.Store(btKeyOff(parent, i), sep); err != nil {
+		return err
+	}
+	if err := tx.Store(right+btNKeys, uint64(rk-1)); err != nil {
+		return err
+	}
+	return tx.Store(child+btNKeys, uint64(ck+1))
+}
+
+// merge folds the child at index i+1 of parent into the child at index i
+// and frees the right node.
+func (t *BTree) merge(tx engine.Tx, parent uint64, i int) error {
+	left := tx.Load(btPtrOff(parent, i))
+	right := tx.Load(btPtrOff(parent, i+1))
+	lk := int(tx.Load(left + btNKeys))
+	rk := int(tx.Load(right + btNKeys))
+	leaf := tx.Load(left+btLeaf) != 0
+
+	if leaf {
+		for k := 0; k < rk; k++ {
+			if err := tx.Store(btKeyOff(left, lk+k), tx.Load(btKeyOff(right, k))); err != nil {
+				return err
+			}
+			if err := tx.Store(btPtrOff(left, lk+k), tx.Load(btPtrOff(right, k))); err != nil {
+				return err
+			}
+		}
+		if err := tx.Store(left+btNKeys, uint64(lk+rk)); err != nil {
+			return err
+		}
+		// Unchain the right leaf.
+		if err := tx.Store(btPtrOff(left, btMaxKeys), tx.Load(btPtrOff(right, btMaxKeys))); err != nil {
+			return err
+		}
+	} else {
+		// The separator key comes down between the two halves.
+		if err := tx.Store(btKeyOff(left, lk), tx.Load(btKeyOff(parent, i))); err != nil {
+			return err
+		}
+		for k := 0; k < rk; k++ {
+			if err := tx.Store(btKeyOff(left, lk+1+k), tx.Load(btKeyOff(right, k))); err != nil {
+				return err
+			}
+		}
+		for k := 0; k <= rk; k++ {
+			if err := tx.Store(btPtrOff(left, lk+1+k), tx.Load(btPtrOff(right, k))); err != nil {
+				return err
+			}
+		}
+		if err := tx.Store(left+btNKeys, uint64(lk+1+rk)); err != nil {
+			return err
+		}
+	}
+	// Remove the separator and the right pointer from the parent.
+	nk := int(tx.Load(parent + btNKeys))
+	for k := i; k < nk-1; k++ {
+		if err := tx.Store(btKeyOff(parent, k), tx.Load(btKeyOff(parent, k+1))); err != nil {
+			return err
+		}
+	}
+	for k := i + 1; k < nk; k++ {
+		if err := tx.Store(btPtrOff(parent, k), tx.Load(btPtrOff(parent, k+1))); err != nil {
+			return err
+		}
+	}
+	if err := tx.Store(parent+btNKeys, uint64(nk-1)); err != nil {
+		return err
+	}
+	return tx.Free(right, btSize)
+}
+
+// Scan walks the leaf chain in key order, calling f for each pair until f
+// returns false. It validates the leaf chain as it goes.
+func (t *BTree) Scan(f func(key, val uint64) bool) error {
+	return t.pool.Tx(func(tx engine.Tx) error {
+		node := tx.Load(t.head)
+		for tx.Load(node+btLeaf) == 0 {
+			node = tx.Load(btPtrOff(node, 0))
+		}
+		var prev uint64
+		first := true
+		for node != 0 {
+			nk := int(tx.Load(node + btNKeys))
+			for i := 0; i < nk; i++ {
+				k := tx.Load(btKeyOff(node, i))
+				if !first && k <= prev {
+					return fmt.Errorf("btree: leaf chain out of order: %d after %d", k, prev)
+				}
+				prev, first = k, false
+				if !f(k, tx.Load(btPtrOff(node, i))) {
+					return nil
+				}
+			}
+			node = tx.Load(btPtrOff(node, btMaxKeys))
+		}
+		return nil
+	})
+}
+
+// CheckInvariants validates key ordering, occupancy bounds, and uniform
+// leaf depth (test helper).
+func (t *BTree) CheckInvariants() error {
+	return t.pool.Tx(func(tx engine.Tx) error {
+		root := tx.Load(t.head)
+		_, err := t.checkNode(tx, root, 0, ^uint64(0), true, 0, new(int))
+		return err
+	})
+}
+
+func (t *BTree) checkNode(tx engine.Tx, node, lo, hi uint64, isRoot bool, depth int, leafDepth *int) (int, error) {
+	nk := int(tx.Load(node + btNKeys))
+	if !isRoot && nk < btMinKeys {
+		return 0, fmt.Errorf("btree: node %#x underfull (%d keys)", node, nk)
+	}
+	if nk > btMaxKeys {
+		return 0, fmt.Errorf("btree: node %#x overfull (%d keys)", node, nk)
+	}
+	prev := lo
+	for i := 0; i < nk; i++ {
+		k := tx.Load(btKeyOff(node, i))
+		if (i > 0 || lo != 0) && k < prev || k >= hi {
+			return 0, fmt.Errorf("btree: node %#x key %d out of range [%d,%d)", node, k, lo, hi)
+		}
+		prev = k
+	}
+	if tx.Load(node+btLeaf) != 0 {
+		if *leafDepth == 0 {
+			*leafDepth = depth + 1
+		} else if *leafDepth != depth+1 {
+			return 0, fmt.Errorf("btree: uneven leaf depth")
+		}
+		return nk, nil
+	}
+	total := 0
+	childLo := lo
+	for i := 0; i <= nk; i++ {
+		childHi := hi
+		if i < nk {
+			childHi = tx.Load(btKeyOff(node, i))
+		}
+		n, err := t.checkNode(tx, tx.Load(btPtrOff(node, i)), childLo, childHi, false, depth+1, leafDepth)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		childLo = childHi
+	}
+	return total, nil
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"corundum/internal/baselines/engine"
+)
+
+// KVStore is the paper's "simple Key-Value store data structure using hash
+// map": a fixed bucket directory with chained entries.
+//
+// Entry layout: [key][val][next], 24 bytes (rounded to a 32-byte block by
+// the allocator minimum).
+const (
+	kvKey   = 0
+	kvVal   = 8
+	kvNext  = 16
+	kvEntry = 24
+)
+
+// KVStore is a persistent hash map over one engine pool.
+type KVStore struct {
+	pool     engine.Pool
+	buckets  uint64 // offset of the bucket array
+	nBuckets uint64
+}
+
+// NewKVStore initializes a store with nBuckets chains (rounded up to a
+// power of two).
+func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
+	n := uint64(1)
+	for n < uint64(nBuckets) {
+		n <<= 1
+	}
+	kv := &KVStore{pool: p, nBuckets: n}
+	err := p.Tx(func(tx engine.Tx) error {
+		dir, err := tx.Alloc(8 + n*8)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(dir, n); err != nil {
+			return err
+		}
+		zero := make([]byte, n*8)
+		if err := tx.StoreBytes(dir+8, zero); err != nil {
+			return err
+		}
+		kv.buckets = dir + 8
+		return tx.SetRoot(dir)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return kv, nil
+}
+
+// AttachKVStore reconnects to a store previously created in the pool.
+func AttachKVStore(p engine.Pool) *KVStore {
+	dir := p.Root()
+	kv := &KVStore{pool: p, buckets: dir + 8}
+	_ = p.Tx(func(tx engine.Tx) error {
+		kv.nBuckets = tx.Load(dir)
+		return nil
+	})
+	return kv
+}
+
+// fibHash spreads keys across buckets (Fibonacci hashing).
+func (kv *KVStore) bucket(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return kv.buckets + (h&(kv.nBuckets-1))*8
+}
+
+// Put inserts or updates key (the paper's PUT).
+func (kv *KVStore) Put(key, val uint64) error {
+	return kv.pool.Tx(func(tx engine.Tx) error {
+		slot := kv.bucket(key)
+		for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
+			if tx.Load(e+kvKey) == key {
+				return tx.Store(e+kvVal, val)
+			}
+		}
+		e, err := tx.Alloc(kvEntry)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(e+kvKey, key); err != nil {
+			return err
+		}
+		if err := tx.Store(e+kvVal, val); err != nil {
+			return err
+		}
+		if err := tx.Store(e+kvNext, tx.Load(slot)); err != nil {
+			return err
+		}
+		return tx.Store(slot, e)
+	})
+}
+
+// Get looks up key (the paper's GET).
+func (kv *KVStore) Get(key uint64) (val uint64, found bool, err error) {
+	err = kv.pool.Tx(func(tx engine.Tx) error {
+		for e := tx.Load(kv.bucket(key)); e != 0; e = tx.Load(e + kvNext) {
+			if tx.Load(e+kvKey) == key {
+				val = tx.Load(e + kvVal)
+				found = true
+				return nil
+			}
+		}
+		return nil
+	})
+	return val, found, err
+}
+
+// Delete removes key and reclaims its entry.
+func (kv *KVStore) Delete(key uint64) (removed bool, err error) {
+	err = kv.pool.Tx(func(tx engine.Tx) error {
+		slot := kv.bucket(key)
+		for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
+			if tx.Load(e+kvKey) == key {
+				if err := tx.Store(slot, tx.Load(e+kvNext)); err != nil {
+					return err
+				}
+				removed = true
+				return tx.Free(e, kvEntry)
+			}
+			slot = e + kvNext
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Len counts entries (test helper).
+func (kv *KVStore) Len() (int, error) {
+	n := 0
+	err := kv.pool.Tx(func(tx engine.Tx) error {
+		for b := uint64(0); b < kv.nBuckets; b++ {
+			for e := tx.Load(kv.buckets + b*8); e != 0; e = tx.Load(e + kvNext) {
+				n++
+			}
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,178 @@
+package loc
+
+// Persistent binary search tree: the Corundum port of bst_volatile.go for
+// Table 3's binary-tree row.
+
+import "corundum/internal/core"
+
+// TreePool is the pool tag for the persistent tree.
+type TreePool struct{}
+
+type pTreeLink = core.PCell[core.PBox[PTreeNode, TreePool], TreePool]
+
+// PTreeNode is one persistent tree node.
+type PTreeNode struct {
+	Key         int64
+	Val         core.PCell[int64, TreePool]
+	Left, Right pTreeLink
+}
+
+type pTreeRoot struct {
+	Root pTreeLink
+	Size core.PCell[int64, TreePool]
+}
+
+// PTree is a persistent (unbalanced) binary search tree.
+type PTree struct {
+	root core.Root[pTreeRoot, TreePool]
+}
+
+// OpenPTree opens (or creates) the tree's pool.
+func OpenPTree(path string, cfg core.Config) (*PTree, error) {
+	root, err := core.Open[pTreeRoot, TreePool](path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PTree{root: root}, nil
+}
+
+// Put inserts or updates key.
+func (t *PTree) Put(j *core.Journal[TreePool], key, val int64) error {
+	r := t.root.Deref()
+	slot := &r.Root
+	for {
+		cur := slot.Get()
+		if cur.IsNull() {
+			break
+		}
+		n := cur.DerefJ(j)
+		switch {
+		case key == n.Key:
+			return n.Val.Set(j, val)
+		case key < n.Key:
+			slot = &n.Left
+		default:
+			slot = &n.Right
+		}
+	}
+	node, err := core.NewPBox[PTreeNode, TreePool](j, PTreeNode{
+		Key: key,
+		Val: core.NewPCell[int64, TreePool](val),
+	})
+	if err != nil {
+		return err
+	}
+	if err := slot.Set(j, node); err != nil {
+		return err
+	}
+	return r.Size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Get looks up key (no transaction needed).
+func (t *PTree) Get(key int64) (int64, bool) {
+	cur := t.root.Deref().Root.Get()
+	for !cur.IsNull() {
+		n := cur.Deref()
+		switch {
+		case key == n.Key:
+			return n.Val.Get(), true
+		case key < n.Key:
+			cur = n.Left.Get()
+		default:
+			cur = n.Right.Get()
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest key.
+func (t *PTree) Min() (int64, bool) {
+	cur := t.root.Deref().Root.Get()
+	if cur.IsNull() {
+		return 0, false
+	}
+	for {
+		n := cur.Deref()
+		left := n.Left.Get()
+		if left.IsNull() {
+			return n.Key, true
+		}
+		cur = left
+	}
+}
+
+// Size returns the number of keys.
+func (t *PTree) Size() int {
+	return int(t.root.Deref().Size.Get())
+}
+
+// InOrder visits keys in ascending order.
+func (t *PTree) InOrder(f func(key, val int64)) {
+	var walk func(cur core.PBox[PTreeNode, TreePool])
+	walk = func(cur core.PBox[PTreeNode, TreePool]) {
+		if cur.IsNull() {
+			return
+		}
+		n := cur.Deref()
+		walk(n.Left.Get())
+		f(n.Key, n.Val.Get())
+		walk(n.Right.Get())
+	}
+	walk(t.root.Deref().Root.Get())
+}
+
+// Max returns the largest key.
+func (t *PTree) Max() (int64, bool) {
+	cur := t.root.Deref().Root.Get()
+	if cur.IsNull() {
+		return 0, false
+	}
+	for {
+		n := cur.Deref()
+		right := n.Right.Get()
+		if right.IsNull() {
+			return n.Key, true
+		}
+		cur = right
+	}
+}
+
+// Height returns the tree height (0 for empty).
+func (t *PTree) Height() int {
+	var h func(cur core.PBox[PTreeNode, TreePool]) int
+	h = func(cur core.PBox[PTreeNode, TreePool]) int {
+		if cur.IsNull() {
+			return 0
+		}
+		n := cur.Deref()
+		l, r := h(n.Left.Get()), h(n.Right.Get())
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root.Deref().Root.Get())
+}
+
+// CountRange counts keys in [lo, hi].
+func (t *PTree) CountRange(lo, hi int64) int {
+	count := 0
+	var walk func(cur core.PBox[PTreeNode, TreePool])
+	walk = func(cur core.PBox[PTreeNode, TreePool]) {
+		if cur.IsNull() {
+			return
+		}
+		n := cur.Deref()
+		if n.Key > lo {
+			walk(n.Left.Get())
+		}
+		if n.Key >= lo && n.Key <= hi {
+			count++
+		}
+		if n.Key < hi {
+			walk(n.Right.Get())
+		}
+	}
+	walk(t.root.Deref().Root.Get())
+	return count
+}

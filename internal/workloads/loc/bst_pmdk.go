@@ -1,0 +1,229 @@
+package loc
+
+// PMDK-style port of bst_volatile.go (see list_pmdk.go for the model).
+
+import (
+	"corundum/internal/baselines/engine"
+	"corundum/internal/baselines/pmdk"
+)
+
+// Node layout: [key][val][left][right].
+const (
+	mTreeKey   = 0
+	mTreeVal   = 8
+	mTreeLeft  = 16
+	mTreeRight = 24
+	mTreeNode  = 32
+)
+
+// MTree is the PMDK-style binary search tree. The root block holds
+// [rootNode u64][size u64].
+type MTree struct {
+	pool engine.Pool
+	root uint64
+}
+
+// OpenMTree creates the tree in a fresh PMDK-model pool.
+func OpenMTree(size int) (*MTree, error) {
+	p, err := pmdk.Lib{}.Open(engine.Config{Size: size})
+	if err != nil {
+		return nil, err
+	}
+	t := &MTree{pool: p}
+	err = p.Tx(func(tx engine.Tx) error {
+		root, err := tx.Alloc(16)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(root, 0); err != nil {
+			return err
+		}
+		if err := tx.Store(root+8, 0); err != nil {
+			return err
+		}
+		t.root = root
+		return tx.SetRoot(root)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Close releases the pool.
+func (t *MTree) Close() error { return t.pool.Close() }
+
+// Put inserts or updates key.
+func (t *MTree) Put(key, val int64) error {
+	return t.pool.Tx(func(tx engine.Tx) error {
+		slot := t.root + 0
+		for {
+			n := tx.Load(slot)
+			if n == 0 {
+				break
+			}
+			k := int64(tx.Load(n + mTreeKey))
+			switch {
+			case key == k:
+				return tx.Store(n+mTreeVal, uint64(val))
+			case key < k:
+				slot = n + mTreeLeft
+			default:
+				slot = n + mTreeRight
+			}
+		}
+		node, err := tx.Alloc(mTreeNode)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(node+mTreeKey, uint64(key)); err != nil {
+			return err
+		}
+		if err := tx.Store(node+mTreeVal, uint64(val)); err != nil {
+			return err
+		}
+		if err := tx.Store(node+mTreeLeft, 0); err != nil {
+			return err
+		}
+		if err := tx.Store(node+mTreeRight, 0); err != nil {
+			return err
+		}
+		if err := tx.Store(slot, node); err != nil {
+			return err
+		}
+		return tx.Store(t.root+8, tx.Load(t.root+8)+1)
+	})
+}
+
+// Get looks up key.
+func (t *MTree) Get(key int64) (int64, bool, error) {
+	var val int64
+	found := false
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		n := tx.Load(t.root)
+		for n != 0 {
+			k := int64(tx.Load(n + mTreeKey))
+			switch {
+			case key == k:
+				val, found = int64(tx.Load(n+mTreeVal)), true
+				return nil
+			case key < k:
+				n = tx.Load(n + mTreeLeft)
+			default:
+				n = tx.Load(n + mTreeRight)
+			}
+		}
+		return nil
+	})
+	return val, found, err
+}
+
+// Min returns the smallest key.
+func (t *MTree) Min() (int64, bool, error) {
+	var key int64
+	ok := false
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		n := tx.Load(t.root)
+		if n == 0 {
+			return nil
+		}
+		for l := tx.Load(n + mTreeLeft); l != 0; l = tx.Load(n + mTreeLeft) {
+			n = l
+		}
+		key, ok = int64(tx.Load(n+mTreeKey)), true
+		return nil
+	})
+	return key, ok, err
+}
+
+// Size returns the number of keys.
+func (t *MTree) Size() (int, error) {
+	var n uint64
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		n = tx.Load(t.root + 8)
+		return nil
+	})
+	return int(n), err
+}
+
+// InOrder visits keys in ascending order.
+func (t *MTree) InOrder(f func(key, val int64)) error {
+	return t.pool.Tx(func(tx engine.Tx) error {
+		var walk func(n uint64)
+		walk = func(n uint64) {
+			if n == 0 {
+				return
+			}
+			walk(tx.Load(n + mTreeLeft))
+			f(int64(tx.Load(n+mTreeKey)), int64(tx.Load(n+mTreeVal)))
+			walk(tx.Load(n + mTreeRight))
+		}
+		walk(tx.Load(t.root))
+		return nil
+	})
+}
+
+// Max returns the largest key.
+func (t *MTree) Max() (int64, bool, error) {
+	var key int64
+	ok := false
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		n := tx.Load(t.root)
+		if n == 0 {
+			return nil
+		}
+		for r := tx.Load(n + mTreeRight); r != 0; r = tx.Load(n + mTreeRight) {
+			n = r
+		}
+		key, ok = int64(tx.Load(n+mTreeKey)), true
+		return nil
+	})
+	return key, ok, err
+}
+
+// Height returns the tree height (0 for empty).
+func (t *MTree) Height() (int, error) {
+	height := 0
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		var h func(n uint64) int
+		h = func(n uint64) int {
+			if n == 0 {
+				return 0
+			}
+			l, r := h(tx.Load(n+mTreeLeft)), h(tx.Load(n+mTreeRight))
+			if l > r {
+				return l + 1
+			}
+			return r + 1
+		}
+		height = h(tx.Load(t.root))
+		return nil
+	})
+	return height, err
+}
+
+// CountRange counts keys in [lo, hi].
+func (t *MTree) CountRange(lo, hi int64) (int, error) {
+	count := 0
+	err := t.pool.Tx(func(tx engine.Tx) error {
+		var walk func(n uint64)
+		walk = func(n uint64) {
+			if n == 0 {
+				return
+			}
+			k := int64(tx.Load(n + mTreeKey))
+			if k > lo {
+				walk(tx.Load(n + mTreeLeft))
+			}
+			if k >= lo && k <= hi {
+				count++
+			}
+			if k < hi {
+				walk(tx.Load(n + mTreeRight))
+			}
+		}
+		walk(tx.Load(t.root))
+		return nil
+	})
+	return count, err
+}

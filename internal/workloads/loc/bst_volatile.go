@@ -1,0 +1,137 @@
+package loc
+
+// Volatile binary search tree — the "before" program for Table 3's
+// binary-tree row.
+
+// VTreeNode is one volatile tree node.
+type VTreeNode struct {
+	Key         int64
+	Val         int64
+	Left, Right *VTreeNode
+}
+
+// VTree is an (unbalanced) binary search tree.
+type VTree struct {
+	root *VTreeNode
+	size int
+}
+
+// NewVTree returns an empty tree.
+func NewVTree() *VTree {
+	return &VTree{}
+}
+
+// Put inserts or updates key.
+func (t *VTree) Put(key, val int64) {
+	slot := &t.root
+	for *slot != nil {
+		switch {
+		case key == (*slot).Key:
+			(*slot).Val = val
+			return
+		case key < (*slot).Key:
+			slot = &(*slot).Left
+		default:
+			slot = &(*slot).Right
+		}
+	}
+	*slot = &VTreeNode{Key: key, Val: val}
+	t.size++
+}
+
+// Get looks up key.
+func (t *VTree) Get(key int64) (int64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key == n.Key:
+			return n.Val, true
+		case key < n.Key:
+			n = n.Left
+		default:
+			n = n.Right
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest key.
+func (t *VTree) Min() (int64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for n.Left != nil {
+		n = n.Left
+	}
+	return n.Key, true
+}
+
+// Size returns the number of keys.
+func (t *VTree) Size() int {
+	return t.size
+}
+
+// InOrder visits keys in ascending order.
+func (t *VTree) InOrder(f func(key, val int64)) {
+	var walk func(n *VTreeNode)
+	walk = func(n *VTreeNode) {
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		f(n.Key, n.Val)
+		walk(n.Right)
+	}
+	walk(t.root)
+}
+
+// Max returns the largest key.
+func (t *VTree) Max() (int64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for n.Right != nil {
+		n = n.Right
+	}
+	return n.Key, true
+}
+
+// Height returns the tree height (0 for empty).
+func (t *VTree) Height() int {
+	var h func(n *VTreeNode) int
+	h = func(n *VTreeNode) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.Left), h(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+// CountRange counts keys in [lo, hi].
+func (t *VTree) CountRange(lo, hi int64) int {
+	count := 0
+	var walk func(n *VTreeNode)
+	walk = func(n *VTreeNode) {
+		if n == nil {
+			return
+		}
+		if n.Key > lo {
+			walk(n.Left)
+		}
+		if n.Key >= lo && n.Key <= hi {
+			count++
+		}
+		if n.Key < hi {
+			walk(n.Right)
+		}
+	}
+	walk(t.root)
+	return count
+}

@@ -1,0 +1,148 @@
+package loc
+
+// Persistent chained hash map: the Corundum port of hashmap_volatile.go
+// for Table 3's HashMap row.
+
+import "corundum/internal/core"
+
+// MapPool is the pool tag for the persistent hash map.
+type MapPool struct{}
+
+const pMapBuckets = 256
+
+type pMapLink = core.PCell[core.PBox[PMapEntry, MapPool], MapPool]
+
+// PMapEntry is one persistent chain entry.
+type PMapEntry struct {
+	Key  int64
+	Val  core.PCell[int64, MapPool]
+	Next pMapLink
+}
+
+type pMapRoot struct {
+	Buckets [pMapBuckets]pMapLink
+	Size    core.PCell[int64, MapPool]
+}
+
+// PMap is a persistent chained hash map.
+type PMap struct {
+	root core.Root[pMapRoot, MapPool]
+}
+
+// OpenPMap opens (or creates) the map's pool.
+func OpenPMap(path string, cfg core.Config) (*PMap, error) {
+	root, err := core.Open[pMapRoot, MapPool](path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PMap{root: root}, nil
+}
+
+func pMapBucket(key int64) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % pMapBuckets)
+}
+
+// Put inserts or updates key.
+func (m *PMap) Put(j *core.Journal[MapPool], key, val int64) error {
+	r := m.root.Deref()
+	b := pMapBucket(key)
+	for cur := r.Buckets[b].Get(); !cur.IsNull(); cur = cur.DerefJ(j).Next.Get() {
+		e := cur.DerefJ(j)
+		if e.Key == key {
+			return e.Val.Set(j, val)
+		}
+	}
+	entry, err := core.NewPBox[PMapEntry, MapPool](j, PMapEntry{
+		Key:  key,
+		Val:  core.NewPCell[int64, MapPool](val),
+		Next: core.NewPCell[core.PBox[PMapEntry, MapPool], MapPool](r.Buckets[b].Get()),
+	})
+	if err != nil {
+		return err
+	}
+	if err := r.Buckets[b].Set(j, entry); err != nil {
+		return err
+	}
+	return r.Size.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Get looks up key (no transaction needed).
+func (m *PMap) Get(key int64) (int64, bool) {
+	for cur := m.root.Deref().Buckets[pMapBucket(key)].Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+		e := cur.Deref()
+		if e.Key == key {
+			return e.Val.Get(), true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting success.
+func (m *PMap) Delete(j *core.Journal[MapPool], key int64) (bool, error) {
+	r := m.root.Deref()
+	slot := &r.Buckets[pMapBucket(key)]
+	for {
+		cur := slot.Get()
+		if cur.IsNull() {
+			return false, nil
+		}
+		e := cur.DerefJ(j)
+		if e.Key == key {
+			if err := slot.Set(j, e.Next.Get()); err != nil {
+				return false, err
+			}
+			if err := cur.Free(j); err != nil {
+				return false, err
+			}
+			return true, r.Size.Update(j, func(n int64) int64 { return n - 1 })
+		}
+		slot = &e.Next
+	}
+}
+
+// Size returns the number of entries.
+func (m *PMap) Size() int {
+	return int(m.root.Deref().Size.Get())
+}
+
+// Keys returns all keys (unordered).
+func (m *PMap) Keys() []int64 {
+	r := m.root.Deref()
+	out := make([]int64, 0, m.Size())
+	for b := 0; b < pMapBuckets; b++ {
+		for cur := r.Buckets[b].Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+			out = append(out, cur.Deref().Key)
+		}
+	}
+	return out
+}
+
+// ForEach visits every entry until f returns false.
+func (m *PMap) ForEach(f func(key, val int64) bool) {
+	r := m.root.Deref()
+	for b := 0; b < pMapBuckets; b++ {
+		for cur := r.Buckets[b].Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+			e := cur.Deref()
+			if !f(e.Key, e.Val.Get()) {
+				return
+			}
+		}
+	}
+}
+
+// MaxChain reports the longest bucket chain (load-factor diagnostics).
+func (m *PMap) MaxChain() int {
+	r := m.root.Deref()
+	longest := 0
+	for b := 0; b < pMapBuckets; b++ {
+		n := 0
+		for cur := r.Buckets[b].Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+			n++
+		}
+		if n > longest {
+			longest = n
+		}
+	}
+	return longest
+}

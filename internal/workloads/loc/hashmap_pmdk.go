@@ -1,0 +1,185 @@
+package loc
+
+// PMDK-style port of hashmap_volatile.go (see list_pmdk.go for the model).
+
+import (
+	"corundum/internal/baselines/engine"
+	"corundum/internal/baselines/pmdk"
+)
+
+const mMapBuckets = 256
+
+// Entry layout: [key][val][next].
+const (
+	mMapKey   = 0
+	mMapVal   = 8
+	mMapNext  = 16
+	mMapEntry = 24
+)
+
+// MMap is the PMDK-style chained hash map. The root block holds
+// [size u64][buckets ...].
+type MMap struct {
+	pool engine.Pool
+	root uint64
+}
+
+// OpenMMap creates the map in a fresh PMDK-model pool.
+func OpenMMap(size int) (*MMap, error) {
+	p, err := pmdk.Lib{}.Open(engine.Config{Size: size})
+	if err != nil {
+		return nil, err
+	}
+	m := &MMap{pool: p}
+	err = p.Tx(func(tx engine.Tx) error {
+		root, err := tx.Alloc(8 + mMapBuckets*8)
+		if err != nil {
+			return err
+		}
+		zero := make([]byte, 8+mMapBuckets*8)
+		if err := tx.StoreBytes(root, zero); err != nil {
+			return err
+		}
+		m.root = root
+		return tx.SetRoot(root)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Close releases the pool.
+func (m *MMap) Close() error { return m.pool.Close() }
+
+func (m *MMap) bucket(key int64) uint64 {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return m.root + 8 + (h%mMapBuckets)*8
+}
+
+// Put inserts or updates key.
+func (m *MMap) Put(key, val int64) error {
+	return m.pool.Tx(func(tx engine.Tx) error {
+		slot := m.bucket(key)
+		for e := tx.Load(slot); e != 0; e = tx.Load(e + mMapNext) {
+			if int64(tx.Load(e+mMapKey)) == key {
+				return tx.Store(e+mMapVal, uint64(val))
+			}
+		}
+		e, err := tx.Alloc(mMapEntry)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(e+mMapKey, uint64(key)); err != nil {
+			return err
+		}
+		if err := tx.Store(e+mMapVal, uint64(val)); err != nil {
+			return err
+		}
+		if err := tx.Store(e+mMapNext, tx.Load(slot)); err != nil {
+			return err
+		}
+		if err := tx.Store(slot, e); err != nil {
+			return err
+		}
+		return tx.Store(m.root, tx.Load(m.root)+1)
+	})
+}
+
+// Get looks up key.
+func (m *MMap) Get(key int64) (int64, bool, error) {
+	var val int64
+	found := false
+	err := m.pool.Tx(func(tx engine.Tx) error {
+		for e := tx.Load(m.bucket(key)); e != 0; e = tx.Load(e + mMapNext) {
+			if int64(tx.Load(e+mMapKey)) == key {
+				val, found = int64(tx.Load(e+mMapVal)), true
+				return nil
+			}
+		}
+		return nil
+	})
+	return val, found, err
+}
+
+// Delete removes key, reporting success.
+func (m *MMap) Delete(key int64) (bool, error) {
+	removed := false
+	err := m.pool.Tx(func(tx engine.Tx) error {
+		slot := m.bucket(key)
+		for {
+			e := tx.Load(slot)
+			if e == 0 {
+				return nil
+			}
+			if int64(tx.Load(e+mMapKey)) == key {
+				if err := tx.Store(slot, tx.Load(e+mMapNext)); err != nil {
+					return err
+				}
+				if err := tx.Free(e, mMapEntry); err != nil {
+					return err
+				}
+				removed = true
+				return tx.Store(m.root, tx.Load(m.root)-1)
+			}
+			slot = e + mMapNext
+		}
+	})
+	return removed, err
+}
+
+// Size returns the number of entries.
+func (m *MMap) Size() (int, error) {
+	var n uint64
+	err := m.pool.Tx(func(tx engine.Tx) error {
+		n = tx.Load(m.root)
+		return nil
+	})
+	return int(n), err
+}
+
+// Keys returns all keys (unordered).
+func (m *MMap) Keys() ([]int64, error) {
+	var out []int64
+	err := m.pool.Tx(func(tx engine.Tx) error {
+		for b := uint64(0); b < mMapBuckets; b++ {
+			for e := tx.Load(m.root + 8 + b*8); e != 0; e = tx.Load(e + mMapNext) {
+				out = append(out, int64(tx.Load(e+mMapKey)))
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// ForEach visits every entry until f returns false.
+func (m *MMap) ForEach(f func(key, val int64) bool) error {
+	return m.pool.Tx(func(tx engine.Tx) error {
+		for b := uint64(0); b < mMapBuckets; b++ {
+			for e := tx.Load(m.root + 8 + b*8); e != 0; e = tx.Load(e + mMapNext) {
+				if !f(int64(tx.Load(e+mMapKey)), int64(tx.Load(e+mMapVal))) {
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// MaxChain reports the longest bucket chain (load-factor diagnostics).
+func (m *MMap) MaxChain() (int, error) {
+	longest := 0
+	err := m.pool.Tx(func(tx engine.Tx) error {
+		for b := uint64(0); b < mMapBuckets; b++ {
+			n := 0
+			for e := tx.Load(m.root + 8 + b*8); e != 0; e = tx.Load(e + mMapNext) {
+				n++
+			}
+			if n > longest {
+				longest = n
+			}
+		}
+		return nil
+	})
+	return longest, err
+}

@@ -1,0 +1,110 @@
+package loc
+
+// Volatile chained hash map — the "before" program for Table 3's HashMap
+// row. A fixed bucket directory with chained entries (no Go map, so the
+// persistent port can mirror the structure).
+
+const vMapBuckets = 256
+
+// VMapEntry is one volatile chain entry.
+type VMapEntry struct {
+	Key  int64
+	Val  int64
+	Next *VMapEntry
+}
+
+// VMap is a chained hash map.
+type VMap struct {
+	buckets [vMapBuckets]*VMapEntry
+	size    int
+}
+
+// NewVMap returns an empty map.
+func NewVMap() *VMap {
+	return &VMap{}
+}
+
+func vMapBucket(key int64) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % vMapBuckets)
+}
+
+// Put inserts or updates key.
+func (m *VMap) Put(key, val int64) {
+	b := vMapBucket(key)
+	for e := m.buckets[b]; e != nil; e = e.Next {
+		if e.Key == key {
+			e.Val = val
+			return
+		}
+	}
+	m.buckets[b] = &VMapEntry{Key: key, Val: val, Next: m.buckets[b]}
+	m.size++
+}
+
+// Get looks up key.
+func (m *VMap) Get(key int64) (int64, bool) {
+	for e := m.buckets[vMapBucket(key)]; e != nil; e = e.Next {
+		if e.Key == key {
+			return e.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting success.
+func (m *VMap) Delete(key int64) bool {
+	b := vMapBucket(key)
+	slot := &m.buckets[b]
+	for *slot != nil {
+		if (*slot).Key == key {
+			*slot = (*slot).Next
+			m.size--
+			return true
+		}
+		slot = &(*slot).Next
+	}
+	return false
+}
+
+// Size returns the number of entries.
+func (m *VMap) Size() int {
+	return m.size
+}
+
+// Keys returns all keys (unordered).
+func (m *VMap) Keys() []int64 {
+	out := make([]int64, 0, m.size)
+	for b := 0; b < vMapBuckets; b++ {
+		for e := m.buckets[b]; e != nil; e = e.Next {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// ForEach visits every entry until f returns false.
+func (m *VMap) ForEach(f func(key, val int64) bool) {
+	for b := 0; b < vMapBuckets; b++ {
+		for e := m.buckets[b]; e != nil; e = e.Next {
+			if !f(e.Key, e.Val) {
+				return
+			}
+		}
+	}
+}
+
+// MaxChain reports the longest bucket chain (load-factor diagnostics).
+func (m *VMap) MaxChain() int {
+	longest := 0
+	for b := 0; b < vMapBuckets; b++ {
+		n := 0
+		for e := m.buckets[b]; e != nil; e = e.Next {
+			n++
+		}
+		if n > longest {
+			longest = n
+		}
+	}
+	return longest
+}

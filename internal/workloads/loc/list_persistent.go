@@ -1,0 +1,174 @@
+package loc
+
+// Persistent sorted linked list: the Corundum port of list_volatile.go.
+// Table 3 measures the lines this port adds: pointer fields become PBox
+// wrapped in PCell for interior mutability, mutators gain a journal
+// parameter, and construction happens inside transactions. The algorithm
+// is untouched.
+
+import "corundum/internal/core"
+
+// ListPool is the pool tag for the persistent list.
+type ListPool struct{}
+
+// PListNode is one persistent list cell.
+type PListNode struct {
+	Val  int64
+	Next core.PCell[core.PBox[PListNode, ListPool], ListPool]
+}
+
+type pListRoot struct {
+	Head core.PCell[core.PBox[PListNode, ListPool], ListPool]
+	Len  core.PCell[int64, ListPool]
+}
+
+// PList is a sorted persistent singly-linked list.
+type PList struct {
+	root core.Root[pListRoot, ListPool]
+}
+
+// OpenPList opens (or creates) the list's pool.
+func OpenPList(path string, cfg core.Config) (*PList, error) {
+	root, err := core.Open[pListRoot, ListPool](path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PList{root: root}, nil
+}
+
+// Insert adds v keeping the list sorted (duplicates allowed).
+func (l *PList) Insert(j *core.Journal[ListPool], v int64) error {
+	r := l.root.Deref()
+	slot := &r.Head
+	for {
+		cur := slot.Get()
+		if cur.IsNull() || cur.DerefJ(j).Val >= v {
+			break
+		}
+		slot = &cur.DerefJ(j).Next
+	}
+	node, err := core.NewPBox[PListNode, ListPool](j, PListNode{
+		Val:  v,
+		Next: core.NewPCell[core.PBox[PListNode, ListPool], ListPool](slot.Get()),
+	})
+	if err != nil {
+		return err
+	}
+	if err := slot.Set(j, node); err != nil {
+		return err
+	}
+	return r.Len.Update(j, func(n int64) int64 { return n + 1 })
+}
+
+// Remove deletes the first occurrence of v, reporting success.
+func (l *PList) Remove(j *core.Journal[ListPool], v int64) (bool, error) {
+	r := l.root.Deref()
+	slot := &r.Head
+	for {
+		cur := slot.Get()
+		if cur.IsNull() {
+			return false, nil
+		}
+		if cur.DerefJ(j).Val == v {
+			if err := slot.Set(j, cur.DerefJ(j).Next.Get()); err != nil {
+				return false, err
+			}
+			if err := cur.Free(j); err != nil {
+				return false, err
+			}
+			return true, r.Len.Update(j, func(n int64) int64 { return n - 1 })
+		}
+		slot = &cur.DerefJ(j).Next
+	}
+}
+
+// Contains reports whether v is present (reads need no transaction).
+func (l *PList) Contains(v int64) bool {
+	for cur := l.root.Deref().Head.Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+		n := cur.Deref()
+		if n.Val == v {
+			return true
+		}
+		if n.Val > v {
+			return false
+		}
+	}
+	return false
+}
+
+// Len returns the number of elements.
+func (l *PList) Len() int {
+	return int(l.root.Deref().Len.Get())
+}
+
+// Values returns the contents in order.
+func (l *PList) Values() []int64 {
+	var out []int64
+	for cur := l.root.Deref().Head.Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+		out = append(out, cur.Deref().Val)
+	}
+	return out
+}
+
+// DropContents releases the tail when a node is freed mid-list removal.
+func (n *PListNode) DropContents(j *core.Journal[ListPool]) error {
+	return nil // removal relinks Next before freeing, nothing owned here
+}
+
+// Min returns the smallest element.
+func (l *PList) Min() (int64, bool) {
+	head := l.root.Deref().Head.Get()
+	if head.IsNull() {
+		return 0, false
+	}
+	return head.Deref().Val, true
+}
+
+// Max returns the largest element.
+func (l *PList) Max() (int64, bool) {
+	cur := l.root.Deref().Head.Get()
+	if cur.IsNull() {
+		return 0, false
+	}
+	for {
+		next := cur.Deref().Next.Get()
+		if next.IsNull() {
+			return cur.Deref().Val, true
+		}
+		cur = next
+	}
+}
+
+// Sum adds up all elements.
+func (l *PList) Sum() int64 {
+	var total int64
+	for cur := l.root.Deref().Head.Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+		total += cur.Deref().Val
+	}
+	return total
+}
+
+// ForEach visits elements in order until f returns false.
+func (l *PList) ForEach(f func(v int64) bool) {
+	for cur := l.root.Deref().Head.Get(); !cur.IsNull(); cur = cur.Deref().Next.Get() {
+		if !f(cur.Deref().Val) {
+			return
+		}
+	}
+}
+
+// IsSorted verifies the ordering invariant.
+func (l *PList) IsSorted() bool {
+	cur := l.root.Deref().Head.Get()
+	for !cur.IsNull() {
+		next := cur.Deref().Next.Get()
+		if next.IsNull() {
+			return true
+		}
+		if cur.Deref().Val > next.Deref().Val {
+			return false
+		}
+		cur = next
+	}
+	return true
+}

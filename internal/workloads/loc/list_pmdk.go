@@ -1,0 +1,209 @@
+package loc
+
+// PMDK-style port of list_volatile.go: the libpmemobj programming model in
+// Go — untyped pool offsets, explicit transactions, manual stores through
+// the transaction handle. This is Table 3's second comparison column: the
+// same algorithm costs more lines (and loses all type safety) without
+// Corundum's typed pointers.
+
+import (
+	"corundum/internal/baselines/engine"
+	"corundum/internal/baselines/pmdk"
+)
+
+// Node layout: [val u64][next u64].
+const (
+	mListVal  = 0
+	mListNext = 8
+	mListNode = 16
+)
+
+// MList is the PMDK-style sorted list. The root block holds
+// [head u64][len u64].
+type MList struct {
+	pool engine.Pool
+	root uint64
+}
+
+// OpenMList creates the list in a fresh PMDK-model pool.
+func OpenMList(size int) (*MList, error) {
+	p, err := pmdk.Lib{}.Open(engine.Config{Size: size})
+	if err != nil {
+		return nil, err
+	}
+	l := &MList{pool: p}
+	err = p.Tx(func(tx engine.Tx) error {
+		root, err := tx.Alloc(16)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(root, 0); err != nil {
+			return err
+		}
+		if err := tx.Store(root+8, 0); err != nil {
+			return err
+		}
+		l.root = root
+		return tx.SetRoot(root)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close releases the pool.
+func (l *MList) Close() error { return l.pool.Close() }
+
+// Insert adds v keeping the list sorted (duplicates allowed).
+func (l *MList) Insert(v int64) error {
+	return l.pool.Tx(func(tx engine.Tx) error {
+		slot := l.root + 0
+		for {
+			cur := tx.Load(slot)
+			if cur == 0 || int64(tx.Load(cur+mListVal)) >= v {
+				break
+			}
+			slot = cur + mListNext
+		}
+		node, err := tx.Alloc(mListNode)
+		if err != nil {
+			return err
+		}
+		if err := tx.Store(node+mListVal, uint64(v)); err != nil {
+			return err
+		}
+		if err := tx.Store(node+mListNext, tx.Load(slot)); err != nil {
+			return err
+		}
+		if err := tx.Store(slot, node); err != nil {
+			return err
+		}
+		return tx.Store(l.root+8, tx.Load(l.root+8)+1)
+	})
+}
+
+// Remove deletes the first occurrence of v, reporting success.
+func (l *MList) Remove(v int64) (bool, error) {
+	removed := false
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		slot := l.root + 0
+		for {
+			cur := tx.Load(slot)
+			if cur == 0 {
+				return nil
+			}
+			if int64(tx.Load(cur+mListVal)) == v {
+				if err := tx.Store(slot, tx.Load(cur+mListNext)); err != nil {
+					return err
+				}
+				if err := tx.Free(cur, mListNode); err != nil {
+					return err
+				}
+				removed = true
+				return tx.Store(l.root+8, tx.Load(l.root+8)-1)
+			}
+			slot = cur + mListNext
+		}
+	})
+	return removed, err
+}
+
+// Contains reports whether v is present.
+func (l *MList) Contains(v int64) (bool, error) {
+	found := false
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		for n := tx.Load(l.root); n != 0 && int64(tx.Load(n+mListVal)) <= v; n = tx.Load(n + mListNext) {
+			if int64(tx.Load(n+mListVal)) == v {
+				found = true
+				return nil
+			}
+		}
+		return nil
+	})
+	return found, err
+}
+
+// Len returns the number of elements.
+func (l *MList) Len() (int, error) {
+	var n uint64
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		n = tx.Load(l.root + 8)
+		return nil
+	})
+	return int(n), err
+}
+
+// Values returns the contents in order.
+func (l *MList) Values() ([]int64, error) {
+	var out []int64
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		for n := tx.Load(l.root); n != 0; n = tx.Load(n + mListNext) {
+			out = append(out, int64(tx.Load(n+mListVal)))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Min returns the smallest element.
+func (l *MList) Min() (int64, bool, error) {
+	var v int64
+	ok := false
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		head := tx.Load(l.root)
+		if head == 0 {
+			return nil
+		}
+		v, ok = int64(tx.Load(head+mListVal)), true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Max returns the largest element.
+func (l *MList) Max() (int64, bool, error) {
+	var v int64
+	ok := false
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		n := tx.Load(l.root)
+		if n == 0 {
+			return nil
+		}
+		for next := tx.Load(n + mListNext); next != 0; next = tx.Load(n + mListNext) {
+			n = next
+		}
+		v, ok = int64(tx.Load(n+mListVal)), true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Sum adds up all elements.
+func (l *MList) Sum() (int64, error) {
+	var total int64
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		for n := tx.Load(l.root); n != 0; n = tx.Load(n + mListNext) {
+			total += int64(tx.Load(n + mListVal))
+		}
+		return nil
+	})
+	return total, err
+}
+
+// IsSorted verifies the ordering invariant.
+func (l *MList) IsSorted() (bool, error) {
+	sorted := true
+	err := l.pool.Tx(func(tx engine.Tx) error {
+		for n := tx.Load(l.root); n != 0; {
+			next := tx.Load(n + mListNext)
+			if next != 0 && int64(tx.Load(n+mListVal)) > int64(tx.Load(next+mListVal)) {
+				sorted = false
+				return nil
+			}
+			n = next
+		}
+		return nil
+	})
+	return sorted, err
+}

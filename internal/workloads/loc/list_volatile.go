@@ -1,0 +1,121 @@
+package loc
+
+// Volatile singly-linked list with sorted insert — the "before" program
+// for Table 3's lines-of-code comparison. The persistent version in
+// list_persistent.go mirrors it line for line where possible, so the diff
+// between the two measures exactly what adding persistence costs.
+
+// VListNode is one volatile list cell.
+type VListNode struct {
+	Val  int64
+	Next *VListNode
+}
+
+// VList is a sorted singly-linked list.
+type VList struct {
+	head *VListNode
+	len  int
+}
+
+// NewVList returns an empty list.
+func NewVList() *VList {
+	return &VList{}
+}
+
+// Insert adds v keeping the list sorted (duplicates allowed).
+func (l *VList) Insert(v int64) {
+	node := &VListNode{Val: v}
+	slot := &l.head
+	for *slot != nil && (*slot).Val < v {
+		slot = &(*slot).Next
+	}
+	node.Next = *slot
+	*slot = node
+	l.len++
+}
+
+// Remove deletes the first occurrence of v, reporting success.
+func (l *VList) Remove(v int64) bool {
+	slot := &l.head
+	for *slot != nil {
+		if (*slot).Val == v {
+			*slot = (*slot).Next
+			l.len--
+			return true
+		}
+		slot = &(*slot).Next
+	}
+	return false
+}
+
+// Contains reports whether v is present.
+func (l *VList) Contains(v int64) bool {
+	for n := l.head; n != nil && n.Val <= v; n = n.Next {
+		if n.Val == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of elements.
+func (l *VList) Len() int {
+	return l.len
+}
+
+// Values returns the contents in order.
+func (l *VList) Values() []int64 {
+	var out []int64
+	for n := l.head; n != nil; n = n.Next {
+		out = append(out, n.Val)
+	}
+	return out
+}
+
+// Min returns the smallest element.
+func (l *VList) Min() (int64, bool) {
+	if l.head == nil {
+		return 0, false
+	}
+	return l.head.Val, true
+}
+
+// Max returns the largest element.
+func (l *VList) Max() (int64, bool) {
+	if l.head == nil {
+		return 0, false
+	}
+	n := l.head
+	for n.Next != nil {
+		n = n.Next
+	}
+	return n.Val, true
+}
+
+// Sum adds up all elements.
+func (l *VList) Sum() int64 {
+	var total int64
+	for n := l.head; n != nil; n = n.Next {
+		total += n.Val
+	}
+	return total
+}
+
+// ForEach visits elements in order until f returns false.
+func (l *VList) ForEach(f func(v int64) bool) {
+	for n := l.head; n != nil; n = n.Next {
+		if !f(n.Val) {
+			return
+		}
+	}
+}
+
+// IsSorted verifies the ordering invariant.
+func (l *VList) IsSorted() bool {
+	for n := l.head; n != nil && n.Next != nil; n = n.Next {
+		if n.Val > n.Next.Val {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+// Package wordcount implements the paper's scalability workload: a
+// MapReduce-style word counter ("grep" in the artifact) where producer
+// goroutines push text segments onto a shared persistent stack and
+// consumer goroutines pop segments and count word occurrences locally.
+// As in the paper, local counts are not merged ("we do not collect the
+// local records"), so the measurement isolates library scalability:
+// per-thread journals and allocator arenas let transactions proceed in
+// parallel; only the stack mutex serializes.
+package wordcount
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"corundum/internal/core"
+	"corundum/internal/pmem"
+)
+
+// Tag is the pool tag the wordcount workload runs in.
+type Tag struct{}
+
+// Node is one stack cell holding a text segment.
+type Node struct {
+	Text core.PString[Tag]
+	Next core.PBox[Node, Tag]
+}
+
+// DropContents frees the segment text when the node is freed. The next
+// pointer is not dropped: popping relinks it before freeing the node.
+func (n *Node) DropContents(j *core.Journal[Tag]) error {
+	return n.Text.Free(j)
+}
+
+// Root is the pool root: a mutex-protected stack head.
+type Root struct {
+	Head core.PMutex[core.PBox[Node, Tag], Tag]
+}
+
+// Stack is a persistent, thread-safe LIFO of text segments.
+type Stack struct {
+	root core.Root[Root, Tag]
+}
+
+// Open creates the wordcount pool (in memory) and returns the stack.
+func Open(cfg core.Config) (*Stack, error) {
+	root, err := core.Open[Root, Tag]("", cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{root: root}, nil
+}
+
+// Close releases the pool binding.
+func (s *Stack) Close() error { return core.ClosePool[Tag]() }
+
+// Push adds a segment failure-atomically.
+func (s *Stack) Push(text string) error {
+	return core.Transaction[Tag](func(j *core.Journal[Tag]) error {
+		ps, err := core.NewPString[Tag](j, text)
+		if err != nil {
+			return err
+		}
+		head, err := s.root.Deref().Head.Lock(j)
+		if err != nil {
+			return err
+		}
+		node, err := core.NewPBox[Node, Tag](j, Node{Text: ps, Next: *head})
+		if err != nil {
+			return err
+		}
+		*head = node
+		return nil
+	})
+}
+
+// popResult carries Pop's outcome out of its transaction (TxOutSafe: a
+// volatile copy of the text, never the persistent pointers).
+type popResult struct {
+	text string
+	ok   bool
+}
+
+// Pop removes a segment, returning ok=false when the stack is empty. The
+// popped node and its text are reclaimed at commit; the text rides out of
+// the transaction as a volatile copy via TransactionV.
+func (s *Stack) Pop() (string, bool, error) {
+	res, err := core.TransactionV[popResult, Tag](func(j *core.Journal[Tag]) (popResult, error) {
+		head, err := s.root.Deref().Head.Lock(j)
+		if err != nil {
+			return popResult{}, err
+		}
+		if head.IsNull() {
+			return popResult{}, nil
+		}
+		node := *head
+		n := node.DerefJ(j)
+		text := n.Text.StringJ(j)
+		*head = n.Next
+		return popResult{text: text, ok: true}, node.Free(j)
+	})
+	return res.text, res.ok, err
+}
+
+// CountWords tallies word occurrences in a segment — the consumer-side
+// CPU work whose parallelism Figure 2 measures.
+func CountWords(text string, into map[string]int) {
+	start := -1
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if alpha {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			into[strings.ToLower(text[start:i])]++
+			start = -1
+		}
+	}
+	if start >= 0 {
+		into[strings.ToLower(text[start:])]++
+	}
+}
+
+// GenerateCorpus synthesizes a deterministic text corpus standing in for
+// the Large Canterbury Corpus the paper uses (the artifact downloads it;
+// this repository must be self-contained). Zipf-ish word frequencies make
+// the counting work realistic.
+func GenerateCorpus(segments, segBytes int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, 2000)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%d", i)
+	}
+	out := make([]string, segments)
+	var sb strings.Builder
+	for s := range out {
+		sb.Reset()
+		for sb.Len() < segBytes {
+			// Squared sampling skews toward low indexes (frequent words).
+			i := rng.Intn(len(vocab))
+			j := rng.Intn(len(vocab))
+			if j < i {
+				i = j
+			}
+			sb.WriteString(vocab[i])
+			sb.WriteByte(' ')
+		}
+		out[s] = sb.String()
+	}
+	return out
+}
+
+// Run executes the workload: producers push every corpus segment,
+// consumers pop and count until the corpus is exhausted. It returns the
+// total number of words counted across consumers.
+func Run(s *Stack, producers, consumers int, corpus []string) (int, error) {
+	var (
+		wgProd sync.WaitGroup
+		wgCons sync.WaitGroup
+		mu     sync.Mutex
+		firstE error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+
+	// Producers share the corpus round-robin.
+	wgProd.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wgProd.Done()
+			for i := p; i < len(corpus); i += producers {
+				if err := s.Push(corpus[i]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	produced := make(chan struct{})
+	go func() {
+		wgProd.Wait()
+		close(produced)
+	}()
+
+	totals := make([]int, consumers)
+	wgCons.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func(c int) {
+			defer wgCons.Done()
+			local := make(map[string]int, 4096)
+			defer func() {
+				for _, n := range local {
+					totals[c] += n
+				}
+			}()
+			for {
+				text, ok, err := s.Pop()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if ok {
+					CountWords(text, local)
+					continue
+				}
+				select {
+				case <-produced:
+					// Producers are done; one more pop races any straggler.
+					text, ok, err := s.Pop()
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !ok {
+						return
+					}
+					CountWords(text, local)
+				default:
+					runtime.Gosched() // stack momentarily empty; retry
+				}
+			}
+		}(c)
+	}
+	wgCons.Wait()
+	if firstE != nil {
+		return 0, firstE
+	}
+	total := 0
+	for _, n := range totals {
+		total += n
+	}
+	return total, nil
+}
+
+// DefaultConfig sizes the pool for a standard run.
+func DefaultConfig(journals int) core.Config {
+	return core.Config{Size: 256 << 20, Journals: journals, JournalCap: 256 << 10, Mem: pmem.Options{}}
+}

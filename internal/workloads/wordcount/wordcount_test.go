@@ -1,0 +1,107 @@
+package wordcount
+
+import (
+	"strings"
+	"testing"
+
+	"corundum/internal/core"
+)
+
+func TestCountWords(t *testing.T) {
+	m := make(map[string]int)
+	CountWords("Hello, hello world!  a_b a_b a_b", m)
+	if m["hello"] != 2 || m["world"] != 1 || m["a_b"] != 3 {
+		t.Fatalf("counts: %v", m)
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(3, 1024, 42)
+	b := GenerateCorpus(3, 1024, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus not deterministic")
+		}
+		if len(a[i]) < 1024 {
+			t.Fatalf("segment %d only %d bytes", i, len(a[i]))
+		}
+	}
+	c := GenerateCorpus(1, 1024, 43)
+	if c[0] == a[0] {
+		t.Fatal("different seeds produced identical corpus")
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	s, err := Open(core.Config{Size: 16 << 20, Journals: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, text := range []string{"one", "two", "three"} {
+		if err := s.Push(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// LIFO order.
+	for _, want := range []string{"three", "two", "one"} {
+		got, ok, err := s.Pop()
+		if err != nil || !ok || got != want {
+			t.Fatalf("pop = %q,%v,%v want %q", got, ok, err, want)
+		}
+	}
+	if _, ok, _ := s.Pop(); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+	// Everything was reclaimed.
+	st, _ := core.StatsOf[Tag]()
+	rootBlock := uint64(64)
+	if st.InUse != rootBlock {
+		t.Fatalf("stack leaked: %d bytes in use", st.InUse)
+	}
+}
+
+func TestRunCountsEveryWord(t *testing.T) {
+	s, err := Open(core.Config{Size: 64 << 20, Journals: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	corpus := GenerateCorpus(40, 2048, 1)
+	want := 0
+	for _, seg := range corpus {
+		want += len(strings.Fields(seg))
+	}
+	got, err := Run(s, 2, 3, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("counted %d words, corpus has %d", got, want)
+	}
+	// All segments consumed and freed.
+	st, _ := core.StatsOf[Tag]()
+	if st.InUse != 64 {
+		t.Fatalf("run leaked %d bytes", st.InUse-64)
+	}
+}
+
+func TestRunSequentialMatchesParallel(t *testing.T) {
+	s, err := Open(core.Config{Size: 64 << 20, Journals: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	corpus := GenerateCorpus(20, 2048, 2)
+	seq, err := Run(s, 1, 1, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(s, 1, 4, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("sequential counted %d, parallel %d", seq, par)
+	}
+}

@@ -1,0 +1,297 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"corundum/internal/baselines/atlas"
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/baselines/engine"
+	"corundum/internal/baselines/gopmem"
+	"corundum/internal/baselines/mnemosyne"
+	"corundum/internal/baselines/pmdk"
+)
+
+// Libs returns every library model under test.
+func libs() []engine.Lib {
+	return []engine.Lib{
+		corundumeng.Lib{},
+		pmdk.Lib{},
+		atlas.Lib{},
+		mnemosyne.Lib{},
+		gopmem.Lib{},
+	}
+}
+
+func testCfg() engine.Config {
+	return engine.Config{Size: 16 << 20}
+}
+
+func TestBSTAgainstModelOnAllLibs(t *testing.T) {
+	for _, lib := range libs() {
+		t.Run(lib.Name(), func(t *testing.T) {
+			p, err := lib.Open(testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			bst, err := NewBST(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 2000; i++ {
+				key := uint64(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0, 1:
+					val := rng.Uint64()
+					if err := bst.Insert(key, val); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				case 2:
+					removed, err := bst.Remove(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, inModel := model[key]
+					if removed != inModel {
+						t.Fatalf("step %d: remove(%d)=%v, model %v", i, key, removed, inModel)
+					}
+					delete(model, key)
+				}
+			}
+			for key, want := range model {
+				got, found, err := bst.Lookup(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found || got != want {
+					t.Fatalf("lookup(%d) = %d,%v want %d", key, got, found, want)
+				}
+			}
+			if _, found, _ := bst.Lookup(1 << 40); found {
+				t.Fatal("found a key never inserted")
+			}
+			n, err := bst.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("size %d, model %d", n, len(model))
+			}
+		})
+	}
+}
+
+func TestKVStoreAgainstModelOnAllLibs(t *testing.T) {
+	for _, lib := range libs() {
+		t.Run(lib.Name(), func(t *testing.T) {
+			p, err := lib.Open(testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			kv, err := NewKVStore(p, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 2000; i++ {
+				key := uint64(rng.Intn(400))
+				switch rng.Intn(4) {
+				case 0, 1:
+					val := rng.Uint64()
+					if err := kv.Put(key, val); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				case 2:
+					got, found, err := kv.Get(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, inModel := model[key]
+					if found != inModel || (found && got != want) {
+						t.Fatalf("get(%d) = %d,%v want %d,%v", key, got, found, want, inModel)
+					}
+				case 3:
+					removed, err := kv.Delete(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, inModel := model[key]
+					if removed != inModel {
+						t.Fatalf("delete(%d) = %v, model %v", key, removed, inModel)
+					}
+					delete(model, key)
+				}
+			}
+			n, err := kv.Len()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("len %d, model %d", n, len(model))
+			}
+		})
+	}
+}
+
+func TestBTreeAgainstModelOnAllLibs(t *testing.T) {
+	for _, lib := range libs() {
+		t.Run(lib.Name(), func(t *testing.T) {
+			p, err := lib.Open(testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			bt, err := NewBTree(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 3000; i++ {
+				key := uint64(1 + rng.Intn(600))
+				switch rng.Intn(4) {
+				case 0, 1:
+					val := rng.Uint64()
+					if err := bt.Insert(key, val); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				case 2:
+					got, found, err := bt.Lookup(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, inModel := model[key]
+					if found != inModel || (found && got != want) {
+						t.Fatalf("step %d: lookup(%d) = %d,%v want %d,%v", i, key, got, found, want, inModel)
+					}
+				case 3:
+					removed, err := bt.Remove(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, inModel := model[key]
+					if removed != inModel {
+						t.Fatalf("step %d: remove(%d) = %v, model %v", i, key, removed, inModel)
+					}
+					delete(model, key)
+				}
+				if i%500 == 499 {
+					if err := bt.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+				}
+			}
+			if err := bt.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// The leaf chain must enumerate exactly the model, in order.
+			seen := 0
+			if err := bt.Scan(func(k, v uint64) bool {
+				want, ok := model[k]
+				if !ok || v != want {
+					t.Fatalf("scan saw (%d,%d), model has %d,%v", k, v, want, ok)
+				}
+				seen++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if seen != len(model) {
+				t.Fatalf("scan saw %d keys, model has %d", seen, len(model))
+			}
+		})
+	}
+}
+
+func TestBTreeSequentialInsertAndDeleteAll(t *testing.T) {
+	p, err := corundumeng.Lib{}.Open(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bt, err := NewBTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := uint64(1); i <= n; i++ {
+		if err := bt.Insert(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		got, found, err := bt.Lookup(i)
+		if err != nil || !found || got != i*10 {
+			t.Fatalf("lookup(%d) = %d,%v,%v", i, got, found, err)
+		}
+	}
+	// Delete everything; the tree must shrink back to a single empty leaf.
+	for i := uint64(1); i <= n; i++ {
+		removed, err := bt.Remove(i)
+		if err != nil || !removed {
+			t.Fatalf("remove(%d) = %v,%v", i, removed, err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		if _, found, _ := bt.Lookup(i); found {
+			t.Fatalf("key %d survived deletion", i)
+		}
+	}
+}
+
+func TestBSTTransactionalAbortConsistency(t *testing.T) {
+	// Force an abort in the middle of structural updates and verify the
+	// structure is intact on every library.
+	for _, lib := range libs() {
+		t.Run(lib.Name(), func(t *testing.T) {
+			p, err := lib.Open(testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			bst, err := NewBST(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 50; i++ {
+				if err := bst.Insert(i*7%50, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n1, _ := bst.Size()
+			// An aborted transaction that would have rewired the tree.
+			errBoom := p.Tx(func(tx engine.Tx) error {
+				head := p.Root()
+				root := tx.Load(head)
+				if err := tx.Store(root+bstLeft, 0); err != nil {
+					return err
+				}
+				return errAbort
+			})
+			if errBoom != errAbort {
+				t.Fatalf("tx returned %v", errBoom)
+			}
+			n2, _ := bst.Size()
+			if n1 != n2 {
+				t.Fatalf("aborted tx changed the tree: %d -> %d nodes", n1, n2)
+			}
+		})
+	}
+}
+
+var errAbort = errAbortType{}
+
+type errAbortType struct{}
+
+func (errAbortType) Error() string { return "deliberate abort" }
