@@ -7,6 +7,7 @@
 //	corundum-bench -experiment table2 # Table 2 matrix (+ pmcheck verify)
 //	corundum-bench -experiment table3 # Table 3 lines-of-code comparison
 //	corundum-bench -experiment ablation # design-choice ablations (DESIGN.md)
+//	corundum-bench -experiment server # corundum-server group-commit throughput -> server.csv
 //	corundum-bench -experiment all
 //
 // Each experiment prints a human-readable table to stdout; -csv DIR also
@@ -28,18 +29,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig2|table2|table3|table5|ablation|all")
+		experiment = flag.String("experiment", "all", "fig1|fig2|table2|table3|table5|ablation|server|all")
 		n          = flag.Int("n", 20000, "operations per Figure 1 workload")
 		microOps   = flag.Int("micro-ops", 50000, "operations per Table 5 row (paper: 50k)")
 		segments   = flag.Int("segments", 256, "corpus segments for Figure 2")
 		segBytes   = flag.Int("seg-bytes", 64<<10, "bytes per corpus segment")
 		consumers  = flag.Int("consumers", 15, "max consumers for Figure 2 (paper: 15)")
+		srvClients = flag.Int("server-clients", 8, "concurrent clients for the server experiment")
+		srvOps     = flag.Int("server-ops", 5000, "SETs per client for the server experiment")
 		profile    = flag.String("profile", "OptaneDC", "memory profile for Figure 1: OptaneDC|DRAM|NoDelay")
 		csvDir     = flag.String("csv", "", "also write artifact CSV files to this directory")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *n, *microOps, *segments, *segBytes, *consumers, *profile, *csvDir); err != nil {
+	if err := run(*experiment, *n, *microOps, *segments, *segBytes, *consumers, *srvClients, *srvOps, *profile, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-bench:", err)
 		os.Exit(1)
 	}
@@ -57,7 +60,7 @@ func profileByName(name string) (pmem.Profile, error) {
 	return pmem.Profile{}, fmt.Errorf("unknown profile %q", name)
 }
 
-func run(experiment string, n, microOps, segments, segBytes, consumers int, profName, csvDir string) error {
+func run(experiment string, n, microOps, segments, segBytes, consumers, srvClients, srvOps int, profName, csvDir string) error {
 	prof, err := profileByName(profName)
 	if err != nil {
 		return err
@@ -147,6 +150,33 @@ func run(experiment string, n, microOps, segments, segBytes, consumers int, prof
 			fmt.Println()
 		}
 		fmt.Println()
+	}
+
+	if all || experiment == "server" {
+		fmt.Printf("=== corundum-server: group-commit throughput (%d clients x %d SETs, %s profile) ===\n",
+			srvClients, srvOps, prof.Name)
+		rows, err := bench.ServerThroughput(srvClients, srvOps, []int{1, 8, 64}, pmem.Options{Profile: prof})
+		if err != nil {
+			return err
+		}
+		bench.PrintServer(os.Stdout, rows)
+		if len(rows) > 1 {
+			first, last := rows[0], rows[len(rows)-1]
+			fmt.Printf("group-commit effect: %.3f -> %.3f fences/op (%.1fx fewer), %.0f -> %.0f ops/sec\n",
+				first.FencesPerOp, last.FencesPerOp, first.FencesPerOp/last.FencesPerOp,
+				first.OpsPerSec, last.OpsPerSec)
+		}
+		fmt.Println()
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, "server.csv"))
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteServerCSV(f, rows); err != nil {
+				return err
+			}
+			f.Close()
+		}
 	}
 
 	if all || experiment == "fig2" {

@@ -1,0 +1,117 @@
+// Command corundum-server serves a persistent key-value store over a
+// RESP-like line protocol, backed by a Corundum pool.
+//
+//	corundum-server -pool kv.pool [-addr :6380] [-size 256MiB-bytes]
+//	                [-journals 16] [-max-batch 64] [-max-delay 200us]
+//
+// On startup the pool is opened (creating and formatting it if the file
+// does not exist), crash recovery runs, and the heap is consistency-
+// checked; only then does the server start accepting connections. SET and
+// DEL requests from all connections are group-committed: the server packs
+// up to -max-batch mutations into one failure-atomic transaction, waiting
+// at most -max-delay for stragglers, and acknowledges each request only
+// after its transaction is durably committed. INFO and STATS expose pool
+// geometry, recovery counts, journal occupancy, the batch-size histogram,
+// and the emulated device's write/flush/fence counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":6380", "listen address")
+		path     = flag.String("pool", "corundum.pool", "pool file (created if absent)")
+		size     = flag.Int("size", 256<<20, "pool size in bytes when creating")
+		journals = flag.Int("journals", 16, "journal slots (transaction concurrency) when creating")
+		buckets  = flag.Int("buckets", 4096, "KV bucket directory size when creating")
+		maxBatch = flag.Int("max-batch", 64, "max mutations per group-commit transaction")
+		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max wait for group-commit stragglers")
+		profile  = flag.String("profile", "NoDelay", "emulated PM latency profile: OptaneDC|DRAM|NoDelay")
+	)
+	flag.Parse()
+	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, "corundum-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time.Duration, profName string) error {
+	var prof pmem.Profile
+	switch profName {
+	case "OptaneDC":
+		prof = pmem.OptaneDC
+	case "DRAM":
+		prof = pmem.DRAM
+	case "NoDelay":
+		prof = pmem.NoDelay
+	default:
+		return fmt.Errorf("unknown profile %q", profName)
+	}
+	mem := pmem.Options{Profile: prof}
+
+	// Open (recovering) or create the pool; no traffic is accepted before
+	// this completes and the consistency check in server.New passes.
+	var (
+		p   *pool.Pool
+		err error
+	)
+	if _, statErr := os.Stat(path); statErr == nil {
+		p, err = pool.Open(path, mem)
+		if err != nil {
+			return err
+		}
+		rb, rf := p.Recovery()
+		fmt.Printf("opened pool %s: generation %d, recovery rolled back %d / forward %d txs\n",
+			path, p.Generation(), rb, rf)
+	} else {
+		p, err = pool.Create(path, pool.Config{Size: size, Journals: journals, Mem: mem})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created pool %s: %d bytes, %d journals\n", path, size, journals)
+	}
+	defer p.Close()
+
+	srv, err := server.New(p, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving on %s (max-batch %d, max-delay %s)\n", ln.Addr(), maxBatch, maxDelay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+	case err := <-serveErr:
+		if err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if srv.Halted() {
+		return fmt.Errorf("server halted on pool failure")
+	}
+	return nil
+}

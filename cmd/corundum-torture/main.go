@@ -1,10 +1,16 @@
 // Command corundum-torture runs randomized crash-injection campaigns
-// against the library: random transactions over a persistent SortedMap and
-// Stack, power cut at random device operations (sometimes with adversarial
+// against the library: random transactions over persistent structures,
+// power cut at random device operations (sometimes with adversarial
 // cache eviction), recovery, and verification that every acknowledged
 // transaction survived and every interrupted one is all-or-nothing.
 //
-//	corundum-torture [-seeds N] [-iterations N]
+//	corundum-torture [-seeds N] [-iterations N] [-workers N]
+//
+// With -workers 1 (the default) each campaign is the serial mode from
+// the paper's testing methodology: one transaction in flight at a time.
+// With -workers N>1, N goroutines transact concurrently on the same pool
+// and the power cut lands while several journals are active — the
+// configuration that stresses sharded-journal recovery.
 //
 // Exit code 1 means a consistency violation was found (a bug).
 package main
@@ -21,12 +27,25 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 8, "number of independent campaigns")
 	iterations := flag.Int("iterations", 500, "transactions per campaign")
+	workers := flag.Int("workers", 1, fmt.Sprintf("concurrent transaction goroutines (1..%d; 1 = serial mode)", torture.MaxWorkers))
 	flag.Parse()
+	if *workers < 1 || *workers > torture.MaxWorkers {
+		fmt.Fprintf(os.Stderr, "corundum-torture: -workers must be in [1,%d], got %d\n", torture.MaxWorkers, *workers)
+		os.Exit(2)
+	}
 
 	start := time.Now()
 	totalCrashes := 0
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
-		res, err := torture.Campaign(seed, *iterations)
+		var (
+			res *torture.Result
+			err error
+		)
+		if *workers > 1 {
+			res, err = torture.ConcurrentCampaign(seed, *iterations, *workers)
+		} else {
+			res, err = torture.Campaign(seed, *iterations)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "corundum-torture: seed %d: CONSISTENCY VIOLATION: %v\n", seed, err)
 			os.Exit(1)
@@ -35,6 +54,10 @@ func main() {
 		fmt.Printf("seed %-3d %5d txs, %4d crashes (%4d rolled back, %3d rolled forward, %3d evicting), map=%d\n",
 			seed, res.Iterations, res.Crashes, res.RolledBack, res.RolledFwd, res.Evictions, res.FinalMapLen)
 	}
-	fmt.Printf("OK: %d campaigns, %d injected crashes, all recoveries consistent (%.1fs)\n",
-		*seeds, totalCrashes, time.Since(start).Seconds())
+	mode := "serial"
+	if *workers > 1 {
+		mode = fmt.Sprintf("%d workers", *workers)
+	}
+	fmt.Printf("OK: %d campaigns (%s), %d injected crashes, all recoveries consistent (%.1fs)\n",
+		*seeds, mode, totalCrashes, time.Since(start).Seconds())
 }

@@ -53,6 +53,13 @@ func (l Lib) Open(cfg engine.Config) (engine.Pool, error) {
 	return &enginePool{p: p, noDedup: l.NoDedup}, nil
 }
 
+// Wrap adapts an already-open pool to the engine interface, so workloads
+// written against engine.Pool (the KVStore behind corundum-server, the
+// Figure 1 structures) can run over a pool the caller created, opened, and
+// recovered itself. Closing the returned engine.Pool closes the wrapped
+// pool.
+func Wrap(p *pool.Pool) engine.Pool { return &enginePool{p: p} }
+
 type enginePool struct {
 	p       *pool.Pool
 	noDedup bool

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+)
+
+// ServerRow is one group-commit configuration's measurement: pipelined
+// clients hammering corundum-server over loopback TCP with the batcher
+// capped at MaxBatch operations per transaction. FencesPerOp is the
+// group-commit story in one number: the undo-log commit's flush+fence
+// cost amortized over the batch.
+type ServerRow struct {
+	MaxBatch    int
+	Clients     int
+	Ops         int
+	Seconds     float64
+	OpsPerSec   float64
+	MeanBatch   float64
+	Fences      uint64
+	Flushes     uint64
+	FencesPerOp float64
+}
+
+// ServerThroughput measures SET throughput against an in-process
+// corundum-server for each batch-size cap. Every configuration gets a
+// fresh in-memory pool so device counters isolate one run. Clients
+// pipeline up to their cap's worth of requests, which is what gives the
+// batcher material to coalesce — exactly how a loaded network service
+// behaves.
+func ServerThroughput(clients, opsPerClient int, batchSizes []int, mem pmem.Options) ([]ServerRow, error) {
+	rows := make([]ServerRow, 0, len(batchSizes))
+	for _, b := range batchSizes {
+		row, err := serverRun(clients, opsPerClient, b, mem)
+		if err != nil {
+			return nil, fmt.Errorf("batch %d: %w", b, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func serverRun(clients, opsPerClient, maxBatch int, mem pmem.Options) (ServerRow, error) {
+	p, err := pool.Create("", pool.Config{Size: 256 << 20, Journals: 16, Mem: mem})
+	if err != nil {
+		return ServerRow{}, err
+	}
+	defer p.Close()
+	srv, err := server.New(p, server.Options{MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond})
+	if err != nil {
+		return ServerRow{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerRow{}, err
+	}
+	go srv.Serve(ln)
+
+	window := maxBatch
+	if window < 1 {
+		window = 1
+	}
+	if window > 64 {
+		window = 64
+	}
+
+	stats := p.Device().Stats()
+	fences0, flushes0 := stats.Fences.Load(), stats.Flushes.Load()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := serverClient(ln.Addr().String(), id, opsPerClient, window); err != nil {
+				errs <- fmt.Errorf("client %d: %w", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return ServerRow{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	ops := clients * opsPerClient
+	bs := srv.Batcher().Stats()
+	mean := 0.0
+	if n := bs.Batches.Load(); n > 0 {
+		mean = float64(bs.BatchedOps.Load()) / float64(n)
+	}
+	fences := stats.Fences.Load() - fences0
+	return ServerRow{
+		MaxBatch:    maxBatch,
+		Clients:     clients,
+		Ops:         ops,
+		Seconds:     elapsed,
+		OpsPerSec:   float64(ops) / elapsed,
+		MeanBatch:   mean,
+		Fences:      fences,
+		Flushes:     stats.Flushes.Load() - flushes0,
+		FencesPerOp: float64(fences) / float64(ops),
+	}, nil
+}
+
+// serverClient streams ops SETs in pipelined windows: write a window,
+// flush, read the window's replies. Keys are unique per client so the
+// store grows realistically instead of rewriting one hot entry.
+func serverClient(addr string, id, ops, window int) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for sent := 0; sent < ops; {
+		n := window
+		if remaining := ops - sent; n > remaining {
+			n = remaining
+		}
+		for i := 0; i < n; i++ {
+			key := uint64(id+1)<<40 | uint64(sent+i)
+			if _, err := fmt.Fprintf(w, "SET %d %d\n", key, key^0x5DEECE66D); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if line != "+OK\r\n" {
+				return fmt.Errorf("SET reply %q", line)
+			}
+		}
+		sent += n
+	}
+	return nil
+}
+
+// PrintServer renders the throughput table.
+func PrintServer(w io.Writer, rows []ServerRow) {
+	fmt.Fprintf(w, "%-10s %8s %10s %12s %12s %12s %14s\n",
+		"max-batch", "clients", "ops", "ops/sec", "mean batch", "fences", "fences/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %8d %10d %12.0f %12.2f %12d %14.3f\n",
+			r.MaxBatch, r.Clients, r.Ops, r.OpsPerSec, r.MeanBatch, r.Fences, r.FencesPerOp)
+	}
+}
+
+// WriteServerCSV writes the artifact-style CSV (server.csv).
+func WriteServerCSV(w io.Writer, rows []ServerRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"max_batch", "clients", "ops", "seconds", "ops_per_sec", "mean_batch", "fences", "flushes", "fences_per_op"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.MaxBatch),
+			strconv.Itoa(r.Clients),
+			strconv.Itoa(r.Ops),
+			fmt.Sprintf("%.4f", r.Seconds),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.MeanBatch),
+			strconv.FormatUint(r.Fences, 10),
+			strconv.FormatUint(r.Flushes, 10),
+			fmt.Sprintf("%.4f", r.FencesPerOp),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -89,6 +89,10 @@ type Pool struct {
 	arenaSpan  uint64 // heap bytes per arena
 	generation uint64
 
+	// Recovery statistics from Attach (zero for freshly created pools).
+	recoveredBack int
+	recoveredFwd  int
+
 	mu     sync.RWMutex
 	open   bool
 	active map[uint64]*journal.Journal // goroutine id -> journal (flattening)
@@ -227,7 +231,7 @@ func Attach(dev *pmem.Device) (*Pool, error) {
 		heap := g.heapOff + uint64(i)*g.arenaHeap
 		p.arenas = append(p.arenas, alloc.Open(dev, meta, heap, g.arenaHeap))
 	}
-	journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
+	p.recoveredBack, p.recoveredFwd = journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
 	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
 	p.initFreeList()
 
@@ -276,6 +280,20 @@ func (p *Pool) IsOpen() bool {
 // Journals reports the number of journal slots (the transaction
 // concurrency bound).
 func (p *Pool) Journals() int { return len(p.journals) }
+
+// JournalsFree reports how many journal slots are currently idle; the
+// difference from Journals is the number of in-flight transactions. It is
+// an instantaneous snapshot, safe to call concurrently (serving-layer
+// INFO/diagnostics).
+func (p *Pool) JournalsFree() int { return len(p.freeJ) }
+
+// Recovery reports what the Attach-time recovery pass did: how many
+// interrupted transactions were rolled back and how many post-commit-point
+// transactions were rolled forward. Both are zero for freshly created
+// pools and for pools that shut down cleanly.
+func (p *Pool) Recovery() (rolledBack, rolledForward int) {
+	return p.recoveredBack, p.recoveredFwd
+}
 
 // RootOff returns the offset of the root object, or 0 if none was set.
 func (p *Pool) RootOff() uint64 {

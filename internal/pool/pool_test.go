@@ -437,3 +437,75 @@ func TestConfigFloors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecoveryCountersAndJournalOccupancy covers the status surface the
+// server's INFO command reports: JournalsFree tracks the free-list, and
+// Recovery() reflects what journal.Recover did at the last attach.
+func TestRecoveryCountersAndJournalOccupancy(t *testing.T) {
+	p := newPool(t)
+	if free := p.JournalsFree(); free != p.Journals() {
+		t.Fatalf("fresh pool: %d/%d journals free", free, p.Journals())
+	}
+	if rb, rf := p.Recovery(); rb != 0 || rf != 0 {
+		t.Fatalf("fresh pool reports recovery %d/%d", rb, rf)
+	}
+	inTx := -1
+	if err := p.Transaction(func(j *journal.Journal) error {
+		inTx = p.JournalsFree()
+		_, err := j.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inTx != p.Journals()-1 {
+		t.Fatalf("in-tx journals free = %d, want %d", inTx, p.Journals()-1)
+	}
+	if free := p.JournalsFree(); free != p.Journals() {
+		t.Fatalf("after tx: %d/%d journals free", free, p.Journals())
+	}
+
+	// Crash mid-transaction at progressively later device operations until
+	// the cut lands after the journal became durable: that reattach must
+	// report exactly one interrupted journal recovered.
+	payload := make([]byte, 256)
+	for crashAt := 10; crashAt < 2000; crashAt += 10 {
+		dev := p.Device()
+		var count int
+		dev.SetFaultInjector(func(op pmem.Op) bool {
+			count++
+			return count == crashAt
+		})
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					crashed = true
+				}
+			}()
+			_ = p.Transaction(func(j *journal.Journal) error {
+				for i := 0; i < 8; i++ {
+					if _, err := j.AllocInit(payload); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}()
+		dev.SetFaultInjector(nil)
+		if !crashed {
+			t.Fatalf("crash point %d never fired; transaction uses fewer device ops", crashAt)
+		}
+		p = crashAndReattach(t, p)
+		rb, rf := p.Recovery()
+		if rb+rf > 1 {
+			t.Fatalf("crash at %d: recovery handled %d+%d journals, one tx was in flight", crashAt, rb, rf)
+		}
+		if free := p.JournalsFree(); free != p.Journals() {
+			t.Fatalf("crash at %d: %d/%d journals free after recovery", crashAt, free, p.Journals())
+		}
+		if rb+rf == 1 {
+			return // observed a real recovery — done
+		}
+	}
+	t.Fatal("no crash point produced a recoverable journal")
+}

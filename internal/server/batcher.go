@@ -1,0 +1,276 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corundum/internal/workloads"
+)
+
+// ErrServerHalted reports that the pool failed underneath the server (an
+// injected crash in tests, a media failure in principle) and no further
+// requests will be served.
+var ErrServerHalted = errors.New("server halted: pool failure")
+
+// HistBuckets is the number of batch-size histogram buckets: sizes
+// 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, >64.
+const HistBuckets = 8
+
+// BatchStats counts what the group-commit batcher has done. All fields
+// are safe to read concurrently.
+type BatchStats struct {
+	Batches    atomic.Uint64              // committed pool transactions
+	BatchedOps atomic.Uint64              // SET/DEL ops inside them
+	Hist       [HistBuckets]atomic.Uint64 // batch size histogram
+}
+
+// histBucket maps a batch size to its histogram bucket.
+func histBucket(n int) int {
+	idx := 0
+	for m := n - 1; m > 0; m >>= 1 {
+		idx++
+	}
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// HistLabel names a histogram bucket ("1", "2", "3-4", ..., ">64").
+func HistLabel(bucket int) string {
+	switch bucket {
+	case 0:
+		return "1"
+	case 1:
+		return "2"
+	case HistBuckets - 1:
+		return fmt.Sprintf(">%d", 1<<(HistBuckets-2))
+	default:
+		return fmt.Sprintf("%d-%d", 1<<(bucket-1)+1, 1<<bucket)
+	}
+}
+
+type reply struct {
+	removed bool
+	err     error
+}
+
+type setReq struct {
+	op    workloads.Op
+	reply chan reply // buffered(1): the committer never blocks on it
+}
+
+// Batcher is the group-commit engine: mutations from all connections are
+// funneled through one committer goroutine that packs them into
+// failure-atomic pool transactions of up to maxBatch operations, waiting
+// at most maxDelay after the first op for stragglers. One transaction's
+// undo-log commit (flush+fence) is thereby shared by the whole batch.
+//
+// The committer is the only writer to the store; lock is held exclusively
+// during a commit so that readers (GET/SCAN on connection goroutines)
+// never observe a half-applied batch.
+type Batcher struct {
+	kv       *workloads.KVStore
+	lock     *sync.RWMutex
+	maxBatch int
+	maxDelay time.Duration
+
+	reqs chan setReq
+	done chan struct{} // closed when the committer exits
+
+	dead    chan struct{} // closed on pool failure
+	failMu  sync.Mutex
+	failErr error
+	onFail  func(error) // optional: invoked once, from the committer
+
+	stats BatchStats
+}
+
+func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
+	b := &Batcher{
+		kv:       kv,
+		lock:     lock,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		reqs:     make(chan setReq, 4*maxBatch),
+		done:     make(chan struct{}),
+		dead:     make(chan struct{}),
+		onFail:   onFail,
+	}
+	go b.run()
+	return b
+}
+
+// SubmitResult is one mutation's group-commit outcome. For deletes,
+// Removed reports whether the key existed.
+type SubmitResult struct {
+	Removed bool
+	Err     error
+}
+
+// Submit enqueues one mutation and blocks until the transaction holding
+// it has durably committed (the group-commit ack) or failed. For deletes
+// the bool reports whether the key existed.
+func (b *Batcher) Submit(op workloads.Op) (bool, error) {
+	res := b.SubmitMany([]workloads.Op{op})
+	return res[0].Removed, res[0].Err
+}
+
+// SubmitMany enqueues a run of mutations (a pipelining connection's
+// backlog) and blocks until each has committed or failed, preserving
+// order. Submitting a run instead of one op at a time is what lets a
+// single connection fill a group-commit batch; the committer may still
+// split a run across transactions or merge runs from many connections.
+func (b *Batcher) SubmitMany(ops []workloads.Op) []SubmitResult {
+	out := make([]SubmitResult, len(ops))
+	reqs := make([]setReq, len(ops))
+	enqueued := 0
+enqueue:
+	for ; enqueued < len(ops); enqueued++ {
+		reqs[enqueued] = setReq{op: ops[enqueued], reply: make(chan reply, 1)}
+		select {
+		case b.reqs <- reqs[enqueued]:
+		case <-b.dead:
+			break enqueue
+		}
+	}
+	for i := 0; i < enqueued; i++ {
+		// Prefer a delivered reply over the dead signal: a reply races the
+		// committer's shutdown, and an op that did commit should be acked.
+		select {
+		case rep := <-reqs[i].reply:
+			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err}
+			continue
+		default:
+		}
+		select {
+		case rep := <-reqs[i].reply:
+			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err}
+		case <-b.dead:
+			// The committer died before this op committed: no ack. The op
+			// is either entirely absent or (crash after the commit point)
+			// entirely present — the all-or-nothing contract for
+			// unacknowledged writes.
+			out[i] = SubmitResult{Err: b.failure()}
+		}
+	}
+	for i := enqueued; i < len(ops); i++ {
+		out[i] = SubmitResult{Err: b.failure()}
+	}
+	return out
+}
+
+// Stats exposes the batch counters.
+func (b *Batcher) Stats() *BatchStats { return &b.stats }
+
+// Stop shuts the committer down after draining queued requests. The
+// caller must guarantee no Submit is concurrent with or after Stop.
+func (b *Batcher) Stop() {
+	close(b.reqs)
+	<-b.done
+}
+
+func (b *Batcher) failure() error {
+	b.failMu.Lock()
+	defer b.failMu.Unlock()
+	if b.failErr == nil {
+		return ErrServerHalted
+	}
+	return b.failErr
+}
+
+func (b *Batcher) fail(err error) {
+	b.failMu.Lock()
+	already := b.failErr != nil
+	if !already {
+		b.failErr = err
+	}
+	b.failMu.Unlock()
+	if !already {
+		close(b.dead)
+		if b.onFail != nil {
+			b.onFail(err)
+		}
+	}
+}
+
+func (b *Batcher) run() {
+	defer close(b.done)
+	var timer *time.Timer
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := append(make([]setReq, 0, b.maxBatch), first)
+		if b.maxBatch > 1 {
+			if timer == nil {
+				timer = time.NewTimer(b.maxDelay)
+			} else {
+				timer.Reset(b.maxDelay)
+			}
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case r, ok := <-b.reqs:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		ops := make([]workloads.Op, len(batch))
+		for i, r := range batch {
+			ops[i] = r.op
+		}
+		res, err := b.commit(ops)
+		for i, r := range batch {
+			rep := reply{err: err}
+			if err == nil {
+				rep.removed = res[i]
+			}
+			r.reply <- rep
+		}
+		if err == nil {
+			b.stats.Batches.Add(1)
+			b.stats.BatchedOps.Add(uint64(len(batch)))
+			b.stats.Hist[histBucket(len(batch))].Add(1)
+		}
+		select {
+		case <-b.dead:
+			// The pool is gone; queued Submits are unblocked by b.dead.
+			return
+		default:
+		}
+	}
+}
+
+// commit applies one batch in a single failure-atomic transaction. A
+// panic out of the pool (the emulated device's injected crash, which
+// models power failure) is converted into a permanent server halt: real
+// power loss would kill the process, and the recover here is what lets
+// in-process crash tests observe the post-crash protocol behaviour.
+func (b *Batcher) commit(ops []workloads.Op) (res []bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrServerHalted, r)
+			b.fail(err)
+		}
+	}()
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	return b.kv.Apply(ops)
+}

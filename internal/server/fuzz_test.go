@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCommand checks that the protocol parser never panics and obeys
+// its contract on arbitrary byte strings: it either returns an error or a
+// well-formed Command whose re-rendering parses back to the same value.
+func FuzzParseCommand(f *testing.F) {
+	// Seed corpus: the happy path, truncated lines, oversized keys, and
+	// binary payloads (the corner cases a line protocol meets in the wild).
+	seeds := [][]byte{
+		[]byte("SET 1 2"),
+		[]byte("GET 7\r"),
+		[]byte("DEL 42"),
+		[]byte("SCAN 100"),
+		[]byte("INFO"),
+		[]byte("PING"),
+		[]byte(""),
+		[]byte(" "),
+		[]byte("SET"),                        // truncated: verb only
+		[]byte("SET 1"),                      // truncated: missing value
+		[]byte("SE"),                         // truncated verb
+		[]byte("SET 99999999999999999999999999999999 1"), // oversized key
+		[]byte("SET 18446744073709551616 1"),             // uint64 overflow by one
+		[]byte("GET " + strings.Repeat("9", MaxLineLen)), // oversized line
+		[]byte("SET \x00\x01\x02 \xff\xfe"),              // binary payload
+		[]byte("\xde\xad\xbe\xef"),                       // pure binary
+		[]byte("S\xffT 1 2"),
+		[]byte("set 3 4"),
+		[]byte("  SCAN  "),
+		[]byte("QUIT extra"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		// A parsed command must round-trip through its canonical rendering.
+		var canon string
+		switch cmd.Kind {
+		case CmdGet:
+			canon = renderKeyed("GET", cmd.Key)
+		case CmdDel:
+			canon = renderKeyed("DEL", cmd.Key)
+		case CmdSet:
+			canon = renderSet(cmd.Key, cmd.Val)
+		case CmdScan:
+			if cmd.Limit == 0 {
+				canon = "SCAN"
+			} else {
+				canon = renderKeyed("SCAN", uint64(cmd.Limit))
+			}
+		case CmdInfo:
+			canon = "INFO"
+		case CmdStats:
+			canon = "STATS"
+		case CmdPing:
+			canon = "PING"
+		case CmdQuit:
+			canon = "QUIT"
+		default:
+			t.Fatalf("ParseCommand(%q) returned unknown kind %d", line, cmd.Kind)
+		}
+		again, err := ParseCommand([]byte(canon))
+		if err != nil {
+			t.Fatalf("canonical form %q of %q failed to parse: %v", canon, line, err)
+		}
+		if again != cmd {
+			t.Fatalf("round trip of %q: %+v != %+v", line, again, cmd)
+		}
+		// Accepted lines must be printable (the parser's own contract).
+		if i := bytes.IndexFunc(line, func(r rune) bool { return r < 0x20 && r != '\r' }); i >= 0 {
+			t.Fatalf("ParseCommand accepted control byte at %d in %q", i, line)
+		}
+	})
+}
+
+func renderKeyed(verb string, key uint64) string {
+	return verb + " " + u64str(key)
+}
+
+func renderSet(key, val uint64) string {
+	return "SET " + u64str(key) + " " + u64str(val)
+}
+
+func u64str(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCommand(t *testing.T) {
+	cases := []struct {
+		line string
+		want Command
+	}{
+		{"GET 7", Command{Kind: CmdGet, Key: 7}},
+		{"get 7", Command{Kind: CmdGet, Key: 7}},
+		{"SET 1 2", Command{Kind: CmdSet, Key: 1, Val: 2}},
+		{"set 18446744073709551615 0", Command{Kind: CmdSet, Key: 1<<64 - 1}},
+		{"DEL 42", Command{Kind: CmdDel, Key: 42}},
+		{"SCAN", Command{Kind: CmdScan}},
+		{"SCAN 10", Command{Kind: CmdScan, Limit: 10}},
+		{"  SET  3  4  ", Command{Kind: CmdSet, Key: 3, Val: 4}},
+		{"SET 3 4\r", Command{Kind: CmdSet, Key: 3, Val: 4}},
+		{"INFO", Command{Kind: CmdInfo}},
+		{"STATS", Command{Kind: CmdStats}},
+		{"PING", Command{Kind: CmdPing}},
+		{"QUIT", Command{Kind: CmdQuit}},
+	}
+	for _, c := range cases {
+		got, err := ParseCommand([]byte(c.line))
+		if err != nil {
+			t.Errorf("ParseCommand(%q): %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseCommand(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"BOGUS 1",
+		"GET",
+		"GET 1 2",
+		"GET x",
+		"GET -1",
+		"GET 99999999999999999999999999",       // > 20 digits
+		"SET 184467440737095516160 1",          // 21 digits, overflows
+		"SET 1",
+		"SET 1 2 3",
+		"SCAN 1 2",
+		"SCAN 99999999999999999999",
+		"SCAN 2000000000", // over the 1<<30 cap
+		"INFO now",
+		"PING PING",
+		"GET \x80\x81",
+		"S\xffT 1 2",
+	}
+	for _, line := range bad {
+		if _, err := ParseCommand([]byte(line)); err == nil {
+			t.Errorf("ParseCommand(%q) succeeded, want error", line)
+		}
+	}
+
+	if _, err := ParseCommand([]byte("GET \x00")); !errors.Is(err, ErrBinaryLine) {
+		t.Errorf("NUL byte: got %v, want ErrBinaryLine", err)
+	}
+	if _, err := ParseCommand([]byte("GET\t1")); !errors.Is(err, ErrBinaryLine) {
+		t.Errorf("tab separator: got %v, want ErrBinaryLine", err)
+	}
+	long := "SET 1 " + strings.Repeat("2", MaxLineLen)
+	if _, err := ParseCommand([]byte(long)); !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("oversized line: got %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestResponseWriters(t *testing.T) {
+	var buf bytes.Buffer
+	writeOK(&buf)
+	writeNil(&buf)
+	writeInt(&buf, 1<<64-1)
+	writeErr(&buf, errors.New("boom\r\nwith newline"))
+	writeBulk(&buf, "a: 1\n")
+	want := "+OK\r\n$-1\r\n:18446744073709551615\r\n-ERR boom  with newline\r\n$5\r\na: 1\n\r\n"
+	if buf.String() != want {
+		t.Errorf("responses = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5, 33: 6, 64: 6, 65: 7, 1000: 7}
+	for n, want := range cases {
+		if got := histBucket(n); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", ">64"}
+	for i, want := range labels {
+		if got := HistLabel(i); got != want {
+			t.Errorf("HistLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

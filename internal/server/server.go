@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/workloads"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxBatch is the most SET/DEL operations folded into one group-commit
+	// transaction (default 64).
+	MaxBatch int
+	// MaxDelay is how long the committer waits after a batch's first
+	// operation for stragglers before committing short (default 200µs).
+	MaxDelay time.Duration
+	// Buckets sizes the KVStore's bucket directory when the pool has no
+	// store yet (default 4096). Ignored when attaching to an existing store.
+	Buckets int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 200 * time.Microsecond
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 4096
+	}
+	return o
+}
+
+// Server is one corundum-server instance over one open pool.
+type Server struct {
+	pool *pool.Pool
+	kv   *workloads.KVStore
+	b    *Batcher
+	opts Options
+
+	// lock is the store-level reader/writer lock: connection goroutines
+	// read (GET/SCAN) under RLock, the committer applies batches under
+	// Lock. The KVStore itself is not internally synchronized.
+	lock sync.RWMutex
+
+	start time.Time
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	halted atomic.Bool
+	wg     sync.WaitGroup
+
+	// Op counters for STATS.
+	opsGet, opsSet, opsDel, opsScan atomic.Uint64
+	connsTotal                      atomic.Uint64
+}
+
+// New builds a server over an already-open pool. Pool recovery has run
+// inside pool.Open/Attach before this point; New additionally verifies
+// heap consistency and refuses to serve a damaged pool — traffic is never
+// accepted against inconsistent state. A fresh pool (no root) gets a new
+// KVStore; otherwise the existing store is attached.
+func New(p *pool.Pool, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := p.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("server: pool failed consistency check, refusing to serve: %w", err)
+	}
+	ep := corundumeng.Wrap(p)
+	var kv *workloads.KVStore
+	if p.RootOff() == 0 {
+		created, err := workloads.NewKVStore(ep, opts.Buckets)
+		if err != nil {
+			return nil, fmt.Errorf("server: initializing store: %w", err)
+		}
+		kv = created
+	} else {
+		kv = workloads.AttachKVStore(ep)
+	}
+	s := &Server{
+		pool:  p,
+		kv:    kv,
+		opts:  opts,
+		start: time.Now(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.b = newBatcher(kv, &s.lock, opts.MaxBatch, opts.MaxDelay, s.onPoolFailure)
+	return s, nil
+}
+
+// Batcher exposes the group-commit engine (stats, benchmarks).
+func (s *Server) Batcher() *Batcher { return s.b }
+
+// Halted reports whether the pool failed underneath the server.
+func (s *Server) Halted() bool { return s.halted.Load() }
+
+// onPoolFailure runs once, from whichever goroutine first observed the
+// pool dying (an injected crash in tests). It stops accepting and tears
+// down connections so clients see the failure promptly instead of
+// timing out; pending Submits are unblocked by the batcher's dead channel.
+func (s *Server) onPoolFailure(err error) {
+	s.halted.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is closed or halted. It can be called on several listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.halted.Load() || s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed || s.halted.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, closes every connection, waits for their
+// goroutines, and drains the batcher. The pool itself stays open — its
+// owner closes it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait() // after this no goroutine can Submit
+	s.b.Stop()
+	return nil
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(c)
+	defer c.Close()
+	r := bufio.NewReaderSize(c, MaxLineLen+2)
+	w := bufio.NewWriter(c)
+	// pending holds a run of consecutive SET/DEL commands this connection
+	// has pipelined. The run is submitted to the batcher as one group the
+	// moment the read buffer holds no further complete request (or the run
+	// reaches MaxBatch, or a non-mutating command needs the run's effects).
+	// This is what lets a single pipelining connection fill a group-commit
+	// batch instead of trickling one op per round trip.
+	pending := make([]Command, 0, s.opts.MaxBatch)
+	for {
+		line, err := readLine(r)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrLineTooLong):
+			// The stream cannot be re-synchronized reliably; refuse and drop.
+			s.flushMutations(&pending, w)
+			writeErr(w, err)
+			w.Flush()
+			return
+		default:
+			// EOF, reset, or server-initiated close. Any still-pending run
+			// was never submitted: those ops are unacknowledged and may be
+			// absent after the drop, which the protocol permits.
+			return
+		}
+		cmd, perr := ParseCommand(line)
+		switch {
+		case perr != nil:
+			s.flushMutations(&pending, w)
+			writeErr(w, perr)
+			if errors.Is(perr, ErrBinaryLine) {
+				w.Flush()
+				return
+			}
+		case cmd.Kind == CmdSet || cmd.Kind == CmdDel:
+			pending = append(pending, cmd)
+			if len(pending) < s.opts.MaxBatch && hasFullLine(r) {
+				continue
+			}
+			s.flushMutations(&pending, w)
+		default:
+			s.flushMutations(&pending, w)
+			if quit := s.dispatch(cmd, w); quit {
+				w.Flush()
+				return
+			}
+		}
+		// Flush only when no further request is already buffered: pipelined
+		// clients get their replies in one segment.
+		if r.Buffered() == 0 {
+			if w.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// flushMutations submits the connection's pipelined run of mutations as
+// one group and writes their replies in order. Ack-after-commit holds per
+// op: a reply is written only after the transaction holding that op has
+// durably committed.
+func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
+	cmds := *pending
+	if len(cmds) == 0 {
+		return
+	}
+	*pending = cmds[:0]
+	ops := make([]workloads.Op, len(cmds))
+	for i, cmd := range cmds {
+		if cmd.Kind == CmdDel {
+			s.opsDel.Add(1)
+			ops[i] = workloads.Op{Del: true, Key: cmd.Key}
+		} else {
+			s.opsSet.Add(1)
+			ops[i] = workloads.Op{Key: cmd.Key, Val: cmd.Val}
+		}
+	}
+	for i, res := range s.b.SubmitMany(ops) {
+		switch {
+		case res.Err != nil:
+			writeErr(w, res.Err)
+		case cmds[i].Kind == CmdDel:
+			if res.Removed {
+				writeInt(w, 1)
+			} else {
+				writeInt(w, 0)
+			}
+		default:
+			writeOK(w)
+		}
+	}
+}
+
+// hasFullLine reports whether the reader's buffer already holds a
+// complete request line, without reading from the connection. A partial
+// line means the client is mid-write; waiting on it with unsubmitted
+// mutations pending could deadlock a client that expects those acks
+// before finishing its next request.
+func hasFullLine(r *bufio.Reader) bool {
+	buf, _ := r.Peek(r.Buffered())
+	return bytes.IndexByte(buf, '\n') >= 0
+}
+
+// readLine returns the next '\n'-terminated line without its terminator.
+// Lines longer than the reader's buffer are rejected as ErrLineTooLong.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, ErrLineTooLong
+	}
+	if err != nil {
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// dispatch executes one parsed non-mutating command and writes its reply
+// (SET/DEL go through flushMutations). It reports whether the connection
+// should close (QUIT).
+func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
+	if s.halted.Load() && cmd.Kind != CmdPing && cmd.Kind != CmdQuit {
+		writeErr(w, s.b.failure())
+		return false
+	}
+	switch cmd.Kind {
+	case CmdGet:
+		s.opsGet.Add(1)
+		val, found, err := s.get(cmd.Key)
+		switch {
+		case err != nil:
+			writeErr(w, err)
+		case found:
+			writeInt(w, val)
+		default:
+			writeNil(w)
+		}
+	case CmdScan:
+		s.opsScan.Add(1)
+		pairs, err := s.scan(cmd.Limit)
+		if err != nil {
+			writeErr(w, err)
+		} else {
+			fmt.Fprintf(w, "*%d\r\n", len(pairs)/2)
+			for i := 0; i < len(pairs); i += 2 {
+				fmt.Fprintf(w, "%d %d\r\n", pairs[i], pairs[i+1])
+			}
+		}
+	case CmdInfo:
+		writeBulk(w, s.renderInfo())
+	case CmdStats:
+		writeBulk(w, s.renderStats())
+	case CmdPing:
+		w.WriteString("+PONG\r\n")
+	case CmdQuit:
+		writeOK(w)
+		return true
+	}
+	return false
+}
+
+// get and scan run read-only transactions under the reader lock. A panic
+// out of the device (injected crash) halts the server, like a failed
+// commit; any other panic is a bug and propagates.
+func (s *Server) get(key uint64) (val uint64, found bool, err error) {
+	defer s.recoverPoolFailure(&err)
+	s.lock.RLock()
+	defer s.lock.RUnlock()
+	return s.kv.Get(key)
+}
+
+func (s *Server) scan(limit int) (pairs []uint64, err error) {
+	defer s.recoverPoolFailure(&err)
+	s.lock.RLock()
+	defer s.lock.RUnlock()
+	scanErr := s.kv.Scan(func(k, v uint64) bool {
+		pairs = append(pairs, k, v)
+		return limit == 0 || len(pairs)/2 < limit
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return pairs, nil
+}
+
+func (s *Server) recoverPoolFailure(err *error) {
+	if r := recover(); r != nil {
+		if r != pmem.ErrInjectedCrash {
+			panic(r)
+		}
+		e := fmt.Errorf("%w: %v", ErrServerHalted, r)
+		s.b.fail(e)
+		*err = e
+	}
+}
+
+func (s *Server) renderInfo() string {
+	rb, rf := s.pool.Recovery()
+	dev := s.pool.Device()
+	return fmt.Sprintf(
+		"server: corundum-server\n"+
+			"uptime_seconds: %d\n"+
+			"pool_size_bytes: %d\n"+
+			"pool_generation: %d\n"+
+			"pool_root_offset: %d\n"+
+			"journals: %d\n"+
+			"journals_in_use: %d\n"+
+			"recovery_rolled_back: %d\n"+
+			"recovery_rolled_forward: %d\n"+
+			"heap_in_use_bytes: %d\n"+
+			"heap_free_bytes: %d\n"+
+			"halted: %v\n",
+		int(time.Since(s.start).Seconds()),
+		dev.Size(),
+		s.pool.Generation(),
+		s.pool.RootOff(),
+		s.pool.Journals(),
+		s.pool.Journals()-s.pool.JournalsFree(),
+		rb, rf,
+		s.pool.InUse(),
+		s.pool.FreeBytes(),
+		s.halted.Load(),
+	)
+}
+
+func (s *Server) renderStats() string {
+	st := s.pool.Device().Stats()
+	bs := s.b.Stats()
+	batches := bs.Batches.Load()
+	ops := bs.BatchedOps.Load()
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(ops) / float64(batches)
+	}
+	out := fmt.Sprintf(
+		"ops_get: %d\nops_set: %d\nops_del: %d\nops_scan: %d\n"+
+			"connections_total: %d\n"+
+			"batches_committed: %d\nbatched_ops: %d\nmean_batch: %.2f\n",
+		s.opsGet.Load(), s.opsSet.Load(), s.opsDel.Load(), s.opsScan.Load(),
+		s.connsTotal.Load(),
+		batches, ops, mean,
+	)
+	for i := 0; i < HistBuckets; i++ {
+		out += fmt.Sprintf("batch_hist_%s: %d\n", HistLabel(i), bs.Hist[i].Load())
+	}
+	out += fmt.Sprintf("pmem_writes: %d\npmem_flushes: %d\npmem_fences: %d\n",
+		st.Writes.Load(), st.Flushes.Load(), st.Fences.Load())
+	return out
+}
+
+// Response writers (RESP-like).
+
+func writeOK(w io.Writer)  { io.WriteString(w, "+OK\r\n") }
+func writeNil(w io.Writer) { io.WriteString(w, "$-1\r\n") }
+
+func writeInt(w io.Writer, n uint64) { fmt.Fprintf(w, ":%d\r\n", n) }
+
+func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(err.Error())) }
+
+func writeBulk(w io.Writer, body string) { fmt.Fprintf(w, "$%d\r\n%s\r\n", len(body), body) }
+
+// oneLine keeps error messages protocol-safe.
+func oneLine(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\r' || s[i] == '\n' {
+			out = append(out, ' ')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,287 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"corundum/internal/containers"
+	"corundum/internal/core"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+)
+
+// This file adds the concurrent campaign mode: N goroutines issue
+// transactions against the same pool while power is cut at a random
+// device operation across ALL of them. The serial mode exercises one
+// journal at a time; this mode is what actually stresses the
+// sharded-journal concurrency path (multiple undo logs in flight,
+// allocator arenas serving different transactions, recovery walking
+// several non-idle journals). The invariant checked per transaction is
+// unchanged: acknowledged means fully visible after recovery,
+// interrupted means all-or-nothing.
+
+// CTag tags the pool concurrent campaigns run in.
+type CTag struct{}
+
+// MaxWorkers bounds the campaign's concurrency (the root carries one
+// shard per worker).
+const MaxWorkers = 16
+
+// ShardedRoot gives every worker its own persistent map. Workers share
+// the pool — journals, heap arenas, the device — but not data
+// structures, so crash injection lands in genuinely concurrent
+// transaction machinery while each worker's model stays independently
+// checkable.
+type ShardedRoot struct {
+	Shards [MaxWorkers]containers.HashMap[uint64, int64, CTag]
+}
+
+// shardWorker is one goroutine's volatile mirror of its shard.
+type shardWorker struct {
+	shard     int
+	rng       *rand.Rand
+	committed map[uint64]int64 // model of acknowledged state
+	pending   map[uint64]int64 // model including the interrupted tx
+	inDoubt   bool             // this round ended in a mid-tx crash
+	attempted int
+	err       error
+}
+
+// runRound issues up to quota transactions against the worker's shard,
+// stopping at the first injected crash (every device operation after the
+// power cut panics, so an in-flight transaction can never half-complete
+// silently).
+func (w *shardWorker) runRound(r *ShardedRoot, quota int) {
+	w.inDoubt = false
+	shard := &r.Shards[w.shard]
+	for k := 0; k < quota; k++ {
+		pending := make(map[uint64]int64, len(w.committed))
+		for key, v := range w.committed {
+			pending[key] = v
+		}
+		crashed := false
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec != pmem.ErrInjectedCrash {
+						panic(rec)
+					}
+					crashed = true
+				}
+			}()
+			w.attempted++
+			if err := core.Transaction[CTag](func(j *core.Journal[CTag]) error {
+				return randomShardTx(j, shard, w.rng, pending)
+			}); err != nil {
+				w.err = fmt.Errorf("transaction error: %w", err)
+			}
+		}()
+		if w.err != nil {
+			return
+		}
+		if crashed {
+			w.inDoubt = true
+			w.pending = pending
+			return
+		}
+		w.committed = pending
+	}
+}
+
+// randomShardTx applies 1-4 random operations to one shard inside one
+// transaction, keeping the pending model in lockstep.
+func randomShardTx(j *core.Journal[CTag], m *containers.HashMap[uint64, int64, CTag], rng *rand.Rand, pending map[uint64]int64) error {
+	ops := 1 + rng.Intn(4)
+	for k := 0; k < ops; k++ {
+		key := uint64(1 + rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := rng.Int63()
+			if err := m.Put(j, key, val); err != nil {
+				return err
+			}
+			pending[key] = val
+		case 2:
+			removed, err := m.Delete(j, key)
+			if err != nil {
+				return err
+			}
+			if _, in := pending[key]; removed != in {
+				return fmt.Errorf("delete(%d) disagreed with model", key)
+			}
+			delete(pending, key)
+		}
+	}
+	return nil
+}
+
+// verifyShard compares one persistent shard against a model.
+func verifyShard(m *containers.HashMap[uint64, int64, CTag], model map[uint64]int64) error {
+	if got := m.Len(); got != len(model) {
+		return fmt.Errorf("shard len %d, model %d", got, len(model))
+	}
+	var bad error
+	seen := 0
+	m.Range(func(k uint64, v *int64) bool {
+		want, ok := model[k]
+		if !ok || want != *v {
+			bad = fmt.Errorf("shard key %d = %d, model %d (present=%v)", k, *v, want, ok)
+			return false
+		}
+		seen++
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if seen != len(model) {
+		return fmt.Errorf("range saw %d keys, model %d", seen, len(model))
+	}
+	return nil
+}
+
+// ConcurrentCampaign runs randomized crash-injection rounds with the
+// given number of worker goroutines transacting concurrently on one
+// pool, until at least iterations transactions have been attempted. It
+// returns an error on any consistency violation. RolledBack/RolledFwd
+// count per-worker in-doubt transactions (one crash can leave several
+// journals non-idle, so they need not sum to Crashes as in the serial
+// mode).
+func ConcurrentCampaign(seed int64, iterations, workers int) (*Result, error) {
+	if workers < 1 || workers > MaxWorkers {
+		return nil, fmt.Errorf("torture: workers must be in [1,%d], got %d", MaxWorkers, workers)
+	}
+	// Journals >= workers: after the power cut, a transaction's cleanup
+	// panics before returning its journal slot, so a worker waiting for a
+	// free slot would otherwise wait forever on a dead round.
+	cfg := core.Config{Size: 64 << 20, Journals: workers + 2, Mem: pmem.Options{TrackCrash: true}}
+	root, err := core.Open[ShardedRoot, CTag]("", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer core.ClosePool[CTag]()
+
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{}
+	ws := make([]*shardWorker, workers)
+	for i := range ws {
+		ws[i] = &shardWorker{shard: i, committed: map[uint64]int64{}}
+	}
+
+	// Build each shard's bucket directory before arming the injector: the
+	// directory allocation is one huge transaction that would otherwise
+	// absorb nearly every early crash, starving the campaign of
+	// steady-state coverage. (Crashes during structure growth still occur
+	// via chain allocations.)
+	for i := 0; i < workers; i++ {
+		shard := &root.Deref().Shards[i]
+		if err := core.Transaction[CTag](func(j *core.Journal[CTag]) error {
+			if err := shard.Put(j, 1, 0); err != nil {
+				return err
+			}
+			_, err := shard.Delete(j, 1)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("shard %d init: %w", i, err)
+		}
+	}
+
+	const quota = 4 // transactions per worker per round
+	for res.Iterations < iterations {
+		crashAt := uint64(1 + rng.Intn(400*workers))
+		evict := rng.Intn(4) == 0
+		evictSeed := rng.Int63()
+		for _, w := range ws {
+			w.rng = rand.New(rand.NewSource(rng.Int63()))
+		}
+
+		dev := core.DeviceOf[CTag]()
+		var count atomic.Uint64
+		var fired atomic.Bool
+		dev.SetFaultInjector(func(op pmem.Op) bool {
+			if count.Add(1) == crashAt {
+				fired.Store(true)
+				return true
+			}
+			return false
+		})
+
+		r := root.Deref()
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *shardWorker) {
+				defer wg.Done()
+				w.runRound(r, quota)
+			}(w)
+		}
+		wg.Wait()
+		dev.SetFaultInjector(nil)
+
+		for _, w := range ws {
+			res.Iterations += w.attempted
+			w.attempted = 0
+			if w.err != nil {
+				return nil, fmt.Errorf("worker %d: %w", w.shard, w.err)
+			}
+		}
+		if !fired.Load() {
+			continue // the round finished before the scheduled power cut
+		}
+		res.Crashes++
+
+		// Power loss and reboot, exactly as in the serial mode.
+		if evict {
+			res.Evictions++
+			dev.CrashWithEviction(evictSeed)
+		} else {
+			dev.Crash()
+		}
+		if err := core.ClosePool[CTag](); err != nil {
+			return nil, err
+		}
+		p2, err := pool.Attach(dev)
+		if err != nil {
+			return nil, fmt.Errorf("crash %d: recovery failed: %w", res.Crashes, err)
+		}
+		if err := p2.CheckConsistency(); err != nil {
+			return nil, fmt.Errorf("crash %d: heap corrupt after recovery: %w", res.Crashes, err)
+		}
+		adopted, err := core.Adopt[ShardedRoot, CTag](p2)
+		if err != nil {
+			return nil, err
+		}
+		root = adopted
+		r = root.Deref()
+
+		for _, w := range ws {
+			shard := &r.Shards[w.shard]
+			switch {
+			case verifyShard(shard, w.committed) == nil:
+				if w.inDoubt {
+					res.RolledBack++
+				}
+			case w.inDoubt && verifyShard(shard, w.pending) == nil:
+				res.RolledFwd++
+				w.committed = w.pending
+			default:
+				preErr := verifyShard(shard, w.committed)
+				return nil, fmt.Errorf("crash %d (crashAt=%d evict=%v) worker %d: state is neither pre- nor post-transaction (inDoubt=%v): %v",
+					res.Crashes, crashAt, evict, w.shard, w.inDoubt, preErr)
+			}
+			w.inDoubt = false
+		}
+	}
+
+	// Final structural and content check of every shard.
+	r := root.Deref()
+	for _, w := range ws {
+		if err := verifyShard(&r.Shards[w.shard], w.committed); err != nil {
+			return nil, fmt.Errorf("final check, worker %d: %w", w.shard, err)
+		}
+		res.FinalMapLen += len(w.committed)
+	}
+	return res, nil
+}

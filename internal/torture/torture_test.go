@@ -2,11 +2,39 @@ package torture
 
 import "testing"
 
+// TestConcurrentCampaigns runs crash campaigns with several goroutines
+// transacting on the same pool: crashes land while multiple journals are
+// in flight, and recovery must leave every worker's shard exactly
+// pre- or post-transaction.
+func TestConcurrentCampaigns(t *testing.T) {
+	workerCounts := []int{2, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{4}
+	}
+	for _, workers := range workerCounts {
+		for seed := int64(1); seed <= 2; seed++ {
+			res, err := ConcurrentCampaign(seed, 200, workers)
+			if err != nil {
+				t.Fatalf("workers %d seed %d: %v", workers, seed, err)
+			}
+			if res.Crashes == 0 {
+				t.Errorf("workers %d seed %d: campaign never crashed; injection broken?", workers, seed)
+			}
+			t.Logf("workers %d seed %d: %d txs attempted, %d crashes (%d rolled back, %d rolled forward, %d with eviction), %d keys",
+				workers, seed, res.Iterations, res.Crashes, res.RolledBack, res.RolledFwd, res.Evictions, res.FinalMapLen)
+		}
+	}
+}
+
 // TestCampaigns runs several deterministic crash campaigns. Any torn
 // state, corruption, or lost acknowledged transaction fails the test.
 func TestCampaigns(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		res, err := Campaign(seed, 150)
+	seeds, iterations := int64(4), 150
+	if testing.Short() {
+		seeds, iterations = 2, 75
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, err := Campaign(seed, iterations)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

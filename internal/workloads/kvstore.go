@@ -72,27 +72,31 @@ func (kv *KVStore) bucket(key uint64) uint64 {
 // Put inserts or updates key (the paper's PUT).
 func (kv *KVStore) Put(key, val uint64) error {
 	return kv.pool.Tx(func(tx engine.Tx) error {
-		slot := kv.bucket(key)
-		for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
-			if tx.Load(e+kvKey) == key {
-				return tx.Store(e+kvVal, val)
-			}
-		}
-		e, err := tx.Alloc(kvEntry)
-		if err != nil {
-			return err
-		}
-		if err := tx.Store(e+kvKey, key); err != nil {
-			return err
-		}
-		if err := tx.Store(e+kvVal, val); err != nil {
-			return err
-		}
-		if err := tx.Store(e+kvNext, tx.Load(slot)); err != nil {
-			return err
-		}
-		return tx.Store(slot, e)
+		return kv.putTx(tx, key, val)
 	})
+}
+
+func (kv *KVStore) putTx(tx engine.Tx, key, val uint64) error {
+	slot := kv.bucket(key)
+	for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
+		if tx.Load(e+kvKey) == key {
+			return tx.Store(e+kvVal, val)
+		}
+	}
+	e, err := tx.Alloc(kvEntry)
+	if err != nil {
+		return err
+	}
+	if err := tx.Store(e+kvKey, key); err != nil {
+		return err
+	}
+	if err := tx.Store(e+kvVal, val); err != nil {
+		return err
+	}
+	if err := tx.Store(e+kvNext, tx.Load(slot)); err != nil {
+		return err
+	}
+	return tx.Store(slot, e)
 }
 
 // Get looks up key (the paper's GET).
@@ -113,20 +117,80 @@ func (kv *KVStore) Get(key uint64) (val uint64, found bool, err error) {
 // Delete removes key and reclaims its entry.
 func (kv *KVStore) Delete(key uint64) (removed bool, err error) {
 	err = kv.pool.Tx(func(tx engine.Tx) error {
-		slot := kv.bucket(key)
-		for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
-			if tx.Load(e+kvKey) == key {
-				if err := tx.Store(slot, tx.Load(e+kvNext)); err != nil {
+		removed, err = kv.deleteTx(tx, key)
+		return err
+	})
+	return removed, err
+}
+
+func (kv *KVStore) deleteTx(tx engine.Tx, key uint64) (bool, error) {
+	slot := kv.bucket(key)
+	for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
+		if tx.Load(e+kvKey) == key {
+			if err := tx.Store(slot, tx.Load(e+kvNext)); err != nil {
+				return false, err
+			}
+			return true, tx.Free(e, kvEntry)
+		}
+		slot = e + kvNext
+	}
+	return false, nil
+}
+
+// Op is one mutation in a batched transaction: a PUT of Key=Val, or (when
+// Del is set) a delete of Key.
+type Op struct {
+	Del      bool
+	Key, Val uint64
+}
+
+// Apply runs every op, in order, inside ONE failure-atomic transaction:
+// after a crash either all ops are visible or none are. This is the
+// group-commit entry point used by corundum-server's batcher — one
+// undo-log commit (and its flush+fence) is amortized over the whole
+// batch. The returned slice has one element per op: for deletes, whether
+// the key existed; for puts, always true.
+func (kv *KVStore) Apply(ops []Op) ([]bool, error) {
+	res := make([]bool, len(ops))
+	if len(ops) == 0 {
+		return res, nil
+	}
+	err := kv.pool.Tx(func(tx engine.Tx) error {
+		for i, op := range ops {
+			if op.Del {
+				removed, err := kv.deleteTx(tx, op.Key)
+				if err != nil {
 					return err
 				}
-				removed = true
-				return tx.Free(e, kvEntry)
+				res[i] = removed
+			} else {
+				if err := kv.putTx(tx, op.Key, op.Val); err != nil {
+					return err
+				}
+				res[i] = true
 			}
-			slot = e + kvNext
 		}
 		return nil
 	})
-	return removed, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Scan visits every key/value pair (in bucket order, not key order) until
+// fn returns false. It runs as a read-only transaction.
+func (kv *KVStore) Scan(fn func(key, val uint64) bool) error {
+	return kv.pool.Tx(func(tx engine.Tx) error {
+		for b := uint64(0); b < kv.nBuckets; b++ {
+			for e := tx.Load(kv.buckets + b*8); e != 0; e = tx.Load(e + kvNext) {
+				if !fn(tx.Load(e+kvKey), tx.Load(e+kvVal)) {
+					return nil
+				}
+			}
+		}
+		return nil
+	})
 }
 
 // Len counts entries (test helper).

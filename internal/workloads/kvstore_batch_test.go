@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKVStoreApplyAgainstModelOnAllLibs drives the group-commit entry
+// point with random mixed batches and cross-checks the per-op results,
+// point lookups, Scan, and Len against a volatile model.
+func TestKVStoreApplyAgainstModelOnAllLibs(t *testing.T) {
+	for _, lib := range libs() {
+		t.Run(lib.Name(), func(t *testing.T) {
+			p, err := lib.Open(testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			kv, err := NewKVStore(p, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(23))
+			for round := 0; round < 150; round++ {
+				ops := make([]Op, 1+rng.Intn(16))
+				for i := range ops {
+					key := uint64(rng.Intn(200))
+					if rng.Intn(4) == 0 {
+						ops[i] = Op{Del: true, Key: key}
+					} else {
+						ops[i] = Op{Key: key, Val: rng.Uint64()}
+					}
+				}
+				res, err := kv.Apply(ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, op := range ops {
+					if op.Del {
+						_, inModel := model[op.Key]
+						if res[i] != inModel {
+							t.Fatalf("round %d op %d: delete(%d)=%v, model %v", round, i, op.Key, res[i], inModel)
+						}
+						delete(model, op.Key)
+					} else {
+						if !res[i] {
+							t.Fatalf("round %d op %d: put reported false", round, i)
+						}
+						model[op.Key] = op.Val
+					}
+				}
+			}
+			for key, want := range model {
+				got, found, err := kv.Get(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found || got != want {
+					t.Fatalf("get(%d) = %d,%v want %d", key, got, found, want)
+				}
+			}
+			scanned := make(map[uint64]uint64)
+			if err := kv.Scan(func(k, v uint64) bool {
+				if _, dup := scanned[k]; dup {
+					t.Fatalf("scan visited key %d twice", k)
+				}
+				scanned[k] = v
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(scanned) != len(model) {
+				t.Fatalf("scan saw %d keys, model has %d", len(scanned), len(model))
+			}
+			for k, v := range model {
+				if scanned[k] != v {
+					t.Fatalf("scan value for %d: %d want %d", k, scanned[k], v)
+				}
+			}
+			n, err := kv.Len()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("len %d, model %d", n, len(model))
+			}
+		})
+	}
+}
+
+// TestKVStoreApplyEmptyAndScanEarlyStop covers the degenerate batch and
+// the Scan early-termination contract.
+func TestKVStoreApplyEmptyAndScanEarlyStop(t *testing.T) {
+	lib := libs()[0]
+	p, err := lib.Open(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	kv, err := NewKVStore(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := kv.Apply(nil); err != nil || len(res) != 0 {
+		t.Fatalf("Apply(nil) = %v, %v", res, err)
+	}
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Key: uint64(i), Val: uint64(i) * 3}
+	}
+	if _, err := kv.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	visited := 0
+	if err := kv.Scan(func(k, v uint64) bool {
+		visited++
+		return visited < 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 4 {
+		t.Fatalf("scan visited %d pairs after stopping at 4", visited)
+	}
+}
