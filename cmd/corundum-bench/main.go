@@ -39,10 +39,11 @@ func main() {
 		srvOps     = flag.Int("server-ops", 5000, "SETs per client for the server experiment")
 		profile    = flag.String("profile", "OptaneDC", "memory profile for Figure 1: OptaneDC|DRAM|NoDelay")
 		csvDir     = flag.String("csv", "", "also write artifact CSV files to this directory")
+		jsonDir    = flag.String("json", "", "also write BENCH_*.json artifacts (with per-scope fence attribution) to this directory")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *n, *microOps, *segments, *segBytes, *consumers, *srvClients, *srvOps, *profile, *csvDir); err != nil {
+	if err := run(*experiment, *n, *microOps, *segments, *segBytes, *consumers, *srvClients, *srvOps, *profile, *csvDir, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-bench:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func profileByName(name string) (pmem.Profile, error) {
 	return pmem.Profile{}, fmt.Errorf("unknown profile %q", name)
 }
 
-func run(experiment string, n, microOps, segments, segBytes, consumers, srvClients, srvOps int, profName, csvDir string) error {
+func run(experiment string, n, microOps, segments, segBytes, consumers, srvClients, srvOps int, profName, csvDir, jsonDir string) error {
 	prof, err := profileByName(profName)
 	if err != nil {
 		return err
@@ -108,6 +109,17 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 				return err
 			}
 			f.Close()
+		}
+		if jsonDir != "" {
+			f, err := os.Create(filepath.Join(jsonDir, "BENCH_micro.json"))
+			if err != nil {
+				return err
+			}
+			err = bench.WriteMicroJSON(f, map[string][]bench.MicroResult{"OptaneDC": optane, "DRAM": dram})
+			f.Close()
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -176,6 +188,17 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 				return err
 			}
 			f.Close()
+		}
+		if jsonDir != "" {
+			f, err := os.Create(filepath.Join(jsonDir, "BENCH_server.json"))
+			if err != nil {
+				return err
+			}
+			err = bench.WriteServerJSON(f, rows)
+			f.Close()
+			if err != nil {
+				return err
+			}
 		}
 	}
 

@@ -3,6 +3,7 @@
 //
 //	corundum-server -pool kv.pool [-addr :6380] [-size 256MiB-bytes]
 //	                [-journals 16] [-max-batch 64] [-max-delay 200us]
+//	                [-metrics-addr :9100]
 //
 // On startup the pool is opened (creating and formatting it if the file
 // does not exist), crash recovery runs, and the heap is consistency-
@@ -12,13 +13,16 @@
 // at most -max-delay for stragglers, and acknowledges each request only
 // after its transaction is durably committed. INFO and STATS expose pool
 // geometry, recovery counts, journal occupancy, the batch-size histogram,
-// and the emulated device's write/flush/fence counters.
+// and the emulated device's write/flush/fence counters (including
+// per-scope fence attribution). With -metrics-addr the same numbers are
+// served as Prometheus text on GET /metrics, alongside net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,15 +43,16 @@ func main() {
 		maxBatch = flag.Int("max-batch", 64, "max mutations per group-commit transaction")
 		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max wait for group-commit stragglers")
 		profile  = flag.String("profile", "NoDelay", "emulated PM latency profile: OptaneDC|DRAM|NoDelay")
+		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof on this address, e.g. :9100")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *profile); err != nil {
+	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *profile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time.Duration, profName string) error {
+func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time.Duration, profName, metricsAddr string) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -93,6 +98,16 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time
 		return err
 	}
 	fmt.Printf("serving on %s (max-batch %d, max-delay %s)\n", ln.Addr(), maxBatch, maxDelay)
+
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+		go http.Serve(mln, srv.DebugMux())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

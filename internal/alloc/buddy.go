@@ -373,6 +373,39 @@ func (b *Buddy) FreeBytes() uint64 {
 	return b.freeBytesLocked()
 }
 
+// FreeSummary describes the arena's free-space shape for fragmentation
+// metrics: how much is free, in how many blocks, and the largest
+// contiguous block an allocation could still get.
+type FreeSummary struct {
+	FreeBytes    uint64
+	FreeBlocks   uint64
+	LargestBlock uint64
+}
+
+// FreeSummary walks the free lists and summarizes them. A healthy arena
+// has few blocks and a large LargestBlock; FreeBytes much larger than
+// LargestBlock means buddy fragmentation.
+func (b *Buddy) FreeSummary() FreeSummary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var s FreeSummary
+	for o := uint(MinOrder); o <= b.maxOrder; o++ {
+		steps := 0
+		for off := binary.LittleEndian.Uint64(b.dev.Bytes()[b.headsOff+uint64(o)*8:]); off != 0; off = binary.LittleEndian.Uint64(b.dev.Bytes()[off:]) {
+			if !b.Owns(off) || steps > int(b.heapSize/Granule) {
+				break // corrupt list; CheckConsistency reports the details
+			}
+			steps++
+			s.FreeBlocks++
+			s.FreeBytes += uint64(1) << o
+			if uint64(1)<<o > s.LargestBlock {
+				s.LargestBlock = uint64(1) << o
+			}
+		}
+	}
+	return s
+}
+
 func (b *Buddy) freeBytesLocked() uint64 {
 	var total uint64
 	for o := uint(MinOrder); o <= b.maxOrder; o++ {

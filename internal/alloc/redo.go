@@ -111,6 +111,7 @@ func (b *redoBatch) commit() {
 	if len(b.entries) == 0 {
 		return
 	}
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeAllocRedo))
 	// Entries and header in one contiguous region: one flush run, one fence.
 	var ebuf [entrySize]byte
 	crc := crc32.NewIEEE()
@@ -176,6 +177,7 @@ func clearLogHeader(dev *pmem.Device, logOff uint64) {
 // A torn log (checksum mismatch) means the commit point was never reached:
 // the operation un-happened, and the log is discarded.
 func replayLog(dev *pmem.Device, logOff uint64) {
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeAllocRedo))
 	n := binary.LittleEndian.Uint64(dev.Bytes()[logOff:])
 	if n == 0 {
 		return

@@ -52,14 +52,14 @@ func AblationDedup(n int, cfg engine.Config) ([]AblationResult, error) {
 		if err != nil {
 			return bst, bt, rep, err
 		}
-		f0 := p.Device().Stats().Fences.Load()
+		f0 := p.Device().Stats().Fences
 		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			if err := w.Insert(uint64(i)*2654435761%uint64(4*n), uint64(i)); err != nil {
 				return bst, bt, rep, err
 			}
 		}
-		bst = sample{time.Since(t0).Seconds(), p.Device().Stats().Fences.Load() - f0}
+		bst = sample{time.Since(t0).Seconds(), p.Device().Stats().Fences - f0}
 
 		p2, err := lib.Open(cfg)
 		if err != nil {
@@ -70,14 +70,14 @@ func AblationDedup(n int, cfg engine.Config) ([]AblationResult, error) {
 		if err != nil {
 			return bst, bt, rep, err
 		}
-		f0 = p2.Device().Stats().Fences.Load()
+		f0 = p2.Device().Stats().Fences
 		t0 = time.Now()
 		for i := 0; i < n; i++ {
 			if err := w2.Insert(uint64(i)*2654435761%uint64(4*n)+1, uint64(i)); err != nil {
 				return bst, bt, rep, err
 			}
 		}
-		bt = sample{time.Since(t0).Seconds(), p2.Device().Stats().Fences.Load() - f0}
+		bt = sample{time.Since(t0).Seconds(), p2.Device().Stats().Fences - f0}
 
 		// Repeated stores to one word in one transaction, n/10 transactions.
 		p3, err := lib.Open(engine.Config{Size: 16 << 20, Mem: cfg.Mem})
@@ -92,7 +92,7 @@ func AblationDedup(n int, cfg engine.Config) ([]AblationResult, error) {
 		}); err != nil {
 			return bst, bt, rep, err
 		}
-		f0 = p3.Device().Stats().Fences.Load()
+		f0 = p3.Device().Stats().Fences
 		t0 = time.Now()
 		for i := 0; i < n/10; i++ {
 			if err := p3.Tx(func(tx engine.Tx) error {
@@ -106,7 +106,7 @@ func AblationDedup(n int, cfg engine.Config) ([]AblationResult, error) {
 				return bst, bt, rep, err
 			}
 		}
-		rep = sample{time.Since(t0).Seconds(), p3.Device().Stats().Fences.Load() - f0}
+		rep = sample{time.Since(t0).Seconds(), p3.Device().Stats().Fences - f0}
 		return bst, bt, rep, nil
 	}
 
@@ -164,9 +164,9 @@ func Fences(cfg engine.Config, fn func(p engine.Pool) error) (uint64, error) {
 	}
 	defer p.Close()
 	var dev *pmem.Device = p.Device()
-	before := dev.Stats().Fences.Load()
+	before := dev.Stats().Fences
 	if err := fn(p); err != nil {
 		return 0, err
 	}
-	return dev.Stats().Fences.Load() - before, nil
+	return dev.Stats().Fences - before, nil
 }

@@ -193,13 +193,13 @@ func TestFenceBudgetPerCommit(t *testing.T) {
 		}); err != nil {
 			return err
 		}
-		before := p.Device().Stats().Fences.Load()
+		before := p.Device().Stats().Fences
 		if err := p.Tx(func(tx engine.Tx) error {
 			return tx.Store(cell, 7)
 		}); err != nil {
 			return err
 		}
-		got := p.Device().Stats().Fences.Load() - before
+		got := p.Device().Stats().Fences - before
 		if got > 3 {
 			return fmt.Errorf("single-store transaction used %d fences, want <= 3", got)
 		}

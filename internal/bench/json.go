@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The JSON artifacts mirror the CSV files but carry the observability
+// extras CSV cannot express cleanly — per-scope fence attribution in
+// particular. CI uploads them (BENCH_server.json, BENCH_micro.json) so a
+// regression in fences/op or in the journal/user-data split is visible in
+// the artifact diff, not just in wall-clock noise.
+
+// serverJSON is the BENCH_server.json document.
+type serverJSON struct {
+	Experiment string      `json:"experiment"`
+	Rows       []ServerRow `json:"rows"`
+}
+
+// WriteServerJSON writes the server experiment's rows, including each
+// configuration's ops/sec, fences/op, and per-scope fence attribution.
+func WriteServerJSON(w io.Writer, rows []ServerRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows})
+}
+
+// microJSON is the BENCH_micro.json document: Table 5 latencies keyed by
+// memory profile.
+type microJSON struct {
+	Experiment string                   `json:"experiment"`
+	Profiles   map[string][]MicroResult `json:"profiles"`
+}
+
+// WriteMicroJSON writes the Table 5 microbenchmark latencies per profile.
+func WriteMicroJSON(w io.Writer, byProfile map[string][]MicroResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(microJSON{Experiment: "micro", Profiles: byProfile})
+}

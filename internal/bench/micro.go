@@ -18,8 +18,8 @@ import (
 
 // MicroResult is one Table 5 row under one memory profile.
 type MicroResult struct {
-	Op    string
-	AvgNs float64
+	Op    string  `json:"op"`
+	AvgNs float64 `json:"avg_ns"`
 }
 
 // microTag is the pool tag the microbenchmarks run in. Micro tears the

@@ -21,15 +21,19 @@ import (
 // group-commit story in one number: the undo-log commit's flush+fence
 // cost amortized over the batch.
 type ServerRow struct {
-	MaxBatch    int
-	Clients     int
-	Ops         int
-	Seconds     float64
-	OpsPerSec   float64
-	MeanBatch   float64
-	Fences      uint64
-	Flushes     uint64
-	FencesPerOp float64
+	MaxBatch    int     `json:"max_batch"`
+	Clients     int     `json:"clients"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	MeanBatch   float64 `json:"mean_batch"`
+	Fences      uint64  `json:"fences"`
+	Flushes     uint64  `json:"flushes"`
+	FencesPerOp float64 `json:"fences_per_op"`
+	// FencesByScope attributes the run's fences to the subsystem that
+	// issued them (journal, user-data, alloc-redo, recovery), the paper's
+	// Fig. 9 breakdown measured rather than estimated.
+	FencesByScope map[string]uint64 `json:"fences_by_scope"`
 }
 
 // ServerThroughput measures SET throughput against an in-process
@@ -75,8 +79,7 @@ func serverRun(clients, opsPerClient, maxBatch int, mem pmem.Options) (ServerRow
 		window = 64
 	}
 
-	stats := p.Device().Stats()
-	fences0, flushes0 := stats.Fences.Load(), stats.Flushes.Load()
+	st0 := p.Device().Stats()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -103,17 +106,25 @@ func serverRun(clients, opsPerClient, maxBatch int, mem pmem.Options) (ServerRow
 	if n := bs.Batches.Load(); n > 0 {
 		mean = float64(bs.BatchedOps.Load()) / float64(n)
 	}
-	fences := stats.Fences.Load() - fences0
+	st1 := p.Device().Stats()
+	fences := st1.Fences - st0.Fences
+	byScope := make(map[string]uint64, len(st1.ByScope))
+	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
+		if n := st1.ByScope[sc].Fences - st0.ByScope[sc].Fences; n > 0 {
+			byScope[sc.String()] = n
+		}
+	}
 	return ServerRow{
-		MaxBatch:    maxBatch,
-		Clients:     clients,
-		Ops:         ops,
-		Seconds:     elapsed,
-		OpsPerSec:   float64(ops) / elapsed,
-		MeanBatch:   mean,
-		Fences:      fences,
-		Flushes:     stats.Flushes.Load() - flushes0,
-		FencesPerOp: float64(fences) / float64(ops),
+		MaxBatch:      maxBatch,
+		Clients:       clients,
+		Ops:           ops,
+		Seconds:       elapsed,
+		OpsPerSec:     float64(ops) / elapsed,
+		MeanBatch:     mean,
+		Fences:        fences,
+		Flushes:       st1.Flushes - st0.Flushes,
+		FencesPerOp:   float64(fences) / float64(ops),
+		FencesByScope: byScope,
 	}, nil
 }
 

@@ -1,0 +1,15 @@
+//go:build amd64
+
+// Package gid returns a cheap, stable identity for the calling goroutine.
+// The pool's nested-transaction flattening, the pmem scope table, and the
+// obs package's sharded counters all key per-goroutine state on it.
+package gid
+
+// getg is implemented in gid_amd64.s.
+func getg() uintptr
+
+// ID returns a stable identity for the calling goroutine: its g pointer.
+// A recycled g only ever reappears after the previous goroutine exited,
+// and transactions cannot outlive their goroutine (endTx is deferred), so
+// identity collisions cannot alias live goroutine state.
+func ID() uint64 { return uint64(getg()) }

@@ -1,13 +1,13 @@
 //go:build !amd64
 
-package pool
+package gid
 
 import "runtime"
 
-// gid extracts the runtime's goroutine id from the stack header — the
+// ID extracts the runtime's goroutine id from the stack header — the
 // portable fallback for architectures without the assembly fast path. It
 // costs a few microseconds per call, paid once per Transaction.
-func gid() uint64 {
+func ID() uint64 {
 	var buf [32]byte
 	n := runtime.Stack(buf[:], false)
 	// Format: "goroutine 123 [...".

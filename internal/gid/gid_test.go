@@ -1,0 +1,39 @@
+package gid
+
+import "testing"
+
+func BenchmarkID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ID()
+	}
+}
+
+// TestIDStablePerGoroutine verifies the identity contract the callers rely
+// on: stable within a goroutine, distinct across live goroutines.
+func TestIDStablePerGoroutine(t *testing.T) {
+	mine := ID()
+	if mine == 0 {
+		t.Fatal("ID returned 0")
+	}
+	if ID() != mine {
+		t.Fatal("ID not stable within a goroutine")
+	}
+	const n = 32
+	ids := make(chan uint64, n)
+	hold := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			ids <- ID()
+			<-hold // keep the goroutine alive so its g cannot be recycled
+		}()
+	}
+	seen := map[uint64]bool{mine: true}
+	for i := 0; i < n; i++ {
+		id := <-ids
+		if seen[id] {
+			t.Fatalf("ID %d seen twice among live goroutines", id)
+		}
+		seen[id] = true
+	}
+	close(hold)
+}

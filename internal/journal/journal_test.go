@@ -67,15 +67,15 @@ func (f *fixture) read8(off uint64) uint64 {
 func TestEmptyTransactionTouchesNoPM(t *testing.T) {
 	f := newFixture(t, 1)
 	j := f.js[0]
-	w0, fl0 := f.dev.Stats().Writes.Load(), f.dev.Stats().Flushes.Load()
+	w0, fl0 := f.dev.Stats().Writes, f.dev.Stats().Flushes
 	j.Begin()
 	if !j.End() {
 		t.Fatal("empty tx did not commit")
 	}
-	if w := f.dev.Stats().Writes.Load(); w != w0 {
+	if w := f.dev.Stats().Writes; w != w0 {
 		t.Errorf("empty tx performed %d PM writes", w-w0)
 	}
-	if fl := f.dev.Stats().Flushes.Load(); fl != fl0 {
+	if fl := f.dev.Stats().Flushes; fl != fl0 {
 		t.Errorf("empty tx performed %d flushes", fl-fl0)
 	}
 }

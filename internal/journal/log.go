@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"corundum/internal/alloc"
+	"corundum/internal/pmem"
 )
 
 func leUint64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
@@ -78,6 +79,7 @@ func (j *Journal) append(kind byte, off, size uint64, payload []byte) error {
 	if err := j.ensureRoom(total); err != nil {
 		return err
 	}
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeJournal))
 	// Flush from the watermark: this covers any deferred (drop) entries
 	// sitting between the last persisted byte and this entry, so recovery's
 	// scan can never hit a torn gap before a persisted entry.
@@ -105,6 +107,7 @@ func (j *Journal) append(kind byte, off, size uint64, payload []byte) error {
 	}
 	j.live = append(j.live, entry{kind: kind, off: off, size: size, payload: pl})
 	j.tail += total
+	j.logBytes += total
 	return nil
 }
 
@@ -144,6 +147,7 @@ func (j *Journal) appendDeferred(kind byte, off, size uint64) error {
 	if err := j.ensureRoom(total); err != nil {
 		return err
 	}
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeJournal))
 	if !j.started {
 		j.writeState(stateRunning)
 		j.started = true
@@ -158,6 +162,7 @@ func (j *Journal) appendDeferred(kind byte, off, size uint64) error {
 	// flushedTo intentionally not advanced: this entry is deferred.
 	j.live = append(j.live, entry{kind: kind, off: off, size: size})
 	j.tail += total
+	j.logBytes += total
 	return nil
 }
 
@@ -197,12 +202,14 @@ func (j *Journal) chainPage() error {
 	j.tail = page
 	j.segEnd = page + chainPageSize
 	j.flushedTo = page
+	j.logBytes += entryHdrSize
 	return nil
 }
 
 // reserveAt writes an unsealed entry header (kind stays invalid) at pos
 // and pre-flushes it, covering any deferred entries below the watermark.
 func (j *Journal) reserveAt(pos uint64, kind byte, size uint64) (hdrOff, payloadOff uint64, err error) {
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeJournal))
 	if !j.started {
 		j.writeState(stateRunning)
 		j.started = true
@@ -222,6 +229,7 @@ func (j *Journal) reserveAt(pos uint64, kind byte, size uint64) (hdrOff, payload
 
 func (j *Journal) finishAppend(hdrOff uint64) {
 	j.tail = hdrOff + entryHdrSize
+	j.logBytes += entryHdrSize
 }
 
 // scanBuffer decodes a journal's entries under the given epoch, stopping

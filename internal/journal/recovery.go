@@ -18,6 +18,9 @@ import (
 // free), so a crash during recovery is handled by running Recover again.
 // It returns the number of transactions rolled back and rolled forward.
 func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) (rolledBack, rolledForward int) {
+	// Everything below is attributed to recovery; allocator frees inside
+	// re-enter the redo scope on their own (innermost wins).
+	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeRecovery))
 	for i := 0; i < n; i++ {
 		bOff := bufOff + uint64(i)*bufCap
 		word := stateWord(dev, bOff)

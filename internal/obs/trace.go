@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one record in a Recorder ring. Kind and Scope are
+// caller-defined codes (the pmem device uses its Op and Scope values), so
+// the ring stays generic and dependency-free.
+type TraceEvent struct {
+	Seq   uint64 // global order, 1-based
+	Kind  uint8
+	Scope uint8
+	Off   uint64
+	Len   uint64
+}
+
+// traceShards bounds lock contention: a recorder claims a global sequence
+// number atomically, then appends under one of several small shard locks.
+// Two events only contend when they land on the same shard, so the common
+// case is an uncontended lock around a single slice store — "lock-light"
+// without the torn-read hazards of a seqlock.
+const traceShards = 8
+
+type traceShard struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// Recorder is a bounded ring of recent events: the flight recorder. It
+// keeps roughly the last `capacity` events (exactly the last capacity/8
+// per shard) and overwrites the oldest beyond that. Safe for concurrent
+// use; Snapshot may run while recording continues.
+type Recorder struct {
+	seq    atomic.Uint64
+	shards [traceShards]traceShard
+}
+
+// NewRecorder returns a recorder holding about the given number of events
+// (rounded up to a multiple of the shard count, minimum one per shard).
+func NewRecorder(capacity int) *Recorder {
+	per := (capacity + traceShards - 1) / traceShards
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{}
+	for i := range r.shards {
+		r.shards[i].buf = make([]TraceEvent, per)
+	}
+	return r
+}
+
+// Record appends one event.
+func (r *Recorder) Record(kind, scope uint8, off, length uint64) {
+	seq := r.seq.Add(1)
+	sh := &r.shards[seq%traceShards]
+	sh.mu.Lock()
+	sh.buf[sh.next] = TraceEvent{Seq: seq, Kind: kind, Scope: scope, Off: off, Len: length}
+	sh.next++
+	if sh.next == len(sh.buf) {
+		sh.next = 0
+		sh.full = true
+	}
+	sh.mu.Unlock()
+}
+
+// Snapshot returns the retained events in sequence order.
+func (r *Recorder) Snapshot() []TraceEvent {
+	var out []TraceEvent
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if sh.full {
+			out = append(out, sh.buf...)
+		} else {
+			out = append(out, sh.buf[:sh.next]...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Last returns at most n of the most recent retained events, oldest first.
+func (r *Recorder) Last(n int) []TraceEvent {
+	all := r.Snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

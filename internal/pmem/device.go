@@ -8,6 +8,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"corundum/internal/obs"
 )
 
 // Device is an emulated persistent-memory device.
@@ -41,21 +43,44 @@ type Device struct {
 	shadow   []byte
 	pending  map[uint32][]byte
 
-	stats Stats
+	// ctrs attributes every operation to the calling goroutine's scope
+	// (see Scope); Stats sums them into a snapshot.
+	ctrs [NumScopes]opCounters
+
+	// hook, when set, observes every completed Write/Flush/Fence with its
+	// scope — the extension point external tracers and tests attach to.
+	hook atomic.Pointer[OpHook]
+
+	// flight, when set, is the crash flight recorder: a bounded ring of
+	// recent operations dumped after a crash to explain torn state.
+	flight atomic.Pointer[obs.Recorder]
 
 	injectMu sync.Mutex
 	inject   func(op Op) bool
 	poisoned atomic.Bool
 }
 
+// opCounters is one scope's cumulative operation counts.
+type opCounters struct {
+	writes, flushes, fences atomic.Uint64
+	_                       [40]byte // one scope per cache line
+}
+
+// OpHook observes completed device operations. n is the byte count for
+// writes, the cache-line count for flushes, and 0 for fences.
+type OpHook func(op Op, scope Scope, n uint64)
+
 // Op identifies a device operation for fault injection and statistics.
 type Op int
 
-// Device operations observable by fault injectors.
+// Device operations observable by fault injectors. OpCrash never reaches
+// injectors: it is the marker the flight recorder logs at the moment power
+// is cut, separating pre-crash history from recovery traffic in a dump.
 const (
 	OpWrite Op = iota
 	OpFlush
 	OpFence
+	OpCrash
 )
 
 func (o Op) String() string {
@@ -66,17 +91,25 @@ func (o Op) String() string {
 		return "flush"
 	case OpFence:
 		return "fence"
+	case OpCrash:
+		return "CRASH"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
 }
 
-// Stats counts device operations since creation. Counters are cumulative
-// and safe to read concurrently.
+// OpCounts is a point-in-time snapshot of write/flush/fence counts.
+type OpCounts struct {
+	Writes, Flushes, Fences uint64
+}
+
+// Stats is a point-in-time snapshot of the device's cumulative operation
+// counters, total and broken down by attribution scope. Being a value, it
+// cannot race with in-flight operations the way a live pointer would:
+// two snapshots bracket a workload and their difference is exact.
 type Stats struct {
-	Writes  atomic.Uint64
-	Flushes atomic.Uint64
-	Fences  atomic.Uint64
+	OpCounts
+	ByScope [NumScopes]OpCounts
 }
 
 // ErrInjectedCrash is the panic value raised when a fault injector fires.
@@ -91,6 +124,10 @@ type Options struct {
 	// fault injection. It costs one extra copy of the arena plus bookkeeping
 	// on every Flush/Fence, so benchmarks leave it off.
 	TrackCrash bool
+	// FlightRecorder, when positive, retains about that many recent device
+	// operations in a bounded ring so a crash report can name the exact
+	// flush/fence history that led to the observed state. Zero disables it.
+	FlightRecorder int
 }
 
 // New creates a device of the given size backed only by memory.
@@ -110,6 +147,9 @@ func New(size int, opts Options) *Device {
 	if d.track {
 		d.shadow = make([]byte, size)
 		d.pending = make(map[uint32][]byte)
+	}
+	if opts.FlightRecorder > 0 {
+		d.flight.Store(obs.NewRecorder(opts.FlightRecorder))
 	}
 	return d
 }
@@ -145,8 +185,44 @@ func (d *Device) Size() int { return len(d.buf) }
 // Profile returns the active latency profile.
 func (d *Device) Profile() Profile { return d.prof }
 
-// Stats returns the operation counters.
-func (d *Device) Stats() *Stats { return &d.stats }
+// Stats returns a snapshot of the operation counters. Each per-scope word
+// is read atomically; the totals are their sums.
+func (d *Device) Stats() Stats {
+	var st Stats
+	for sc := Scope(0); sc < NumScopes; sc++ {
+		c := OpCounts{
+			Writes:  d.ctrs[sc].writes.Load(),
+			Flushes: d.ctrs[sc].flushes.Load(),
+			Fences:  d.ctrs[sc].fences.Load(),
+		}
+		st.ByScope[sc] = c
+		st.Writes += c.Writes
+		st.Flushes += c.Flushes
+		st.Fences += c.Fences
+	}
+	return st
+}
+
+// SetOpHook installs fn, observing every completed Write, Flush, and
+// Fence with its attribution scope. Pass nil to remove. The hook runs on
+// the operating goroutine and must be cheap and non-blocking.
+func (d *Device) SetOpHook(fn OpHook) {
+	if fn == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&fn)
+}
+
+// observe is the common per-operation tail: hook and flight recorder.
+func (d *Device) observe(op Op, sc Scope, off, n uint64) {
+	if h := d.hook.Load(); h != nil {
+		(*h)(op, sc, n)
+	}
+	if f := d.flight.Load(); f != nil {
+		f.Record(uint8(op), uint8(sc), off, n)
+	}
+}
 
 // Bytes exposes the live contents for direct, DAX-style access. Callers
 // that store through this slice must report the written range with
@@ -173,9 +249,11 @@ func (d *Device) Write(off uint64, data []byte) {
 		return
 	}
 	d.maybeInject(OpWrite)
-	d.stats.Writes.Add(1)
+	sc := CurrentScope()
+	d.ctrs[sc].writes.Add(1)
 	copy(d.buf[off:], data)
 	d.MarkDirty(off, uint64(len(data)))
+	d.observe(OpWrite, sc, off, uint64(len(data)))
 	spin(d.prof.WriteDelay)
 }
 
@@ -196,11 +274,12 @@ func (d *Device) Flush(off, n uint64) {
 		return
 	}
 	d.bounds(off, n)
+	sc := CurrentScope()
 	first := off / CacheLineSize
 	last := (off + n - 1) / CacheLineSize
 	for line := first; line <= last; line++ {
 		d.maybeInject(OpFlush)
-		d.stats.Flushes.Add(1)
+		d.ctrs[sc].flushes.Add(1)
 		word := &d.dirty[line/64]
 		mask := uint64(1) << (line % 64)
 		if word.Load()&mask != 0 {
@@ -211,13 +290,15 @@ func (d *Device) Flush(off, n uint64) {
 		}
 		spin(d.prof.FlushDelay)
 	}
+	d.observe(OpFlush, sc, off, last-first+1)
 }
 
 // Fence completes all outstanding write-backs, like SFENCE. After Fence
 // returns, every previously Flushed line survives a crash.
 func (d *Device) Fence() {
 	d.maybeInject(OpFence)
-	d.stats.Fences.Add(1)
+	sc := CurrentScope()
+	d.ctrs[sc].fences.Add(1)
 	if d.track {
 		d.shadowMu.Lock()
 		for line, data := range d.pending {
@@ -226,6 +307,7 @@ func (d *Device) Fence() {
 		clear(d.pending)
 		d.shadowMu.Unlock()
 	}
+	d.observe(OpFence, sc, 0, 0)
 	spin(d.prof.FenceDelay)
 }
 
@@ -252,6 +334,7 @@ func (d *Device) Crash() {
 	if !d.track {
 		panic("pmem: Crash requires Options.TrackCrash")
 	}
+	d.markCrash()
 	d.poisoned.Store(false) // the machine reboots
 	d.shadowMu.Lock()
 	defer d.shadowMu.Unlock()
@@ -271,6 +354,7 @@ func (d *Device) CrashWithEviction(seed int64) {
 	if !d.track {
 		panic("pmem: CrashWithEviction requires Options.TrackCrash")
 	}
+	d.markCrash()
 	d.poisoned.Store(false) // the machine reboots
 	rng := rand.New(rand.NewSource(seed))
 	d.shadowMu.Lock()
@@ -324,7 +408,16 @@ func (d *Device) maybeInject(op Op) {
 	d.injectMu.Unlock()
 	if fn != nil && fn(op) {
 		d.poisoned.Store(true)
+		d.markCrash()
 		panic(ErrInjectedCrash)
+	}
+}
+
+// markCrash drops a CRASH marker into the flight recorder so a dump
+// separates the operations that preceded power loss from recovery traffic.
+func (d *Device) markCrash() {
+	if f := d.flight.Load(); f != nil {
+		f.Record(uint8(OpCrash), uint8(CurrentScope()), 0, 0)
 	}
 }
 

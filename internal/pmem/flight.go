@@ -1,0 +1,77 @@
+package pmem
+
+import (
+	"fmt"
+	"strings"
+
+	"corundum/internal/obs"
+)
+
+// FlightEvent is one decoded entry from the device's flight recorder: a
+// completed Write/Flush/Fence with its attribution scope, or the CRASH
+// marker logged at the moment power was cut.
+type FlightEvent struct {
+	Seq   uint64 // global order, 1-based
+	Op    Op
+	Scope Scope
+	Off   uint64 // byte offset (writes, flushes)
+	Len   uint64 // bytes for writes, cache lines for flushes
+}
+
+// SetFlightRecorder installs a flight recorder retaining about capacity
+// recent operations, replacing any existing one (and its history). A
+// capacity of zero or less removes the recorder. Safe to call while the
+// device is in use.
+func (d *Device) SetFlightRecorder(capacity int) {
+	if capacity <= 0 {
+		d.flight.Store(nil)
+		return
+	}
+	d.flight.Store(obs.NewRecorder(capacity))
+}
+
+// FlightEvents returns the retained flight-recorder history in order,
+// oldest first, or nil when no recorder is installed.
+func (d *Device) FlightEvents() []FlightEvent {
+	f := d.flight.Load()
+	if f == nil {
+		return nil
+	}
+	raw := f.Snapshot()
+	out := make([]FlightEvent, len(raw))
+	for i, e := range raw {
+		out[i] = FlightEvent{
+			Seq:   e.Seq,
+			Op:    Op(e.Kind),
+			Scope: Scope(e.Scope),
+			Off:   e.Off,
+			Len:   e.Len,
+		}
+	}
+	return out
+}
+
+// FormatFlight renders a flight-recorder dump, one event per line, for
+// crash reports and test logs:
+//
+//	#104 write scope=journal off=4096 len=48
+//	#105 flush scope=journal off=4096 lines=1
+//	#106 fence scope=journal
+//	#107 CRASH
+func FormatFlight(events []FlightEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "#%d %s", e.Seq, e.Op)
+		if e.Op != OpCrash {
+			fmt.Fprintf(&b, " scope=%s", e.Scope)
+		}
+		switch e.Op {
+		case OpWrite:
+			fmt.Fprintf(&b, " off=%d len=%d", e.Off, e.Len)
+		case OpFlush:
+			fmt.Fprintf(&b, " off=%d lines=%d", e.Off, e.Len)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package pmem
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestScopeNesting(t *testing.T) {
+	if got := CurrentScope(); got != ScopeUserData {
+		t.Fatalf("default scope = %v, want user-data", got)
+	}
+	prev := EnterScope(ScopeJournal)
+	if got := CurrentScope(); got != ScopeJournal {
+		t.Fatalf("scope = %v, want journal", got)
+	}
+	inner := EnterScope(ScopeAllocRedo)
+	if got := CurrentScope(); got != ScopeAllocRedo {
+		t.Fatalf("nested scope = %v, want alloc-redo (innermost wins)", got)
+	}
+	ExitScope(inner)
+	if got := CurrentScope(); got != ScopeJournal {
+		t.Fatalf("after inner exit scope = %v, want journal", got)
+	}
+	ExitScope(prev)
+	if got := CurrentScope(); got != ScopeUserData {
+		t.Fatalf("after outer exit scope = %v, want user-data", got)
+	}
+}
+
+func TestScopeIsPerGoroutine(t *testing.T) {
+	prev := EnterScope(ScopeRecovery)
+	defer ExitScope(prev)
+	done := make(chan Scope)
+	go func() { done <- CurrentScope() }()
+	if got := <-done; got != ScopeUserData {
+		t.Fatalf("other goroutine sees scope %v, want user-data", got)
+	}
+}
+
+func TestStatsAttributesByScope(t *testing.T) {
+	d := New(4096, Options{})
+	d.Write(0, []byte{1})
+	d.Flush(0, 1)
+	d.Fence()
+	prev := EnterScope(ScopeJournal)
+	d.Write(64, []byte{2})
+	d.Flush(64, 1)
+	d.Fence()
+	d.Fence()
+	ExitScope(prev)
+
+	st := d.Stats()
+	if got := st.ByScope[ScopeUserData]; got != (OpCounts{Writes: 1, Flushes: 1, Fences: 1}) {
+		t.Errorf("user-data counts = %+v", got)
+	}
+	if got := st.ByScope[ScopeJournal]; got != (OpCounts{Writes: 1, Flushes: 1, Fences: 2}) {
+		t.Errorf("journal counts = %+v", got)
+	}
+	if st.Writes != 2 || st.Flushes != 2 || st.Fences != 3 {
+		t.Errorf("totals = %d/%d/%d, want 2/2/3", st.Writes, st.Flushes, st.Fences)
+	}
+}
+
+func TestStatsIsSnapshot(t *testing.T) {
+	d := New(4096, Options{})
+	d.Write(0, []byte{1})
+	st := d.Stats()
+	d.Write(64, []byte{2})
+	d.Write(128, []byte{3})
+	if st.Writes != 1 {
+		t.Fatalf("snapshot mutated: writes = %d, want 1", st.Writes)
+	}
+	if now := d.Stats().Writes; now != 3 {
+		t.Fatalf("live count = %d, want 3", now)
+	}
+}
+
+func TestOpHook(t *testing.T) {
+	d := New(4096, Options{})
+	type call struct {
+		op    Op
+		scope Scope
+		n     uint64
+	}
+	var mu sync.Mutex
+	var calls []call
+	d.SetOpHook(func(op Op, sc Scope, n uint64) {
+		mu.Lock()
+		calls = append(calls, call{op, sc, n})
+		mu.Unlock()
+	})
+	prev := EnterScope(ScopeAllocRedo)
+	d.Write(0, []byte{1, 2, 3})
+	ExitScope(prev)
+	d.Persist(0, 3)
+	d.SetOpHook(nil)
+	d.Fence() // after removal: not observed
+
+	want := []call{
+		{OpWrite, ScopeAllocRedo, 3},
+		{OpFlush, ScopeUserData, 1},
+		{OpFence, ScopeUserData, 0},
+	}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %+v, want %+v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestFlightRecorderRecordsAndFormats(t *testing.T) {
+	d := New(4096, Options{FlightRecorder: 64})
+	prev := EnterScope(ScopeJournal)
+	d.Write(128, []byte{1, 2})
+	d.Flush(128, 2)
+	d.Fence()
+	ExitScope(prev)
+
+	evs := d.FlightEvents()
+	if len(evs) != 3 {
+		t.Fatalf("flight events = %+v, want 3", evs)
+	}
+	dump := FormatFlight(evs)
+	for _, want := range []string{
+		"write scope=journal off=128 len=2",
+		"flush scope=journal off=128 lines=1",
+		"fence scope=journal",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestFlightRecorderMarksInjectedCrash(t *testing.T) {
+	d := New(4096, Options{TrackCrash: true, FlightRecorder: 64})
+	d.Write(0, []byte{1})
+	d.Persist(0, 1)
+
+	// Cut power at the next fence; the flight recorder must show the full
+	// pre-crash history followed by the CRASH marker, so the dump names
+	// the last fence that completed before the cut.
+	d.SetFaultInjector(func(op Op) bool { return op == OpFence })
+	func() {
+		defer func() {
+			if recover() != ErrInjectedCrash {
+				t.Fatal("injector did not fire")
+			}
+		}()
+		d.Write(64, []byte{2})
+		d.Persist(64, 1)
+	}()
+	d.SetFaultInjector(nil)
+	d.Crash()
+
+	evs := d.FlightEvents()
+	var lastFence, crashAt = -1, -1
+	for i, e := range evs {
+		switch e.Op {
+		case OpFence:
+			if crashAt == -1 {
+				lastFence = i
+			}
+		case OpCrash:
+			if crashAt == -1 {
+				crashAt = i
+			}
+		}
+	}
+	if crashAt == -1 {
+		t.Fatalf("no CRASH marker in dump:\n%s", FormatFlight(evs))
+	}
+	if lastFence == -1 || lastFence > crashAt {
+		t.Fatalf("no fence before the crash marker:\n%s", FormatFlight(evs))
+	}
+	if !strings.Contains(FormatFlight(evs), "CRASH") {
+		t.Fatalf("formatted dump lacks CRASH:\n%s", FormatFlight(evs))
+	}
+}
+
+func TestSetFlightRecorderInstallsAndRemoves(t *testing.T) {
+	d := New(4096, Options{})
+	if evs := d.FlightEvents(); evs != nil {
+		t.Fatalf("no recorder installed, got events %+v", evs)
+	}
+	d.SetFlightRecorder(16)
+	d.Write(0, []byte{1})
+	if evs := d.FlightEvents(); len(evs) != 1 {
+		t.Fatalf("events = %+v, want 1", evs)
+	}
+	d.SetFlightRecorder(0)
+	if evs := d.FlightEvents(); evs != nil {
+		t.Fatalf("recorder removed, got events %+v", evs)
+	}
+}

@@ -113,13 +113,13 @@ func TestStatsCount(t *testing.T) {
 	d.Write(0, []byte{1})
 	d.Flush(0, 1)
 	d.Fence()
-	if n := d.Stats().Writes.Load(); n != 1 {
+	if n := d.Stats().Writes; n != 1 {
 		t.Errorf("writes = %d, want 1", n)
 	}
-	if n := d.Stats().Flushes.Load(); n != 1 {
+	if n := d.Stats().Flushes; n != 1 {
 		t.Errorf("flushes = %d, want 1", n)
 	}
-	if n := d.Stats().Fences.Load(); n != 1 {
+	if n := d.Stats().Fences; n != 1 {
 		t.Errorf("fences = %d, want 1", n)
 	}
 }
@@ -128,7 +128,7 @@ func TestFlushChargesPerLine(t *testing.T) {
 	d := newTracked(t, 4096)
 	d.Write(0, make([]byte, 4*CacheLineSize))
 	d.Flush(0, 4*CacheLineSize)
-	if n := d.Stats().Flushes.Load(); n != 4 {
+	if n := d.Stats().Flushes; n != 4 {
 		t.Errorf("flushes = %d, want 4", n)
 	}
 }

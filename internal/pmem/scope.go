@@ -1,0 +1,112 @@
+package pmem
+
+import (
+	"sync"
+
+	"corundum/internal/gid"
+)
+
+// Scope labels which subsystem a device operation is performed on behalf
+// of, so flush/fence traffic can be attributed the way the paper's Fig. 9
+// breaks costs down: undo logging (journal), the allocator's redo logging,
+// user data persistence, and crash recovery.
+//
+// The scope is a property of the calling goroutine's current code path,
+// not of the device: journal and allocator code push their scope around
+// their device operations (EnterScope/ExitScope), and everything else —
+// DAX-style stores persisted at commit — defaults to ScopeUserData.
+// Scopes nest; the innermost wins (an allocation performed during
+// recovery is allocator-redo traffic).
+type Scope uint8
+
+// Attribution scopes, in render order.
+const (
+	ScopeUserData Scope = iota // default: user data flush/fence at commit
+	ScopeJournal               // undo-log appends and state-word updates
+	ScopeAllocRedo             // buddy-allocator redo-log commit/apply
+	ScopeRecovery              // attach-time rollback/roll-forward
+	NumScopes
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeUserData:
+		return "user-data"
+	case ScopeJournal:
+		return "journal"
+	case ScopeAllocRedo:
+		return "alloc-redo"
+	case ScopeRecovery:
+		return "recovery"
+	default:
+		return "unknown"
+	}
+}
+
+// The scope table maps goroutine identity to its current scope. It is
+// sharded so concurrent transactions do not serialize on one lock; a
+// goroutine outside any Enter/Exit pair has no entry and reads as
+// ScopeUserData, which keeps the table small (only goroutines currently
+// inside library code appear).
+const scopeShards = 64
+
+type scopeShard struct {
+	mu sync.Mutex
+	m  map[uint64]Scope
+	_  [24]byte // keep shards off each other's cache lines
+}
+
+var scopeTab [scopeShards]scopeShard
+
+func scopeShardFor(g uint64) *scopeShard {
+	return &scopeTab[(g*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// EnterScope sets the calling goroutine's attribution scope and returns
+// the previous one. Callers must restore it with ExitScope (typically via
+// defer), pairing every Enter with an Exit even on panic paths so an
+// injected crash cannot leak a stale label.
+func EnterScope(s Scope) (prev Scope) {
+	g := gid.ID()
+	sh := scopeShardFor(g)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]Scope, 8)
+	}
+	prev, ok := sh.m[g]
+	if !ok {
+		prev = ScopeUserData
+	}
+	sh.m[g] = s
+	sh.mu.Unlock()
+	return prev
+}
+
+// ExitScope restores the scope returned by the matching EnterScope. When
+// that restores the default, the goroutine's entry is removed so the
+// table never outgrows the set of goroutines currently inside the
+// library.
+func ExitScope(prev Scope) {
+	g := gid.ID()
+	sh := scopeShardFor(g)
+	sh.mu.Lock()
+	if prev == ScopeUserData {
+		delete(sh.m, g)
+	} else {
+		sh.m[g] = prev
+	}
+	sh.mu.Unlock()
+}
+
+// CurrentScope reports the calling goroutine's attribution scope.
+func CurrentScope() Scope {
+	g := gid.ID()
+	sh := scopeShardFor(g)
+	sh.mu.Lock()
+	s, ok := sh.m[g]
+	sh.mu.Unlock()
+	if !ok {
+		return ScopeUserData
+	}
+	return s
+}

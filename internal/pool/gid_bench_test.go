@@ -6,12 +6,9 @@ import (
 	"corundum/internal/journal"
 )
 
-func BenchmarkGid(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = gid()
-	}
-}
-
+// The goroutine-identity primitive itself lives in internal/gid (with its
+// own contract test); this benchmark pins the cost of the empty
+// transaction that rides on it.
 func BenchmarkPoolTxNop(b *testing.B) {
 	p, err := Create("", Config{Size: 8 << 20, Journals: 4})
 	if err != nil {
@@ -21,35 +18,4 @@ func BenchmarkPoolTxNop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = p.Transaction(func(j *journal.Journal) error { return nil })
 	}
-}
-
-// TestGidStablePerGoroutine verifies the identity contract the flattening
-// machinery relies on: stable within a goroutine, distinct across live
-// goroutines.
-func TestGidStablePerGoroutine(t *testing.T) {
-	mine := gid()
-	if mine == 0 {
-		t.Fatal("gid returned 0")
-	}
-	if gid() != mine {
-		t.Fatal("gid not stable within a goroutine")
-	}
-	const n = 32
-	ids := make(chan uint64, n)
-	hold := make(chan struct{})
-	for i := 0; i < n; i++ {
-		go func() {
-			ids <- gid()
-			<-hold // keep the goroutine alive so its g cannot be recycled
-		}()
-	}
-	seen := map[uint64]bool{mine: true}
-	for i := 0; i < n; i++ {
-		id := <-ids
-		if seen[id] {
-			t.Fatalf("gid %d seen twice among live goroutines", id)
-		}
-		seen[id] = true
-	}
-	close(hold)
 }

@@ -1,0 +1,90 @@
+package pool
+
+import (
+	"time"
+
+	"corundum/internal/journal"
+	"corundum/internal/obs"
+	"corundum/internal/pmem"
+)
+
+// poolMetrics holds the per-transaction instruments EnableMetrics
+// registers. The pointer on Pool is atomic so the transaction path can
+// check for it without touching the pool lock.
+type poolMetrics struct {
+	txCommit *obs.Histogram // outermost Begin..commit, seconds
+	txAbort  *obs.Histogram // outermost Begin..rollback, seconds
+	logBytes *obs.Histogram // undo-log bytes per transaction
+}
+
+// EnableMetrics registers this pool's instruments with r and starts
+// recording per-transaction latencies. Device traffic (writes, flushes,
+// fences, each broken down by attribution scope), journal occupancy, and
+// heap usage/fragmentation are exported as live read-outs; transaction
+// latency and undo-log volume are histograms fed by the commit path.
+// Call it once per registry; duplicate registration panics, as for any
+// registry collision.
+func (p *Pool) EnableMetrics(r *obs.Registry) {
+	dev := p.dev
+	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
+		sc := sc
+		lbl := obs.Labels{"scope": sc.String()}
+		r.CounterFunc("pmem_writes_total", "device writes by attribution scope", lbl,
+			func() uint64 { return dev.Stats().ByScope[sc].Writes })
+		r.CounterFunc("pmem_flushes_total", "cache-line flushes by attribution scope", lbl,
+			func() uint64 { return dev.Stats().ByScope[sc].Flushes })
+		r.CounterFunc("pmem_fences_total", "fences by attribution scope", lbl,
+			func() uint64 { return dev.Stats().ByScope[sc].Fences })
+	}
+	r.GaugeFunc("pool_journals", "journal slots (transaction concurrency bound)", nil,
+		func() float64 { return float64(p.Journals()) })
+	r.GaugeFunc("pool_journals_in_use", "journal slots running a transaction", nil,
+		func() float64 { return float64(p.Journals() - p.JournalsFree()) })
+	r.GaugeFunc("pool_heap_in_use_bytes", "allocated heap bytes across arenas", nil,
+		func() float64 { return float64(p.InUse()) })
+	r.GaugeFunc("pool_heap_free_bytes", "free heap bytes across arenas", nil,
+		func() float64 { return float64(p.FreeBytes()) })
+	r.GaugeFunc("pool_heap_fragmentation_ratio", "1 - largest free block / free bytes, worst arena", nil,
+		p.fragmentation)
+
+	m := &poolMetrics{
+		txCommit: r.Histogram("pool_tx_seconds", "committed transaction latency", obs.Labels{"outcome": "commit"}, obs.LatencyBuckets),
+		txAbort:  r.Histogram("pool_tx_seconds", "committed transaction latency", obs.Labels{"outcome": "abort"}, obs.LatencyBuckets),
+		logBytes: r.Histogram("pool_tx_log_bytes", "undo-log bytes per transaction", nil, obs.ByteBuckets),
+	}
+	p.metrics.Store(m)
+}
+
+// fragmentation reports how far the worst arena is from being able to
+// serve its free space as one block: 0 when every arena's free space is
+// one contiguous run, approaching 1 when free space is shattered.
+func (p *Pool) fragmentation() float64 {
+	worst := 0.0
+	for _, a := range p.arenas {
+		s := a.FreeSummary()
+		if s.FreeBytes == 0 {
+			continue
+		}
+		if f := 1 - float64(s.LargestBlock)/float64(s.FreeBytes); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// observeTx records one outermost transaction's latency and log volume.
+func (m *poolMetrics) observeTx(j *journal.Journal, committed bool, began time.Time) {
+	h := m.txCommit
+	if !committed {
+		h = m.txAbort
+	}
+	h.Observe(time.Since(began).Seconds())
+	m.logBytes.Observe(float64(j.LogBytes()))
+}
+
+// FlightDump renders the device's flight-recorder history (empty when no
+// recorder is installed). Crash tests print it to explain what the last
+// fences before the cut were doing.
+func (p *Pool) FlightDump() string {
+	return pmem.FormatFlight(p.dev.FlightEvents())
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"corundum/internal/alloc"
 	"corundum/internal/journal"
@@ -96,6 +97,10 @@ type Pool struct {
 	mu     sync.RWMutex
 	open   bool
 	active map[uint64]*journal.Journal // goroutine id -> journal (flattening)
+
+	// metrics, when set by EnableMetrics, receives per-transaction
+	// observations; atomic so the transaction path never takes mu for it.
+	metrics atomic.Pointer[poolMetrics]
 }
 
 type geometry struct {

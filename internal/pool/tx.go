@@ -2,7 +2,9 @@ package pool
 
 import (
 	"fmt"
+	"time"
 
+	"corundum/internal/gid"
 	"corundum/internal/journal"
 )
 
@@ -22,7 +24,7 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 		p.mu.RUnlock()
 		return ErrClosed
 	}
-	g := gid()
+	g := gid.ID()
 	j, nested := p.active[g]
 	p.mu.RUnlock()
 
@@ -34,6 +36,10 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 		p.mu.Unlock()
 	}
 
+	var began time.Time
+	if !nested && p.metrics.Load() != nil {
+		began = time.Now()
+	}
 	j.Begin()
 	var err error
 	done := false
@@ -41,7 +47,7 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 		if !done {
 			// fn panicked: roll back, release, and let the panic continue.
 			j.MarkAborted()
-			p.endTx(g, j, nested)
+			p.endTx(g, j, nested, began)
 		}
 	}()
 	err = fn(j)
@@ -49,7 +55,7 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 	if err != nil {
 		j.MarkAborted()
 	}
-	committed := p.endTx(g, j, nested)
+	committed := p.endTx(g, j, nested, began)
 	if err == nil && !committed && !nested {
 		return fmt.Errorf("pool: transaction aborted")
 	}
@@ -58,10 +64,15 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 
 // endTx closes one nesting level and, at the outermost level, returns the
 // journal to the free list. It reports whether the transaction committed
-// (meaningful only at the outermost level).
-func (p *Pool) endTx(g uint64, j *journal.Journal, nested bool) bool {
+// (meaningful only at the outermost level). Metrics are observed before
+// the journal is released: once it is back on the free list another
+// goroutine's Begin may reset its counters.
+func (p *Pool) endTx(g uint64, j *journal.Journal, nested bool, began time.Time) bool {
 	committed := j.End()
 	if !nested {
+		if m := p.metrics.Load(); m != nil && !began.IsZero() {
+			m.observeTx(j, committed, began)
+		}
 		p.mu.Lock()
 		delete(p.active, g)
 		p.mu.Unlock()
@@ -75,6 +86,6 @@ func (p *Pool) endTx(g uint64, j *journal.Journal, nested bool) bool {
 func (p *Pool) InTransaction() (*journal.Journal, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	j, ok := p.active[gid()]
+	j, ok := p.active[gid.ID()]
 	return j, ok
 }

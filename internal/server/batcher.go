@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"corundum/internal/obs"
 	"corundum/internal/workloads"
 )
 
@@ -87,6 +88,10 @@ type Batcher struct {
 	onFail  func(error) // optional: invoked once, from the committer
 
 	stats BatchStats
+	// sizes, when set, additionally records each committed batch's size
+	// into the registry histogram (atomic: it is installed after the
+	// committer goroutine has started).
+	sizes atomic.Pointer[obs.Histogram]
 }
 
 func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
@@ -248,6 +253,9 @@ func (b *Batcher) run() {
 			b.stats.Batches.Add(1)
 			b.stats.BatchedOps.Add(uint64(len(batch)))
 			b.stats.Hist[histBucket(len(batch))].Add(1)
+			if h := b.sizes.Load(); h != nil {
+				h.Observe(float64(len(batch)))
+			}
 		}
 		select {
 		case <-b.dead:

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"corundum/internal/obs"
+	"corundum/internal/pmem"
+)
+
+// scopeKey renders an attribution scope as a snake_case STATS key
+// fragment ("user-data" → "user_data").
+func scopeKey(sc pmem.Scope) string { return strings.ReplaceAll(sc.String(), "-", "_") }
+
+// batchSizeBuckets bound the group-commit batch-size histogram; the
+// batcher never packs more than MaxBatch (default 64) ops.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// serverMetrics is the registry-backed instrument set: the request
+// counters the hot path bumps directly plus live read-outs of state owned
+// elsewhere (batcher tallies, pool occupancy, device scope counters —
+// the latter two registered by pool.EnableMetrics).
+type serverMetrics struct {
+	reg *obs.Registry
+
+	opsGet, opsSet, opsDel, opsScan *obs.Counter
+	connsTotal                      *obs.Counter
+	batchSizes                      *obs.Histogram
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:     reg,
+		opsGet:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "get"}),
+		opsSet:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "set"}),
+		opsDel:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "del"}),
+		opsScan: reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "scan"}),
+		connsTotal: reg.Counter("server_connections_total",
+			"client connections accepted", nil),
+		batchSizes: reg.Histogram("server_batch_size",
+			"operations folded into one group-commit transaction", nil, batchSizeBuckets),
+	}
+	bs := s.b.Stats()
+	reg.CounterFunc("server_batches_total", "group-commit transactions committed", nil,
+		func() uint64 { return bs.Batches.Load() })
+	reg.CounterFunc("server_batched_ops_total", "mutations committed inside batches", nil,
+		func() uint64 { return bs.BatchedOps.Load() })
+	reg.GaugeFunc("server_uptime_seconds", "seconds since the server started", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("server_halted", "1 when the pool failed underneath the server", nil,
+		func() float64 {
+			if s.halted.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.pool.EnableMetrics(reg)
+	return m
+}
+
+// Registry exposes the server's metrics registry (tests, embedding).
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.m.reg.WritePrometheus(w)
+	})
+}
+
+// DebugMux bundles the observability endpoints: GET /metrics plus the
+// standard pprof handlers under /debug/pprof/. Serve it on a side
+// listener (corundum-server's -metrics-addr), never on the data port.
+func (s *Server) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

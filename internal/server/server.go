@@ -65,9 +65,9 @@ type Server struct {
 	halted atomic.Bool
 	wg     sync.WaitGroup
 
-	// Op counters for STATS.
-	opsGet, opsSet, opsDel, opsScan atomic.Uint64
-	connsTotal                      atomic.Uint64
+	// m holds the registry-backed metrics; STATS and GET /metrics render
+	// from the same instruments.
+	m *serverMetrics
 }
 
 // New builds a server over an already-open pool. Pool recovery has run
@@ -99,6 +99,8 @@ func New(p *pool.Pool, opts Options) (*Server, error) {
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.b = newBatcher(kv, &s.lock, opts.MaxBatch, opts.MaxDelay, s.onPoolFailure)
+	s.m = newServerMetrics(s)
+	s.b.sizes.Store(s.m.batchSizes)
 	return s, nil
 }
 
@@ -152,7 +154,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.connsTotal.Add(1)
+		s.m.connsTotal.Inc()
 		s.wg.Add(1)
 		go s.handleConn(c)
 	}
@@ -266,10 +268,10 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 	ops := make([]workloads.Op, len(cmds))
 	for i, cmd := range cmds {
 		if cmd.Kind == CmdDel {
-			s.opsDel.Add(1)
+			s.m.opsDel.Inc()
 			ops[i] = workloads.Op{Del: true, Key: cmd.Key}
 		} else {
-			s.opsSet.Add(1)
+			s.m.opsSet.Inc()
 			ops[i] = workloads.Op{Key: cmd.Key, Val: cmd.Val}
 		}
 	}
@@ -322,7 +324,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 	}
 	switch cmd.Kind {
 	case CmdGet:
-		s.opsGet.Add(1)
+		s.m.opsGet.Inc()
 		val, found, err := s.get(cmd.Key)
 		switch {
 		case err != nil:
@@ -333,7 +335,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 			writeNil(w)
 		}
 	case CmdScan:
-		s.opsScan.Add(1)
+		s.m.opsScan.Inc()
 		pairs, err := s.scan(cmd.Limit)
 		if err != nil {
 			writeErr(w, err)
@@ -433,15 +435,18 @@ func (s *Server) renderStats() string {
 		"ops_get: %d\nops_set: %d\nops_del: %d\nops_scan: %d\n"+
 			"connections_total: %d\n"+
 			"batches_committed: %d\nbatched_ops: %d\nmean_batch: %.2f\n",
-		s.opsGet.Load(), s.opsSet.Load(), s.opsDel.Load(), s.opsScan.Load(),
-		s.connsTotal.Load(),
+		s.m.opsGet.Value(), s.m.opsSet.Value(), s.m.opsDel.Value(), s.m.opsScan.Value(),
+		s.m.connsTotal.Value(),
 		batches, ops, mean,
 	)
 	for i := 0; i < HistBuckets; i++ {
 		out += fmt.Sprintf("batch_hist_%s: %d\n", HistLabel(i), bs.Hist[i].Load())
 	}
 	out += fmt.Sprintf("pmem_writes: %d\npmem_flushes: %d\npmem_fences: %d\n",
-		st.Writes.Load(), st.Flushes.Load(), st.Fences.Load())
+		st.Writes, st.Flushes, st.Fences)
+	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
+		out += fmt.Sprintf("pmem_fences_%s: %d\n", scopeKey(sc), st.ByScope[sc].Fences)
+	}
 	return out
 }
 

@@ -277,7 +277,7 @@ func TestServerCrashRecovery(t *testing.T) {
 func crashRound(t *testing.T, seed int64) {
 	p, err := pool.Create("", pool.Config{
 		Size: 64 << 20, Journals: 16,
-		Mem: pmem.Options{TrackCrash: true},
+		Mem: pmem.Options{TrackCrash: true, FlightRecorder: 512},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -347,6 +347,36 @@ func crashRound(t *testing.T, seed int64) {
 		t.Fatalf("no SET was acknowledged before the crash (sent %d); crash landed too early", sentTotal)
 	}
 	t.Logf("seed %d: crash at device op %d; %d sent, %d acked", seed, crashAt, sentTotal, ackedTotal)
+
+	// The flight recorder must explain the cut: a CRASH marker preceded by
+	// the fence history that led up to it, so a failing crash test can name
+	// the exact operation the power loss interrupted.
+	events := dev.FlightEvents()
+	crashIdx, lastFence := -1, -1
+	for i, e := range events {
+		switch e.Op {
+		case pmem.OpCrash:
+			if crashIdx == -1 {
+				crashIdx = i
+			}
+		case pmem.OpFence:
+			if crashIdx == -1 {
+				lastFence = i
+			}
+		}
+	}
+	if crashIdx == -1 {
+		t.Fatalf("flight recorder holds no CRASH marker:\n%s", pmem.FormatFlight(events))
+	}
+	if lastFence == -1 {
+		t.Fatalf("flight recorder shows no fence before the cut:\n%s", pmem.FormatFlight(events))
+	}
+	tail := events
+	if len(tail) > 16 {
+		tail = tail[len(tail)-16:]
+	}
+	t.Logf("last fence before the cut: #%d scope=%s; flight tail:\n%s",
+		events[lastFence].Seq, events[lastFence].Scope, pmem.FormatFlight(tail))
 
 	// Power loss and reboot: live state reverts to durable state, then the
 	// pool recovers exactly as corundum-server does at startup.

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/baselines/engine"
+	"corundum/internal/pmem"
+)
+
+// TestSetFenceAttribution pins the fence profile of the paper's hot path:
+// a single-key SET that overwrites an existing entry costs exactly three
+// fences — the undo-log append and the state-word retire (journal scope)
+// plus the commit's data fence (user-data scope) — and touches the
+// allocator not at all. A regression here means either the commit
+// protocol gained fences or the attribution plumbing mislabels them.
+func TestSetFenceAttribution(t *testing.T) {
+	p, err := corundumeng.Lib{}.Open(engine.Config{Size: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	kv, err := NewKVStore(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(42, 1); err != nil { // insert: entry allocation
+		t.Fatal(err)
+	}
+
+	dev := p.Device()
+	before := dev.Stats()
+	if err := kv.Put(42, 2); err != nil { // overwrite: pure undo-log path
+		t.Fatal(err)
+	}
+	after := dev.Stats()
+
+	delta := func(sc pmem.Scope) uint64 {
+		return after.ByScope[sc].Fences - before.ByScope[sc].Fences
+	}
+	if got := delta(pmem.ScopeJournal); got != 2 {
+		t.Errorf("journal fences = %d, want 2 (append + state retire)", got)
+	}
+	if got := delta(pmem.ScopeUserData); got != 1 {
+		t.Errorf("user-data fences = %d, want 1 (commit fence)", got)
+	}
+	if got := delta(pmem.ScopeAllocRedo); got != 0 {
+		t.Errorf("alloc-redo fences = %d, want 0 (no allocation on overwrite)", got)
+	}
+	if got := delta(pmem.ScopeRecovery); got != 0 {
+		t.Errorf("recovery fences = %d, want 0", got)
+	}
+}
+
+// TestSetFenceAttributionConcurrent holds the same 2:1 journal:user-data
+// ratio in aggregate when many goroutines overwrite disjoint keys — the
+// per-goroutine scope table must not bleed labels across concurrent
+// transactions. Run under -race in CI.
+func TestSetFenceAttributionConcurrent(t *testing.T) {
+	p, err := corundumeng.Lib{}.Open(engine.Config{Size: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	kv, err := NewKVStore(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if err := kv.Put(uint64(w)<<32|uint64(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dev := p.Device()
+	before := dev.Stats()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := kv.Put(uint64(w)<<32|uint64(i), uint64(i)+1); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	after := dev.Stats()
+
+	const ops = workers * perWorker
+	if got := after.ByScope[pmem.ScopeJournal].Fences - before.ByScope[pmem.ScopeJournal].Fences; got != 2*ops {
+		t.Errorf("journal fences = %d, want %d", got, 2*ops)
+	}
+	if got := after.ByScope[pmem.ScopeUserData].Fences - before.ByScope[pmem.ScopeUserData].Fences; got != ops {
+		t.Errorf("user-data fences = %d, want %d", got, ops)
+	}
+	if got := after.ByScope[pmem.ScopeAllocRedo].Fences - before.ByScope[pmem.ScopeAllocRedo].Fences; got != 0 {
+		t.Errorf("alloc-redo fences = %d, want 0", got)
+	}
+}
