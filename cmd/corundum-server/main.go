@@ -3,7 +3,7 @@
 //
 //	corundum-server -pool kv.pool [-addr :6380] [-size 256MiB-bytes]
 //	                [-journals 16] [-max-batch 64] [-max-delay 200us]
-//	                [-metrics-addr :9100]
+//	                [-busy-timeout 100ms] [-metrics-addr :9100]
 //
 // On startup the pool is opened (creating and formatting it if the file
 // does not exist), crash recovery runs, and the heap is consistency-
@@ -16,6 +16,12 @@
 // and the emulated device's write/flush/fence counters (including
 // per-scope fence attribution). With -metrics-addr the same numbers are
 // served as Prometheus text on GET /metrics, alongside net/http/pprof.
+//
+// When every journal slot stays busy for longer than -busy-timeout the
+// affected request is answered with -BUSY, a retryable backpressure
+// signal (clients: server.RetryBusy backs off with jitter). On SIGTERM or
+// SIGINT the server stops accepting, drains the group-commit batcher so
+// every acknowledged write is durable, and closes the pool cleanly.
 package main
 
 import (
@@ -42,17 +48,18 @@ func main() {
 		buckets  = flag.Int("buckets", 4096, "KV bucket directory size when creating")
 		maxBatch = flag.Int("max-batch", 64, "max mutations per group-commit transaction")
 		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max wait for group-commit stragglers")
+		busyTO   = flag.Duration("busy-timeout", 100*time.Millisecond, "max wait for a journal slot before replying -BUSY (0 blocks forever)")
 		profile  = flag.String("profile", "NoDelay", "emulated PM latency profile: OptaneDC|DRAM|NoDelay")
 		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof on this address, e.g. :9100")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *profile, *metrics); err != nil {
+	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *profile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time.Duration, profName, metricsAddr string) error {
+func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, profName, metricsAddr string) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -89,7 +96,10 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time
 	}
 	defer p.Close()
 
-	srv, err := server.New(p, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets})
+	if busyTO == 0 {
+		busyTO = -1 // 0 on the command line means "block forever", Options' disable value
+	}
+	srv, err := server.New(p, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO})
 	if err != nil {
 		return err
 	}
@@ -115,18 +125,22 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay time
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {
 	case <-sig:
-		fmt.Println("shutting down")
+		fmt.Println("shutting down: draining in-flight batches")
 	case err := <-serveErr:
 		if err != nil {
 			srv.Close()
 			return err
 		}
 	}
+	// Close stops accepting, waits for connection handlers, and drains the
+	// group-commit batcher: every acknowledged write is durable before the
+	// deferred p.Close flushes and releases the pool.
 	if err := srv.Close(); err != nil {
 		return err
 	}
 	if srv.Halted() {
 		return fmt.Errorf("server halted on pool failure")
 	}
+	fmt.Println("drained; pool closing cleanly")
 	return nil
 }

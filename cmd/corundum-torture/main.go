@@ -1,50 +1,87 @@
-// Command corundum-torture runs randomized crash-injection campaigns
-// against the library: random transactions over persistent structures,
-// power cut at random device operations (sometimes with adversarial
-// cache eviction), recovery, and verification that every acknowledged
-// transaction survived and every interrupted one is all-or-nothing.
+// Command corundum-torture runs crash-injection campaigns against the
+// library in one of two modes.
+//
+// Random mode (the default) is the paper's testing methodology: random
+// transactions over persistent structures, power cut at random device
+// operations (sometimes with adversarial cache eviction), recovery, and
+// verification that every acknowledged transaction survived and every
+// interrupted one is all-or-nothing.
 //
 //	corundum-torture [-seeds N] [-iterations N] [-workers N]
 //
-// With -workers 1 (the default) each campaign is the serial mode from
-// the paper's testing methodology: one transaction in flight at a time.
-// With -workers N>1, N goroutines transact concurrently on the same pool
-// and the power cut lands while several journals are active — the
-// configuration that stresses sharded-journal recovery.
+// With -workers 1 (the default) each campaign is serial: one transaction
+// in flight at a time. With -workers N>1, N goroutines transact
+// concurrently on the same pool and the power cut lands while several
+// journals are active — the configuration that stresses sharded-journal
+// recovery.
 //
-// Exit code 1 means a consistency violation was found (a bug).
+// Exhaust mode enumerates EVERY device operation of a fixed workload as a
+// crash point — no sampling — recovers from each, and verifies
+// linearizability of acknowledged steps plus heap/fsck invariants. It
+// additionally injects crashes DURING recovery, nested to -depth, and
+// optionally replays each crash point with adversarial cache eviction:
+//
+//	corundum-torture -mode exhaust [-workload kvstore|bst|btree] [-depth K]
+//	                 [-steps N] [-evict-seeds N] [-workers N] [-dump-dir D]
+//
+// Exit code 1 means a consistency violation was found (a bug); in exhaust
+// mode each violation's flight-recorder dump is written under -dump-dir.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"corundum/internal/explore"
 	"corundum/internal/torture"
 )
 
 func main() {
-	seeds := flag.Int("seeds", 8, "number of independent campaigns")
-	iterations := flag.Int("iterations", 500, "transactions per campaign")
-	workers := flag.Int("workers", 1, fmt.Sprintf("concurrent transaction goroutines (1..%d; 1 = serial mode)", torture.MaxWorkers))
+	mode := flag.String("mode", "random", "campaign mode: random | exhaust")
+	seeds := flag.Int("seeds", 8, "random mode: number of independent campaigns")
+	iterations := flag.Int("iterations", 500, "random mode: transactions per campaign")
+	workers := flag.Int("workers", 0, fmt.Sprintf("goroutines (random mode: 1..%d concurrent transactions, default 1; exhaust mode: crash-point shards, default GOMAXPROCS)", torture.MaxWorkers))
+	workload := flag.String("workload", "kvstore", "exhaust mode: structure under test (kvstore | bst | btree)")
+	depth := flag.Int("depth", 2, "exhaust mode: nested crashes injected during recovery (0 = none)")
+	steps := flag.Int("steps", 8, "exhaust mode: script mutations to enumerate crash points over")
+	evictSeeds := flag.Int("evict-seeds", 0, "exhaust mode: additionally replay each crash point with eviction seeds 1..N")
+	dumpDir := flag.String("dump-dir", "", "exhaust mode: write flight-recorder dumps for violations into this directory")
 	flag.Parse()
-	if *workers < 1 || *workers > torture.MaxWorkers {
-		fmt.Fprintf(os.Stderr, "corundum-torture: -workers must be in [1,%d], got %d\n", torture.MaxWorkers, *workers)
+
+	switch *mode {
+	case "random":
+		runRandom(*seeds, *iterations, *workers)
+	case "exhaust":
+		runExhaust(*workload, *depth, *steps, *evictSeeds, *workers, *dumpDir)
+	default:
+		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random or exhaust)\n", *mode)
 		os.Exit(2)
 	}
+}
 
+func runRandom(seeds, iterations, workers int) {
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 1 || workers > torture.MaxWorkers {
+		fmt.Fprintf(os.Stderr, "corundum-torture: -workers must be in [1,%d], got %d\n", torture.MaxWorkers, workers)
+		os.Exit(2)
+	}
 	start := time.Now()
 	totalCrashes := 0
-	for seed := int64(1); seed <= int64(*seeds); seed++ {
+	for seed := int64(1); seed <= int64(seeds); seed++ {
 		var (
 			res *torture.Result
 			err error
 		)
-		if *workers > 1 {
-			res, err = torture.ConcurrentCampaign(seed, *iterations, *workers)
+		if workers > 1 {
+			res, err = torture.ConcurrentCampaign(seed, iterations, workers)
 		} else {
-			res, err = torture.Campaign(seed, *iterations)
+			res, err = torture.Campaign(seed, iterations)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "corundum-torture: seed %d: CONSISTENCY VIOLATION: %v\n", seed, err)
@@ -54,10 +91,109 @@ func main() {
 		fmt.Printf("seed %-3d %5d txs, %4d crashes (%4d rolled back, %3d rolled forward, %3d evicting), map=%d\n",
 			seed, res.Iterations, res.Crashes, res.RolledBack, res.RolledFwd, res.Evictions, res.FinalMapLen)
 	}
-	mode := "serial"
-	if *workers > 1 {
-		mode = fmt.Sprintf("%d workers", *workers)
+	modeName := "serial"
+	if workers > 1 {
+		modeName = fmt.Sprintf("%d workers", workers)
 	}
 	fmt.Printf("OK: %d campaigns (%s), %d injected crashes, all recoveries consistent (%.1fs)\n",
-		*seeds, mode, totalCrashes, time.Since(start).Seconds())
+		seeds, modeName, totalCrashes, time.Since(start).Seconds())
+}
+
+func runExhaust(workload string, depth, steps, evictSeeds, workers int, dumpDir string) {
+	cfg := explore.Config{
+		Workload:      workload,
+		Steps:         steps,
+		Depth:         depth,
+		EvictionSeeds: evictSeeds,
+		Workers:       workers,
+	}
+	if depth == 0 {
+		cfg.Depth = -1 // Config treats 0 as "default"; the CLI's 0 means none
+	}
+	st := &explore.Stats{}
+	cfg.Stats = st
+
+	// Live progress on stderr: the sweep is deterministic but can take a
+	// while at higher depths, so show the counters advancing.
+	stop := make(chan struct{})
+	progressDone := make(chan struct{})
+	go func() {
+		defer close(progressDone)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "  ... %d/%d crash points (%d recovered+verified, %d pruned, %d recovery crashes, %d evictions)\n",
+					st.CrashPoints.Load(), st.TotalOps.Load(), st.Explored.Load(),
+					st.Pruned.Load(), st.RecoveryCrashes.Load(), st.Evictions.Load())
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, err := explore.Run(cfg)
+	close(stop)
+	<-progressDone
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: exhaust: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("workload %s: %d ops, %d fences, %d steps\n", workload, res.TotalOps, len(res.FenceOps), res.Steps)
+	for i, n := range res.IntervalPoints {
+		fmt.Printf("  fence interval %-2d %4d crash points\n", i, n)
+	}
+	fmt.Printf("explored %d states (%d pruned by durable-image hash), %d recovery crashes, %d eviction variants (%.1fs)\n",
+		st.Explored.Load(), st.Pruned.Load(), st.RecoveryCrashes.Load(), st.Evictions.Load(), time.Since(start).Seconds())
+
+	// Exhaustiveness check: every fence interval of the workload must have
+	// contributed at least one crash point.
+	for i, n := range res.IntervalPoints {
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "corundum-torture: exhaust: fence interval %d got zero crash points — enumeration is not exhaustive\n", i)
+			os.Exit(2)
+		}
+	}
+	if st.CrashPoints.Load() != res.TotalOps {
+		fmt.Fprintf(os.Stderr, "corundum-torture: exhaust: processed %d of %d crash points\n", st.CrashPoints.Load(), res.TotalOps)
+		os.Exit(2)
+	}
+
+	if len(res.Violations) > 0 {
+		for i, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "corundum-torture: VIOLATION: %v\n", v)
+			if dumpDir != "" {
+				writeFlightDump(dumpDir, i, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "corundum-torture: exhaust: %d violations\n", len(res.Violations))
+		os.Exit(1)
+	}
+	fmt.Printf("OK: all %d crash points recover consistently\n", res.TotalOps)
+}
+
+// writeFlightDump names the file after the crash point and trail so a
+// human can replay the exact schedule from the name alone.
+func writeFlightDump(dir string, i int, v explore.Violation) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: dump dir: %v\n", err)
+		return
+	}
+	name := fmt.Sprintf("violation-%02d-crash%d", i, v.CrashPoint)
+	for _, r := range v.Trail {
+		name += fmt.Sprintf("-rec%d", r)
+	}
+	if v.EvictSeed != 0 {
+		name += fmt.Sprintf("-evict%d", v.EvictSeed)
+	}
+	path := filepath.Join(dir, name+".flight")
+	body := v.String() + "\n\n" + strings.TrimRight(v.Flight, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "corundum-torture: flight dump written to %s\n", path)
 }

@@ -1,0 +1,186 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/explore"
+	"corundum/internal/obs"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/workloads"
+)
+
+func testConfig(workload string) explore.Config {
+	return explore.Config{
+		Workload: workload,
+		Steps:    4,
+		Depth:    1,
+		Workers:  2,
+		PoolSize: 1 << 20,
+	}
+}
+
+func TestExhaustiveKVStoreNoViolations(t *testing.T) {
+	res, err := explore.Run(testConfig("kvstore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s\nflight:\n%s", v, v.Flight)
+	}
+	if len(res.Violations) > 0 {
+		t.FailNow()
+	}
+	if got := res.Stats.CrashPoints.Load(); got != res.TotalOps {
+		t.Fatalf("processed %d crash points, workload has %d ops", got, res.TotalOps)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("workload issued no ops")
+	}
+	if res.Stats.Explored.Load() == 0 {
+		t.Fatal("nothing was verified")
+	}
+	if res.Stats.Pruned.Load() == 0 {
+		t.Fatal("pruning never fired — durable-hash dedup is broken (crash points between fences share an image)")
+	}
+	if res.Stats.RecoveryCrashes.Load() == 0 {
+		t.Fatal("no crashes were injected during recovery at depth 1")
+	}
+
+	// Every fence interval must contain at least one enumerated point, and
+	// the intervals must tile the op range exactly.
+	var sum uint64
+	for i, n := range res.IntervalPoints {
+		if n == 0 {
+			t.Errorf("fence interval %d has no crash points", i)
+		}
+		sum += n
+	}
+	if sum != res.TotalOps {
+		t.Fatalf("interval points sum to %d, want %d", sum, res.TotalOps)
+	}
+}
+
+func TestExhaustiveDeterministicCensus(t *testing.T) {
+	cfg := testConfig("kvstore")
+	cfg.Depth = -1
+	a, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalOps != b.TotalOps {
+		t.Fatalf("op counts diverged across runs: %d vs %d", a.TotalOps, b.TotalOps)
+	}
+	if len(a.FenceOps) != len(b.FenceOps) {
+		t.Fatalf("fence counts diverged: %d vs %d", len(a.FenceOps), len(b.FenceOps))
+	}
+	for i := range a.FenceOps {
+		if a.FenceOps[i] != b.FenceOps[i] {
+			t.Fatalf("fence %d at op %d vs %d", i, a.FenceOps[i], b.FenceOps[i])
+		}
+	}
+}
+
+func TestExhaustiveTreesNoViolations(t *testing.T) {
+	for _, wl := range []string{"bst", "btree"} {
+		t.Run(wl, func(t *testing.T) {
+			cfg := testConfig(wl)
+			cfg.Steps = 3
+			cfg.Depth = -1
+			res, err := explore.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s\nflight:\n%s", v, v.Flight)
+			}
+			if res.Stats.Explored.Load() == 0 {
+				t.Fatal("nothing was verified")
+			}
+		})
+	}
+}
+
+func TestExhaustiveEvictionVariants(t *testing.T) {
+	cfg := testConfig("kvstore")
+	cfg.Steps = 3
+	cfg.Depth = -1
+	cfg.EvictionSeeds = 2
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s\nflight:\n%s", v, v.Flight)
+	}
+	if res.Stats.Evictions.Load() == 0 {
+		t.Fatal("no eviction variants ran")
+	}
+}
+
+// TestExhaustiveCatchesBrokenRecovery proves the explorer detects a
+// recovery implementation that loses acknowledged data: the wrapped
+// AttachFn silently deletes key 2 (acknowledged at step 1) after every
+// recovery, and the explorer must report it with a flight dump naming the
+// crash point.
+func TestExhaustiveCatchesBrokenRecovery(t *testing.T) {
+	cfg := testConfig("kvstore")
+	cfg.MaxViolations = 4
+	cfg.AttachFn = func(dev *pmem.Device) (*pool.Pool, error) {
+		p, err := pool.Attach(dev)
+		if err != nil {
+			return nil, err
+		}
+		kv := workloads.AttachKVStore(corundumeng.Wrap(p))
+		if _, found, _ := kv.Get(2); found {
+			if _, err := kv.Delete(2); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("broken recovery (drops acked key 2) was not detected")
+	}
+	v := res.Violations[0]
+	if v.CrashPoint == 0 {
+		t.Errorf("violation does not name its crash point: %s", v)
+	}
+	if v.Flight == "" {
+		t.Error("violation carries no flight-recorder dump")
+	}
+	if !strings.Contains(v.Flight, "CRASH") {
+		t.Errorf("flight dump has no CRASH marker:\n%s", v.Flight)
+	}
+}
+
+func TestExhaustiveRegistersMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig("kvstore")
+	cfg.Steps = 2
+	cfg.Depth = -1
+	cfg.Registry = reg
+	if _, err := explore.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"explore_crash_points_total", "explore_pruned_total", "explore_violations_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+}

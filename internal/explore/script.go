@@ -1,0 +1,55 @@
+package explore
+
+// A workload script is a fixed, deterministic sequence of single-mutation
+// steps; exhaustive exploration cuts power at every device op the sequence
+// issues. Each step is one failure-atomic transaction, so after a crash at
+// any point during step s the recovered state must equal the model after s
+// steps (the transaction rolled back) or after s+1 (it had passed its
+// commit point).
+//
+// The pattern — put, put, overwrite, delete — exercises allocation,
+// in-place update (undo-log data entries), and free (drop logs applied at
+// commit, reclaimed by recovery on rollback). Every step changes the
+// abstract state, so the per-step models are pairwise distinct; that is
+// what makes durable-hash pruning sound (a durable image determines a
+// unique recovered state, hence a unique step count it can belong to).
+type scriptOp struct {
+	del      bool
+	key, val uint64
+}
+
+// buildScript returns the step sequence and models[0..steps], where
+// models[k] is the expected key→value map after k completed steps.
+func buildScript(steps int) ([]scriptOp, []map[uint64]uint64) {
+	ops := make([]scriptOp, steps)
+	for i := 0; i < steps; i++ {
+		group := uint64(i / 4) // each group of 4 works on two fresh keys
+		k0 := group*2 + 1
+		k1 := group*2 + 2
+		switch i % 4 {
+		case 0:
+			ops[i] = scriptOp{key: k0, val: uint64(i)*1000 + 11}
+		case 1:
+			ops[i] = scriptOp{key: k1, val: uint64(i)*1000 + 11}
+		case 2:
+			ops[i] = scriptOp{key: k0, val: uint64(i)*1000 + 77} // overwrite
+		case 3:
+			ops[i] = scriptOp{del: true, key: k0}
+		}
+	}
+	models := make([]map[uint64]uint64, steps+1)
+	models[0] = map[uint64]uint64{}
+	for i, op := range ops {
+		m := make(map[uint64]uint64, len(models[i])+1)
+		for k, v := range models[i] {
+			m[k] = v
+		}
+		if op.del {
+			delete(m, op.key)
+		} else {
+			m[op.key] = op.val
+		}
+		models[i+1] = m
+	}
+	return ops, models
+}

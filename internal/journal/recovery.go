@@ -56,8 +56,11 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 				e := entries[k]
 				switch e.kind {
 				case entryData:
-					copy(dev.Bytes()[e.off:], e.payload)
-					dev.MarkDirty(e.off, e.size)
+					// Write (not a raw copy) so the restore store is itself an
+					// injectable device op: exhaustive exploration must be able
+					// to cut power between any two recovery stores, and a store
+					// the injector cannot see would be an unexplorable gap.
+					dev.Write(e.off, e.payload)
 					dev.Flush(e.off, e.size)
 				case entryAlloc:
 					if heap.IsAllocated(e.off, e.size) {

@@ -3,6 +3,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"math/rand"
 	"os"
 	"slices"
@@ -54,6 +55,14 @@ type Device struct {
 	// flight, when set, is the crash flight recorder: a bounded ring of
 	// recent operations dumped after a crash to explain torn state.
 	flight atomic.Pointer[obs.Recorder]
+
+	// ops counts injection points deterministically: one per Write, one
+	// per cache line of every Flush, one per Fence — the same sequence a
+	// fault injector observes, so replaying a deterministic workload
+	// produces the same count every time. crashAt, when non-zero, is the
+	// ops value at which the device cuts power on its own (CrashAt).
+	ops     atomic.Uint64
+	crashAt atomic.Uint64
 
 	injectMu sync.Mutex
 	inject   func(op Op) bool
@@ -345,6 +354,60 @@ func (d *Device) Crash() {
 	}
 }
 
+// DurableSnapshot returns a copy of the bytes that would survive power
+// loss right now (the fenced shadow). It requires TrackCrash. Paired with
+// RestoreDurable it lets crash-exploration harnesses fork execution from
+// a captured post-crash state without replaying the workload.
+func (d *Device) DurableSnapshot() []byte {
+	if !d.track {
+		panic("pmem: DurableSnapshot requires Options.TrackCrash")
+	}
+	d.shadowMu.Lock()
+	defer d.shadowMu.Unlock()
+	return append([]byte(nil), d.shadow...)
+}
+
+// RestoreDurable rewinds the device to a previously captured durable
+// image: live and durable contents both become data, all cache state
+// (dirty lines, flushed-not-fenced lines) is dropped, any armed CrashAt
+// is disarmed, and the device is unpoisoned — modelling a reboot with a
+// known PM image installed. It requires TrackCrash.
+func (d *Device) RestoreDurable(data []byte) {
+	if !d.track {
+		panic("pmem: RestoreDurable requires Options.TrackCrash")
+	}
+	if len(data) != len(d.buf) {
+		panic(fmt.Sprintf("pmem: RestoreDurable of %d bytes into device of size %d", len(data), len(d.buf)))
+	}
+	d.crashAt.Store(0)
+	d.poisoned.Store(false)
+	d.shadowMu.Lock()
+	defer d.shadowMu.Unlock()
+	copy(d.buf, data)
+	copy(d.shadow, data)
+	clear(d.pending)
+	for i := range d.dirty {
+		d.dirty[i].Store(0)
+	}
+}
+
+// durableHashSeed makes DurableHash stable within the process, which is
+// all crash-exploration pruning needs.
+var durableHashSeed = maphash.MakeSeed()
+
+// DurableHash returns a fast 64-bit hash of the durable image, used by
+// exhaustive crash exploration to prune crash points whose surviving
+// state has already been explored. Hashes are only comparable within one
+// process. It requires TrackCrash.
+func (d *Device) DurableHash() uint64 {
+	if !d.track {
+		panic("pmem: DurableHash requires Options.TrackCrash")
+	}
+	d.shadowMu.Lock()
+	defer d.shadowMu.Unlock()
+	return maphash.Bytes(durableHashSeed, d.shadow)
+}
+
 // CrashWithEviction simulates power loss where, additionally, some dirty
 // cache lines happened to be evicted (and therefore persisted) before the
 // crash, as real caches may do. Each unflushed dirty line persists with
@@ -386,14 +449,32 @@ func (d *Device) CrashWithEviction(seed int64) {
 	copy(d.buf, d.shadow)
 }
 
-// SetFaultInjector installs fn, called before every Write, Flush, and
-// Fence. If fn returns true the device panics with ErrInjectedCrash;
-// harnesses recover, call Crash, and exercise recovery. Pass nil to remove.
+// SetFaultInjector installs fn, called before every Write, each cache
+// line of every Flush, and every Fence — in every attribution scope,
+// including ops issued by recovery itself (a crash during recovery is a
+// legal power-loss point and harnesses must be able to exercise it). If
+// fn returns true the device panics with ErrInjectedCrash; harnesses
+// recover, call Crash, and exercise recovery. Pass nil to remove.
 func (d *Device) SetFaultInjector(fn func(op Op) bool) {
 	d.injectMu.Lock()
 	d.inject = fn
 	d.injectMu.Unlock()
 }
+
+// OpCount reports how many injection points the device has passed: one
+// per Write, one per cache line of every Flush, one per Fence. The count
+// is deterministic for a deterministic workload, which is what lets
+// exhaustive crash exploration enumerate every interval [n, n+1) as a
+// distinct crash point and replay to exactly op n.
+func (d *Device) OpCount() uint64 { return d.ops.Load() }
+
+// CrashAt arms a deterministic power cut: the device panics with
+// ErrInjectedCrash the moment OpCount reaches n, without any injector
+// callback in the loop. Zero disarms. The cut poisons the device exactly
+// like a firing fault injector; harnesses recover the panic, call Crash
+// (or CrashWithEviction), and exercise recovery. CrashAt and
+// SetFaultInjector may be combined; CrashAt fires first.
+func (d *Device) CrashAt(n uint64) { d.crashAt.Store(n) }
 
 func (d *Device) maybeInject(op Op) {
 	if d.poisoned.Load() {
@@ -401,6 +482,13 @@ func (d *Device) maybeInject(op Op) {
 		// keeps deferred cleanup in the program under test from touching the
 		// media after the injected crash point, which real power loss makes
 		// impossible.
+		panic(ErrInjectedCrash)
+	}
+	n := d.ops.Add(1)
+	if at := d.crashAt.Load(); at != 0 && n >= at {
+		d.crashAt.Store(0)
+		d.poisoned.Store(true)
+		d.markCrash()
 		panic(ErrInjectedCrash)
 	}
 	d.injectMu.Lock()

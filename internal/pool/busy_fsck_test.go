@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+)
+
+func TestTransactionBusyTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Journals = 1
+	p, err := Create("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetAcquireTimeout(10 * time.Millisecond)
+
+	// Occupy the only journal slot from another goroutine.
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = p.Transaction(func(j *journal.Journal) error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+
+	if err := p.Transaction(func(j *journal.Journal) error { return nil }); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Transaction under exhaustion = %v, want ErrBusy", err)
+	}
+
+	// Retrying after the slot frees must succeed: BUSY is transient.
+	close(hold)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := p.Transaction(func(j *journal.Journal) error { return nil })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+			t.Fatalf("retry after release = %v", err)
+		}
+	}
+}
+
+func TestTransactionBlocksWithoutTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Journals = 1
+	p, err := Create("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = p.Transaction(func(j *journal.Journal) error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+	// Default behaviour (no timeout) still blocks until the slot frees.
+	got := make(chan error, 1)
+	go func() {
+		got <- p.Transaction(func(j *journal.Journal) error { return nil })
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Transaction returned %v before the slot freed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(hold)
+	if err := <-got; err != nil {
+		t.Fatalf("blocked Transaction = %v after release", err)
+	}
+}
+
+func TestFsckAcceptsHealthyAndCrashedPools(t *testing.T) {
+	p := newPool(t)
+	var cell uint64
+	if err := p.Transaction(func(j *journal.Journal) error {
+		var err error
+		cell, err = j.Alloc(64)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fsck(p.Device()); err != nil {
+		t.Fatalf("Fsck on healthy pool: %v", err)
+	}
+	_ = cell
+
+	// A mid-transaction crash leaves a pending journal; that is recovery's
+	// job, not corruption, and Fsck must not refuse it.
+	func() {
+		defer func() { recover() }()
+		n := 0
+		p.Device().SetFaultInjector(func(op pmem.Op) bool {
+			n++
+			return n == 8
+		})
+		_ = p.Transaction(func(j *journal.Journal) error {
+			_, err := j.Alloc(64)
+			return err
+		})
+	}()
+	p.Device().SetFaultInjector(nil)
+	p.Device().Crash()
+	if err := Fsck(p.Device()); err != nil {
+		t.Fatalf("Fsck on crashed (pending-journal) pool: %v", err)
+	}
+	if _, err := Attach(p.Device()); err != nil {
+		t.Fatalf("Attach after fsck: %v", err)
+	}
+}
+
+func TestFsckRejectsCorruptImage(t *testing.T) {
+	p := newPool(t)
+	dev := p.Device()
+
+	// Smash a journal state byte to an undefined value.
+	g, err := computeGeometry(dev.Size(), p.Journals(), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := g.bufOff // journal 0 state word
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], 99)
+	dev.Write(off, w[:])
+	dev.Persist(off, 8)
+
+	err = Fsck(dev)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Fsck on smashed state byte = %v, want ErrCorrupt", err)
+	}
+	if got := err.Error(); got == ErrCorrupt.Error() {
+		t.Fatalf("diagnostic carries no detail: %q", got)
+	}
+}
+
+func TestOpenRefusesCorruptPool(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.img")
+	cfg := testConfig()
+	p, err := Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a journal state byte on disk.
+	g, err := computeGeometry(cfg.Size, cfg.Journals, cfg.JournalCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{77}, int64(g.bufOff)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path, pmem.Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt pool = %v, want ErrCorrupt", err)
+	}
+}

@@ -43,6 +43,14 @@ var (
 	ErrWrongVersion = errors.New("pool: incompatible format version")
 	ErrWrongRoot    = errors.New("pool: root type differs from the one the pool was created with")
 	ErrNoSpace      = errors.New("pool: size too small for the requested configuration")
+	// ErrBusy reports that every journal slot was in use for longer than
+	// the configured acquire timeout (SetAcquireTimeout). The transaction
+	// never began, so retrying is always safe; serving layers surface it
+	// as a retryable backpressure signal instead of blocking forever.
+	ErrBusy = errors.New("pool: all journal slots busy")
+	// ErrCorrupt reports that a pool image failed its structural fsck
+	// pass; the detail names what is wrong. Open refuses such pools.
+	ErrCorrupt = errors.New("pool: image failed structural check")
 )
 
 // Config sizes a pool at creation. The parameters are persisted in the pool
@@ -93,6 +101,10 @@ type Pool struct {
 	// Recovery statistics from Attach (zero for freshly created pools).
 	recoveredBack int
 	recoveredFwd  int
+
+	// acquireTO, when positive (nanoseconds), bounds how long Transaction
+	// waits for a free journal slot before failing with ErrBusy.
+	acquireTO atomic.Int64
 
 	mu     sync.RWMutex
 	open   bool
@@ -199,6 +211,12 @@ func Open(path string, mem pmem.Options) (*Pool, error) {
 	size := int(binary.LittleEndian.Uint64(raw[hdrSize:]))
 	dev, err := pmem.OpenFile(path, size, mem)
 	if err != nil {
+		return nil, err
+	}
+	// Refuse structurally corrupt images before recovery touches them:
+	// recovery assumes well-formed journal state words and allocator
+	// metadata, and running it over garbage could destroy evidence.
+	if err := Fsck(dev); err != nil {
 		return nil, err
 	}
 	return Attach(dev)

@@ -29,7 +29,10 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 	p.mu.RUnlock()
 
 	if !nested {
-		idx := <-p.freeJ // waits if all journals are busy
+		idx, err := p.acquireSlot()
+		if err != nil {
+			return err
+		}
 		j = p.journals[idx]
 		p.mu.Lock()
 		p.active[g] = j
@@ -60,6 +63,38 @@ func (p *Pool) Transaction(fn func(j *journal.Journal) error) error {
 		return fmt.Errorf("pool: transaction aborted")
 	}
 	return err
+}
+
+// acquireSlot claims a free journal slot, waiting forever by default. With
+// SetAcquireTimeout configured it gives up after that long and returns
+// ErrBusy — the journal-exhaustion backpressure signal; no transaction
+// state has been touched, so callers can always retry.
+func (p *Pool) acquireSlot() (int, error) {
+	// Fast path: a slot is free right now.
+	select {
+	case idx := <-p.freeJ:
+		return idx, nil
+	default:
+	}
+	to := time.Duration(p.acquireTO.Load())
+	if to <= 0 {
+		return <-p.freeJ, nil // waits if all journals are busy
+	}
+	t := time.NewTimer(to)
+	defer t.Stop()
+	select {
+	case idx := <-p.freeJ:
+		return idx, nil
+	case <-t.C:
+		return 0, ErrBusy
+	}
+}
+
+// SetAcquireTimeout bounds how long Transaction waits for a free journal
+// slot before failing with ErrBusy. Zero (the default) restores unbounded
+// blocking. Safe to call concurrently with transactions.
+func (p *Pool) SetAcquireTimeout(d time.Duration) {
+	p.acquireTO.Store(int64(d))
 }
 
 // endTx closes one nesting level and, at the outermost level, returns the

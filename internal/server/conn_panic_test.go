@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+
+	"corundum/internal/pool"
+)
+
+// TestConnPanicIsolated plants a panic in the dispatch path for one
+// specific key — standing in for any handler-path bug — and asserts the
+// blast radius is exactly one connection: the victim is dropped with an
+// -ERR, the panic counter ticks, the server keeps serving other clients,
+// and the pool is not marked failed (only injected crashes model power
+// loss and halt the server).
+func TestConnPanicIsolated(t *testing.T) {
+	p, err := pool.Create("", pool.Config{Size: 8 << 20, Journals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// The trap must be armed before Serve so handler goroutines observe it
+	// without synchronization.
+	srv.testHook = func(cmd Command) {
+		if cmd.Kind == CmdGet && cmd.Key == 777 {
+			panic("synthetic handler bug")
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	send := func(c net.Conn, r *bufio.Reader, line string) (string, error) {
+		if _, err := c.Write([]byte(line + "\r\n")); err != nil {
+			return "", err
+		}
+		reply, err := r.ReadString('\n')
+		return strings.TrimRight(reply, "\r\n"), err
+	}
+
+	victim, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	vr := bufio.NewReader(victim)
+	if reply, err := send(victim, vr, "PING"); err != nil || reply != "+PONG" {
+		t.Fatalf("warmup PING = %q, %v", reply, err)
+	}
+
+	reply, err := send(victim, vr, "GET 777")
+	if err == nil && !strings.HasPrefix(reply, "-ERR internal error") {
+		t.Fatalf("victim GET after panic = %q, want -ERR internal error or EOF", reply)
+	}
+	// The connection must be dead now.
+	if _, err := send(victim, vr, "PING"); err == nil {
+		t.Fatal("victim connection survived its handler panic")
+	}
+
+	// Everyone else is unaffected.
+	other, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	or := bufio.NewReader(other)
+	if reply, err := send(other, or, "PING"); err != nil || reply != "+PONG" {
+		t.Fatalf("PING on fresh connection after panic = %q, %v", reply, err)
+	}
+	if reply, err := send(other, or, "GET 1"); err != nil || reply != "$-1" {
+		t.Fatalf("GET on fresh connection after panic = %q, %v", reply, err)
+	}
+
+	if got := srv.m.connPanics.Value(); got != 1 {
+		t.Fatalf("server_conn_panics_total = %d, want 1", got)
+	}
+	if srv.Halted() {
+		t.Fatal("handler panic halted the server; only pool failures may do that")
+	}
+}

@@ -27,6 +27,7 @@ type serverMetrics struct {
 
 	opsGet, opsSet, opsDel, opsScan *obs.Counter
 	connsTotal                      *obs.Counter
+	connPanics                      *obs.Counter
 	batchSizes                      *obs.Histogram
 }
 
@@ -40,6 +41,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		opsScan: reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "scan"}),
 		connsTotal: reg.Counter("server_connections_total",
 			"client connections accepted", nil),
+		connPanics: reg.Counter("server_conn_panics_total",
+			"connection handler panics isolated (connection dropped, server kept serving)", nil),
 		batchSizes: reg.Histogram("server_batch_size",
 			"operations folded into one group-commit transaction", nil, batchSizeBuckets),
 	}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// IsBusyReply reports whether a protocol reply line is the retryable
+// journal-exhaustion signal (-BUSY ...). Unlike -ERR replies, a -BUSY
+// request never began executing, so re-sending it is always safe.
+func IsBusyReply(line string) bool {
+	return strings.HasPrefix(line, "-BUSY")
+}
+
+// RetryBusy runs do until its reply is not -BUSY or attempts are
+// exhausted, sleeping between tries with exponential backoff plus jitter
+// (full-jitter on the current window, doubling up to cap). It returns the
+// last reply; callers detect lingering exhaustion with IsBusyReply. A
+// transport error from do is returned immediately — only the explicit
+// backpressure signal is retried.
+func RetryBusy(attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	window := base
+	var line string
+	var err error
+	for a := 0; a < attempts; a++ {
+		line, err = do()
+		if err != nil || !IsBusyReply(line) {
+			return line, err
+		}
+		if a == attempts-1 {
+			break
+		}
+		// Full jitter: a uniform draw over the window, so synchronized
+		// clients spread out instead of re-colliding in lockstep.
+		time.Sleep(time.Duration(rand.Int63n(int64(window)) + 1))
+		if window *= 2; window > cap {
+			window = cap
+		}
+	}
+	return line, err
+}

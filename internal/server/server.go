@@ -28,6 +28,11 @@ type Options struct {
 	// Buckets sizes the KVStore's bucket directory when the pool has no
 	// store yet (default 4096). Ignored when attaching to an existing store.
 	Buckets int
+	// BusyTimeout bounds how long a request waits for a free journal slot
+	// before the server answers -BUSY, a retryable backpressure signal,
+	// instead of blocking the connection forever (default 100ms; negative
+	// disables and restores unbounded blocking).
+	BusyTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Buckets <= 0 {
 		o.Buckets = 4096
+	}
+	if o.BusyTimeout == 0 {
+		o.BusyTimeout = 100 * time.Millisecond
 	}
 	return o
 }
@@ -64,6 +72,11 @@ type Server struct {
 
 	halted atomic.Bool
 	wg     sync.WaitGroup
+
+	// testHook, when non-nil, runs at the top of every dispatch. It exists
+	// so tests can inject handler-goroutine faults (panics) deterministically;
+	// it must be set before Serve and is nil in production.
+	testHook func(Command)
 
 	// m holds the registry-backed metrics; STATS and GET /metrics render
 	// from the same instruments.
@@ -101,6 +114,11 @@ func New(p *pool.Pool, opts Options) (*Server, error) {
 	s.b = newBatcher(kv, &s.lock, opts.MaxBatch, opts.MaxDelay, s.onPoolFailure)
 	s.m = newServerMetrics(s)
 	s.b.sizes.Store(s.m.batchSizes)
+	// Store setup above needed a journal slot unconditionally; only live
+	// traffic gets the bounded wait.
+	if opts.BusyTimeout > 0 {
+		p.SetAcquireTimeout(opts.BusyTimeout)
+	}
 	return s, nil
 }
 
@@ -198,6 +216,21 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(c)
 	defer c.Close()
+	// A panic out of this connection's handling is recorded and takes down
+	// only this connection: one malformed or bug-triggering client must
+	// not kill the process (or the pool) for everyone else. Injected-crash
+	// panics are not isolated — they model power loss and are converted
+	// into a server halt on the paths that touch the device.
+	defer func() {
+		if r := recover(); r != nil {
+			if r == pmem.ErrInjectedCrash {
+				panic(r)
+			}
+			s.m.connPanics.Inc()
+			// Best effort: tell the client before dropping it.
+			fmt.Fprintf(c, "-ERR internal error: connection dropped\r\n")
+		}
+	}()
 	r := bufio.NewReaderSize(c, MaxLineLen+2)
 	w := bufio.NewWriter(c)
 	// pending holds a run of consecutive SET/DEL commands this connection
@@ -278,7 +311,7 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 	for i, res := range s.b.SubmitMany(ops) {
 		switch {
 		case res.Err != nil:
-			writeErr(w, res.Err)
+			writeReplyErr(w, res.Err)
 		case cmds[i].Kind == CmdDel:
 			if res.Removed {
 				writeInt(w, 1)
@@ -318,6 +351,9 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // (SET/DEL go through flushMutations). It reports whether the connection
 // should close (QUIT).
 func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
+	if s.testHook != nil {
+		s.testHook(cmd)
+	}
 	if s.halted.Load() && cmd.Kind != CmdPing && cmd.Kind != CmdQuit {
 		writeErr(w, s.b.failure())
 		return false
@@ -328,7 +364,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		val, found, err := s.get(cmd.Key)
 		switch {
 		case err != nil:
-			writeErr(w, err)
+			writeReplyErr(w, err)
 		case found:
 			writeInt(w, val)
 		default:
@@ -338,7 +374,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		s.m.opsScan.Inc()
 		pairs, err := s.scan(cmd.Limit)
 		if err != nil {
-			writeErr(w, err)
+			writeReplyErr(w, err)
 		} else {
 			fmt.Fprintf(w, "*%d\r\n", len(pairs)/2)
 			for i := 0; i < len(pairs); i += 2 {
@@ -458,6 +494,16 @@ func writeNil(w io.Writer) { io.WriteString(w, "$-1\r\n") }
 func writeInt(w io.Writer, n uint64) { fmt.Fprintf(w, ":%d\r\n", n) }
 
 func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(err.Error())) }
+
+// writeReplyErr distinguishes the retryable journal-exhaustion condition
+// (-BUSY, see RetryBusy) from terminal errors (-ERR).
+func writeReplyErr(w io.Writer, err error) {
+	if errors.Is(err, pool.ErrBusy) {
+		fmt.Fprintf(w, "-BUSY %s\r\n", oneLine(err.Error()))
+		return
+	}
+	writeErr(w, err)
+}
 
 func writeBulk(w io.Writer, body string) { fmt.Fprintf(w, "$%d\r\n%s\r\n", len(body), body) }
 

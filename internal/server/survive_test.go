@@ -1,0 +1,160 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+	"corundum/internal/workloads"
+)
+
+// TestServerBusyBackpressure exhausts the pool's only journal slot and
+// asserts the server answers -BUSY (a retryable signal) instead of
+// blocking the connection forever, and that RetryBusy rides out the
+// exhaustion once the slot frees.
+func TestServerBusyBackpressure(t *testing.T) {
+	p, err := pool.Create("", pool.Config{Size: 8 << 20, Journals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, p, server.Options{BusyTimeout: 20 * time.Millisecond})
+	defer srv.Close()
+
+	// Occupy the only journal slot from outside the server.
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = p.Transaction(func(j *journal.Journal) error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+
+	cl := dial(t, addr)
+	defer cl.close()
+	reply, err := cl.cmd("GET 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !server.IsBusyReply(reply) {
+		t.Fatalf("GET under journal exhaustion = %q, want -BUSY", reply)
+	}
+	if !srv.Halted() == false {
+		t.Fatal("server halted on BUSY")
+	}
+
+	// Release the slot shortly; the backoff helper must converge.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(hold)
+	}()
+	reply, err = server.RetryBusy(20, time.Millisecond, 20*time.Millisecond, func() (string, error) {
+		return cl.cmd("GET 7")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.IsBusyReply(reply) {
+		t.Fatalf("still busy after release: %q", reply)
+	}
+	if reply != "$-1" {
+		t.Fatalf("GET 7 = %q, want nil", reply)
+	}
+}
+
+func TestRetryBusyStopsAtAttempts(t *testing.T) {
+	calls := 0
+	line, err := server.RetryBusy(5, time.Microsecond, 4*time.Microsecond, func() (string, error) {
+		calls++
+		return "-BUSY all journal slots busy", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("do ran %d times, want 5", calls)
+	}
+	if !server.IsBusyReply(line) {
+		t.Fatalf("final line %q, want -BUSY", line)
+	}
+}
+
+// TestServerGracefulShutdownDurability models the SIGTERM path: a client
+// is pipelining SETs when Close runs. Close must drain the batcher, every
+// write the client saw +OK for must be durable after reopening the pool,
+// and the shutdown must be clean (recovery finds nothing to do).
+func TestServerGracefulShutdownDurability(t *testing.T) {
+	p, err := pool.Create("", pool.Config{Size: 16 << 20, Journals: 8, Mem: pmem.Options{TrackCrash: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := p.Device()
+	srv, addr := startServer(t, p, server.Options{})
+
+	cl := dial(t, addr)
+	defer cl.close()
+	const n = 400
+	go func() {
+		// Pipeline without waiting for replies; the connection may die
+		// mid-stream when Close fires, which is fine — unacked writes are
+		// allowed to be absent.
+		for i := uint64(1); i <= n; i++ {
+			if _, err := fmt.Fprintf(cl.c, "SET %d %d\n", i, i*10); err != nil {
+				return
+			}
+		}
+	}()
+
+	var acked atomic.Uint64
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			line, err := cl.r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(line, "+OK") {
+				acked.Add(1)
+			}
+		}
+	}()
+
+	time.Sleep(3 * time.Millisecond) // let a prefix of the stream land
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-readerDone
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := pool.Attach(dev)
+	if err != nil {
+		t.Fatalf("reopen after graceful shutdown: %v", err)
+	}
+	if rb, rf := p2.Recovery(); rb != 0 || rf != 0 {
+		t.Fatalf("graceful shutdown left recovery work: rolled back %d, forward %d", rb, rf)
+	}
+	kv := workloads.AttachKVStore(corundumeng.Wrap(p2))
+	got := acked.Load()
+	for i := uint64(1); i <= got; i++ {
+		val, found, err := kv.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || val != i*10 {
+			t.Fatalf("acked write %d lost after graceful shutdown (found=%v val=%d, %d acked)", i, found, val, got)
+		}
+	}
+	t.Logf("acked %d/%d writes before shutdown; all durable", got, n)
+}
