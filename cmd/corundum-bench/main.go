@@ -190,11 +190,19 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			f.Close()
 		}
 		if jsonDir != "" {
+			// A bounded media-fault sweep rides along so the artifact tracks
+			// fault-campaign coverage (and zero violations) per build.
+			cov, err := bench.FaultCampaign(6, 7, 8, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("fault campaign: %d crash points, %d torn schedules, %d flips — %d masked, %d repaired, %d detected, %d violations\n",
+				cov.CrashPoints, cov.TornSchedules, cov.BitFlips, cov.Masked, cov.Repaired, cov.Detected, cov.Violations)
 			f, err := os.Create(filepath.Join(jsonDir, "BENCH_server.json"))
 			if err != nil {
 				return err
 			}
-			err = bench.WriteServerJSON(f, rows)
+			err = bench.WriteServerJSON(f, rows, cov)
 			f.Close()
 			if err != nil {
 				return err

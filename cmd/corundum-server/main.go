@@ -22,6 +22,15 @@
 // signal (clients: server.RetryBusy backs off with jitter). On SIGTERM or
 // SIGINT the server stops accepting, drains the group-commit batcher so
 // every acknowledged write is durable, and closes the pool cleanly.
+//
+// Startup uses pool.OpenRepair: a cleanly recoverable image opens as
+// usual; an image with at-rest media damage is repaired from its header
+// and root-slot mirrors and allocator checksums where possible, and
+// otherwise opens DEGRADED — reads keep working, mutations answer
+// -READONLY, and the damaged ranges are quarantined. The SCRUB admin
+// command runs an online media scrub (metadata mirrors, allocator
+// checksums, a verified walk of the whole store) and reports what it
+// found and repaired.
 package main
 
 import (
@@ -80,13 +89,23 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, bus
 		err error
 	)
 	if _, statErr := os.Stat(path); statErr == nil {
-		p, err = pool.Open(path, mem)
+		// OpenRepair behaves exactly like Open on a clean image; on a
+		// media-damaged one it repairs what mirrors and checksums allow and
+		// falls back to degraded read-only serving instead of refusing.
+		p, err = pool.OpenRepair(path, mem)
 		if err != nil {
 			return err
 		}
 		rb, rf := p.Recovery()
 		fmt.Printf("opened pool %s: generation %d, recovery rolled back %d / forward %d txs\n",
 			path, p.Generation(), rb, rf)
+		if p.Degraded() {
+			fmt.Printf("WARNING: pool is DEGRADED (read-only): %s\n", p.DegradedReason())
+			for _, r := range p.Quarantine() {
+				fmt.Printf("WARNING: quarantined range: off=%d len=%d\n", r.Off, r.Len)
+			}
+			fmt.Println("WARNING: serving reads; mutations will be answered -READONLY")
+		}
 	} else {
 		p, err = pool.Create(path, pool.Config{Size: size, Journals: journals, Mem: mem})
 		if err != nil {

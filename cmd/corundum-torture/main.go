@@ -24,8 +24,21 @@
 //	corundum-torture -mode exhaust [-workload kvstore|bst|btree] [-depth K]
 //	                 [-steps N] [-evict-seeds N] [-workers N] [-dump-dir D]
 //
+// Faults mode drops below fail-stop: at every crash point (subsampled by
+// -stride) it explores word-granularity torn writes — every combination
+// of at-risk 8-byte words when the space fits -torn-budget, a bracketed
+// seeded sweep otherwise — and injects at-rest bit flips into long-lived
+// media, asserting the no-silent-corruption invariant: every fault is
+// masked, repaired, or loudly detected (refusal, degraded mode, or a
+// data-corruption error), never silently wrong:
+//
+//	corundum-torture -mode faults [-workload kvstore] [-steps N]
+//	                 [-stride N] [-torn-budget N] [-flips N]
+//	                 [-workers N] [-dump-dir D]
+//
 // Exit code 1 means a consistency violation was found (a bug); in exhaust
-// mode each violation's flight-recorder dump is written under -dump-dir.
+// and faults modes each violation's flight-recorder dump is written under
+// -dump-dir.
 package main
 
 import (
@@ -49,7 +62,10 @@ func main() {
 	depth := flag.Int("depth", 2, "exhaust mode: nested crashes injected during recovery (0 = none)")
 	steps := flag.Int("steps", 8, "exhaust mode: script mutations to enumerate crash points over")
 	evictSeeds := flag.Int("evict-seeds", 0, "exhaust mode: additionally replay each crash point with eviction seeds 1..N")
-	dumpDir := flag.String("dump-dir", "", "exhaust mode: write flight-recorder dumps for violations into this directory")
+	dumpDir := flag.String("dump-dir", "", "exhaust/faults mode: write flight-recorder dumps for violations into this directory")
+	stride := flag.Int("stride", 1, "faults mode: explore every stride-th crash point")
+	tornBudget := flag.Int("torn-budget", 16, "faults mode: max torn-word schedules per crash point")
+	flips := flag.Int("flips", 4, "faults mode: bit flips probed per crash point")
 	flag.Parse()
 
 	switch *mode {
@@ -57,8 +73,10 @@ func main() {
 		runRandom(*seeds, *iterations, *workers)
 	case "exhaust":
 		runExhaust(*workload, *depth, *steps, *evictSeeds, *workers, *dumpDir)
+	case "faults":
+		runFaults(*workload, *steps, *stride, *tornBudget, *flips, *workers, *dumpDir)
 	default:
-		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random or exhaust)\n", *mode)
+		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, or faults)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -173,6 +191,64 @@ func runExhaust(workload string, depth, steps, evictSeeds, workers int, dumpDir 
 		os.Exit(1)
 	}
 	fmt.Printf("OK: all %d crash points recover consistently\n", res.TotalOps)
+}
+
+func runFaults(workload string, steps, stride, tornBudget, flips, workers int, dumpDir string) {
+	st := &explore.FaultsStats{}
+	cfg := explore.FaultsConfig{
+		Workload:      workload,
+		Steps:         steps,
+		PointStride:   stride,
+		TornBudget:    tornBudget,
+		FlipsPerPoint: flips,
+		Workers:       workers,
+		Stats:         st,
+	}
+
+	stop := make(chan struct{})
+	progressDone := make(chan struct{})
+	go func() {
+		defer close(progressDone)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "  ... %d crash points (%d torn schedules, %d flips; %d masked, %d repaired, %d detected)\n",
+					st.CrashPoints.Load(), st.TornSchedules.Load(), st.BitFlips.Load(),
+					st.Masked.Load(), st.Repaired.Load(), st.Detected.Load())
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, err := explore.RunFaults(cfg)
+	close(stop)
+	<-progressDone
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: faults: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("workload %s: %d ops, %d crash points visited (stride %d)\n", workload, res.TotalOps, res.Points, stride)
+	fmt.Printf("torn: %d schedules (%d pruned), %d lines actually tore, %d words persisted out of order\n",
+		st.TornSchedules.Load(), st.TornPruned.Load(), res.Media.TornLines, res.Media.TornWords)
+	fmt.Printf("rot:  %d bit flips — %d masked+%d repaired+%d detected (%.1fs)\n",
+		st.BitFlips.Load(), st.Masked.Load(), st.Repaired.Load(), st.Detected.Load(), time.Since(start).Seconds())
+
+	if len(res.Violations) > 0 {
+		for i, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "corundum-torture: VIOLATION: %v\n", v)
+			if dumpDir != "" {
+				writeFlightDump(dumpDir, i, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "corundum-torture: faults: %d violations — silent corruption or torn recovery failure\n", len(res.Violations))
+		os.Exit(1)
+	}
+	fmt.Printf("OK: no silent corruption — every injected fault was masked, repaired, or detected\n")
 }
 
 // writeFlightDump names the file after the crash point and trail so a

@@ -48,6 +48,14 @@ var (
 //	redo log      logAreaSize bytes
 //	free heads    maxOrders * 8 bytes   (offset of first free block per order)
 //	order map     heapSize/Granule bytes
+//	checksums     8 * (1 + ceil(map/mapChunkSize)) bytes
+//
+// The checksum area holds one CRC32 (in a u64 slot) over the free-heads
+// region, then one per mapChunkSize-byte chunk of the order map. Every
+// Alloc/Free stages the checksums of the regions it touches into the same
+// redo batch as the mutations themselves, so the checksums are exact at
+// every crash point once the log replays — a scrub pass can then tell a
+// legitimate crash image from at-rest media corruption.
 //
 // Free blocks form doubly-linked lists threaded through their own storage:
 // the first 16 bytes of a free block hold next and prev offsets (0 = none).
@@ -57,6 +65,8 @@ type Buddy struct {
 	logOff   uint64
 	headsOff uint64
 	mapOff   uint64
+	crcOff   uint64
+	mapBytes uint64
 	heapOff  uint64
 	heapSize uint64
 	maxOrder uint
@@ -65,11 +75,32 @@ type Buddy struct {
 	batch *redoBatch // reusable staging buffer (guarded by mu)
 }
 
+// mapChunkSize is the order-map granularity of checksum protection: one
+// CRC per 256 map bytes (16 KiB of heap), small enough that an operation
+// re-hashes only a few chunks.
+const mapChunkSize = 256
+
+func mapChunks(mapBytes uint64) uint64 { return (mapBytes + mapChunkSize - 1) / mapChunkSize }
+
 // MetaSize returns the metadata footprint an arena with the given heap size
 // needs, rounded to a cache line.
 func MetaSize(heapSize uint64) uint64 {
-	n := uint64(logAreaSize) + maxOrders*8 + heapSize/Granule
+	mapBytes := heapSize / Granule
+	n := uint64(logAreaSize) + maxOrders*8 + mapBytes + 8*(1+mapChunks(mapBytes))
 	return (n + pmem.CacheLineSize - 1) &^ uint64(pmem.CacheLineSize-1)
+}
+
+// LogAreaSize reports the media footprint of an arena's redo-log area,
+// which leads its metadata region. Fault campaigns use it to scope
+// at-rest corruption models to long-lived structures.
+func LogAreaSize() uint64 { return logAreaSize }
+
+// FreeHeadsRange reports where the free-list head array of an arena with
+// metadata at metaOff lives. Fault-injection harnesses target it when they
+// need structural damage a checksum rewrite cannot absorb (the redo-log
+// area that precedes it may hold stale, ignored bytes at rest).
+func FreeHeadsRange(metaOff uint64) (off, size uint64) {
+	return metaOff + logAreaSize, maxOrders * 8
 }
 
 func layout(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
@@ -85,10 +116,12 @@ func layout(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 		logOff:   metaOff,
 		headsOff: metaOff + logAreaSize,
 		mapOff:   metaOff + logAreaSize + maxOrders*8,
+		mapBytes: heapSize / Granule,
 		heapOff:  heapOff,
 		heapSize: heapSize,
 		maxOrder: uint(bits.Len64(heapSize) - 1),
 	}
+	b.crcOff = b.mapOff + b.mapBytes
 	return b
 }
 
@@ -123,6 +156,7 @@ func Format(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 		b.rawPush(order, b.heapOff+rel)
 		rel += uint64(1) << order
 	}
+	b.writeAllChecksums()
 	dev.Persist(b.logOff, MetaSize(heapSize))
 	dev.Persist(heapOff, heapSize)
 	return b
@@ -245,6 +279,7 @@ func (b *Buddy) AllocEx(size uint64, payload []byte, extra func(off uint64) []Up
 			batch.stage(u.Off, u.Val, u.Width)
 		}
 	}
+	b.stageChecksums(batch)
 	batch.commit()
 	b.inUse += BlockSize(size)
 	return off, nil
@@ -327,6 +362,7 @@ func (b *Buddy) Free(off, size uint64) error {
 		order++
 	}
 	b.push(batch, order, off)
+	b.stageChecksums(batch)
 	batch.commit()
 	b.inUse -= BlockSize(size)
 	return nil
@@ -430,6 +466,10 @@ func (b *Buddy) freeBytesLocked() uint64 {
 func (b *Buddy) CheckConsistency() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.checkConsistencyLocked()
+}
+
+func (b *Buddy) checkConsistencyLocked() error {
 	covered := make(map[uint64]uint) // block head rel offset -> order (free)
 	for o := uint(MinOrder); o <= b.maxOrder; o++ {
 		prev := uint64(0)

@@ -1,0 +1,158 @@
+package alloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"corundum/internal/pmem"
+)
+
+// Checksum slots live at crcOff: slot 0 covers the free-heads region,
+// slot 1+i covers map chunk i. Each slot is a u64 holding a CRC32 so
+// slots stay word-aligned (the redo log and the torn-write model both
+// work in 8-byte words).
+
+func (b *Buddy) headsCRCSlot() uint64             { return b.crcOff }
+func (b *Buddy) chunkCRCSlot(chunk uint64) uint64 { return b.crcOff + 8*(1+chunk) }
+
+// ChecksumRegion reports where this arena's checksum slots live, for
+// fault-injection harnesses that want to damage a checksum rather than
+// the structure it covers.
+func (b *Buddy) ChecksumRegion() (off, size uint64) {
+	return b.crcOff, 8 * (1 + mapChunks(b.mapBytes))
+}
+
+// chunkSpan returns the map byte range [start, end) of chunk i.
+func (b *Buddy) chunkSpan(chunk uint64) (uint64, uint64) {
+	start := b.mapOff + chunk*mapChunkSize
+	end := start + mapChunkSize
+	if end > b.mapOff+b.mapBytes {
+		end = b.mapOff + b.mapBytes
+	}
+	return start, end
+}
+
+// stageChecksums folds the checksums of every heads/map region the batch
+// touches into the batch itself, hashing through staged values, so the
+// checksum update commits in the same crash-atomic step as the mutation.
+// Must be the last staging call before commit.
+func (b *Buddy) stageChecksums(batch *redoBatch) {
+	headsEnd := b.headsOff + maxOrders*8
+	headsTouched := false
+	var chunks []uint64
+	for i := range batch.entries {
+		e := &batch.entries[i]
+		for _, off := range []uint64{e.off, e.off + uint64(e.width) - 1} {
+			switch {
+			case off >= b.headsOff && off < headsEnd:
+				headsTouched = true
+			case off >= b.mapOff && off < b.mapOff+b.mapBytes:
+				c := (off - b.mapOff) / mapChunkSize
+				seen := false
+				for _, have := range chunks {
+					if have == c {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					chunks = append(chunks, c)
+				}
+			}
+		}
+	}
+	if headsTouched {
+		batch.stage8(b.headsCRCSlot(), uint64(b.crcThrough(batch, b.headsOff, headsEnd)))
+	}
+	for _, c := range chunks {
+		start, end := b.chunkSpan(c)
+		batch.stage8(b.chunkCRCSlot(c), uint64(b.crcThrough(batch, start, end)))
+	}
+}
+
+// crcThrough hashes [start, end) as it will read after the batch applies.
+func (b *Buddy) crcThrough(batch *redoBatch, start, end uint64) uint32 {
+	h := crc32.NewIEEE()
+	var buf [mapChunkSize]byte
+	n := 0
+	for off := start; off < end; off++ {
+		buf[n] = batch.readAt(off)
+		n++
+		if n == len(buf) {
+			h.Write(buf[:n])
+			n = 0
+		}
+	}
+	h.Write(buf[:n])
+	return h.Sum32()
+}
+
+// writeAllChecksums computes and writes every checksum slot from the live
+// image, bypassing the redo log. Format uses it before the arena is
+// published; Scrub repair uses it under the arena lock.
+func (b *Buddy) writeAllChecksums() {
+	var w [8]byte
+	put := func(slot uint64, crc uint32) {
+		binary.LittleEndian.PutUint64(w[:], uint64(crc))
+		b.dev.Write(slot, w[:])
+	}
+	put(b.headsCRCSlot(), crc32.ChecksumIEEE(b.dev.Bytes()[b.headsOff:b.headsOff+maxOrders*8]))
+	for c := uint64(0); c < mapChunks(b.mapBytes); c++ {
+		start, end := b.chunkSpan(c)
+		put(b.chunkCRCSlot(c), crc32.ChecksumIEEE(b.dev.Bytes()[start:end]))
+	}
+}
+
+// VerifyChecksums checks the free-heads and order-map checksums of an
+// arena image read-only. With a pending redo log it reports nothing: the
+// image is mid-operation and replay will land the staged checksums with
+// the staged mutations. It returns nil when every region matches and an
+// error naming the first mismatching region otherwise.
+func VerifyChecksums(dev *pmem.Device, metaOff, heapOff, heapSize uint64) error {
+	b := layout(dev, metaOff, heapOff, heapSize)
+	if binary.LittleEndian.Uint64(dev.Bytes()[b.logOff:]) != 0 {
+		return nil // committed-but-unapplied redo log; replay restores consistency
+	}
+	return b.verifyChecksumsLocked()
+}
+
+func (b *Buddy) verifyChecksumsLocked() error {
+	read := func(slot uint64) uint32 {
+		return uint32(binary.LittleEndian.Uint64(b.dev.Bytes()[slot:]))
+	}
+	if got, want := crc32.ChecksumIEEE(b.dev.Bytes()[b.headsOff:b.headsOff+maxOrders*8]), read(b.headsCRCSlot()); got != want {
+		return fmt.Errorf("alloc: free-heads checksum mismatch: computed %#x, stored %#x", got, want)
+	}
+	for c := uint64(0); c < mapChunks(b.mapBytes); c++ {
+		start, end := b.chunkSpan(c)
+		if got, want := crc32.ChecksumIEEE(b.dev.Bytes()[start:end]), read(b.chunkCRCSlot(c)); got != want {
+			return fmt.Errorf("alloc: order-map chunk %d [%#x,%#x) checksum mismatch: computed %#x, stored %#x", c, start, end, got, want)
+		}
+	}
+	return nil
+}
+
+// ScrubChecksums verifies this arena's checksums under the arena lock,
+// first finishing any pending redo log, and — when repair is set —
+// recomputes every slot from the live image afterwards (used after the
+// structure itself has been validated, e.g. to absorb a corrupted
+// checksum slot rather than a corrupted map). It reports whether a
+// repair was performed and the verification error, nil if the arena
+// ended up clean.
+func (b *Buddy) ScrubChecksums(repair bool) (repaired bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replayLog(b.dev, b.logOff)
+	err = b.verifyChecksumsLocked()
+	if err != nil && repair {
+		if consistency := b.checkConsistencyLocked(); consistency == nil {
+			// The structure is sound, so the stale side is the checksum:
+			// rewrite the slots from the live image.
+			b.writeAllChecksums()
+			b.dev.Persist(b.crcOff, 8*(1+mapChunks(b.mapBytes)))
+			return true, nil
+		}
+	}
+	return false, err
+}

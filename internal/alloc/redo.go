@@ -23,8 +23,9 @@ import (
 const (
 	// logCapacity bounds the updates a single operation may stage. A worst
 	// case free that coalesces across all orders touches a handful of words
-	// per level, far below this.
-	logCapacity = 256
+	// per level plus the map-chunk checksums those levels dirty, still far
+	// below this.
+	logCapacity = 384
 	// entrySize is the on-media size of one redo entry:
 	// [off u64][val u64][width u64].
 	entrySize = 24
@@ -96,6 +97,19 @@ func (b *redoBatch) read8(off uint64) uint64 {
 func (b *redoBatch) read1(off uint64) byte {
 	if e := b.find(off); e != nil && e.width == 1 {
 		return byte(e.val)
+	}
+	return b.dev.Bytes()[off]
+}
+
+// readAt returns the byte at off as it will read once the batch applies,
+// regardless of the width of the entry covering it. Checksum staging uses
+// it to hash regions through the batch.
+func (b *redoBatch) readAt(off uint64) byte {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if off >= e.off && off < e.off+uint64(e.width) {
+			return byte(e.val >> (8 * (off - e.off)))
+		}
 	}
 	return b.dev.Bytes()[off]
 }
@@ -183,7 +197,12 @@ func replayLog(dev *pmem.Device, logOff uint64) {
 		return
 	}
 	if n > logCapacity {
-		panic(fmt.Sprintf("alloc: corrupt redo log count %d", n))
+		// A count the writer could never have produced: media corruption of
+		// the header word. The entry checksum is meaningless against it, so
+		// discard the log like a torn one — the operation un-happens, and
+		// journal recovery re-drives allocator work idempotently.
+		clearLogHeader(dev, logOff)
+		return
 	}
 	wantCRC := binary.LittleEndian.Uint32(dev.Bytes()[logOff+8:])
 	raw := dev.Bytes()[logOff+logHeaderSize : logOff+logHeaderSize+n*entrySize]

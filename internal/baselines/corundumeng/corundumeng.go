@@ -82,13 +82,26 @@ type tx struct {
 }
 
 func (t *tx) Alloc(size uint64) (uint64, error) { return t.j.Alloc(size) }
-func (t *tx) Free(off, size uint64) error       { return t.j.DropLog(off, size) }
+
+func (t *tx) Free(off, size uint64) error {
+	if err := t.p.Writable(); err != nil {
+		return err
+	}
+	return t.j.DropLog(off, size)
+}
 
 func (t *tx) Load(off uint64) uint64 {
 	return binary.LittleEndian.Uint64(t.p.Device().Bytes()[off:])
 }
 
+// Store and StoreBytes check pool writability here, not just in the
+// allocator: a degraded pool must reject in-place mutations too, and
+// those reach the journal's data log without passing through any
+// pool-level entry point.
 func (t *tx) Store(off, val uint64) error {
+	if err := t.p.Writable(); err != nil {
+		return err
+	}
 	var err error
 	if t.noDedup {
 		err = t.j.DataLogForce(off, 8)
@@ -103,6 +116,9 @@ func (t *tx) Store(off, val uint64) error {
 }
 
 func (t *tx) StoreBytes(off uint64, data []byte) error {
+	if err := t.p.Writable(); err != nil {
+		return err
+	}
 	if err := t.j.DataLog(off, uint64(len(data))); err != nil {
 		return err
 	}

@@ -1,0 +1,60 @@
+package bench
+
+import "corundum/internal/explore"
+
+// FaultCoverage is the fault-campaign section of BENCH_server.json: a
+// snapshot of the explore_faults_* and pmem_media_faults_* counters from
+// one deterministic media-fault sweep, so the artifact trajectory tracks
+// how much of the below-fail-stop fault space each build exercises (and
+// that violations stay at zero) alongside the throughput numbers.
+type FaultCoverage struct {
+	Workload      string `json:"workload"`
+	Steps         int    `json:"steps"`
+	TotalOps      uint64 `json:"total_ops"`
+	CrashPoints   uint64 `json:"explore_faults_crash_points_total"`
+	TornSchedules uint64 `json:"explore_faults_torn_schedules_total"`
+	TornPruned    uint64 `json:"explore_faults_torn_pruned_total"`
+	BitFlips      uint64 `json:"explore_faults_bit_flips_total"`
+	Masked        uint64 `json:"explore_faults_masked_total"`
+	Repaired      uint64 `json:"explore_faults_repaired_total"`
+	Detected      uint64 `json:"explore_faults_detected_total"`
+	Violations    uint64 `json:"explore_faults_violations_total"`
+	MediaTornLine uint64 `json:"pmem_media_faults_torn_lines_total"`
+	MediaTornWord uint64 `json:"pmem_media_faults_torn_words_total"`
+	MediaBitFlips uint64 `json:"pmem_media_faults_bit_flips_total"`
+	MediaBadLines uint64 `json:"pmem_media_faults_bad_lines_total"`
+}
+
+// FaultCampaign runs one bounded media-fault sweep and returns its
+// coverage counters for the JSON artifact.
+func FaultCampaign(steps, stride, tornBudget, flips int) (*FaultCoverage, error) {
+	st := &explore.FaultsStats{}
+	res, err := explore.RunFaults(explore.FaultsConfig{
+		Workload:      "kvstore",
+		Steps:         steps,
+		PointStride:   stride,
+		TornBudget:    tornBudget,
+		FlipsPerPoint: flips,
+		Stats:         st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FaultCoverage{
+		Workload:      "kvstore",
+		Steps:         steps,
+		TotalOps:      res.TotalOps,
+		CrashPoints:   st.CrashPoints.Load(),
+		TornSchedules: st.TornSchedules.Load(),
+		TornPruned:    st.TornPruned.Load(),
+		BitFlips:      st.BitFlips.Load(),
+		Masked:        st.Masked.Load(),
+		Repaired:      st.Repaired.Load(),
+		Detected:      st.Detected.Load(),
+		Violations:    st.Violations.Load(),
+		MediaTornLine: res.Media.TornLines,
+		MediaTornWord: res.Media.TornWords,
+		MediaBitFlips: res.Media.BitFlips,
+		MediaBadLines: res.Media.BadLines,
+	}, nil
+}

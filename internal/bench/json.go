@@ -15,14 +15,18 @@ import (
 type serverJSON struct {
 	Experiment string      `json:"experiment"`
 	Rows       []ServerRow `json:"rows"`
+	// FaultCampaign, when present, is the media-fault coverage snapshot
+	// (explore_faults_* and pmem_media_faults_* counters).
+	FaultCampaign *FaultCoverage `json:"fault_campaign,omitempty"`
 }
 
 // WriteServerJSON writes the server experiment's rows, including each
-// configuration's ops/sec, fences/op, and per-scope fence attribution.
-func WriteServerJSON(w io.Writer, rows []ServerRow) error {
+// configuration's ops/sec, fences/op, and per-scope fence attribution,
+// plus the fault-campaign coverage counters when cov is non-nil.
+func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(serverJSON{Experiment: "server", Rows: rows})
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov})
 }
 
 // microJSON is the BENCH_micro.json document: Table 5 latencies keyed by

@@ -281,7 +281,10 @@ func (sh *shared) census() (T uint64, fences []uint64, err error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("explore: census attach: %w", err)
 	}
-	st := sh.def.attach(corundumeng.Wrap(p))
+	st, err := sh.def.attach(corundumeng.Wrap(p))
+	if err != nil {
+		return 0, nil, fmt.Errorf("explore: census attach structure: %w", err)
+	}
 	base := w.dev.OpCount()
 	w.dev.SetOpHook(func(op pmem.Op, _ pmem.Scope, _ uint64) {
 		if op == pmem.OpFence {
@@ -412,13 +415,34 @@ func (w *worker) explorePoint(m uint64) {
 // steps completed before power was lost. With evictSeed non-zero the cut
 // additionally persists a pseudo-random subset of unfenced cache lines.
 func (w *worker) replayWorkload(m uint64, evictSeed int64) (acked int, crashed bool, err error) {
+	acked, crashed, err = w.replayArm(m)
+	if err != nil || !crashed {
+		return acked, crashed, err
+	}
+	if evictSeed != 0 {
+		w.dev.CrashWithEviction(evictSeed)
+	} else {
+		w.dev.Crash()
+	}
+	return acked, true, nil
+}
+
+// replayArm is replayWorkload up to — but not including — the loss of
+// power: the device is left armed at the cut, its dirty/pending state
+// intact, so the caller can inspect TornCandidates (or any other at-risk
+// state) before deciding how the crash lands. Callers must apply
+// Crash/CrashWithEviction/CrashTornMasks themselves when crashed is true.
+func (w *worker) replayArm(m uint64) (acked int, crashed bool, err error) {
 	w.dev.RestoreDurable(w.sh.pristine)
 	w.dev.SetFlightRecorder(w.sh.cfg.FlightCap) // fresh history per replay
 	p, err := w.sh.cfg.AttachFn(w.dev)
 	if err != nil {
 		return 0, false, fmt.Errorf("clean attach failed: %w", err)
 	}
-	st := w.sh.def.attach(corundumeng.Wrap(p))
+	st, err := w.sh.def.attach(corundumeng.Wrap(p))
+	if err != nil {
+		return 0, false, fmt.Errorf("clean attach structure: %w", err)
+	}
 	w.dev.CrashAt(w.dev.OpCount() + m)
 	func() {
 		defer func() {
@@ -438,15 +462,7 @@ func (w *worker) replayWorkload(m uint64, evictSeed int64) (acked int, crashed b
 		}
 	}()
 	w.dev.CrashAt(0)
-	if err != nil || !crashed {
-		return acked, crashed, err
-	}
-	if evictSeed != 0 {
-		w.dev.CrashWithEviction(evictSeed)
-	} else {
-		w.dev.Crash()
-	}
-	return acked, true, nil
+	return acked, crashed, err
 }
 
 // exploreRecovery enumerates every op of recovery-from-img as a further
@@ -524,7 +540,11 @@ func (w *worker) recoverAndVerify(img []byte, acked int, m uint64, trail []uint6
 		w.fail(m, trail, seed, acked, fmt.Errorf("allocator inconsistent after recovery: %w", err))
 		return false
 	}
-	st := w.sh.def.attach(corundumeng.Wrap(p))
+	st, err := w.sh.def.attach(corundumeng.Wrap(p))
+	if err != nil {
+		w.fail(m, trail, seed, acked, fmt.Errorf("structure attach: %w", err))
+		return false
+	}
 	if err := st.check(); err != nil {
 		w.fail(m, trail, seed, acked, fmt.Errorf("structure invariant: %w", err))
 		return false

@@ -137,7 +137,10 @@ func TestExhaustiveCatchesBrokenRecovery(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		kv := workloads.AttachKVStore(corundumeng.Wrap(p))
+		kv, err := workloads.AttachKVStore(corundumeng.Wrap(p))
+		if err != nil {
+			return nil, err
+		}
 		if _, found, _ := kv.Get(2); found {
 			if _, err := kv.Delete(2); err != nil {
 				return nil, err

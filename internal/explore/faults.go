@@ -1,0 +1,522 @@
+// Media-fault campaign: where Run explores fail-stop crashes (clean
+// prefix images), RunFaults explores what real persistent memory does
+// below fail-stop, at every crash point of the same deterministic
+// workload:
+//
+//   - torn writes: at each crash point the at-risk 8-byte words
+//     (TornCandidates) persist in every combination when the schedule
+//     space fits TornBudget, and under a seeded sweep bracketed by the
+//     none-persist and all-persist endpoints when it does not. Tearing is
+//     WITHIN the design's fault model — aligned 8-byte stores are atomic,
+//     nothing larger is assumed — so every torn outcome must recover to a
+//     state satisfying the same linearizability contract as a plain
+//     crash. Anything else is a violation.
+//
+//   - at-rest bit rot: after a plain crash, single-bit flips are injected
+//     into long-lived media (header, root slots, allocator metadata,
+//     heap) and the image is reopened through the self-healing path
+//     (pool.AttachRepair). Rot is BEYOND the fault model, so the contract
+//     is weaker but absolute: the flip may be masked (harmless word),
+//     repaired (mirrors/checksums restore it), or detected (refusal,
+//     degraded mode, or a data-corruption error on read) — but it must
+//     never be SILENT. A verify pass that reports wrong data with no
+//     error anywhere is the one unacceptable outcome.
+//
+// Flips are deliberately not aimed at journal buffers or allocator
+// redo-log areas: a flip in an unretired log entry is indistinguishable
+// from a torn in-flight append, which the torn-write dimension already
+// covers exhaustively; see pool.FlipTargets.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/obs"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/workloads"
+)
+
+// FaultsConfig parameterizes one media-fault campaign.
+type FaultsConfig struct {
+	// Workload selects the structure under test (default "kvstore" — the
+	// CRC-protected structure; bst/btree carry no read-side checksums, so
+	// heap flips there will honestly report silent-corruption violations).
+	Workload string
+	// Steps is the number of script mutations (default 8).
+	Steps int
+	// TornBudget bounds torn schedules per crash point: with n at-risk
+	// words, all 2^n outcomes are enumerated when 2^n <= TornBudget,
+	// otherwise TornBudget seeded schedules bracketed by the none- and
+	// all-persist endpoints (default 16).
+	TornBudget int
+	// FlipsPerPoint is how many single-bit flips are probed per crash
+	// point (default 4).
+	FlipsPerPoint int
+	// PointStride explores every stride-th crash point; 1 visits all
+	// (default 1). Raise it to bound CI time on long workloads.
+	PointStride int
+	// Workers shards crash points across goroutines (default GOMAXPROCS,
+	// capped at 8).
+	Workers int
+	// PoolSize is the pool footprint (default 4 MiB).
+	PoolSize int
+	// MaxViolations stops the run after this many failures (default 8).
+	MaxViolations int
+	// FlightCap is the per-device flight-recorder capacity (default 512).
+	FlightCap int
+	// Registry, when set, receives live explore_faults_* counters.
+	Registry *obs.Registry
+	// Stats, when set, is updated live; otherwise one is allocated.
+	Stats *FaultsStats
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c FaultsConfig) withDefaults() FaultsConfig {
+	if c.Workload == "" {
+		c.Workload = "kvstore"
+	}
+	if c.Steps <= 0 {
+		c.Steps = 8
+	}
+	if c.TornBudget <= 0 {
+		c.TornBudget = 16
+	}
+	if c.FlipsPerPoint <= 0 {
+		c.FlipsPerPoint = 4
+	}
+	if c.PointStride <= 0 {
+		c.PointStride = 1
+	}
+	return c
+}
+
+// FaultsStats are live campaign counters, safe for concurrent reads.
+type FaultsStats struct {
+	// CrashPoints counts crash points processed (after PointStride).
+	CrashPoints atomic.Uint64
+	// TornSchedules counts torn crash outcomes applied.
+	TornSchedules atomic.Uint64
+	// TornPruned counts torn outcomes whose durable image was already seen.
+	TornPruned atomic.Uint64
+	// BitFlips counts at-rest flips injected.
+	BitFlips atomic.Uint64
+	// Masked counts outcomes (torn or flip) that recovered to a correct
+	// state with nothing to report: the fault landed somewhere harmless or
+	// somewhere recovery rewrites anyway.
+	Masked atomic.Uint64
+	// Repaired counts flips that fsck flagged and the repair path healed:
+	// the verified state is correct AND the damage was noticed.
+	Repaired atomic.Uint64
+	// Detected counts flips answered loudly: attach refusal, degraded
+	// mode, or a data-corruption error from the structure's own reads.
+	Detected atomic.Uint64
+	// Violations counts silent corruption and torn-recovery failures.
+	Violations atomic.Uint64
+	// TotalOps is the workload's op count (set once census completes).
+	TotalOps atomic.Uint64
+}
+
+// FaultsResult summarizes a completed media-fault campaign.
+type FaultsResult struct {
+	// TotalOps is the workload's device-op count (crash-point universe).
+	TotalOps uint64
+	// Points is how many crash points the stride actually visited.
+	Points uint64
+	// Steps echoes the script length.
+	Steps int
+	// Stats is the final counter snapshot source.
+	Stats *FaultsStats
+	// Media aggregates injected-fault counters across all worker devices.
+	Media pmem.MediaFaultCounts
+	// Violations holds up to MaxViolations failures with flight dumps. For
+	// torn outcomes Violation.EvictSeed carries the schedule index; for
+	// flips it carries the probe index.
+	Violations []Violation
+}
+
+func registerFaultsMetrics(reg *obs.Registry, st *FaultsStats) {
+	reg.CounterFunc("explore_faults_crash_points_total", "Crash points processed by the media-fault campaign.", nil, st.CrashPoints.Load)
+	reg.CounterFunc("explore_faults_torn_schedules_total", "Torn crash outcomes applied.", nil, st.TornSchedules.Load)
+	reg.CounterFunc("explore_faults_torn_pruned_total", "Torn outcomes pruned by durable-image hash.", nil, st.TornPruned.Load)
+	reg.CounterFunc("explore_faults_bit_flips_total", "At-rest bit flips injected.", nil, st.BitFlips.Load)
+	reg.CounterFunc("explore_faults_masked_total", "Fault outcomes recovered to a correct state.", nil, st.Masked.Load)
+	reg.CounterFunc("explore_faults_repaired_total", "Flips healed by the repair path.", nil, st.Repaired.Load)
+	reg.CounterFunc("explore_faults_detected_total", "Flips answered by refusal, degraded mode, or a read error.", nil, st.Detected.Load)
+	reg.CounterFunc("explore_faults_violations_total", "Silent corruption and torn-recovery failures.", nil, st.Violations.Load)
+}
+
+type faultsRun struct {
+	sh  *shared
+	cfg FaultsConfig
+	fst *FaultsStats
+
+	// targets are the at-rest flip ranges (see pool.FlipTargets), fixed by
+	// the pristine image's geometry.
+	targets  []pool.Range
+	totalLen uint64
+
+	mediaMu sync.Mutex
+	media   pmem.MediaFaultCounts
+}
+
+// RunFaults runs the media-fault campaign. Like Run, it returns an error
+// only for infrastructure failures; fault-model violations are reported
+// as FaultsResult.Violations.
+func RunFaults(cfg FaultsConfig) (*FaultsResult, error) {
+	cfg = cfg.withDefaults()
+	def, err := workloadFor(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	script, models := buildScript(cfg.Steps)
+	inner := Config{
+		Workload:      cfg.Workload,
+		Steps:         cfg.Steps,
+		Depth:         -1, // nesting is Run's dimension, not this campaign's
+		Workers:       cfg.Workers,
+		PoolSize:      cfg.PoolSize,
+		MaxViolations: cfg.MaxViolations,
+		FlightCap:     cfg.FlightCap,
+		Log:           cfg.Log,
+	}.withDefaults()
+	sh := &shared{cfg: inner, def: def, script: script, models: models, stats: &Stats{}}
+	fst := cfg.Stats
+	if fst == nil {
+		fst = &FaultsStats{}
+	}
+	if cfg.Registry != nil {
+		registerFaultsMetrics(cfg.Registry, fst)
+	}
+
+	if err := sh.buildPristine(); err != nil {
+		return nil, err
+	}
+	T, _, err := sh.census()
+	if err != nil {
+		return nil, err
+	}
+	fst.TotalOps.Store(T)
+
+	// Flip targets are a pure function of the image's header geometry.
+	gdev := pmem.New(len(sh.pristine), pmem.Options{TrackCrash: true})
+	gdev.RestoreDurable(sh.pristine)
+	targets, err := pool.FlipTargets(gdev)
+	if err != nil {
+		return nil, fmt.Errorf("explore: flip targets: %w", err)
+	}
+	fr := &faultsRun{sh: sh, cfg: cfg, fst: fst, targets: targets}
+	for _, r := range targets {
+		fr.totalLen += r.Len
+	}
+	inner.Log("explore: faults workload=%s steps=%d ops=%d stride=%d torn-budget=%d flips/point=%d workers=%d",
+		cfg.Workload, cfg.Steps, T, cfg.PointStride, cfg.TornBudget, cfg.FlipsPerPoint, inner.Workers)
+
+	var points []uint64
+	for m := uint64(1); m <= T; m += uint64(cfg.PointStride) {
+		points = append(points, m)
+	}
+	var wg sync.WaitGroup
+	for wid := 0; wid < inner.Workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			fw := &faultsWorker{fr: fr, w: sh.newWorker()}
+			for i := wid; i < len(points); i += inner.Workers {
+				if sh.stop.Load() {
+					break
+				}
+				fw.point(points[i])
+			}
+			m := fw.w.dev.MediaFaults()
+			fr.mediaMu.Lock()
+			fr.media.TornLines += m.TornLines
+			fr.media.TornWords += m.TornWords
+			fr.media.BitFlips += m.BitFlips
+			fr.media.BadLines += m.BadLines
+			fr.mediaMu.Unlock()
+		}(wid)
+	}
+	wg.Wait()
+
+	res := &FaultsResult{
+		TotalOps: T,
+		Points:   uint64(len(points)),
+		Steps:    cfg.Steps,
+		Stats:    fst,
+		Media:    fr.media,
+	}
+	sh.mu.Lock()
+	res.Violations = sh.viols
+	sh.mu.Unlock()
+	return res, nil
+}
+
+// faultsWorker drives one worker's shard of crash points through both
+// fault dimensions.
+type faultsWorker struct {
+	fr *faultsRun
+	w  *worker
+}
+
+// tornBit addresses one at-risk 8-byte word: bit `word` of line's mask.
+type tornBit struct {
+	line uint32
+	word uint8
+}
+
+func flattenTorn(cands []pmem.TornLine) []tornBit {
+	var out []tornBit
+	for _, c := range cands {
+		for wi := uint8(0); wi < pmem.WordsPerLine; wi++ {
+			if c.Mask&(1<<wi) != 0 {
+				out = append(out, tornBit{line: c.Line, word: wi})
+			}
+		}
+	}
+	return out
+}
+
+// masksForIndex decodes one schedule index into per-line word masks: bit
+// i of idx decides whether at-risk word i persists. Iterating idx over
+// [0, 2^len(bits)) enumerates every distinct torn outcome.
+func masksForIndex(bits []tornBit, idx uint64) map[uint32]uint8 {
+	masks := make(map[uint32]uint8, len(bits))
+	for i, b := range bits {
+		if idx&(1<<uint(i)) != 0 {
+			masks[b.line] |= 1 << b.word
+		}
+	}
+	return masks
+}
+
+func (fw *faultsWorker) point(m uint64) {
+	fw.fr.fst.CrashPoints.Add(1)
+	acked, crashed, err := fw.w.replayArm(m)
+	if err != nil {
+		fw.w.fail(m, nil, 0, acked, err)
+		fw.fr.fst.Violations.Add(1)
+		return
+	}
+	if !crashed {
+		// Beyond the workload's op count; census sized the universe, so
+		// this indicates nondeterminism.
+		fw.w.fail(m, nil, 0, acked, fmt.Errorf("crash point %d never fired (workload ops shrank?)", m))
+		fw.fr.fst.Violations.Add(1)
+		return
+	}
+	if !fw.tornSchedules(m, acked) {
+		return
+	}
+	fw.flipSweep(m, acked)
+}
+
+// rearm replays the workload back to the same armed cut; torn and flip
+// applications consume the device state, so every schedule after the
+// first needs one.
+func (fw *faultsWorker) rearm(m uint64, acked int) bool {
+	a, crashed, err := fw.w.replayArm(m)
+	if err == nil && crashed && a == acked {
+		return true
+	}
+	if err == nil {
+		err = fmt.Errorf("rearm diverged: acked %d then %d, crashed=%v", acked, a, crashed)
+	}
+	fw.w.fail(m, nil, 0, acked, err)
+	fw.fr.fst.Violations.Add(1)
+	return false
+}
+
+// tornSchedules explores the torn-write dimension at an armed cut and
+// reports whether the campaign should continue with this point. The
+// device arrives armed (replayArm done, crash not yet applied).
+func (fw *faultsWorker) tornSchedules(m uint64, acked int) bool {
+	cands := fw.w.dev.TornCandidates()
+	bits := flattenTorn(cands)
+	budget := fw.fr.cfg.TornBudget
+	if n := len(bits); n < 63 && (1<<uint(n)) <= budget {
+		// Exhaustive: every subset of at-risk words, index 0 being the
+		// plain none-persist crash.
+		for idx := uint64(0); idx < uint64(1)<<uint(n); idx++ {
+			if fw.fr.sh.stop.Load() {
+				return false
+			}
+			if idx > 0 && !fw.rearm(m, acked) {
+				return false
+			}
+			fw.w.dev.CrashTornMasks(masksForIndex(bits, idx))
+			fw.verifyTorn(m, acked, int64(idx))
+		}
+		return true
+	}
+	// Sampled: the two deterministic endpoints, then seeded coin flips.
+	for s := 0; s < budget; s++ {
+		if fw.fr.sh.stop.Load() {
+			return false
+		}
+		if s > 0 && !fw.rearm(m, acked) {
+			return false
+		}
+		switch s {
+		case 0:
+			fw.w.dev.Crash() // none of the at-risk words persist
+		case 1:
+			masks := make(map[uint32]uint8, len(cands))
+			for _, c := range cands {
+				masks[c.Line] = c.Mask // all of them persist
+			}
+			fw.w.dev.CrashTornMasks(masks)
+		default:
+			fw.w.dev.CrashTorn(int64(m)*1_000_003 + int64(s))
+		}
+		fw.verifyTorn(m, acked, int64(s))
+	}
+	return true
+}
+
+// verifyTorn holds torn outcomes to the full fail-stop contract: word
+// tearing is inside the design's fault model, so recovery must succeed
+// and land on the model after acked or acked+1 steps, exactly as for a
+// plain crash.
+func (fw *faultsWorker) verifyTorn(m uint64, acked int, sched int64) {
+	fw.fr.fst.TornSchedules.Add(1)
+	if !fw.w.markSeen(fw.w.dev.DurableHash()) {
+		fw.fr.fst.TornPruned.Add(1)
+		return
+	}
+	img := fw.w.dev.DurableSnapshot()
+	if fw.w.recoverAndVerify(img, acked, m, nil, sched) {
+		fw.fr.fst.Masked.Add(1)
+	} else {
+		fw.fr.fst.Violations.Add(1)
+	}
+}
+
+// flipOutcome is the four-way taxonomy of an at-rest bit flip.
+type flipOutcome int
+
+const (
+	flipMasked flipOutcome = iota
+	flipRepaired
+	flipDetected
+	flipSilent
+)
+
+// flipSweep injects FlipsPerPoint single-bit flips into the plain-crash
+// image at m and classifies each through the self-healing open path.
+func (fw *faultsWorker) flipSweep(m uint64, acked int) {
+	if !fw.rearm(m, acked) {
+		return
+	}
+	fw.w.dev.Crash()
+	rest := fw.w.dev.DurableSnapshot()
+	rng := rand.New(rand.NewSource(int64(m)*0x9E3779B9 + 0xFA)) // deterministic per point
+	for j := 0; j < fw.fr.cfg.FlipsPerPoint; j++ {
+		if fw.fr.sh.stop.Load() {
+			return
+		}
+		off, bit := fw.fr.pickFlip(rng, rest)
+		fw.fr.fst.BitFlips.Add(1)
+		switch fw.classifyFlip(rest, off, bit, acked) {
+		case flipMasked:
+			fw.fr.fst.Masked.Add(1)
+		case flipRepaired:
+			fw.fr.fst.Repaired.Add(1)
+		case flipDetected:
+			fw.fr.fst.Detected.Add(1)
+		case flipSilent:
+			fw.fr.fst.Violations.Add(1)
+			fw.w.fail(m, nil, int64(j), acked, fmt.Errorf(
+				"SILENT CORRUPTION: bit flip at off=%d bit=%d survived recovery undetected", off, bit))
+		}
+	}
+}
+
+// pickFlip draws a flip site from the at-rest target ranges, weighted by
+// length and biased toward nonzero bytes (allocated structures and data)
+// so probes concentrate on media that software actually reads. The last
+// draw stands when every candidate byte is zero.
+func (fr *faultsRun) pickFlip(rng *rand.Rand, rest []byte) (off uint64, bit uint8) {
+	const tries = 32
+	for t := 0; t < tries; t++ {
+		x := uint64(rng.Int63n(int64(fr.totalLen)))
+		for _, r := range fr.targets {
+			if x < r.Len {
+				off = r.Off + x
+				break
+			}
+			x -= r.Len
+		}
+		bit = uint8(rng.Intn(8))
+		if rest[off] != 0 {
+			return off, bit
+		}
+	}
+	return off, bit
+}
+
+// classifyFlip restores the plain-crash image, injects the flip, and
+// reopens through the self-healing path. Every explicit answer — fsck
+// refusal, attach error, degraded mode, a data-corruption error from the
+// structure's own reads — counts as detection. A correct verify counts as
+// masked, or repaired when fsck had flagged the damage first. Wrong data
+// with no error anywhere is silent corruption, the campaign's violation.
+func (fw *faultsWorker) classifyFlip(rest []byte, off uint64, bit uint8, acked int) flipOutcome {
+	w := fw.w
+	w.dev.RestoreDurable(rest)
+	w.dev.InjectBitFlip(off, bit)
+	flagged := false
+	if rep, err := pool.FsckDevice(w.dev); err != nil {
+		return flipDetected // image no longer parses: maximally loud
+	} else if !rep.Clean() {
+		flagged = true
+	}
+	p, err := pool.AttachRepair(w.dev)
+	if err != nil {
+		return flipDetected
+	}
+	if p.Degraded() {
+		return flipDetected
+	}
+	st, err := w.sh.def.attach(corundumeng.Wrap(p))
+	if err != nil {
+		return flipDetected
+	}
+	if err := st.check(); err != nil {
+		return flipDetected
+	}
+	errA := st.verify(w.sh.models[acked])
+	ok := errA == nil
+	if !ok {
+		if errors.Is(errA, workloads.ErrDataCorrupt) {
+			return flipDetected
+		}
+		if acked+1 < len(w.sh.models) {
+			errB := st.verify(w.sh.models[acked+1])
+			ok = errB == nil
+			if !ok && errors.Is(errB, workloads.ErrDataCorrupt) {
+				return flipDetected
+			}
+		}
+	}
+	if ok {
+		if flagged {
+			return flipRepaired
+		}
+		return flipMasked
+	}
+	// Wrong data, but did any read say so? Re-probe every model key: a
+	// data-corruption error on the divergent key still counts as loud.
+	for k := range w.sh.models[acked] {
+		if _, _, err := st.get(k); err != nil {
+			return flipDetected
+		}
+	}
+	return flipSilent
+}

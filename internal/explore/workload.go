@@ -17,13 +17,16 @@ type structure interface {
 	verify(model map[uint64]uint64) error
 	// check runs structure-specific invariants (shape, ordering).
 	check() error
+	// get is a point lookup, used by fault campaigns to probe single keys
+	// without requiring a full scan to succeed.
+	get(key uint64) (uint64, bool, error)
 }
 
 // workloadDef builds a structure on a fresh pool and re-attaches to it
 // after a crash.
 type workloadDef struct {
 	setup  func(p engine.Pool) (structure, error)
-	attach func(p engine.Pool) structure
+	attach func(p engine.Pool) (structure, error)
 }
 
 func workloadFor(name string) (workloadDef, error) {
@@ -34,8 +37,9 @@ func workloadFor(name string) (workloadDef, error) {
 				kv, err := workloads.NewKVStore(p, 8)
 				return kvStructure{kv}, err
 			},
-			attach: func(p engine.Pool) structure {
-				return kvStructure{workloads.AttachKVStore(p)}
+			attach: func(p engine.Pool) (structure, error) {
+				kv, err := workloads.AttachKVStore(p)
+				return kvStructure{kv}, err
 			},
 		}, nil
 	case "bst":
@@ -44,8 +48,8 @@ func workloadFor(name string) (workloadDef, error) {
 				b, err := workloads.NewBST(p)
 				return bstStructure{b}, err
 			},
-			attach: func(p engine.Pool) structure {
-				return bstStructure{workloads.AttachBST(p)}
+			attach: func(p engine.Pool) (structure, error) {
+				return bstStructure{workloads.AttachBST(p)}, nil
 			},
 		}, nil
 	case "btree":
@@ -54,8 +58,8 @@ func workloadFor(name string) (workloadDef, error) {
 				t, err := workloads.NewBTree(p)
 				return btreeStructure{t}, err
 			},
-			attach: func(p engine.Pool) structure {
-				return btreeStructure{workloads.AttachBTree(p)}
+			attach: func(p engine.Pool) (structure, error) {
+				return btreeStructure{workloads.AttachBTree(p)}, nil
 			},
 		}, nil
 	}
@@ -79,6 +83,8 @@ func (s kvStructure) verify(model map[uint64]uint64) error {
 	}
 	return diffModel(got, model)
 }
+
+func (s kvStructure) get(key uint64) (uint64, bool, error) { return s.kv.Get(key) }
 
 func (s kvStructure) check() error {
 	n, err := s.kv.Len()
@@ -110,6 +116,8 @@ func (s bstStructure) verify(model map[uint64]uint64) error {
 		func() (int, error) { return s.b.Size() })
 }
 
+func (s bstStructure) get(key uint64) (uint64, bool, error) { return s.b.Lookup(key) }
+
 func (s bstStructure) check() error { _, err := s.b.Size(); return err }
 
 type btreeStructure struct{ t *workloads.BTree }
@@ -129,6 +137,8 @@ func (s btreeStructure) verify(model map[uint64]uint64) error {
 	}
 	return diffModel(got, model)
 }
+
+func (s btreeStructure) get(key uint64) (uint64, bool, error) { return s.t.Lookup(key) }
 
 func (s btreeStructure) check() error { return s.t.CheckInvariants() }
 

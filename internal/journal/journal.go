@@ -332,10 +332,12 @@ func (j *Journal) commit() {
 	// log itself.
 	entries := j.live
 	if len(entries) == 0 {
-		// Activated (e.g. a failed reserve) but nothing valid logged.
+		// Activated (e.g. a failed reserve) but nothing valid logged. Free
+		// any chained pages while the log is still live: a crash mid-free
+		// recovers under the running state and re-frees reachable pages.
+		j.freePages()
 		j.setState(stateIdle)
 		j.tail = j.bufOff + stateSize
-		j.freePages()
 		return
 	}
 	for _, e := range entries {
@@ -363,15 +365,19 @@ func (j *Journal) commit() {
 		j.flushedTo = j.tail + 1
 	}
 	j.dev.Fence()
-	if !hasDrops {
+	if !hasDrops && len(j.pages) == 0 {
 		// The idle transition is the commit point; nothing destructive
 		// follows, so one persist retires the log.
 		j.setState(stateIdle)
 		j.tail = j.bufOff + stateSize
-		j.freePages()
 		return
 	}
-	j.setState(stateCommitting) // commit point: drops may now apply
+	// Drops or chained pages remain: both destroy state, so they must
+	// happen under stateCommitting, whose recovery path re-applies drops
+	// and re-frees pages idempotently. The log may not retire to idle
+	// until the last page is freed, or a crash in between would leak the
+	// pages forever (idle journals are invisible to recovery).
+	j.setState(stateCommitting) // commit point: drops and frees may now apply
 	for _, e := range entries {
 		if e.kind == entryDrop {
 			if err := j.heap.Free(e.off, e.size); err != nil {
@@ -379,26 +385,34 @@ func (j *Journal) commit() {
 			}
 		}
 	}
+	j.freePages()
 	// Lazy retire: flushed but not fenced. Any later fence carries it, and
 	// a crash that still observes stateCommitting merely re-applies the
-	// drops idempotently; epoch-seeded checksums stop any later
-	// transaction's entries from being mistaken for this one's.
+	// drops and page frees idempotently; epoch-seeded checksums stop any
+	// later transaction's entries from being mistaken for this one's.
 	prev := pmem.EnterScope(pmem.ScopeJournal)
 	j.writeState(stateIdle)
 	j.dev.Flush(j.bufOff, stateSize)
 	pmem.ExitScope(prev)
 	j.tail = j.bufOff + stateSize
-	j.freePages()
 }
 
 // freePages returns chained continuation pages to the arena. Called only
 // after the log is retired: the first buddy operation fences, making the
 // idle state durable before any page's contents are disturbed, so a crash
 // can never strand recovery inside a recycled page.
+// freePages returns the transaction's chained continuation pages to the
+// heap. It must run BEFORE the log durably retires to idle — recovery
+// ignores idle journals, so a crash after the idle transition but before
+// the frees would leak the pages forever. Pages are freed tail-first:
+// freeing a page lets the allocator clobber its head with free-list
+// links, which severs the chain at that page for any post-crash scan, so
+// reverse order keeps the invariant that every page a truncated scan
+// cannot reach has already been freed.
 func (j *Journal) freePages() {
-	for _, page := range j.pages {
-		if err := j.heap.Free(page, chainPageSize); err != nil {
-			panic(fmt.Sprintf("journal: freeing chained page %#x: %v", page, err))
+	for i := len(j.pages) - 1; i >= 0; i-- {
+		if err := j.heap.Free(j.pages[i], chainPageSize); err != nil {
+			panic(fmt.Sprintf("journal: freeing chained page %#x: %v", j.pages[i], err))
 		}
 	}
 	j.pages = j.pages[:0]
@@ -412,9 +426,9 @@ func (j *Journal) rollback() {
 	}
 	entries := j.live
 	if len(entries) == 0 {
+		j.freePages()
 		j.setState(stateIdle)
 		j.tail = j.bufOff + stateSize
-		j.freePages()
 		return
 	}
 	for i := len(entries) - 1; i >= 0; i-- {
@@ -431,9 +445,13 @@ func (j *Journal) rollback() {
 		}
 	}
 	j.dev.Fence()
+	// Free pages while the log is still stateRunning: a crash mid-free
+	// rolls back again (the undo re-apply is idempotent — it was made
+	// durable by the fence above) and re-frees whatever pages the
+	// truncated scan still reaches; the rest are already freed.
+	j.freePages()
 	j.setState(stateIdle)
 	j.tail = j.bufOff + stateSize
-	j.freePages()
 }
 
 // writeState stores the packed state+epoch word without persisting it.

@@ -73,17 +73,22 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 			dev.Fence()
 			rolledBack++
 		}
-		clearSlot(dev, bOff)
-		// With the log durably retired, reclaim its continuation pages
-		// (idempotently: a crash during a previous recovery may have freed
+		// Reclaim continuation pages BEFORE retiring the log (an idle
+		// journal is invisible to a later recovery, so freeing after the
+		// retire would leak pages if we crash in between), tail-first
+		// (freeing clobbers a page's head with free-list links, so the
+		// chain must only ever be severed at pages already freed), and
+		// idempotently (a crash during a previous recovery may have freed
 		// some already).
-		for _, pg := range pages {
+		for k := len(pages) - 1; k >= 0; k-- {
+			pg := pages[k]
 			if heap.IsAllocated(pg.off, pg.size) {
 				if err := heap.Free(pg.off, pg.size); err != nil {
 					panic("journal: recovery page free failed: " + err.Error())
 				}
 			}
 		}
+		clearSlot(dev, bOff)
 	}
 	return rolledBack, rolledForward
 }

@@ -67,6 +67,19 @@ type Device struct {
 	injectMu sync.Mutex
 	inject   func(op Op) bool
 	poisoned atomic.Bool
+
+	// media counts injected sub-fail-stop faults (torn lines, bit flips,
+	// bad lines); bad is the set of lines marked unreadable. Media damage
+	// survives Crash (the module is still broken after a reboot) but not
+	// RestoreDurable (which models installing a known-good image).
+	media mediaCounters
+	badMu sync.Mutex
+	bad   map[uint32]struct{}
+}
+
+// mediaCounters accumulates media-fault injections for pmem_media_faults_*.
+type mediaCounters struct {
+	tornLines, tornWords, bitFlips, badLines atomic.Uint64
 }
 
 // opCounters is one scope's cumulative operation counts.
@@ -90,6 +103,12 @@ const (
 	OpFlush
 	OpFence
 	OpCrash
+	// OpTear, OpFlip, and OpBadLine are media-fault markers: like OpCrash
+	// they never reach injectors, but they appear in flight-recorder dumps
+	// so a torn or corrupted image explains itself.
+	OpTear
+	OpFlip
+	OpBadLine
 )
 
 func (o Op) String() string {
@@ -102,6 +121,12 @@ func (o Op) String() string {
 		return "fence"
 	case OpCrash:
 		return "CRASH"
+	case OpTear:
+		return "TEAR"
+	case OpFlip:
+		return "FLIP"
+	case OpBadLine:
+		return "BADLINE"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -381,6 +406,9 @@ func (d *Device) RestoreDurable(data []byte) {
 	}
 	d.crashAt.Store(0)
 	d.poisoned.Store(false)
+	d.badMu.Lock()
+	d.bad = nil // a restored image means a known-good module
+	d.badMu.Unlock()
 	d.shadowMu.Lock()
 	defer d.shadowMu.Unlock()
 	copy(d.buf, data)
@@ -410,9 +438,12 @@ func (d *Device) DurableHash() uint64 {
 
 // CrashWithEviction simulates power loss where, additionally, some dirty
 // cache lines happened to be evicted (and therefore persisted) before the
-// crash, as real caches may do. Each unflushed dirty line persists with
-// probability 1/2 under the given seed. Software that is correct on real
-// PM must tolerate any subset, so tests sweep seeds.
+// crash, as real caches may do. Eviction is NOT line-atomic: persistent
+// memory guarantees atomicity only for aligned 8-byte stores, so each
+// 8-byte word of an evicted line persists independently with probability
+// 1/2 under the given seed — a line may tear, surviving only in part.
+// Software that is correct on real PM must tolerate any subset of words,
+// so tests sweep seeds.
 func (d *Device) CrashWithEviction(seed int64) {
 	if !d.track {
 		panic("pmem: CrashWithEviction requires Options.TrackCrash")
@@ -422,14 +453,15 @@ func (d *Device) CrashWithEviction(seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	d.shadowMu.Lock()
 	defer d.shadowMu.Unlock()
-	// Evicted dirty lines and flushed-not-fenced lines may each persist.
+	// Evicted dirty lines and flushed-not-fenced lines may each persist,
+	// word by word.
 	for w := range d.dirty {
 		bits := d.dirty[w].Load()
 		for b := 0; bits != 0; b++ {
-			if bits&1 != 0 && rng.Intn(2) == 0 {
-				line := uint64(w*64 + b)
-				start := line * CacheLineSize
-				copy(d.shadow[start:start+CacheLineSize], d.buf[start:start+CacheLineSize])
+			if bits&1 != 0 {
+				line := uint32(w*64 + b)
+				start := uint64(line) * CacheLineSize
+				d.persistWordsLocked(line, uint8(rng.Intn(256)), d.buf[start:start+CacheLineSize])
 			}
 			bits >>= 1
 		}
@@ -441,9 +473,7 @@ func (d *Device) CrashWithEviction(seed int64) {
 	}
 	slices.Sort(lines) // deterministic per seed: map order must not leak in
 	for _, line := range lines {
-		if rng.Intn(2) == 0 {
-			copy(d.shadow[uint64(line)*CacheLineSize:], d.pending[line])
-		}
+		d.persistWordsLocked(line, uint8(rng.Intn(256)), d.pending[line])
 	}
 	clear(d.pending)
 	copy(d.buf, d.shadow)

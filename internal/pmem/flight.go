@@ -70,6 +70,12 @@ func FormatFlight(events []FlightEvent) string {
 			fmt.Fprintf(&b, " off=%d len=%d", e.Off, e.Len)
 		case OpFlush:
 			fmt.Fprintf(&b, " off=%d lines=%d", e.Off, e.Len)
+		case OpTear:
+			fmt.Fprintf(&b, " off=%d words=%#x", e.Off, e.Len)
+		case OpFlip:
+			fmt.Fprintf(&b, " off=%d bit=%d", e.Off, e.Len)
+		case OpBadLine:
+			fmt.Fprintf(&b, " off=%d len=%d", e.Off, e.Len)
 		}
 		b.WriteByte('\n')
 	}

@@ -21,10 +21,10 @@ type Scope uint8
 
 // Attribution scopes, in render order.
 const (
-	ScopeUserData Scope = iota // default: user data flush/fence at commit
-	ScopeJournal               // undo-log appends and state-word updates
-	ScopeAllocRedo             // buddy-allocator redo-log commit/apply
-	ScopeRecovery              // attach-time rollback/roll-forward
+	ScopeUserData  Scope = iota // default: user data flush/fence at commit
+	ScopeJournal                // undo-log appends and state-word updates
+	ScopeAllocRedo              // buddy-allocator redo-log commit/apply
+	ScopeRecovery               // attach-time rollback/roll-forward
 	NumScopes
 )
 

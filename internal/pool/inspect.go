@@ -3,7 +3,6 @@ package pool
 import (
 	"encoding/binary"
 	"fmt"
-	"strings"
 
 	"corundum/internal/alloc"
 	"corundum/internal/pmem"
@@ -44,82 +43,13 @@ type JournalReport struct {
 	Entries int
 }
 
-// Fsck is the cheap structural pass Open runs before recovery: header
-// sanity, geometry, journal state bytes, and — when every journal is
-// idle — per-arena allocator metadata (alloc.Validate, no redo replay,
-// nothing written) and the root offset landing inside an arena. Pending
-// journals and committed redo logs are NOT errors, and with a pending
-// journal the allocator/root checks are skipped entirely: a crash can
-// durably expose in-place mutations whose undo records recovery will
-// apply. Fsck rejects only images recovery could misinterpret. It returns nil for a healthy image and an
-// ErrCorrupt-wrapped diagnostic naming every problem otherwise.
-func Fsck(dev *pmem.Device) error {
-	hdr := dev.Bytes()[:headerSize]
-	get := func(off int) uint64 { return binary.LittleEndian.Uint64(hdr[off:]) }
-	if get(hdrMagic) != magic {
-		return ErrNotAPool
-	}
-	if get(hdrVersion) != formatVersion {
-		return fmt.Errorf("%w: %d", ErrWrongVersion, get(hdrVersion))
-	}
-	var problems []string
-	size := int(get(hdrSize))
-	nJournals := int(get(hdrJournals))
-	journalCap := int(get(hdrJournalCap))
-	if size != dev.Size() {
-		return fmt.Errorf("%w: header size %d != image size %d", ErrCorrupt, size, dev.Size())
-	}
-	g, err := computeGeometry(size, nJournals, journalCap)
-	if err != nil {
-		return fmt.Errorf("%w: geometry: %v", ErrCorrupt, err)
-	}
-	if g.arenaHeap != get(hdrArenaHeap) {
-		return fmt.Errorf("%w: computed arena heap %d != recorded %d", ErrCorrupt, g.arenaHeap, get(hdrArenaHeap))
-	}
-	pending := false
-	for i := 0; i < nJournals; i++ {
-		word := binary.LittleEndian.Uint64(dev.Bytes()[g.bufOff+uint64(i)*g.bufCap:])
-		switch s := byte(word); {
-		case s > 2:
-			problems = append(problems, fmt.Sprintf("journal %d: invalid state byte %d", i, s))
-		case s != 0: // 0 = idle; 1 running / 2 committing mean recovery has work
-			pending = true
-		}
-	}
-	// Allocator metadata and the root pointer are only required to be
-	// consistent when no journal is pending. A crash mid-transaction —
-	// especially with adversarial cache eviction — can durably expose an
-	// in-place mutation (e.g. a block-map byte) whose undo record sits in a
-	// pending journal; recovery rolls it back, so refusing such an image
-	// here would reject a legitimately recoverable pool.
-	if !pending {
-		for i := 0; i < nJournals; i++ {
-			meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
-			heap := g.heapOff + uint64(i)*g.arenaHeap
-			if err := alloc.Validate(dev, meta, heap, g.arenaHeap); err != nil {
-				problems = append(problems, fmt.Sprintf("arena %d: %v", i, err))
-			}
-		}
-		if root := get(hdrRoot); root != 0 {
-			if root < g.heapOff || root >= g.heapOff+uint64(nJournals)*g.arenaHeap {
-				problems = append(problems, fmt.Sprintf("root offset %#x outside every arena heap", root))
-			}
-		}
-	}
-	if len(problems) > 0 {
-		return fmt.Errorf("%w: %s", ErrCorrupt, strings.Join(problems, "; "))
-	}
-	return nil
-}
-
 // Inspect reads the pool file at path and returns its structural report.
 func Inspect(path string) (*Report, error) {
-	raw, err := readHeader(path)
+	h, err := readHeader(path)
 	if err != nil {
 		return nil, err
 	}
-	size := int(binary.LittleEndian.Uint64(raw[hdrSize:]))
-	dev, err := pmem.OpenFile(path, size, pmem.Options{})
+	dev, err := pmem.OpenFile(path, int(h.size), pmem.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -128,22 +58,28 @@ func Inspect(path string) (*Report, error) {
 
 // InspectDevice inspects an already-loaded pool image.
 func InspectDevice(dev *pmem.Device) (*Report, error) {
-	hdr := dev.Bytes()[:headerSize]
-	get := func(off int) uint64 { return binary.LittleEndian.Uint64(hdr[off:]) }
-	if get(hdrMagic) != magic {
-		return nil, ErrNotAPool
+	h, goodA, goodB, err := chooseHeader(dev.Bytes())
+	if err != nil {
+		return nil, err
 	}
-	if get(hdrVersion) != formatVersion {
-		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, get(hdrVersion))
+	if h.version != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, h.version)
 	}
+	root, rootType, rootOK := readRoot(dev.Bytes())
 	r := &Report{
-		Size:       int(get(hdrSize)),
-		Generation: get(hdrGeneration),
-		RootOff:    get(hdrRoot),
-		RootType:   get(hdrRootType),
-		Journals:   int(get(hdrJournals)),
-		JournalCap: int(get(hdrJournalCap)),
-		ArenaHeap:  get(hdrArenaHeap),
+		Size:       int(h.size),
+		Generation: h.generation,
+		RootOff:    root,
+		RootType:   rootType,
+		Journals:   int(h.journals),
+		JournalCap: int(h.journalCap),
+		ArenaHeap:  h.arenaHeap,
+	}
+	if !goodA || !goodB {
+		r.Errors = append(r.Errors, "one static header copy failed its checksum (mirror intact)")
+	}
+	if !rootOK {
+		r.Errors = append(r.Errors, "both root slots failed their checksum")
 	}
 	if r.Size != dev.Size() {
 		r.Errors = append(r.Errors, fmt.Sprintf("header size %d != image size %d", r.Size, dev.Size()))

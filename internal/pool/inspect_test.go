@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"corundum/internal/alloc"
 	"corundum/internal/journal"
 	"corundum/internal/pmem"
 )
@@ -114,11 +115,11 @@ func TestInspectDetectsCorruption(t *testing.T) {
 	dev := p.Device()
 	// Smash an arena's free-list head with garbage and persist it.
 	g, _ := computeGeometry(testConfig().Size, testConfig().Journals, testConfig().JournalCap)
-	headsOff := g.metaOff + 16*1024 // somewhere inside arena 0 metadata
-	_ = headsOff
-	// Locate arena 0's first nonzero free head and corrupt it.
+	// Locate arena 0's first nonzero word (the redo-log area leading the
+	// metadata is all zeros at rest, so this is a free-list head) and
+	// corrupt it.
 	meta := g.metaOff
-	for off := meta; off < meta+8192; off += 8 {
+	for off := meta; off < meta+alloc.MetaSize(g.arenaHeap); off += 8 {
 		if binary.LittleEndian.Uint64(dev.Bytes()[off:]) != 0 {
 			binary.LittleEndian.PutUint64(dev.Bytes()[off:], 0xDEADBEEF)
 			dev.MarkDirty(off, 8)

@@ -46,6 +46,26 @@ func (p *Pool) EnableMetrics(r *obs.Registry) {
 		func() float64 { return float64(p.FreeBytes()) })
 	r.GaugeFunc("pool_heap_fragmentation_ratio", "1 - largest free block / free bytes, worst arena", nil,
 		p.fragmentation)
+	r.GaugeFunc("pool_degraded", "1 when the pool is in degraded read-only mode", nil,
+		func() float64 {
+			if p.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("pool_quarantined_ranges", "byte ranges condemned by repair/scrub", nil,
+		func() float64 { return float64(len(p.Quarantine())) })
+	r.CounterFunc("pool_scrub_runs_total", "online scrub passes", nil, p.scrubRuns.Load)
+	r.CounterFunc("pool_scrub_repairs_total", "mirror/checksum repairs performed by scrubs", nil, p.scrubRepairs.Load)
+	r.CounterFunc("pool_scrub_problems_total", "problems found by scrubs (repaired or not)", nil, p.scrubProblems.Load)
+	r.CounterFunc("pmem_media_faults_torn_lines_total", "cache lines persisted partially at a torn crash", nil,
+		func() uint64 { return dev.MediaFaults().TornLines })
+	r.CounterFunc("pmem_media_faults_torn_words_total", "8-byte words persisted by torn crashes", nil,
+		func() uint64 { return dev.MediaFaults().TornWords })
+	r.CounterFunc("pmem_media_faults_bit_flips_total", "injected at-rest bit flips", nil,
+		func() uint64 { return dev.MediaFaults().BitFlips })
+	r.CounterFunc("pmem_media_faults_bad_lines_total", "lines marked unreadable by media damage", nil,
+		func() uint64 { return dev.MediaFaults().BadLines })
 
 	m := &poolMetrics{
 		txCommit: r.Histogram("pool_tx_seconds", "committed transaction latency", obs.Labels{"outcome": "commit"}, obs.LatencyBuckets),

@@ -6,7 +6,6 @@
 package pool
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,22 +17,10 @@ import (
 )
 
 const (
-	magic         = 0x434F52554E44554D // "CORUNDUM"
-	formatVersion = 1
-	headerSize    = 2 * pmem.CacheLineSize
-)
-
-// Header word offsets.
-const (
-	hdrMagic = 8 * iota
-	hdrVersion
-	hdrGeneration
-	hdrRoot
-	hdrRootType
-	hdrSize
-	hdrJournals
-	hdrJournalCap
-	hdrArenaHeap
+	magic = 0x434F52554E44554D // "CORUNDUM"
+	// formatVersion 2 introduced the mirrored static header and root
+	// slots (see header.go); v1 single-header pools are refused.
+	formatVersion = 2
 )
 
 // Pool state errors.
@@ -51,7 +38,17 @@ var (
 	// ErrCorrupt reports that a pool image failed its structural fsck
 	// pass; the detail names what is wrong. Open refuses such pools.
 	ErrCorrupt = errors.New("pool: image failed structural check")
+	// ErrReadOnly reports that the pool is serving in degraded read-only
+	// mode (unrepairable corruption was found); mutations are refused
+	// while reads of intact data keep working.
+	ErrReadOnly = errors.New("pool: degraded read-only mode")
 )
+
+// Range names a quarantined byte span of the pool image: a region whose
+// owning structure failed verification and could not be repaired.
+type Range struct {
+	Off, Len uint64
+}
 
 // Config sizes a pool at creation. The parameters are persisted in the pool
 // header, so reopening needs no configuration.
@@ -97,6 +94,25 @@ type Pool struct {
 	heapStart  uint64 // first heap byte (arena 0)
 	arenaSpan  uint64 // heap bytes per arena
 	generation uint64
+	geo        geometry
+	hdr        header
+
+	// Degraded read-only mode: set when unrepairable corruption is found
+	// (at open by AttachRepair, or later by Scrub). Mutation entry points
+	// check Writable; reads of intact data keep working.
+	degraded   atomic.Bool
+	degradeMu  sync.Mutex
+	degradeWhy string
+	quarantine []Range
+
+	// Scrub and repair counters (exported via EnableMetrics).
+	scrubRuns     atomic.Uint64
+	scrubRepairs  atomic.Uint64
+	scrubProblems atomic.Uint64
+
+	// rootMu serializes root-slot writers (SetRoot transactions) against
+	// scrub-time mirror repair.
+	rootMu sync.Mutex
 
 	// Recovery statistics from Attach (zero for freshly created pools).
 	recoveredBack int
@@ -171,7 +187,7 @@ func Create(path string, cfg Config) (*Pool, error) {
 		}
 	}
 
-	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, active: make(map[uint64]*journal.Journal)}
+	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, geo: g, active: make(map[uint64]*journal.Journal)}
 	for i := 0; i < g.nJournals; i++ {
 		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
 		heap := g.heapOff + uint64(i)*g.arenaHeap
@@ -180,17 +196,22 @@ func Create(path string, cfg Config) (*Pool, error) {
 	p.journals = journal.Format(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
 	p.initFreeList()
 
-	hdr := make([]byte, headerSize)
-	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(hdr[off:], v) }
-	put(hdrMagic, magic)
-	put(hdrVersion, formatVersion)
-	put(hdrGeneration, 1)
-	put(hdrSize, uint64(cfg.Size))
-	put(hdrJournals, uint64(cfg.Journals))
-	put(hdrJournalCap, uint64(cfg.JournalCap))
-	put(hdrArenaHeap, g.arenaHeap)
-	dev.Write(0, hdr)
-	dev.Persist(0, headerSize)
+	// Both root slots start valid with root 0, then both header copies.
+	var slot [rootSlotSize]byte
+	encodeRootSlot(slot[:], 0, 0)
+	dev.Write(rootSlotAOff, slot[:])
+	dev.Write(rootSlotBOff, slot[:])
+	dev.Persist(rootSlotAOff, headerSize-rootSlotAOff)
+	p.hdr = header{
+		version:    formatVersion,
+		size:       uint64(cfg.Size),
+		journals:   uint64(cfg.Journals),
+		journalCap: uint64(cfg.JournalCap),
+		arenaHeap:  g.arenaHeap,
+		generation: 1,
+		seq:        1,
+	}
+	writeHeader(dev, p.hdr)
 	p.generation = 1
 	p.open = true
 	return p, nil
@@ -204,12 +225,11 @@ func Open(path string, mem pmem.Options) (*Pool, error) {
 	if path == "" {
 		return nil, errors.New("pool: Open requires a path; use Create for in-memory pools")
 	}
-	raw, err := readHeader(path)
+	h, err := readHeader(path)
 	if err != nil {
 		return nil, err
 	}
-	size := int(binary.LittleEndian.Uint64(raw[hdrSize:]))
-	dev, err := pmem.OpenFile(path, size, mem)
+	dev, err := pmem.OpenFile(path, int(h.size), mem)
 	if err != nil {
 		return nil, err
 	}
@@ -226,58 +246,53 @@ func Open(path string, mem pmem.Options) (*Pool, error) {
 // formatted pool image. It runs full recovery. Tests use it to reopen a
 // crashed in-memory pool; Open uses it for files.
 func Attach(dev *pmem.Device) (*Pool, error) {
-	hdr := dev.Bytes()[:headerSize]
-	get := func(off int) uint64 { return binary.LittleEndian.Uint64(hdr[off:]) }
-	if get(hdrMagic) != magic {
-		return nil, ErrNotAPool
-	}
-	if get(hdrVersion) != formatVersion {
-		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, get(hdrVersion))
-	}
-	size := int(get(hdrSize))
-	nJournals := int(get(hdrJournals))
-	journalCap := int(get(hdrJournalCap))
-	if size != dev.Size() {
-		return nil, fmt.Errorf("pool: header size %d != device size %d", size, dev.Size())
-	}
-	g, err := computeGeometry(size, nJournals, journalCap)
+	h, _, _, err := chooseHeader(dev.Bytes())
 	if err != nil {
 		return nil, err
 	}
-	if g.arenaHeap != get(hdrArenaHeap) {
-		return nil, fmt.Errorf("pool: computed arena heap %d != recorded %d", g.arenaHeap, get(hdrArenaHeap))
+	if h.version != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrWrongVersion, h.version)
+	}
+	if int(h.size) != dev.Size() {
+		return nil, fmt.Errorf("pool: header size %d != device size %d", h.size, dev.Size())
+	}
+	g, err := computeGeometry(int(h.size), int(h.journals), int(h.journalCap))
+	if err != nil {
+		return nil, err
+	}
+	if g.arenaHeap != h.arenaHeap {
+		return nil, fmt.Errorf("pool: computed arena heap %d != recorded %d", g.arenaHeap, h.arenaHeap)
 	}
 
-	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, active: make(map[uint64]*journal.Journal)}
-	for i := 0; i < nJournals; i++ {
+	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, geo: g, active: make(map[uint64]*journal.Journal)}
+	for i := 0; i < g.nJournals; i++ {
 		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
 		heap := g.heapOff + uint64(i)*g.arenaHeap
 		p.arenas = append(p.arenas, alloc.Open(dev, meta, heap, g.arenaHeap))
 	}
-	p.recoveredBack, p.recoveredFwd = journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
-	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, nJournals)
+	p.recoveredBack, p.recoveredFwd = journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
+	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
 	p.initFreeList()
 
 	// Bump the generation: this incarnation's volatile pointers must not be
-	// confused with the previous one's.
-	p.generation = get(hdrGeneration) + 1
-	var w [8]byte
-	binary.LittleEndian.PutUint64(w[:], p.generation)
-	dev.Write(hdrGeneration, w[:])
-	dev.Persist(hdrGeneration, 8)
+	// confused with the previous one's. The seq-protocol rewrite of both
+	// copies doubles as mirror repair for any stale or damaged copy.
+	h.generation++
+	h.seq++
+	writeHeader(dev, h)
+	p.hdr = h
+	p.generation = h.generation
 	p.open = true
 	return p, nil
 }
 
-func readHeader(path string) ([]byte, error) {
+func readHeader(path string) (header, error) {
 	raw, err := readFilePrefix(path, headerSize)
 	if err != nil {
-		return nil, err
+		return header{}, err
 	}
-	if binary.LittleEndian.Uint64(raw[hdrMagic:]) != magic {
-		return nil, ErrNotAPool
-	}
-	return raw, nil
+	h, _, _, err := chooseHeader(raw)
+	return h, err
 }
 
 func (p *Pool) initFreeList() {
@@ -319,37 +334,126 @@ func (p *Pool) Recovery() (rolledBack, rolledForward int) {
 }
 
 // RootOff returns the offset of the root object, or 0 if none was set.
+// It reads through the mirrored, CRC-protected root slots: a single
+// damaged slot falls back to its mirror.
 func (p *Pool) RootOff() uint64 {
-	return binary.LittleEndian.Uint64(p.dev.Bytes()[hdrRoot:])
+	root, _, _ := readRoot(p.dev.Bytes())
+	return root
 }
 
 // RootTypeHash returns the hash of the root type recorded at first open.
 func (p *Pool) RootTypeHash() uint64 {
-	return binary.LittleEndian.Uint64(p.dev.Bytes()[hdrRootType:])
+	_, typ, _ := readRoot(p.dev.Bytes())
+	return typ
 }
 
 // SetRoot records the root object (and its type hash) inside transaction
-// j, undo-logged like any other persistent update.
+// j, undo-logged like any other persistent update. Both mirror slots are
+// logged and written together, so they stay identical through commits and
+// rollbacks alike and only media damage can make them diverge.
 func (p *Pool) SetRoot(j *journal.Journal, off, typeHash uint64) error {
-	if err := j.DataLog(hdrRoot, 16); err != nil {
+	if err := p.Writable(); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(p.dev.Bytes()[hdrRoot:], off)
-	binary.LittleEndian.PutUint64(p.dev.Bytes()[hdrRootType:], typeHash)
+	if err := j.DataLog(rootSlotAOff, rootSlotSize); err != nil {
+		return err
+	}
+	if err := j.DataLog(rootSlotBOff, rootSlotSize); err != nil {
+		return err
+	}
+	var slot [rootSlotSize]byte
+	encodeRootSlot(slot[:], off, typeHash)
+	p.rootMu.Lock()
+	copy(p.dev.Bytes()[rootSlotAOff:], slot[:])
+	copy(p.dev.Bytes()[rootSlotBOff:], slot[:])
+	p.rootMu.Unlock()
 	return nil
+}
+
+// Writable reports whether the pool accepts mutations: nil normally, an
+// ErrReadOnly-wrapped reason in degraded mode.
+func (p *Pool) Writable() error {
+	if !p.degraded.Load() {
+		return nil
+	}
+	p.degradeMu.Lock()
+	why := p.degradeWhy
+	p.degradeMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrReadOnly, why)
+}
+
+// Degraded reports whether the pool is in degraded read-only mode.
+func (p *Pool) Degraded() bool { return p.degraded.Load() }
+
+// DegradedReason returns what forced read-only mode ("" when healthy).
+func (p *Pool) DegradedReason() string {
+	p.degradeMu.Lock()
+	defer p.degradeMu.Unlock()
+	return p.degradeWhy
+}
+
+// Degrade switches the pool into read-only mode, recording why. The first
+// reason sticks; later calls only append quarantined ranges via
+// Quarantine. It is called by AttachRepair when an image cannot be fully
+// repaired and by Scrub when it finds unrepairable damage on a live pool.
+func (p *Pool) Degrade(reason string) {
+	p.degradeMu.Lock()
+	if p.degradeWhy == "" {
+		p.degradeWhy = reason
+	}
+	p.degradeMu.Unlock()
+	p.degraded.Store(true)
+}
+
+// AddQuarantine records a byte range whose owning structure failed
+// verification and could not be repaired. Duplicate ranges (a repeated
+// scrub re-finding the same damage) are collapsed.
+func (p *Pool) AddQuarantine(r Range) {
+	p.degradeMu.Lock()
+	defer p.degradeMu.Unlock()
+	for _, have := range p.quarantine {
+		if have == r {
+			return
+		}
+	}
+	p.quarantine = append(p.quarantine, r)
+}
+
+// Quarantine lists the byte ranges condemned so far.
+func (p *Pool) Quarantine() []Range {
+	p.degradeMu.Lock()
+	defer p.degradeMu.Unlock()
+	out := make([]Range, len(p.quarantine))
+	copy(out, p.quarantine)
+	return out
+}
+
+// ArenaMetaRange reports arena i's allocator-metadata region (redo log,
+// free heads, order map, checksum slots). Fault-injection harnesses use
+// it to place at-rest media damage precisely.
+func (p *Pool) ArenaMetaRange(i int) Range {
+	meta := alloc.MetaSize(p.geo.arenaHeap)
+	return Range{Off: p.geo.metaOff + uint64(i)*meta, Len: meta}
 }
 
 // AllocEx, Free and IsAllocated implement journal.Heap by routing to the
 // arena that owns the offset.
 
 // AllocEx allocates from the given arena, folding extra updates into the
-// allocation's crash-atomic step.
+// allocation's crash-atomic step. Degraded pools refuse with ErrReadOnly.
 func (p *Pool) AllocEx(arena int, size uint64, payload []byte, extra func(off uint64) []alloc.Update) (uint64, error) {
+	if err := p.Writable(); err != nil {
+		return 0, err
+	}
 	return p.arenas[arena].AllocEx(size, payload, extra)
 }
 
-// Free returns a block to the arena that owns it.
+// Free returns a block to the arena that owns it. Degraded pools refuse
+// with ErrReadOnly.
 func (p *Pool) Free(off, size uint64) error {
+	if err := p.Writable(); err != nil {
+		return err
+	}
 	return p.arenaFor(off).Free(off, size)
 }
 

@@ -1,0 +1,290 @@
+package pool
+
+import (
+	"fmt"
+
+	"corundum/internal/alloc"
+	"corundum/internal/pmem"
+)
+
+// OpenRepair is Open with a self-healing fallback: instead of refusing a
+// structurally damaged image, it repairs what the mirrored headers, root
+// slots, and allocator checksums cover, and — when damage remains — opens
+// the pool in degraded read-only mode with the damaged ranges
+// quarantined, so intact data stays readable. The only images it still
+// refuses are those that cannot be parsed at all and those where
+// corruption coexists with journals awaiting recovery (recovery would
+// have to trust the very structures that failed verification).
+func OpenRepair(path string, mem pmem.Options) (*Pool, error) {
+	if path == "" {
+		return nil, fmt.Errorf("pool: OpenRepair requires a path; use AttachRepair for in-memory pools")
+	}
+	h, err := readHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := pmem.OpenFile(path, int(h.size), mem)
+	if err != nil {
+		return nil, err
+	}
+	return AttachRepair(dev)
+}
+
+// AttachRepair attaches to an image the way Attach does, but follows the
+// OpenRepair policy for damaged images: repair from mirrors and
+// checksums where possible, degrade to read-only where not.
+func AttachRepair(dev *pmem.Device) (*Pool, error) {
+	rep, err := FsckDevice(dev)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Clean() {
+		return Attach(dev)
+	}
+	if rep.Pending {
+		// Corruption alongside journals awaiting recovery: rollback and
+		// roll-forward would run over the damaged structures and could
+		// compound the damage. This combination is not survivable.
+		return nil, rep.Err()
+	}
+	repairImage(dev, rep)
+	rep, err = FsckDevice(dev)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Attach(dev)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Clean() {
+		return p, nil
+	}
+	// Unrepairable damage remains: serve reads, refuse writes, and name
+	// the condemned ranges.
+	p.Degrade(rep.Err().Error())
+	for _, r := range quarantineRanges(p.geo, rep.Problems) {
+		p.AddQuarantine(r)
+	}
+	return p, nil
+}
+
+// repairImage fixes every mirror- or checksum-covered problem in place.
+// It must only run when no journal is pending: the journals are idle, so
+// nothing races these writes.
+func repairImage(dev *pmem.Device, rep *FsckReport) {
+	for _, pr := range rep.Problems {
+		if !pr.Repairable {
+			continue
+		}
+		switch pr.Area {
+		case AreaHeader:
+			// One copy failed its checksum; rewrite both from the good one
+			// under a fresh sequence number.
+			if h, _, _, err := chooseHeader(dev.Bytes()); err == nil {
+				h.seq++
+				writeHeader(dev, h)
+			}
+		case AreaRoot:
+			repairRootSlots(dev)
+		case AreaBitmap:
+			g, err := computeGeometryOf(dev)
+			if err != nil {
+				continue
+			}
+			meta := g.metaOff + uint64(pr.Index)*alloc.MetaSize(g.arenaHeap)
+			heap := g.heapOff + uint64(pr.Index)*g.arenaHeap
+			a := alloc.Open(dev, meta, heap, g.arenaHeap)
+			a.ScrubChecksums(true)
+		}
+	}
+}
+
+// repairRootSlots mirrors the surviving root slot over a damaged one.
+// A no-op when both slots are damaged or both intact.
+func repairRootSlots(dev *pmem.Device) bool {
+	img := dev.Bytes()
+	rootA, typA, okA := decodeRootSlot(img[rootSlotAOff : rootSlotAOff+rootSlotSize])
+	rootB, typB, okB := decodeRootSlot(img[rootSlotBOff : rootSlotBOff+rootSlotSize])
+	if okA == okB {
+		return false
+	}
+	root, typ := rootA, typA
+	target := uint64(rootSlotBOff)
+	if okB {
+		root, typ = rootB, typB
+		target = rootSlotAOff
+	}
+	var slot [rootSlotSize]byte
+	encodeRootSlot(slot[:], root, typ)
+	dev.Write(target, slot[:])
+	dev.Persist(target, rootSlotSize)
+	return true
+}
+
+// computeGeometryOf rebuilds the geometry from an image's header.
+func computeGeometryOf(dev *pmem.Device) (geometry, error) {
+	h, _, _, err := chooseHeader(dev.Bytes())
+	if err != nil {
+		return geometry{}, err
+	}
+	return computeGeometry(int(h.size), int(h.journals), int(h.journalCap))
+}
+
+// FlipTargets reports the byte ranges of an image where an at-rest
+// bit flip is a fair probe of the self-healing machinery: the static
+// header and root region, each arena's allocator metadata minus its
+// redo-log area, and the whole heap span.
+//
+// Deliberately excluded:
+//   - journal buffers and allocator redo-log areas — an at-rest flip in
+//     an unretired log entry is indistinguishable from a torn in-flight
+//     append, which the torn-write model already covers; flipping it at
+//     rest would manufacture partial-replay outcomes that no real rot
+//     pattern produces (logs are transient, rot strikes long-lived data);
+//   - the journal directory — its slot words carry no checksum, a known
+//     detection gap documented in DESIGN.md.
+func FlipTargets(dev *pmem.Device) ([]Range, error) {
+	g, err := computeGeometryOf(dev)
+	if err != nil {
+		return nil, err
+	}
+	meta := alloc.MetaSize(g.arenaHeap)
+	logArea := alloc.LogAreaSize()
+	out := []Range{{Off: 0, Len: headerSize}}
+	for i := 0; i < g.nJournals; i++ {
+		off := g.metaOff + uint64(i)*meta
+		out = append(out, Range{Off: off + logArea, Len: meta - logArea})
+	}
+	out = append(out, Range{Off: g.heapOff, Len: uint64(g.nJournals) * g.arenaHeap})
+	return out, nil
+}
+
+// quarantineRanges maps unrepairable problems to the byte ranges they
+// condemn: a broken arena condemns its metadata and, for readers, its
+// heap span; broken root slots condemn the root region.
+func quarantineRanges(g geometry, problems []FsckProblem) []Range {
+	var out []Range
+	for _, pr := range problems {
+		if pr.Repairable {
+			continue
+		}
+		switch pr.Area {
+		case AreaBitmap:
+			meta := g.metaOff + uint64(pr.Index)*alloc.MetaSize(g.arenaHeap)
+			heap := g.heapOff + uint64(pr.Index)*g.arenaHeap
+			out = append(out,
+				Range{Off: meta, Len: alloc.MetaSize(g.arenaHeap)},
+				Range{Off: heap, Len: g.arenaHeap})
+		case AreaRoot:
+			out = append(out, Range{Off: rootSlotAOff, Len: headerSize - rootSlotAOff})
+		case AreaJournal:
+			out = append(out, Range{Off: g.bufOff + uint64(pr.Index)*g.bufCap, Len: g.bufCap})
+		case AreaHeader:
+			out = append(out, Range{Off: 0, Len: 2 * headerCopySize})
+		}
+	}
+	return out
+}
+
+// ScrubReport summarizes one online scrub pass.
+type ScrubReport struct {
+	// Arenas is how many allocator arenas were scanned.
+	Arenas int
+	// Repairs counts mirror copies and checksum slots rewritten.
+	Repairs int
+	// Problems lists everything found, repaired or not.
+	Problems []FsckProblem
+	// Quarantined lists ranges condemned by THIS pass (already-known
+	// quarantine from open time is not repeated; see Pool.Quarantine).
+	Quarantined []Range
+}
+
+// Scrub verifies the pool's self-describing metadata on a live pool —
+// header mirrors, root slots, and every arena's allocator checksums —
+// repairing what mirrors and checksum rewrites cover. It runs
+// incrementally: each arena is checked under its own lock, one at a
+// time, so transactions on other arenas proceed while it walks.
+// Unrepairable damage degrades the pool to read-only and quarantines the
+// damaged ranges. The error is non-nil only when such damage was found.
+func (p *Pool) Scrub() (*ScrubReport, error) {
+	p.scrubRuns.Add(1)
+	rep := &ScrubReport{}
+
+	// Header mirrors. p.hdr is the authoritative in-memory copy written
+	// at attach; rootMu serializes the rewrite against SetRoot (different
+	// region, same discipline) and concurrent scrubs.
+	p.rootMu.Lock()
+	_, goodA, goodB, err := chooseHeader(p.dev.Bytes())
+	if err == nil && (!goodA || !goodB) {
+		p.hdr.seq++
+		writeHeader(p.dev, p.hdr)
+		rep.Repairs++
+		rep.Problems = append(rep.Problems, FsckProblem{
+			Area: AreaHeader, Index: -1, Repairable: true,
+			Detail: "static header copy failed its checksum; rewrote both from memory",
+		})
+	} else if err != nil {
+		// Both copies damaged at once: rewrite from the attached state.
+		p.hdr.seq++
+		writeHeader(p.dev, p.hdr)
+		rep.Repairs++
+		rep.Problems = append(rep.Problems, FsckProblem{
+			Area: AreaHeader, Index: -1, Repairable: true,
+			Detail: "both static header copies failed; rewrote from memory",
+		})
+	}
+	// Root slots: mirror the survivor over a damaged copy.
+	if repairRootSlots(p.dev) {
+		rep.Repairs++
+		rep.Problems = append(rep.Problems, FsckProblem{
+			Area: AreaRoot, Index: -1, Repairable: true,
+			Detail: "root slot failed its checksum; repaired from mirror",
+		})
+	}
+	if _, _, ok := readRoot(p.dev.Bytes()); !ok {
+		rep.Problems = append(rep.Problems, FsckProblem{
+			Area: AreaRoot, Index: -1, Repairable: false,
+			Detail: "both root slots failed their checksum",
+		})
+	}
+	p.rootMu.Unlock()
+
+	// Arenas, one lock at a time.
+	for i, a := range p.arenas {
+		rep.Arenas++
+		repaired, err := a.ScrubChecksums(true)
+		if repaired {
+			rep.Repairs++
+			rep.Problems = append(rep.Problems, FsckProblem{
+				Area: AreaBitmap, Index: i, Repairable: true,
+				Detail: "checksum slot mismatch with sound structure; slots rewritten",
+			})
+		}
+		if err != nil {
+			rep.Problems = append(rep.Problems, FsckProblem{
+				Area: AreaBitmap, Index: i, Repairable: false,
+				Detail: err.Error(),
+			})
+		}
+	}
+
+	p.scrubRepairs.Add(uint64(rep.Repairs))
+	p.scrubProblems.Add(uint64(len(rep.Problems)))
+
+	var unrepairable []FsckProblem
+	for _, pr := range rep.Problems {
+		if !pr.Repairable {
+			unrepairable = append(unrepairable, pr)
+		}
+	}
+	if len(unrepairable) == 0 {
+		return rep, nil
+	}
+	fr := &FsckReport{Problems: unrepairable}
+	rep.Quarantined = quarantineRanges(p.geo, unrepairable)
+	p.Degrade(fr.Err().Error())
+	for _, r := range rep.Quarantined {
+		p.AddQuarantine(r)
+	}
+	return rep, fr.Err()
+}

@@ -1,0 +1,141 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"corundum/internal/alloc"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+)
+
+// TestServerDegradedModeAfterMediaDamage is the end-to-end survivability
+// story: a server accumulates acknowledged writes, shuts down cleanly,
+// and the pool file then takes unrepairable at-rest media damage in an
+// allocator structure. On restart via OpenRepair the server must come up
+// degraded rather than refuse — every acknowledged key still readable,
+// mutations answered -READONLY, SCRUB naming the quarantined range, and
+// server_degraded=1 on /metrics.
+func TestServerDegradedModeAfterMediaDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.pool")
+	p, err := pool.Create(path, pool.Config{Size: 8 << 20, Journals: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaRng := p.ArenaMetaRange(0)
+
+	srv, addr := startServer(t, p, server.Options{MaxBatch: 8, Buckets: 64})
+	cl := dial(t, addr)
+	const keys = 32
+	for i := 1; i <= keys; i++ {
+		mustReply(t, cl, "SET "+strconv.Itoa(i)+" "+strconv.Itoa(i*100), "+OK")
+	}
+	cl.close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// At-rest media fault: smash arena 0's first nonzero free-list head.
+	// That is structural damage no checksum rewrite can absorb, so repair
+	// must fall back to quarantine + degraded serving.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headsOff, headsLen := alloc.FreeHeadsRange(metaRng.Off)
+	smashed := false
+	for off := headsOff; off < headsOff+headsLen; off += 8 {
+		if binary.LittleEndian.Uint64(img[off:]) != 0 {
+			binary.LittleEndian.PutUint64(img[off:], 0xDEADBEEF)
+			smashed = true
+			break
+		}
+	}
+	if !smashed {
+		t.Fatal("no nonzero allocator word found to corrupt")
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart. Plain open + consistency check would refuse this image;
+	// OpenRepair quarantines the damage and serves what remains.
+	p2, err := pool.OpenRepair(path, pmem.Options{})
+	if err != nil {
+		t.Fatalf("OpenRepair: %v", err)
+	}
+	defer p2.Close()
+	if !p2.Degraded() {
+		t.Fatal("pool not degraded after unrepairable damage")
+	}
+	srv2, addr2 := startServer(t, p2, server.Options{MaxBatch: 8, Buckets: 64})
+	defer srv2.Close()
+	cl2 := dial(t, addr2)
+	defer cl2.close()
+
+	// Every acknowledged write is still served: the damage hit allocator
+	// metadata, not committed user data, and reads bypass the allocator.
+	for i := 1; i <= keys; i++ {
+		mustReply(t, cl2, "GET "+strconv.Itoa(i), ":"+strconv.Itoa(i*100))
+	}
+
+	// Mutations are refused with the retry-never signal, not -ERR.
+	for _, cmd := range []string{"SET 1 7", "DEL 1", "SET 999 1"} {
+		reply, err := cl2.cmd(cmd)
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if !strings.HasPrefix(reply, "-READONLY") {
+			t.Fatalf("%s = %q, want -READONLY", cmd, reply)
+		}
+	}
+	// The refused SET did not land.
+	mustReply(t, cl2, "GET 1", ":100")
+
+	// SCRUB reports the degradation and the quarantined range.
+	scrub, err := cl2.cmd("SCRUB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"degraded: true", "quarantined: off=", "store_integrity: ok"} {
+		if !strings.Contains(scrub, want) {
+			t.Fatalf("SCRUB reply missing %q:\n%s", want, scrub)
+		}
+	}
+
+	// INFO carries the degraded flag too.
+	info, err := cl2.cmd("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "degraded: true") {
+		t.Fatalf("INFO missing degraded flag:\n%s", info)
+	}
+
+	// /metrics: server_degraded gauge is 1, rejects were counted.
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv2.DebugMux().ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Body)
+	text := string(body)
+	for _, want := range []string{
+		"server_degraded 1",
+		"pool_degraded 1",
+		"server_readonly_rejected_total 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

@@ -21,9 +21,9 @@ func FuzzParseCommand(f *testing.F) {
 		[]byte("PING"),
 		[]byte(""),
 		[]byte(" "),
-		[]byte("SET"),                        // truncated: verb only
-		[]byte("SET 1"),                      // truncated: missing value
-		[]byte("SE"),                         // truncated verb
+		[]byte("SET"),   // truncated: verb only
+		[]byte("SET 1"), // truncated: missing value
+		[]byte("SE"),    // truncated verb
 		[]byte("SET 99999999999999999999999999999999 1"), // oversized key
 		[]byte("SET 18446744073709551616 1"),             // uint64 overflow by one
 		[]byte("GET " + strings.Repeat("9", MaxLineLen)), // oversized line

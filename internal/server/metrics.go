@@ -25,20 +25,31 @@ var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 type serverMetrics struct {
 	reg *obs.Registry
 
-	opsGet, opsSet, opsDel, opsScan *obs.Counter
-	connsTotal                      *obs.Counter
-	connPanics                      *obs.Counter
-	batchSizes                      *obs.Histogram
+	opsGet, opsSet, opsDel, opsScan, opsScrub *obs.Counter
+
+	connsTotal *obs.Counter
+	connPanics *obs.Counter
+	// readonlyRejects counts mutations refused with -READONLY while the
+	// pool serves degraded; corruptionErrs counts checksum failures the
+	// verified read path surfaced to a client (never a silent wrong value).
+	readonlyRejects *obs.Counter
+	corruptionErrs  *obs.Counter
+	batchSizes      *obs.Histogram
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{
-		reg:     reg,
-		opsGet:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "get"}),
-		opsSet:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "set"}),
-		opsDel:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "del"}),
-		opsScan: reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "scan"}),
+		reg:      reg,
+		opsGet:   reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "get"}),
+		opsSet:   reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "set"}),
+		opsDel:   reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "del"}),
+		opsScan:  reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "scan"}),
+		opsScrub: reg.Counter("server_ops_total", "requests served by operation", obs.Labels{"op": "scrub"}),
+		readonlyRejects: reg.Counter("server_readonly_rejected_total",
+			"mutations refused with -READONLY while serving degraded", nil),
+		corruptionErrs: reg.Counter("server_corruption_errors_total",
+			"media corruption detections surfaced to clients instead of silent wrong values", nil),
 		connsTotal: reg.Counter("server_connections_total",
 			"client connections accepted", nil),
 		connPanics: reg.Counter("server_conn_panics_total",
@@ -56,6 +67,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("server_halted", "1 when the pool failed underneath the server", nil,
 		func() float64 {
 			if s.halted.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("server_degraded", "1 when serving read-only over a degraded pool", nil,
+		func() float64 {
+			if s.pool.Degraded() {
 				return 1
 			}
 			return 0

@@ -19,13 +19,18 @@
 //	SCAN [limit]       -> *<n> followed by n lines "<key> <val>"
 //	INFO               -> $<len> bulk string of "name: value" lines
 //	STATS              -> $<len> bulk string of "name: value" lines
+//	SCRUB              -> $<len> bulk string: online media-scrub report
 //	PING               -> +PONG
 //	QUIT               -> +OK, then the server closes the connection
 //
 // Keys and values are decimal uint64s, matching the pool's KVStore.
 // Errors are reported as "-ERR <message>" and never close the connection
 // except for oversized or non-textual request lines, where the stream
-// can no longer be trusted to be in sync.
+// can no longer be trusted to be in sync. Two refinements of -ERR carry
+// machine-actionable meaning: "-BUSY" (journal slots exhausted; the
+// request never ran and can be re-sent, see RetryBusy) and "-READONLY"
+// (the pool is serving degraded after unrepairable media damage; reads
+// still work, mutations are refused).
 package server
 
 import (
@@ -47,6 +52,7 @@ const (
 	CmdStats
 	CmdPing
 	CmdQuit
+	CmdScrub
 )
 
 // MaxLineLen bounds a request line (verb + arguments + terminator). A
@@ -136,7 +142,7 @@ func ParseCommand(line []byte) (Command, error) {
 			cmd.Limit = int(limit)
 		}
 		return cmd, nil
-	case "INFO", "STATS", "PING", "QUIT":
+	case "INFO", "STATS", "SCRUB", "PING", "QUIT":
 		if len(fields) != 1 {
 			return Command{}, fmt.Errorf("%s takes no arguments", verb)
 		}
@@ -145,6 +151,8 @@ func ParseCommand(line []byte) (Command, error) {
 			return Command{Kind: CmdInfo}, nil
 		case "STATS":
 			return Command{Kind: CmdStats}, nil
+		case "SCRUB":
+			return Command{Kind: CmdScrub}, nil
 		case "PING":
 			return Command{Kind: CmdPing}, nil
 		default:

@@ -47,8 +47,8 @@ func TestParseCommandErrors(t *testing.T) {
 		"GET 1 2",
 		"GET x",
 		"GET -1",
-		"GET 99999999999999999999999999",       // > 20 digits
-		"SET 184467440737095516160 1",          // 21 digits, overflows
+		"GET 99999999999999999999999999", // > 20 digits
+		"SET 184467440737095516160 1",    // 21 digits, overflows
 		"SET 1",
 		"SET 1 2 3",
 		"SCAN 1 2",

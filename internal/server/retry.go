@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"time"
@@ -13,13 +14,32 @@ func IsBusyReply(line string) bool {
 	return strings.HasPrefix(line, "-BUSY")
 }
 
-// RetryBusy runs do until its reply is not -BUSY or attempts are
-// exhausted, sleeping between tries with exponential backoff plus jitter
-// (full-jitter on the current window, doubling up to cap). It returns the
-// last reply; callers detect lingering exhaustion with IsBusyReply. A
-// transport error from do is returned immediately — only the explicit
-// backpressure signal is retried.
-func RetryBusy(attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
+// retrySleep waits for d or until ctx is done, whichever comes first, and
+// reports the context's error when it cut the wait short. Tests swap it
+// to capture the drawn backoff delays without really sleeping.
+var retrySleep = func(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RetryBusy runs do until its reply is not -BUSY, attempts are exhausted,
+// or ctx is done, sleeping between tries with exponential backoff plus
+// jitter (full-jitter on the current window, doubling up to cap). It
+// returns the last reply; callers detect lingering exhaustion with
+// IsBusyReply. A transport error from do is returned immediately — only
+// the explicit backpressure signal is retried — and a context
+// cancellation during a backoff sleep returns ctx.Err() without another
+// attempt.
+func RetryBusy(ctx context.Context, attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -33,6 +53,9 @@ func RetryBusy(attempts int, base, cap time.Duration, do func() (string, error))
 	var line string
 	var err error
 	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return line, err
+		}
 		line, err = do()
 		if err != nil || !IsBusyReply(line) {
 			return line, err
@@ -42,7 +65,9 @@ func RetryBusy(attempts int, base, cap time.Duration, do func() (string, error))
 		}
 		// Full jitter: a uniform draw over the window, so synchronized
 		// clients spread out instead of re-colliding in lockstep.
-		time.Sleep(time.Duration(rand.Int63n(int64(window)) + 1))
+		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
+			return line, err
+		}
 		if window *= 2; window > cap {
 			window = cap
 		}

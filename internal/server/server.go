@@ -86,11 +86,19 @@ type Server struct {
 // New builds a server over an already-open pool. Pool recovery has run
 // inside pool.Open/Attach before this point; New additionally verifies
 // heap consistency and refuses to serve a damaged pool — traffic is never
-// accepted against inconsistent state. A fresh pool (no root) gets a new
-// KVStore; otherwise the existing store is attached.
+// accepted against inconsistent state. The exception is a pool already in
+// degraded mode (opened via pool.AttachRepair after unrepairable media
+// damage): its damage is known and quarantined, so the server comes up
+// read-only — GET/SCAN work, SET/DEL answer -READONLY — rather than
+// refusing service entirely. A fresh pool (no root) gets a new KVStore;
+// otherwise the existing store is attached.
 func New(p *pool.Pool, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	if err := p.CheckConsistency(); err != nil {
+	if p.Degraded() {
+		if p.RootOff() == 0 {
+			return nil, fmt.Errorf("server: pool is degraded (%s) and holds no store to serve", p.DegradedReason())
+		}
+	} else if err := p.CheckConsistency(); err != nil {
 		return nil, fmt.Errorf("server: pool failed consistency check, refusing to serve: %w", err)
 	}
 	ep := corundumeng.Wrap(p)
@@ -102,7 +110,11 @@ func New(p *pool.Pool, opts Options) (*Server, error) {
 		}
 		kv = created
 	} else {
-		kv = workloads.AttachKVStore(ep)
+		attached, err := workloads.AttachKVStore(ep)
+		if err != nil {
+			return nil, fmt.Errorf("server: attaching store: %w", err)
+		}
+		kv = attached
 	}
 	s := &Server{
 		pool:  p,
@@ -298,6 +310,15 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 		return
 	}
 	*pending = cmds[:0]
+	// A degraded pool rejects the whole run up front; the per-store gating
+	// in the transaction path is the backstop for races with a concurrent
+	// scrub that degrades the pool mid-batch.
+	if err := s.pool.Writable(); err != nil {
+		for range cmds {
+			s.writeReplyErr(w, err)
+		}
+		return
+	}
 	ops := make([]workloads.Op, len(cmds))
 	for i, cmd := range cmds {
 		if cmd.Kind == CmdDel {
@@ -311,7 +332,7 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 	for i, res := range s.b.SubmitMany(ops) {
 		switch {
 		case res.Err != nil:
-			writeReplyErr(w, res.Err)
+			s.writeReplyErr(w, res.Err)
 		case cmds[i].Kind == CmdDel:
 			if res.Removed {
 				writeInt(w, 1)
@@ -364,7 +385,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		val, found, err := s.get(cmd.Key)
 		switch {
 		case err != nil:
-			writeReplyErr(w, err)
+			s.writeReplyErr(w, err)
 		case found:
 			writeInt(w, val)
 		default:
@@ -374,7 +395,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		s.m.opsScan.Inc()
 		pairs, err := s.scan(cmd.Limit)
 		if err != nil {
-			writeReplyErr(w, err)
+			s.writeReplyErr(w, err)
 		} else {
 			fmt.Fprintf(w, "*%d\r\n", len(pairs)/2)
 			for i := 0; i < len(pairs); i += 2 {
@@ -385,6 +406,9 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		writeBulk(w, s.renderInfo())
 	case CmdStats:
 		writeBulk(w, s.renderStats())
+	case CmdScrub:
+		s.m.opsScrub.Inc()
+		writeBulk(w, s.runScrub())
 	case CmdPing:
 		w.WriteString("+PONG\r\n")
 	case CmdQuit:
@@ -418,6 +442,46 @@ func (s *Server) scan(limit int) (pairs []uint64, err error) {
 	return pairs, nil
 }
 
+// runScrub runs one online media-scrub pass — pool metadata mirrors and
+// allocator checksums via pool.Scrub, then a full verified walk of the
+// store under the reader lock — and renders the findings. Unrepairable
+// damage leaves the pool degraded (and the report says so); the pass
+// itself never takes the server down.
+func (s *Server) runScrub() string {
+	rep, scrubErr := s.pool.Scrub()
+	storeErr := func() (err error) {
+		defer s.recoverPoolFailure(&err)
+		s.lock.RLock()
+		defer s.lock.RUnlock()
+		return s.kv.VerifyIntegrity()
+	}()
+
+	out := fmt.Sprintf("arenas_scrubbed: %d\nrepairs: %d\nproblems: %d\n",
+		rep.Arenas, rep.Repairs, len(rep.Problems))
+	for _, pr := range rep.Problems {
+		out += fmt.Sprintf("problem: %s\n", oneLine(pr.String()))
+	}
+	if scrubErr != nil {
+		out += fmt.Sprintf("scrub_error: %s\n", oneLine(scrubErr.Error()))
+	}
+	if storeErr != nil {
+		s.m.corruptionErrs.Inc()
+		out += fmt.Sprintf("store_integrity: %s\n", oneLine(storeErr.Error()))
+	} else {
+		out += "store_integrity: ok\n"
+	}
+	out += fmt.Sprintf("degraded: %v\n", s.pool.Degraded())
+	if why := s.pool.DegradedReason(); why != "" {
+		out += fmt.Sprintf("degraded_reason: %s\n", oneLine(why))
+	}
+	q := s.pool.Quarantine()
+	out += fmt.Sprintf("quarantined_ranges: %d\n", len(q))
+	for _, r := range q {
+		out += fmt.Sprintf("quarantined: off=%d len=%d\n", r.Off, r.Len)
+	}
+	return out
+}
+
 func (s *Server) recoverPoolFailure(err *error) {
 	if r := recover(); r != nil {
 		if r != pmem.ErrInjectedCrash {
@@ -444,7 +508,9 @@ func (s *Server) renderInfo() string {
 			"recovery_rolled_forward: %d\n"+
 			"heap_in_use_bytes: %d\n"+
 			"heap_free_bytes: %d\n"+
-			"halted: %v\n",
+			"halted: %v\n"+
+			"degraded: %v\n"+
+			"quarantined_ranges: %d\n",
 		int(time.Since(s.start).Seconds()),
 		dev.Size(),
 		s.pool.Generation(),
@@ -455,6 +521,8 @@ func (s *Server) renderInfo() string {
 		s.pool.InUse(),
 		s.pool.FreeBytes(),
 		s.halted.Load(),
+		s.pool.Degraded(),
+		len(s.pool.Quarantine()),
 	)
 }
 
@@ -495,14 +563,23 @@ func writeInt(w io.Writer, n uint64) { fmt.Fprintf(w, ":%d\r\n", n) }
 
 func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(err.Error())) }
 
-// writeReplyErr distinguishes the retryable journal-exhaustion condition
-// (-BUSY, see RetryBusy) from terminal errors (-ERR).
-func writeReplyErr(w io.Writer, err error) {
-	if errors.Is(err, pool.ErrBusy) {
+// writeReplyErr distinguishes the two machine-actionable refusals — the
+// retryable journal-exhaustion condition (-BUSY, see RetryBusy) and the
+// degraded-pool write rejection (-READONLY) — from terminal -ERR replies,
+// and counts detected media corruption surfacing through the read path.
+func (s *Server) writeReplyErr(w io.Writer, err error) {
+	switch {
+	case errors.Is(err, pool.ErrBusy):
 		fmt.Fprintf(w, "-BUSY %s\r\n", oneLine(err.Error()))
-		return
+	case errors.Is(err, pool.ErrReadOnly):
+		s.m.readonlyRejects.Inc()
+		fmt.Fprintf(w, "-READONLY %s\r\n", oneLine(err.Error()))
+	case errors.Is(err, workloads.ErrDataCorrupt):
+		s.m.corruptionErrs.Inc()
+		writeErr(w, err)
+	default:
+		writeErr(w, err)
 	}
-	writeErr(w, err)
 }
 
 func writeBulk(w io.Writer, body string) { fmt.Fprintf(w, "$%d\r\n%s\r\n", len(body), body) }

@@ -392,7 +392,10 @@ func crashRound(t *testing.T, seed int64) {
 	if err := p2.CheckConsistency(); err != nil {
 		t.Fatalf("heap corrupt after recovery: %v", err)
 	}
-	kv := workloads.AttachKVStore(corundumeng.Wrap(p2))
+	kv, err := workloads.AttachKVStore(corundumeng.Wrap(p2))
+	if err != nil {
+		t.Fatalf("attach after recovery: %v", err)
+	}
 
 	// Every acknowledged SET must have survived with its exact value.
 	valid := make(map[uint64]bool, sentTotal)

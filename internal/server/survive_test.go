@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -57,7 +58,7 @@ func TestServerBusyBackpressure(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		close(hold)
 	}()
-	reply, err = server.RetryBusy(20, time.Millisecond, 20*time.Millisecond, func() (string, error) {
+	reply, err = server.RetryBusy(context.Background(), 20, time.Millisecond, 20*time.Millisecond, func() (string, error) {
 		return cl.cmd("GET 7")
 	})
 	if err != nil {
@@ -73,7 +74,7 @@ func TestServerBusyBackpressure(t *testing.T) {
 
 func TestRetryBusyStopsAtAttempts(t *testing.T) {
 	calls := 0
-	line, err := server.RetryBusy(5, time.Microsecond, 4*time.Microsecond, func() (string, error) {
+	line, err := server.RetryBusy(context.Background(), 5, time.Microsecond, 4*time.Microsecond, func() (string, error) {
 		calls++
 		return "-BUSY all journal slots busy", nil
 	})
@@ -145,7 +146,10 @@ func TestServerGracefulShutdownDurability(t *testing.T) {
 	if rb, rf := p2.Recovery(); rb != 0 || rf != 0 {
 		t.Fatalf("graceful shutdown left recovery work: rolled back %d, forward %d", rb, rf)
 	}
-	kv := workloads.AttachKVStore(corundumeng.Wrap(p2))
+	kv, err := workloads.AttachKVStore(corundumeng.Wrap(p2))
+	if err != nil {
+		t.Fatalf("attach after shutdown: %v", err)
+	}
 	got := acked.Load()
 	for i := uint64(1); i <= got; i++ {
 		val, found, err := kv.Get(i)

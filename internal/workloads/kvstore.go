@@ -1,27 +1,61 @@
 package workloads
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
 	"corundum/internal/baselines/engine"
 )
 
+// ErrDataCorrupt reports that a stored checksum failed verification: the
+// media returned bytes that no committed transaction wrote. Verified
+// readers surface it instead of silently returning a wrong value.
+var ErrDataCorrupt = errors.New("workloads: data corruption detected")
+
 // KVStore is the paper's "simple Key-Value store data structure using hash
-// map": a fixed bucket directory with chained entries.
+// map": a fixed bucket directory with chained entries, hardened against
+// at-rest media faults with checksums on every structure.
 //
-// Entry layout: [key][val][next], 24 bytes (rounded to a 32-byte block by
-// the allocator minimum).
+// Entry layout: [key][next][val][crc], 32 bytes (the allocator minimum
+// anyway). crc is a CRC32 (widened to a word) over key/next/val. val and
+// crc are adjacent so the hot overwrite path updates them with ONE
+// contiguous 16-byte store — a single undo-log entry, preserving the
+// paper's fence profile (entries are 32-byte aligned, so val and crc
+// always share a cache line).
 const (
 	kvKey   = 0
-	kvVal   = 8
-	kvNext  = 16
-	kvEntry = 24
+	kvNext  = 8
+	kvVal   = 16
+	kvCRC   = 24
+	kvEntry = 32
 )
+
+// Directory layout: [nBuckets][dirCRC][slots n×8][groupCRCs ⌈n/8⌉×8].
+// dirCRC covers the nBuckets word; groupCRC i covers slots [8i, 8i+8).
+const slotGroup = 8
 
 // KVStore is a persistent hash map over one engine pool.
 type KVStore struct {
 	pool     engine.Pool
-	buckets  uint64 // offset of the bucket array
+	dir      uint64 // offset of the directory block
+	buckets  uint64 // offset of the slot array
+	groupCRC uint64 // offset of the slot-group checksum array
 	nBuckets uint64
 }
+
+func wordsCRC(words ...uint64) uint64 {
+	var buf [8 * slotGroup]byte
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return uint64(crc32.ChecksumIEEE(buf[:8*len(words)]))
+}
+
+func entryCRC(key, next, val uint64) uint64 { return wordsCRC(key, next, val) }
+
+func groups(n uint64) uint64 { return (n + slotGroup - 1) / slotGroup }
 
 // NewKVStore initializes a store with nBuckets chains (rounded up to a
 // power of two).
@@ -32,18 +66,29 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 	}
 	kv := &KVStore{pool: p, nBuckets: n}
 	err := p.Tx(func(tx engine.Tx) error {
-		dir, err := tx.Alloc(8 + n*8)
+		dir, err := tx.Alloc(16 + n*8 + groups(n)*8)
 		if err != nil {
 			return err
 		}
+		kv.dir = dir
+		kv.buckets = dir + 16
+		kv.groupCRC = kv.buckets + n*8
 		if err := tx.Store(dir, n); err != nil {
 			return err
 		}
-		zero := make([]byte, n*8)
-		if err := tx.StoreBytes(dir+8, zero); err != nil {
+		if err := tx.Store(dir+8, wordsCRC(n)); err != nil {
 			return err
 		}
-		kv.buckets = dir + 8
+		zero := make([]byte, n*8)
+		if err := tx.StoreBytes(kv.buckets, zero); err != nil {
+			return err
+		}
+		for g := uint64(0); g < groups(n); g++ {
+			lo, hi := g*slotGroup, min((g+1)*slotGroup, n)
+			if err := tx.Store(kv.groupCRC+g*8, wordsCRC(make([]uint64, hi-lo)...)); err != nil {
+				return err
+			}
+		}
 		return tx.SetRoot(dir)
 	})
 	if err != nil {
@@ -52,21 +97,77 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 	return kv, nil
 }
 
-// AttachKVStore reconnects to a store previously created in the pool.
-func AttachKVStore(p engine.Pool) *KVStore {
+// AttachKVStore reconnects to a store previously created in the pool,
+// verifying the directory header's checksum first.
+func AttachKVStore(p engine.Pool) (*KVStore, error) {
 	dir := p.Root()
-	kv := &KVStore{pool: p, buckets: dir + 8}
-	_ = p.Tx(func(tx engine.Tx) error {
-		kv.nBuckets = tx.Load(dir)
+	kv := &KVStore{pool: p, dir: dir, buckets: dir + 16}
+	err := p.Tx(func(tx engine.Tx) error {
+		n := tx.Load(dir)
+		if tx.Load(dir+8) != wordsCRC(n) {
+			return fmt.Errorf("%w: directory header", ErrDataCorrupt)
+		}
+		kv.nBuckets = n
 		return nil
 	})
-	return kv
+	if err != nil {
+		return nil, err
+	}
+	kv.groupCRC = kv.buckets + kv.nBuckets*8
+	return kv, nil
 }
 
 // fibHash spreads keys across buckets (Fibonacci hashing).
 func (kv *KVStore) bucket(key uint64) uint64 {
 	h := key * 0x9E3779B97F4A7C15
-	return kv.buckets + (h&(kv.nBuckets-1))*8
+	return h & (kv.nBuckets - 1)
+}
+
+// loadSlot reads bucket slot b after verifying its group checksum.
+func (kv *KVStore) loadSlot(tx engine.Tx, b uint64) (uint64, error) {
+	g := b / slotGroup
+	lo, hi := g*slotGroup, min((g+1)*slotGroup, kv.nBuckets)
+	words := make([]uint64, 0, slotGroup)
+	for i := lo; i < hi; i++ {
+		words = append(words, tx.Load(kv.buckets+i*8))
+	}
+	if tx.Load(kv.groupCRC+g*8) != wordsCRC(words...) {
+		return 0, fmt.Errorf("%w: bucket group %d", ErrDataCorrupt, g)
+	}
+	return words[b-lo], nil
+}
+
+// storeSlot writes bucket slot b and refreshes its group checksum in the
+// same transaction.
+func (kv *KVStore) storeSlot(tx engine.Tx, b, val uint64) error {
+	if err := tx.Store(kv.buckets+b*8, val); err != nil {
+		return err
+	}
+	g := b / slotGroup
+	lo, hi := g*slotGroup, min((g+1)*slotGroup, kv.nBuckets)
+	words := make([]uint64, 0, slotGroup)
+	for i := lo; i < hi; i++ {
+		words = append(words, tx.Load(kv.buckets+i*8))
+	}
+	return tx.Store(kv.groupCRC+g*8, wordsCRC(words...))
+}
+
+// loadEntry reads and verifies one chain entry.
+func loadEntry(tx engine.Tx, e uint64) (key, next, val uint64, err error) {
+	key, next, val = tx.Load(e+kvKey), tx.Load(e+kvNext), tx.Load(e+kvVal)
+	if tx.Load(e+kvCRC) != entryCRC(key, next, val) {
+		return 0, 0, 0, fmt.Errorf("%w: entry %#x", ErrDataCorrupt, e)
+	}
+	return key, next, val, nil
+}
+
+// storeValCRC overwrites an entry's value and checksum with one
+// contiguous store (they are adjacent by layout).
+func storeValCRC(tx engine.Tx, e, key, next, val uint64) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], val)
+	binary.LittleEndian.PutUint64(buf[8:], entryCRC(key, next, val))
+	return tx.StoreBytes(e+kvVal, buf[:])
 }
 
 // Put inserts or updates key (the paper's PUT).
@@ -77,37 +178,55 @@ func (kv *KVStore) Put(key, val uint64) error {
 }
 
 func (kv *KVStore) putTx(tx engine.Tx, key, val uint64) error {
-	slot := kv.bucket(key)
-	for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
-		if tx.Load(e+kvKey) == key {
-			return tx.Store(e+kvVal, val)
+	b := kv.bucket(key)
+	head, err := kv.loadSlot(tx, b)
+	if err != nil {
+		return err
+	}
+	for e := head; e != 0; {
+		k, next, _, err := loadEntry(tx, e)
+		if err != nil {
+			return err
 		}
+		if k == key {
+			return storeValCRC(tx, e, key, next, val)
+		}
+		e = next
 	}
 	e, err := tx.Alloc(kvEntry)
 	if err != nil {
 		return err
 	}
-	if err := tx.Store(e+kvKey, key); err != nil {
+	var buf [kvEntry]byte
+	binary.LittleEndian.PutUint64(buf[kvKey:], key)
+	binary.LittleEndian.PutUint64(buf[kvNext:], head)
+	binary.LittleEndian.PutUint64(buf[kvVal:], val)
+	binary.LittleEndian.PutUint64(buf[kvCRC:], entryCRC(key, head, val))
+	if err := tx.StoreBytes(e, buf[:]); err != nil {
 		return err
 	}
-	if err := tx.Store(e+kvVal, val); err != nil {
-		return err
-	}
-	if err := tx.Store(e+kvNext, tx.Load(slot)); err != nil {
-		return err
-	}
-	return tx.Store(slot, e)
+	return kv.storeSlot(tx, b, e)
 }
 
-// Get looks up key (the paper's GET).
+// Get looks up key (the paper's GET). Every entry touched on the way is
+// checksum-verified; a mismatch returns ErrDataCorrupt rather than a
+// possibly-wrong value.
 func (kv *KVStore) Get(key uint64) (val uint64, found bool, err error) {
 	err = kv.pool.Tx(func(tx engine.Tx) error {
-		for e := tx.Load(kv.bucket(key)); e != 0; e = tx.Load(e + kvNext) {
-			if tx.Load(e+kvKey) == key {
-				val = tx.Load(e + kvVal)
-				found = true
+		e, err := kv.loadSlot(tx, kv.bucket(key))
+		if err != nil {
+			return err
+		}
+		for e != 0 {
+			k, next, v, err := loadEntry(tx, e)
+			if err != nil {
+				return err
+			}
+			if k == key {
+				val, found = v, true
 				return nil
 			}
+			e = next
 		}
 		return nil
 	})
@@ -124,15 +243,34 @@ func (kv *KVStore) Delete(key uint64) (removed bool, err error) {
 }
 
 func (kv *KVStore) deleteTx(tx engine.Tx, key uint64) (bool, error) {
-	slot := kv.bucket(key)
-	for e := tx.Load(slot); e != 0; e = tx.Load(e + kvNext) {
-		if tx.Load(e+kvKey) == key {
-			if err := tx.Store(slot, tx.Load(e+kvNext)); err != nil {
-				return false, err
+	b := kv.bucket(key)
+	head, err := kv.loadSlot(tx, b)
+	if err != nil {
+		return false, err
+	}
+	var prevE, prevKey, prevVal uint64
+	for e := head; e != 0; {
+		k, next, v, err := loadEntry(tx, e)
+		if err != nil {
+			return false, err
+		}
+		if k == key {
+			if prevE == 0 {
+				if err := kv.storeSlot(tx, b, next); err != nil {
+					return false, err
+				}
+			} else {
+				if err := tx.Store(prevE+kvNext, next); err != nil {
+					return false, err
+				}
+				if err := tx.Store(prevE+kvCRC, entryCRC(prevKey, next, prevVal)); err != nil {
+					return false, err
+				}
 			}
 			return true, tx.Free(e, kvEntry)
 		}
-		slot = e + kvNext
+		prevE, prevKey, prevVal = e, k, v
+		e = next
 	}
 	return false, nil
 }
@@ -179,14 +317,24 @@ func (kv *KVStore) Apply(ops []Op) ([]bool, error) {
 }
 
 // Scan visits every key/value pair (in bucket order, not key order) until
-// fn returns false. It runs as a read-only transaction.
+// fn returns false. It runs as a read-only transaction with the same
+// verified-read discipline as Get.
 func (kv *KVStore) Scan(fn func(key, val uint64) bool) error {
 	return kv.pool.Tx(func(tx engine.Tx) error {
 		for b := uint64(0); b < kv.nBuckets; b++ {
-			for e := tx.Load(kv.buckets + b*8); e != 0; e = tx.Load(e + kvNext) {
-				if !fn(tx.Load(e+kvKey), tx.Load(e+kvVal)) {
+			e, err := kv.loadSlot(tx, b)
+			if err != nil {
+				return err
+			}
+			for e != 0 {
+				k, next, v, err := loadEntry(tx, e)
+				if err != nil {
+					return err
+				}
+				if !fn(k, v) {
 					return nil
 				}
+				e = next
 			}
 		}
 		return nil
@@ -196,13 +344,37 @@ func (kv *KVStore) Scan(fn func(key, val uint64) bool) error {
 // Len counts entries (test helper).
 func (kv *KVStore) Len() (int, error) {
 	n := 0
-	err := kv.pool.Tx(func(tx engine.Tx) error {
+	err := kv.Scan(func(_, _ uint64) bool { n++; return true })
+	return n, err
+}
+
+// VerifyIntegrity walks the whole store — directory header, every slot
+// group, every chain entry — verifying each checksum. It returns nil when
+// everything checks out and an ErrDataCorrupt-wrapped diagnosis naming
+// the first damaged structure otherwise. Servers run it at startup and on
+// demand (SCRUB).
+func (kv *KVStore) VerifyIntegrity() error {
+	return kv.pool.Tx(func(tx engine.Tx) error {
+		n := tx.Load(kv.dir)
+		if tx.Load(kv.dir+8) != wordsCRC(n) {
+			return fmt.Errorf("%w: directory header", ErrDataCorrupt)
+		}
+		if n != kv.nBuckets {
+			return fmt.Errorf("%w: directory claims %d buckets, attached with %d", ErrDataCorrupt, n, kv.nBuckets)
+		}
 		for b := uint64(0); b < kv.nBuckets; b++ {
-			for e := tx.Load(kv.buckets + b*8); e != 0; e = tx.Load(e + kvNext) {
-				n++
+			e, err := kv.loadSlot(tx, b)
+			if err != nil {
+				return err
+			}
+			for e != 0 {
+				_, next, _, err := loadEntry(tx, e)
+				if err != nil {
+					return err
+				}
+				e = next
 			}
 		}
 		return nil
 	})
-	return n, err
 }
