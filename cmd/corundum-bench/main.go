@@ -179,6 +179,25 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 				first.OpsPerSec, last.OpsPerSec)
 		}
 		fmt.Println()
+		shardClients := srvClients
+		if shardClients < 16 {
+			shardClients = 16
+		}
+		fmt.Printf("=== corundum-server: shard scaling (%d clients x %d SETs, max-batch 64, best of 3) ===\n",
+			shardClients, srvOps)
+		shardRows, err := bench.ServerShardScaling(shardClients, srvOps, 64, 3, []int{1, 2, 4, 8}, pmem.Options{Profile: prof})
+		if err != nil {
+			return err
+		}
+		bench.PrintServer(os.Stdout, shardRows)
+		if len(shardRows) > 1 {
+			first, last := shardRows[0], shardRows[len(shardRows)-1]
+			fmt.Printf("shard scaling: %d -> %d shards = %.0f -> %.0f ops/sec (%.2fx)\n",
+				first.Shards, last.Shards, first.OpsPerSec, last.OpsPerSec,
+				last.OpsPerSec/first.OpsPerSec)
+		}
+		fmt.Println()
+		rows = append(rows, shardRows...)
 		if csvDir != "" {
 			f, err := os.Create(filepath.Join(csvDir, "server.csv"))
 			if err != nil {

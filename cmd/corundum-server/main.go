@@ -1,36 +1,45 @@
 // Command corundum-server serves a persistent key-value store over a
-// RESP-like line protocol, backed by a Corundum pool.
+// RESP-like line protocol, backed by one or more Corundum pools.
 //
-//	corundum-server -pool kv.pool [-addr :6380] [-size 256MiB-bytes]
+//	corundum-server -pool kv.pool [-addr :6380] [-shards 1] [-size 256MiB-bytes]
 //	                [-journals 16] [-max-batch 64] [-max-delay 200us]
 //	                [-busy-timeout 100ms] [-metrics-addr :9100]
 //
-// On startup the pool is opened (creating and formatting it if the file
-// does not exist), crash recovery runs, and the heap is consistency-
-// checked; only then does the server start accepting connections. SET and
-// DEL requests from all connections are group-committed: the server packs
-// up to -max-batch mutations into one failure-atomic transaction, waiting
-// at most -max-delay for stragglers, and acknowledges each request only
-// after its transaction is durably committed. INFO and STATS expose pool
-// geometry, recovery counts, journal occupancy, the batch-size histogram,
-// and the emulated device's write/flush/fence counters (including
-// per-scope fence attribution). With -metrics-addr the same numbers are
-// served as Prometheus text on GET /metrics, alongside net/http/pprof.
+// On startup every shard pool is opened (created and formatted if its
+// file does not exist), crash recovery runs on all shards concurrently,
+// and each heap is consistency-checked; only then does the server start
+// accepting connections. SET and DEL requests from all connections are
+// group-committed per shard: the server packs up to -max-batch mutations
+// into one failure-atomic transaction per shard, waiting at most
+// -max-delay for stragglers, and acknowledges each request only after
+// its transaction is durably committed. INFO and STATS expose pool
+// geometry, recovery counts, journal occupancy, the batch-size
+// histogram, and the emulated device's write/flush/fence counters
+// (including per-scope fence attribution), with per-shard breakdowns
+// when sharded. With -metrics-addr the same numbers are served as
+// Prometheus text on GET /metrics, alongside net/http/pprof.
+//
+// With -shards N (N > 1) the keyspace is hash-partitioned across N
+// independent pools stored as "<pool>.<i>". Shards share nothing: each
+// has its own journals, allocator arenas, and group-commit batcher, so
+// throughput scales with shards and a shard that fails to open or
+// recover is fenced — its keyspace slice answers -READONLY — while
+// every other shard serves normally.
 //
 // When every journal slot stays busy for longer than -busy-timeout the
 // affected request is answered with -BUSY, a retryable backpressure
 // signal (clients: server.RetryBusy backs off with jitter). On SIGTERM or
-// SIGINT the server stops accepting, drains the group-commit batcher so
-// every acknowledged write is durable, and closes the pool cleanly.
+// SIGINT the server stops accepting, drains the group-commit batchers so
+// every acknowledged write is durable, and closes the pools cleanly.
 //
-// Startup uses pool.OpenRepair: a cleanly recoverable image opens as
-// usual; an image with at-rest media damage is repaired from its header
-// and root-slot mirrors and allocator checksums where possible, and
-// otherwise opens DEGRADED — reads keep working, mutations answer
-// -READONLY, and the damaged ranges are quarantined. The SCRUB admin
-// command runs an online media scrub (metadata mirrors, allocator
-// checksums, a verified walk of the whole store) and reports what it
-// found and repaired.
+// Startup uses pool.OpenRepair per shard: a cleanly recoverable image
+// opens as usual; an image with at-rest media damage is repaired from
+// its header and root-slot mirrors, journal-directory checksums, and
+// allocator checksums where possible, and otherwise opens DEGRADED —
+// reads keep working, mutations answer -READONLY, and the damaged
+// ranges are quarantined. The SCRUB admin command runs an online media
+// scrub across all shards (metadata mirrors, allocator checksums, a
+// verified walk of every store) and reports what it found and repaired.
 package main
 
 import (
@@ -51,9 +60,10 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":6380", "listen address")
-		path     = flag.String("pool", "corundum.pool", "pool file (created if absent)")
-		size     = flag.Int("size", 256<<20, "pool size in bytes when creating")
-		journals = flag.Int("journals", 16, "journal slots (transaction concurrency) when creating")
+		path     = flag.String("pool", "corundum.pool", "pool file (created if absent); shard i uses <pool>.<i> when -shards > 1")
+		shards   = flag.Int("shards", 1, "hash-partition the keyspace across this many independent pools")
+		size     = flag.Int("size", 256<<20, "per-shard pool size in bytes when creating")
+		journals = flag.Int("journals", 16, "journal slots per shard (transaction concurrency) when creating")
 		buckets  = flag.Int("buckets", 4096, "KV bucket directory size when creating")
 		maxBatch = flag.Int("max-batch", 64, "max mutations per group-commit transaction")
 		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max wait for group-commit stragglers")
@@ -62,13 +72,13 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof on this address, e.g. :9100")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *profile, *metrics); err != nil {
+	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *profile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, profName, metricsAddr string) error {
+func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, profName, metricsAddr string) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -80,45 +90,55 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, bus
 	default:
 		return fmt.Errorf("unknown profile %q", profName)
 	}
-	mem := pmem.Options{Profile: prof}
-
-	// Open (recovering) or create the pool; no traffic is accepted before
-	// this completes and the consistency check in server.New passes.
-	var (
-		p   *pool.Pool
-		err error
-	)
-	if _, statErr := os.Stat(path); statErr == nil {
-		// OpenRepair behaves exactly like Open on a clean image; on a
-		// media-damaged one it repairs what mirrors and checksums allow and
-		// falls back to degraded read-only serving instead of refusing.
-		p, err = pool.OpenRepair(path, mem)
-		if err != nil {
-			return err
-		}
-		rb, rf := p.Recovery()
-		fmt.Printf("opened pool %s: generation %d, recovery rolled back %d / forward %d txs\n",
-			path, p.Generation(), rb, rf)
-		if p.Degraded() {
-			fmt.Printf("WARNING: pool is DEGRADED (read-only): %s\n", p.DegradedReason())
-			for _, r := range p.Quarantine() {
-				fmt.Printf("WARNING: quarantined range: off=%d len=%d\n", r.Off, r.Len)
-			}
-			fmt.Println("WARNING: serving reads; mutations will be answered -READONLY")
-		}
-	} else {
-		p, err = pool.Create(path, pool.Config{Size: size, Journals: journals, Mem: mem})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("created pool %s: %d bytes, %d journals\n", path, size, journals)
+	if shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one", shards)
 	}
-	defer p.Close()
+	cfg := pool.Config{Size: size, Journals: journals, Mem: pmem.Options{Profile: prof}}
+
+	// Open (recovering and repairing) or create every shard, all
+	// concurrently; no traffic is accepted before recovery completes and
+	// the consistency checks in server.NewSharded pass. OpenRepair behaves
+	// exactly like Open on a clean image; on a media-damaged one it
+	// repairs what mirrors and checksums allow and falls back to degraded
+	// read-only serving instead of refusing. A shard that fails to open
+	// outright is fenced (-READONLY for its slice) rather than vetoing
+	// its siblings — unless it is the only shard.
+	paths := server.ShardPaths(path, shards)
+	pools, errs := server.OpenShards(paths, cfg)
+	for i, p := range pools {
+		switch {
+		case p == nil:
+			fmt.Printf("WARNING: shard %d (%s) DOWN: %v\n", i, paths[i], errs[i])
+			if shards == 1 {
+				return errs[i]
+			}
+		case p.Generation() > 1 || p.RootOff() != 0:
+			rb, rf := p.Recovery()
+			fmt.Printf("opened pool %s: generation %d, recovery rolled back %d / forward %d txs\n",
+				paths[i], p.Generation(), rb, rf)
+			if p.Degraded() {
+				fmt.Printf("WARNING: pool %s is DEGRADED (read-only): %s\n", paths[i], p.DegradedReason())
+				for _, r := range p.Quarantine() {
+					fmt.Printf("WARNING: quarantined range: off=%d len=%d\n", r.Off, r.Len)
+				}
+				fmt.Println("WARNING: serving reads; mutations on this shard will be answered -READONLY")
+			}
+		default:
+			fmt.Printf("created pool %s: %d bytes, %d journals\n", paths[i], size, journals)
+		}
+	}
+	defer func() {
+		for _, p := range pools {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
 
 	if busyTO == 0 {
 		busyTO = -1 // 0 on the command line means "block forever", Options' disable value
 	}
-	srv, err := server.New(p, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO})
+	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO})
 	if err != nil {
 		return err
 	}
@@ -126,7 +146,7 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, bus
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (max-batch %d, max-delay %s)\n", ln.Addr(), maxBatch, maxDelay)
+	fmt.Printf("serving on %s (%d shard(s), max-batch %d, max-delay %s)\n", ln.Addr(), shards, maxBatch, maxDelay)
 
 	if metricsAddr != "" {
 		mln, err := net.Listen("tcp", metricsAddr)
@@ -152,14 +172,14 @@ func run(addr, path string, size, journals, buckets, maxBatch int, maxDelay, bus
 		}
 	}
 	// Close stops accepting, waits for connection handlers, and drains the
-	// group-commit batcher: every acknowledged write is durable before the
-	// deferred p.Close flushes and releases the pool.
+	// group-commit batchers: every acknowledged write is durable before the
+	// deferred pool closes flush and release the shards.
 	if err := srv.Close(); err != nil {
 		return err
 	}
 	if srv.Halted() {
 		return fmt.Errorf("server halted on pool failure")
 	}
-	fmt.Println("drained; pool closing cleanly")
+	fmt.Println("drained; pools closing cleanly")
 	return nil
 }

@@ -36,6 +36,13 @@
 //	                 [-stride N] [-torn-budget N] [-flips N]
 //	                 [-workers N] [-dump-dir D]
 //
+// In exhaust and faults modes, -shards N emulates an N-shard deployment:
+// the campaign crashes shard 0 over and over while shards 1..N-1 serve
+// live KV traffic on their own independent pools. When the campaign
+// finishes, every sibling's acknowledged write is re-verified and its
+// store walked — a crash, torn write, or bit flip on shard i must never
+// block or corrupt shard j.
+//
 // Exit code 1 means a consistency violation was found (a bug); in exhaust
 // and faults modes each violation's flight-recorder dump is written under
 // -dump-dir.
@@ -66,19 +73,62 @@ func main() {
 	stride := flag.Int("stride", 1, "faults mode: explore every stride-th crash point")
 	tornBudget := flag.Int("torn-budget", 16, "faults mode: max torn-word schedules per crash point")
 	flips := flag.Int("flips", 4, "faults mode: bit flips probed per crash point")
+	shards := flag.Int("shards", 1, "exhaust/faults mode: run the campaign on shard 0 of an N-shard deployment; shards 1..N-1 serve live traffic throughout and are verified at the end")
 	flag.Parse()
 
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "corundum-torture: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 	switch *mode {
 	case "random":
 		runRandom(*seeds, *iterations, *workers)
 	case "exhaust":
+		sib := startSiblings(*shards - 1)
 		runExhaust(*workload, *depth, *steps, *evictSeeds, *workers, *dumpDir)
+		stopSiblings(sib)
 	case "faults":
+		sib := startSiblings(*shards - 1)
 		runFaults(*workload, *steps, *stride, *tornBudget, *flips, *workers, *dumpDir)
+		stopSiblings(sib)
 	default:
 		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, or faults)\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// startSiblings brings up the other shards of an emulated N-shard
+// deployment. They serve deterministic KV traffic on their own pools for
+// the whole campaign: the campaign's crashes, torn writes, and bit flips
+// all land on shard 0's device, and the siblings prove the blast radius
+// stops there.
+func startSiblings(n int) *explore.Siblings {
+	if n <= 0 {
+		return nil
+	}
+	sib, err := explore.StartSiblings(n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: starting %d sibling shards: %v\n", n, err)
+		os.Exit(2)
+	}
+	fmt.Printf("sibling shards: %d serving live traffic alongside the campaign\n", n)
+	return sib
+}
+
+// stopSiblings verifies the sibling shards after the campaign. Note the
+// campaign exits the process directly on violations; siblings are only
+// checked when shard 0's campaign itself came out clean.
+func stopSiblings(sib *explore.Siblings) {
+	if sib == nil {
+		return
+	}
+	rep, err := sib.Stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: CROSS-SHARD ISOLATION VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d sibling shards served %d mutations during the campaign; all %d live keys verified, integrity clean\n",
+		rep.Shards, rep.Ops, rep.Keys)
 }
 
 func runRandom(seeds, iterations, workers int) {

@@ -1,11 +1,13 @@
 package explore
 
 import (
+	"encoding/binary"
 	"strings"
 	"testing"
 
 	"corundum/internal/obs"
 	"corundum/internal/pmem"
+	"corundum/internal/pool"
 )
 
 // TestFaultsCampaignNoSilentCorruption is the no-silent-corruption
@@ -78,6 +80,82 @@ func TestFaultsCampaignNoSilentCorruption(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("registry output missing %q", want)
+		}
+	}
+}
+
+// TestJournalDirFlipsNeverSilent is the regression test for the
+// journal-directory checksum hole: it flips every bit of every byte of a
+// live directory slot in a post-crash image and holds each outcome to
+// the campaign's rot contract. Because the slot is a checksummed mirror
+// word plus zero padding, every flip must be flagged — repaired through
+// the self-healing open path or loudly detected — and never masked
+// (which would mean the directory is unprotected again) and never
+// silent.
+func TestJournalDirFlipsNeverSilent(t *testing.T) {
+	cfg := FaultsConfig{Workload: "kvstore", Steps: 6}.withDefaults()
+	def, err := workloadFor(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, models := buildScript(cfg.Steps)
+	inner := Config{Workload: cfg.Workload, Steps: cfg.Steps, Depth: -1}.withDefaults()
+	sh := &shared{cfg: inner, def: def, script: script, models: models, stats: &Stats{}}
+	if err := sh.buildPristine(); err != nil {
+		t.Fatal(err)
+	}
+	T, _, err := sh.census()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gdev := pmem.New(len(sh.pristine), pmem.Options{TrackCrash: true})
+	gdev.RestoreDurable(sh.pristine)
+	targets, err := pool.FlipTargets(gdev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FlipTargets orders ranges header, journal directory, arenas, heap.
+	dir := targets[1]
+	if dir.Len == 0 || dir.Len%pmem.CacheLineSize != 0 {
+		t.Fatalf("unexpected journal directory range %+v", dir)
+	}
+
+	fr := &faultsRun{sh: sh, cfg: cfg, fst: &FaultsStats{}, targets: targets}
+	fw := &faultsWorker{fr: fr, w: sh.newWorker()}
+	m := T / 2 // mid-workload: journals have run, the directory is live
+	acked, crashed, err := fw.w.replayArm(m)
+	if err != nil || !crashed {
+		t.Fatalf("arming crash point %d: crashed=%v err=%v", m, crashed, err)
+	}
+	fw.w.dev.Crash()
+	rest := fw.w.dev.DurableSnapshot()
+
+	// Pick a slot whose mirror has seen a transaction (nonzero state/epoch
+	// bits); the checksum makes even the idle slots protected, but the
+	// regression is about a LIVE slot.
+	const slotSize = pmem.CacheLineSize
+	slot := uint64(0)
+	for off := uint64(0); off+slotSize <= dir.Len; off += slotSize {
+		if binary.LittleEndian.Uint32(rest[dir.Off+off:]) != 0 {
+			slot = off
+			break
+		}
+	}
+	if binary.LittleEndian.Uint32(rest[dir.Off+slot:]) == 0 {
+		t.Fatalf("no live directory slot after %d acked steps", acked)
+	}
+
+	for b := uint64(0); b < slotSize; b++ {
+		off := dir.Off + slot + b
+		for bit := uint8(0); bit < 8; bit++ {
+			switch fw.classifyFlip(rest, off, bit, acked) {
+			case flipRepaired, flipDetected:
+			case flipMasked:
+				t.Errorf("slot byte %d bit %d: flip masked — the directory slot is not fully covered", b, bit)
+			case flipSilent:
+				t.Fatalf("slot byte %d bit %d: SILENT corruption", b, bit)
+			}
 		}
 	}
 }

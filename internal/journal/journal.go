@@ -88,16 +88,18 @@ type Journal struct {
 // DirSize returns the directory bytes needed for n journal slots.
 func DirSize(n int) uint64 { return uint64(n) * slotSize }
 
-// Format initializes n journal slots: directory at dirOff (reserved for
-// future metadata), buffers of bufCap bytes each at bufOff. It returns the
-// journals. The caller persists the containing region.
+// Format initializes n journal slots: directory at dirOff (one
+// checksummed mirror slot per journal, see dirslot.go), buffers of
+// bufCap bytes each at bufOff. It returns the journals. The caller
+// persists the containing region.
 func Format(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) []*Journal {
 	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeJournal))
 	js := make([]*Journal, n)
-	zero := make([]byte, slotSize)
 	for i := range js {
 		slot := dirOff + uint64(i)*slotSize
-		dev.Write(slot, zero)
+		var sw [slotSize]byte
+		putUint64(sw[:], encodeSlotWord(i, 0)) // idle, epoch 0
+		dev.Write(slot, sw[:])
 		b := bufOff + uint64(i)*bufCap
 		dev.Write(b, make([]byte, stateSize+1)) // stateIdle + terminator
 		dev.Persist(b, stateSize+1)
@@ -454,12 +456,20 @@ func (j *Journal) rollback() {
 	j.tail = j.bufOff + stateSize
 }
 
-// writeState stores the packed state+epoch word without persisting it.
+// writeState stores the packed state+epoch word without persisting it,
+// and mirrors the transition into the directory slot. The mirror write
+// is flushed here but rides whichever fence persists the state word
+// (lazy, no extra fence); being a single aligned word, a crash leaves
+// either the old or the new mirror, both checksum-valid.
 func (j *Journal) writeState(s byte) {
 	defer pmem.ExitScope(pmem.EnterScope(pmem.ScopeJournal))
+	word := j.epoch<<8 | uint64(s)
 	var w [8]byte
-	putUint64(w[:], j.epoch<<8|uint64(s))
+	putUint64(w[:], word)
 	j.dev.Write(j.bufOff, w[:])
+	putUint64(w[:], encodeSlotWord(j.arena, word))
+	j.dev.Write(j.slotOff, w[:])
+	j.dev.Flush(j.slotOff, stateSize)
 }
 
 // setState persists the journal's state word (8-byte atomic on real PM).

@@ -386,7 +386,7 @@ func TestCrashAtEveryPoint(t *testing.T) {
 // effect is dropping a block, verifying the block is freed exactly when the
 // transaction commits.
 func TestDropCrashSweep(t *testing.T) {
-	for crashAt := 1; crashAt < 120; crashAt++ {
+	for crashAt := 1; crashAt < 200; crashAt++ {
 		f := newFixture(t, 1)
 		j := f.js[0]
 		j.Begin()

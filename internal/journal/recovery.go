@@ -27,6 +27,13 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 		state := byte(word)
 		epoch := word >> 8
 		if state == stateIdle {
+			// Nothing to recover, but the directory mirror may lag the
+			// buffer word (a lazy retire's mirror write lost at the crash)
+			// or carry at-rest damage; the buffer word is authoritative
+			// either way, so resync in place.
+			if slotStale(dev.Bytes(), dirOff, bOff, i) {
+				RepairSlot(dev, dirOff, bufOff, bufCap, i)
+			}
 			continue
 		}
 		entries := scanBuffer(dev.Bytes(), bOff, bufCap, epoch)
@@ -49,7 +56,7 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 		default: // stateRunning
 			if len(entries) == 0 {
 				// Activated but nothing valid logged: nothing to undo.
-				clearSlot(dev, bOff)
+				clearSlot(dev, dirOff, bOff, i)
 				continue
 			}
 			for k := len(entries) - 1; k >= 0; k-- {
@@ -88,17 +95,22 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 				}
 			}
 		}
-		clearSlot(dev, bOff)
+		clearSlot(dev, dirOff, bOff, i)
 	}
 	return rolledBack, rolledForward
 }
 
 // clearSlot retires a recovered journal: state idle, epoch preserved (the
-// next attach resumes above it).
-func clearSlot(dev *pmem.Device, bufOff uint64) {
-	word := stateWord(dev, bufOff)
+// next attach resumes above it), directory mirror resynced. One fence
+// covers both words.
+func clearSlot(dev *pmem.Device, dirOff, bufOff uint64, index int) {
+	word := (stateWord(dev, bufOff)>>8)<<8 | stateIdle
 	var w [8]byte
-	putUint64(w[:], (word>>8)<<8|stateIdle)
+	putUint64(w[:], word)
 	dev.Write(bufOff, w[:])
-	dev.Persist(bufOff, stateSize)
+	dev.Flush(bufOff, stateSize)
+	slot := dirOff + uint64(index)*slotSize
+	putUint64(w[:], encodeSlotWord(index, word))
+	dev.Write(slot, w[:])
+	dev.Persist(slot, stateSize)
 }

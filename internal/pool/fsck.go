@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"corundum/internal/alloc"
+	"corundum/internal/journal"
 	"corundum/internal/pmem"
 )
 
@@ -13,11 +14,12 @@ import (
 type FsckArea string
 
 const (
-	AreaHeader  FsckArea = "header"  // static header copies
-	AreaRoot    FsckArea = "root"    // mirrored root slots
-	AreaJournal FsckArea = "journal" // journal state machinery
-	AreaBitmap  FsckArea = "bitmap"  // allocator free lists / order map / checksums
-	AreaHeap    FsckArea = "heap"    // user data backed by a condemned arena
+	AreaHeader     FsckArea = "header"      // static header copies
+	AreaRoot       FsckArea = "root"        // mirrored root slots
+	AreaJournal    FsckArea = "journal"     // journal state machinery
+	AreaJournalDir FsckArea = "journal-dir" // checksummed directory slot mirrors
+	AreaBitmap     FsckArea = "bitmap"      // allocator free lists / order map / checksums
+	AreaHeap       FsckArea = "heap"        // user data backed by a condemned arena
 )
 
 // FsckProblem is one structural defect found in a pool image.
@@ -140,6 +142,19 @@ func FsckDevice(dev *pmem.Device) (*FsckReport, error) {
 			})
 		case s != 0: // 0 = idle; 1 running / 2 committing mean recovery has work
 			r.Pending = true
+		}
+	}
+	// Directory slot mirrors: each is a checksummed single-word echo of
+	// its journal's state word, plus zero padding. Only internal
+	// consistency is checked — the mirror is lazy, so a stale-but-valid
+	// value is a legitimate post-crash state — which means a failure here
+	// is at-rest damage, repairable from the buffer word (the authority).
+	for i := 0; i < g.nJournals; i++ {
+		if !journal.SlotOK(dev.Bytes(), g.dirOff, i) {
+			r.Problems = append(r.Problems, FsckProblem{
+				Area: AreaJournalDir, Index: i, Repairable: true,
+				Detail: "directory slot failed its checksum; buffer state word is authoritative",
+			})
 		}
 	}
 	// Allocator metadata and the root pointer are only required to be

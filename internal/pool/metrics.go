@@ -24,53 +24,72 @@ type poolMetrics struct {
 // latency and undo-log volume are histograms fed by the commit path.
 // Call it once per registry; duplicate registration panics, as for any
 // registry collision.
-func (p *Pool) EnableMetrics(r *obs.Registry) {
+func (p *Pool) EnableMetrics(r *obs.Registry) { p.EnableMetricsLabeled(r, nil) }
+
+// EnableMetricsLabeled is EnableMetrics with a base label set stamped on
+// every series. It is what lets several pools — the shards of a sharded
+// server — share one registry: each pool registers the same family names
+// under a distinct base (e.g. shard="3") instead of colliding.
+func (p *Pool) EnableMetricsLabeled(r *obs.Registry, base obs.Labels) {
+	lbl := func(extra obs.Labels) obs.Labels {
+		if len(base) == 0 {
+			return extra
+		}
+		out := make(obs.Labels, len(base)+len(extra))
+		for k, v := range base {
+			out[k] = v
+		}
+		for k, v := range extra {
+			out[k] = v
+		}
+		return out
+	}
 	dev := p.dev
 	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
 		sc := sc
-		lbl := obs.Labels{"scope": sc.String()}
-		r.CounterFunc("pmem_writes_total", "device writes by attribution scope", lbl,
+		scopeLbl := lbl(obs.Labels{"scope": sc.String()})
+		r.CounterFunc("pmem_writes_total", "device writes by attribution scope", scopeLbl,
 			func() uint64 { return dev.Stats().ByScope[sc].Writes })
-		r.CounterFunc("pmem_flushes_total", "cache-line flushes by attribution scope", lbl,
+		r.CounterFunc("pmem_flushes_total", "cache-line flushes by attribution scope", scopeLbl,
 			func() uint64 { return dev.Stats().ByScope[sc].Flushes })
-		r.CounterFunc("pmem_fences_total", "fences by attribution scope", lbl,
+		r.CounterFunc("pmem_fences_total", "fences by attribution scope", scopeLbl,
 			func() uint64 { return dev.Stats().ByScope[sc].Fences })
 	}
-	r.GaugeFunc("pool_journals", "journal slots (transaction concurrency bound)", nil,
+	r.GaugeFunc("pool_journals", "journal slots (transaction concurrency bound)", lbl(nil),
 		func() float64 { return float64(p.Journals()) })
-	r.GaugeFunc("pool_journals_in_use", "journal slots running a transaction", nil,
+	r.GaugeFunc("pool_journals_in_use", "journal slots running a transaction", lbl(nil),
 		func() float64 { return float64(p.Journals() - p.JournalsFree()) })
-	r.GaugeFunc("pool_heap_in_use_bytes", "allocated heap bytes across arenas", nil,
+	r.GaugeFunc("pool_heap_in_use_bytes", "allocated heap bytes across arenas", lbl(nil),
 		func() float64 { return float64(p.InUse()) })
-	r.GaugeFunc("pool_heap_free_bytes", "free heap bytes across arenas", nil,
+	r.GaugeFunc("pool_heap_free_bytes", "free heap bytes across arenas", lbl(nil),
 		func() float64 { return float64(p.FreeBytes()) })
-	r.GaugeFunc("pool_heap_fragmentation_ratio", "1 - largest free block / free bytes, worst arena", nil,
+	r.GaugeFunc("pool_heap_fragmentation_ratio", "1 - largest free block / free bytes, worst arena", lbl(nil),
 		p.fragmentation)
-	r.GaugeFunc("pool_degraded", "1 when the pool is in degraded read-only mode", nil,
+	r.GaugeFunc("pool_degraded", "1 when the pool is in degraded read-only mode", lbl(nil),
 		func() float64 {
 			if p.Degraded() {
 				return 1
 			}
 			return 0
 		})
-	r.GaugeFunc("pool_quarantined_ranges", "byte ranges condemned by repair/scrub", nil,
+	r.GaugeFunc("pool_quarantined_ranges", "byte ranges condemned by repair/scrub", lbl(nil),
 		func() float64 { return float64(len(p.Quarantine())) })
-	r.CounterFunc("pool_scrub_runs_total", "online scrub passes", nil, p.scrubRuns.Load)
-	r.CounterFunc("pool_scrub_repairs_total", "mirror/checksum repairs performed by scrubs", nil, p.scrubRepairs.Load)
-	r.CounterFunc("pool_scrub_problems_total", "problems found by scrubs (repaired or not)", nil, p.scrubProblems.Load)
-	r.CounterFunc("pmem_media_faults_torn_lines_total", "cache lines persisted partially at a torn crash", nil,
+	r.CounterFunc("pool_scrub_runs_total", "online scrub passes", lbl(nil), p.scrubRuns.Load)
+	r.CounterFunc("pool_scrub_repairs_total", "mirror/checksum repairs performed by scrubs", lbl(nil), p.scrubRepairs.Load)
+	r.CounterFunc("pool_scrub_problems_total", "problems found by scrubs (repaired or not)", lbl(nil), p.scrubProblems.Load)
+	r.CounterFunc("pmem_media_faults_torn_lines_total", "cache lines persisted partially at a torn crash", lbl(nil),
 		func() uint64 { return dev.MediaFaults().TornLines })
-	r.CounterFunc("pmem_media_faults_torn_words_total", "8-byte words persisted by torn crashes", nil,
+	r.CounterFunc("pmem_media_faults_torn_words_total", "8-byte words persisted by torn crashes", lbl(nil),
 		func() uint64 { return dev.MediaFaults().TornWords })
-	r.CounterFunc("pmem_media_faults_bit_flips_total", "injected at-rest bit flips", nil,
+	r.CounterFunc("pmem_media_faults_bit_flips_total", "injected at-rest bit flips", lbl(nil),
 		func() uint64 { return dev.MediaFaults().BitFlips })
-	r.CounterFunc("pmem_media_faults_bad_lines_total", "lines marked unreadable by media damage", nil,
+	r.CounterFunc("pmem_media_faults_bad_lines_total", "lines marked unreadable by media damage", lbl(nil),
 		func() uint64 { return dev.MediaFaults().BadLines })
 
 	m := &poolMetrics{
-		txCommit: r.Histogram("pool_tx_seconds", "committed transaction latency", obs.Labels{"outcome": "commit"}, obs.LatencyBuckets),
-		txAbort:  r.Histogram("pool_tx_seconds", "committed transaction latency", obs.Labels{"outcome": "abort"}, obs.LatencyBuckets),
-		logBytes: r.Histogram("pool_tx_log_bytes", "undo-log bytes per transaction", nil, obs.ByteBuckets),
+		txCommit: r.Histogram("pool_tx_seconds", "committed transaction latency", lbl(obs.Labels{"outcome": "commit"}), obs.LatencyBuckets),
+		txAbort:  r.Histogram("pool_tx_seconds", "committed transaction latency", lbl(obs.Labels{"outcome": "abort"}), obs.LatencyBuckets),
+		logBytes: r.Histogram("pool_tx_log_bytes", "undo-log bytes per transaction", lbl(nil), obs.ByteBuckets),
 	}
 	p.metrics.Store(m)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"corundum/internal/alloc"
+	"corundum/internal/journal"
 	"corundum/internal/pmem"
 )
 
@@ -41,10 +42,13 @@ func AttachRepair(dev *pmem.Device) (*Pool, error) {
 	if rep.Clean() {
 		return Attach(dev)
 	}
-	if rep.Pending {
+	if rep.Pending && !dirProblemsOnly(rep) {
 		// Corruption alongside journals awaiting recovery: rollback and
 		// roll-forward would run over the damaged structures and could
-		// compound the damage. This combination is not survivable.
+		// compound the damage. This combination is not survivable. The
+		// one exception is damage confined to the directory slot mirrors:
+		// recovery never reads them (the buffer state words are the
+		// authority), so rewriting a mirror and then recovering is safe.
 		return nil, rep.Err()
 	}
 	repairImage(dev, rep)
@@ -68,9 +72,22 @@ func AttachRepair(dev *pmem.Device) (*Pool, error) {
 	return p, nil
 }
 
+// dirProblemsOnly reports whether every problem is a directory slot
+// mirror — the one damage class that is safe to repair with journals
+// still pending.
+func dirProblemsOnly(rep *FsckReport) bool {
+	for _, pr := range rep.Problems {
+		if pr.Area != AreaJournalDir {
+			return false
+		}
+	}
+	return true
+}
+
 // repairImage fixes every mirror- or checksum-covered problem in place.
-// It must only run when no journal is pending: the journals are idle, so
-// nothing races these writes.
+// It must only run when no journal is pending (the journals are idle, so
+// nothing races these writes), except for directory slot mirrors, which
+// recovery never reads.
 func repairImage(dev *pmem.Device, rep *FsckReport) {
 	for _, pr := range rep.Problems {
 		if !pr.Repairable {
@@ -95,6 +112,12 @@ func repairImage(dev *pmem.Device, rep *FsckReport) {
 			heap := g.heapOff + uint64(pr.Index)*g.arenaHeap
 			a := alloc.Open(dev, meta, heap, g.arenaHeap)
 			a.ScrubChecksums(true)
+		case AreaJournalDir:
+			g, err := computeGeometryOf(dev)
+			if err != nil {
+				continue
+			}
+			journal.RepairSlot(dev, g.dirOff, g.bufOff, g.bufCap, pr.Index)
 		}
 	}
 }
@@ -132,17 +155,16 @@ func computeGeometryOf(dev *pmem.Device) (geometry, error) {
 
 // FlipTargets reports the byte ranges of an image where an at-rest
 // bit flip is a fair probe of the self-healing machinery: the static
-// header and root region, each arena's allocator metadata minus its
-// redo-log area, and the whole heap span.
+// header and root region, the journal directory (checksummed slot
+// mirrors), each arena's allocator metadata minus its redo-log area,
+// and the whole heap span.
 //
-// Deliberately excluded:
-//   - journal buffers and allocator redo-log areas — an at-rest flip in
-//     an unretired log entry is indistinguishable from a torn in-flight
-//     append, which the torn-write model already covers; flipping it at
-//     rest would manufacture partial-replay outcomes that no real rot
-//     pattern produces (logs are transient, rot strikes long-lived data);
-//   - the journal directory — its slot words carry no checksum, a known
-//     detection gap documented in DESIGN.md.
+// Deliberately excluded: journal buffers and allocator redo-log areas —
+// an at-rest flip in an unretired log entry is indistinguishable from a
+// torn in-flight append, which the torn-write model already covers;
+// flipping it at rest would manufacture partial-replay outcomes that no
+// real rot pattern produces (logs are transient, rot strikes long-lived
+// data).
 func FlipTargets(dev *pmem.Device) ([]Range, error) {
 	g, err := computeGeometryOf(dev)
 	if err != nil {
@@ -150,7 +172,10 @@ func FlipTargets(dev *pmem.Device) ([]Range, error) {
 	}
 	meta := alloc.MetaSize(g.arenaHeap)
 	logArea := alloc.LogAreaSize()
-	out := []Range{{Off: 0, Len: headerSize}}
+	out := []Range{
+		{Off: 0, Len: headerSize},
+		{Off: g.dirOff, Len: journal.DirSize(g.nJournals)},
+	}
 	for i := 0; i < g.nJournals; i++ {
 		off := g.metaOff + uint64(i)*meta
 		out = append(out, Range{Off: off + logArea, Len: meta - logArea})
@@ -248,6 +273,35 @@ func (p *Pool) Scrub() (*ScrubReport, error) {
 		})
 	}
 	p.rootMu.Unlock()
+
+	// Journal directory slot mirrors. Each slot is checked with its
+	// journal held out of the free list, so no transaction can race the
+	// rewrite; busy journals are skipped — their owning transaction
+	// rewrites the mirror on its next state transition anyway. Cycling
+	// through the FIFO free list visits every currently idle journal.
+	seen := make([]bool, p.geo.nJournals)
+	checked := 0
+dirScan:
+	for tries := 0; checked < p.geo.nJournals && tries < 4*p.geo.nJournals; tries++ {
+		select {
+		case i := <-p.freeJ:
+			if !seen[i] {
+				seen[i] = true
+				checked++
+				if !journal.SlotOK(p.dev.Bytes(), p.geo.dirOff, i) {
+					journal.RepairSlot(p.dev, p.geo.dirOff, p.geo.bufOff, p.geo.bufCap, i)
+					rep.Repairs++
+					rep.Problems = append(rep.Problems, FsckProblem{
+						Area: AreaJournalDir, Index: i, Repairable: true,
+						Detail: "directory slot failed its checksum; rewrote from the buffer state word",
+					})
+				}
+			}
+			p.freeJ <- i
+		default:
+			break dirScan // every remaining journal is running a transaction
+		}
+	}
 
 	// Arenas, one lock at a time.
 	for i, a := range p.arenas {

@@ -178,6 +178,17 @@ func (b *Batcher) Stop() {
 	<-b.done
 }
 
+// failed reports the batcher's terminal error once the committer is
+// dead, nil while it is still accepting work.
+func (b *Batcher) failed() error {
+	select {
+	case <-b.dead:
+		return b.failure()
+	default:
+		return nil
+	}
+}
+
 func (b *Batcher) failure() error {
 	b.failMu.Lock()
 	defer b.failMu.Unlock()
@@ -219,6 +230,24 @@ func (b *Batcher) run() {
 			}
 		collect:
 			for len(batch) < b.maxBatch {
+				// Drain whatever is already queued without blocking; the
+				// straggler timer is only worth waiting on while the batch is
+				// still small. Once it is at least half-full the amortization
+				// is nearly all captured, and committing now beats idling the
+				// committer — which matters when N shard committers split the
+				// same offered load and none fills a batch instantly.
+				select {
+				case r, ok := <-b.reqs:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, r)
+					continue
+				default:
+				}
+				if 2*len(batch) >= b.maxBatch {
+					break collect
+				}
 				select {
 				case r, ok := <-b.reqs:
 					if !ok {

@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,7 +22,10 @@ var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 // serverMetrics is the registry-backed instrument set: the request
 // counters the hot path bumps directly plus live read-outs of state owned
 // elsewhere (batcher tallies, pool occupancy, device scope counters —
-// the latter two registered by pool.EnableMetrics).
+// the latter two registered by pool.EnableMetrics). A single-shard
+// server registers its pool's series unlabeled, exactly as before
+// sharding existed; a sharded server stamps shard="i" on each pool's
+// series and adds per-shard health gauges.
 type serverMetrics struct {
 	reg *obs.Registry
 
@@ -29,9 +33,10 @@ type serverMetrics struct {
 
 	connsTotal *obs.Counter
 	connPanics *obs.Counter
-	// readonlyRejects counts mutations refused with -READONLY while the
-	// pool serves degraded; corruptionErrs counts checksum failures the
-	// verified read path surfaced to a client (never a silent wrong value).
+	// readonlyRejects counts mutations refused with -READONLY while a
+	// shard serves degraded (or is down); corruptionErrs counts checksum
+	// failures the verified read path surfaced to a client (never a
+	// silent wrong value).
 	readonlyRejects *obs.Counter
 	corruptionErrs  *obs.Counter
 	batchSizes      *obs.Histogram
@@ -57,28 +62,57 @@ func newServerMetrics(s *Server) *serverMetrics {
 		batchSizes: reg.Histogram("server_batch_size",
 			"operations folded into one group-commit transaction", nil, batchSizeBuckets),
 	}
-	bs := s.b.Stats()
 	reg.CounterFunc("server_batches_total", "group-commit transactions committed", nil,
-		func() uint64 { return bs.Batches.Load() })
+		func() uint64 { b, _ := s.BatchTotals(); return b })
 	reg.CounterFunc("server_batched_ops_total", "mutations committed inside batches", nil,
-		func() uint64 { return bs.BatchedOps.Load() })
+		func() uint64 { _, ops := s.BatchTotals(); return ops })
 	reg.GaugeFunc("server_uptime_seconds", "seconds since the server started", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
-	reg.GaugeFunc("server_halted", "1 when the pool failed underneath the server", nil,
+	reg.GaugeFunc("server_halted", "1 when every shard failed underneath the server", nil,
 		func() float64 {
 			if s.halted.Load() {
 				return 1
 			}
 			return 0
 		})
-	reg.GaugeFunc("server_degraded", "1 when serving read-only over a degraded pool", nil,
+	reg.GaugeFunc("server_degraded", "1 when any shard serves read-only over a degraded pool or is down", nil,
 		func() float64 {
-			if s.pool.Degraded() {
-				return 1
+			for _, sh := range s.shards {
+				if sh.degraded() {
+					return 1
+				}
 			}
 			return 0
 		})
-	s.pool.EnableMetrics(reg)
+	reg.GaugeFunc("server_shards", "configured shard count", nil,
+		func() float64 { return float64(len(s.shards)) })
+	for _, sh := range s.shards {
+		sh := sh
+		lbl := obs.Labels{"shard": strconv.Itoa(sh.id)}
+		reg.GaugeFunc("server_shard_degraded", "1 when this shard serves read-only (degraded pool) or is down", lbl,
+			func() float64 {
+				if sh.degraded() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("server_shard_down", "1 when this shard serves nothing for its keyspace slice", lbl,
+			func() float64 {
+				if sh.down() != nil {
+					return 1
+				}
+				return 0
+			})
+	}
+	if len(s.shards) == 1 && s.shards[0].pool != nil {
+		s.shards[0].pool.EnableMetrics(reg)
+	} else {
+		for _, sh := range s.shards {
+			if sh.pool != nil {
+				sh.pool.EnableMetricsLabeled(reg, obs.Labels{"shard": strconv.Itoa(sh.id)})
+			}
+		}
+	}
 	return m
 }
 

@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"corundum/internal/baselines/corundumeng"
 	"corundum/internal/pmem"
 	"corundum/internal/pool"
 	"corundum/internal/workloads"
@@ -51,17 +50,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is one corundum-server instance over one open pool.
+// Server is one corundum-server instance over one or more shard pools.
+// Keys route to shards by hash; each shard commits, recovers, degrades,
+// and fails independently of its siblings.
 type Server struct {
-	pool *pool.Pool
-	kv   *workloads.KVStore
-	b    *Batcher
-	opts Options
-
-	// lock is the store-level reader/writer lock: connection goroutines
-	// read (GET/SCAN) under RLock, the committer applies batches under
-	// Lock. The KVStore itself is not internally synchronized.
-	lock sync.RWMutex
+	shards []*shard
+	opts   Options
 
 	start time.Time
 
@@ -70,8 +64,13 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 
-	halted atomic.Bool
-	wg     sync.WaitGroup
+	halted     atomic.Bool  // every shard is down
+	downShards atomic.Int64 // shards currently fenced off
+
+	failMu  sync.Mutex
+	failErr error
+
+	wg sync.WaitGroup
 
 	// testHook, when non-nil, runs at the top of every dispatch. It exists
 	// so tests can inject handler-goroutine faults (panics) deterministically;
@@ -83,78 +82,32 @@ type Server struct {
 	m *serverMetrics
 }
 
-// New builds a server over an already-open pool. Pool recovery has run
-// inside pool.Open/Attach before this point; New additionally verifies
-// heap consistency and refuses to serve a damaged pool — traffic is never
-// accepted against inconsistent state. The exception is a pool already in
-// degraded mode (opened via pool.AttachRepair after unrepairable media
-// damage): its damage is known and quarantined, so the server comes up
-// read-only — GET/SCAN work, SET/DEL answer -READONLY — rather than
-// refusing service entirely. A fresh pool (no root) gets a new KVStore;
-// otherwise the existing store is attached.
-func New(p *pool.Pool, opts Options) (*Server, error) {
-	opts = opts.withDefaults()
-	if p.Degraded() {
-		if p.RootOff() == 0 {
-			return nil, fmt.Errorf("server: pool is degraded (%s) and holds no store to serve", p.DegradedReason())
+// Batcher exposes shard 0's group-commit engine (stats, benchmarks on
+// single-shard servers). It is nil when shard 0 never came up.
+func (s *Server) Batcher() *Batcher { return s.shards[0].b }
+
+// Shards reports the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardDown reports why shard i is not serving, or nil when it is.
+func (s *Server) ShardDown(i int) error { return s.shards[i].down() }
+
+// BatchTotals sums the group-commit counters across every shard's
+// batcher: committed transactions and the mutations inside them.
+func (s *Server) BatchTotals() (batches, ops uint64) {
+	for _, sh := range s.shards {
+		if sh.b == nil {
+			continue
 		}
-	} else if err := p.CheckConsistency(); err != nil {
-		return nil, fmt.Errorf("server: pool failed consistency check, refusing to serve: %w", err)
+		bs := sh.b.Stats()
+		batches += bs.Batches.Load()
+		ops += bs.BatchedOps.Load()
 	}
-	ep := corundumeng.Wrap(p)
-	var kv *workloads.KVStore
-	if p.RootOff() == 0 {
-		created, err := workloads.NewKVStore(ep, opts.Buckets)
-		if err != nil {
-			return nil, fmt.Errorf("server: initializing store: %w", err)
-		}
-		kv = created
-	} else {
-		attached, err := workloads.AttachKVStore(ep)
-		if err != nil {
-			return nil, fmt.Errorf("server: attaching store: %w", err)
-		}
-		kv = attached
-	}
-	s := &Server{
-		pool:  p,
-		kv:    kv,
-		opts:  opts,
-		start: time.Now(),
-		conns: make(map[net.Conn]struct{}),
-	}
-	s.b = newBatcher(kv, &s.lock, opts.MaxBatch, opts.MaxDelay, s.onPoolFailure)
-	s.m = newServerMetrics(s)
-	s.b.sizes.Store(s.m.batchSizes)
-	// Store setup above needed a journal slot unconditionally; only live
-	// traffic gets the bounded wait.
-	if opts.BusyTimeout > 0 {
-		p.SetAcquireTimeout(opts.BusyTimeout)
-	}
-	return s, nil
+	return batches, ops
 }
 
-// Batcher exposes the group-commit engine (stats, benchmarks).
-func (s *Server) Batcher() *Batcher { return s.b }
-
-// Halted reports whether the pool failed underneath the server.
+// Halted reports whether every shard failed underneath the server.
 func (s *Server) Halted() bool { return s.halted.Load() }
-
-// onPoolFailure runs once, from whichever goroutine first observed the
-// pool dying (an injected crash in tests). It stops accepting and tears
-// down connections so clients see the failure promptly instead of
-// timing out; pending Submits are unblocked by the batcher's dead channel.
-func (s *Server) onPoolFailure(err error) {
-	s.halted.Store(true)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, ln := range s.listeners {
-		ln.Close()
-	}
-	for c := range s.conns {
-		c.Close()
-	}
-}
 
 // Serve accepts connections on ln until the listener fails or the server
 // is closed or halted. It can be called on several listeners concurrently.
@@ -197,8 +150,8 @@ func (s *Server) isClosed() bool {
 }
 
 // Close stops accepting, closes every connection, waits for their
-// goroutines, and drains the batcher. The pool itself stays open — its
-// owner closes it.
+// goroutines, and drains every shard's batcher. The pools themselves
+// stay open — their owner closes them.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -214,7 +167,11 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait() // after this no goroutine can Submit
-	s.b.Stop()
+	for _, sh := range s.shards {
+		if sh.b != nil {
+			sh.b.Stop()
+		}
+	}
 	return nil
 }
 
@@ -230,9 +187,9 @@ func (s *Server) handleConn(c net.Conn) {
 	defer c.Close()
 	// A panic out of this connection's handling is recorded and takes down
 	// only this connection: one malformed or bug-triggering client must
-	// not kill the process (or the pool) for everyone else. Injected-crash
+	// not kill the process (or the pools) for everyone else. Injected-crash
 	// panics are not isolated — they model power loss and are converted
-	// into a server halt on the paths that touch the device.
+	// into a shard failure on the paths that touch a device.
 	defer func() {
 		if r := recover(); r != nil {
 			if r == pmem.ErrInjectedCrash {
@@ -243,15 +200,25 @@ func (s *Server) handleConn(c net.Conn) {
 			fmt.Fprintf(c, "-ERR internal error: connection dropped\r\n")
 		}
 	}()
-	r := bufio.NewReaderSize(c, MaxLineLen+2)
+	// The read buffer is sized well beyond one request line so that a
+	// pipelining connection's burst is visible to hasFullLine: with a
+	// buffer of exactly one line, a run would end at every buffer drain
+	// (~a dozen requests) no matter how deep the client pipelines, and
+	// sharded batchers would starve. Line length is still enforced, by
+	// readLine.
+	r := bufio.NewReaderSize(c, connReadBuf)
 	w := bufio.NewWriter(c)
 	// pending holds a run of consecutive SET/DEL commands this connection
-	// has pipelined. The run is submitted to the batcher as one group the
+	// has pipelined. The run is submitted to the batchers as one group the
 	// moment the read buffer holds no further complete request (or the run
-	// reaches MaxBatch, or a non-mutating command needs the run's effects).
+	// reaches the cap, or a non-mutating command needs the run's effects).
 	// This is what lets a single pipelining connection fill a group-commit
-	// batch instead of trickling one op per round trip.
-	pending := make([]Command, 0, s.opts.MaxBatch)
+	// batch instead of trickling one op per round trip. The cap scales
+	// with the shard count because the run is split by key hash before
+	// submission: each shard's slice of a full run still averages
+	// MaxBatch ops.
+	runCap := s.opts.MaxBatch * len(s.shards)
+	pending := make([]Command, 0, runCap)
 	for {
 		line, err := readLine(r)
 		switch {
@@ -279,7 +246,7 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		case cmd.Kind == CmdSet || cmd.Kind == CmdDel:
 			pending = append(pending, cmd)
-			if len(pending) < s.opts.MaxBatch && hasFullLine(r) {
+			if len(pending) < runCap && hasFullLine(r) {
 				continue
 			}
 			s.flushMutations(&pending, w)
@@ -300,36 +267,56 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
-// flushMutations submits the connection's pipelined run of mutations as
-// one group and writes their replies in order. Ack-after-commit holds per
-// op: a reply is written only after the transaction holding that op has
-// durably committed.
+// flushMutations partitions the connection's pipelined run of mutations
+// by owning shard, submits each slice to that shard's batcher — all
+// shards concurrently — and writes the replies back in submission
+// order. Ack-after-commit holds per op: a reply is written only after
+// the shard transaction holding that op has durably committed.
 func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 	cmds := *pending
 	if len(cmds) == 0 {
 		return
 	}
 	*pending = cmds[:0]
-	// A degraded pool rejects the whole run up front; the per-store gating
-	// in the transaction path is the backstop for races with a concurrent
-	// scrub that degrades the pool mid-batch.
-	if err := s.pool.Writable(); err != nil {
-		for range cmds {
-			s.writeReplyErr(w, err)
-		}
-		return
-	}
 	ops := make([]workloads.Op, len(cmds))
 	for i, cmd := range cmds {
 		if cmd.Kind == CmdDel {
-			s.m.opsDel.Inc()
 			ops[i] = workloads.Op{Del: true, Key: cmd.Key}
 		} else {
-			s.m.opsSet.Inc()
 			ops[i] = workloads.Op{Key: cmd.Key, Val: cmd.Val}
 		}
 	}
-	for i, res := range s.b.SubmitMany(ops) {
+	results := make([]SubmitResult, len(cmds))
+	byShard, idx := workloads.PartitionOps(ops, len(s.shards))
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		if err := sh.writable(); err != nil {
+			for _, oi := range idx[si] {
+				results[oi] = SubmitResult{Err: err}
+			}
+			continue
+		}
+		for _, oi := range idx[si] {
+			if cmds[oi].Kind == CmdDel {
+				s.m.opsDel.Inc()
+			} else {
+				s.m.opsSet.Inc()
+			}
+		}
+		wg.Add(1)
+		go func(sh *shard, sOps []workloads.Op, sIdx []int) {
+			defer wg.Done()
+			for k, r := range sh.b.SubmitMany(sOps) {
+				results[sIdx[k]] = r
+			}
+		}(sh, byShard[si], idx[si])
+	}
+	wg.Wait()
+	for i, res := range results {
 		switch {
 		case res.Err != nil:
 			s.writeReplyErr(w, res.Err)
@@ -355,8 +342,13 @@ func hasFullLine(r *bufio.Reader) bool {
 	return bytes.IndexByte(buf, '\n') >= 0
 }
 
+// connReadBuf is the per-connection read buffer: large enough to hold a
+// deep pipelined burst (hundreds of requests), so mutation runs are
+// bounded by the client and the run cap, not by buffer geometry.
+const connReadBuf = 32 << 10
+
 // readLine returns the next '\n'-terminated line without its terminator.
-// Lines longer than the reader's buffer are rejected as ErrLineTooLong.
+// Lines longer than MaxLineLen are rejected as ErrLineTooLong.
 func readLine(r *bufio.Reader) ([]byte, error) {
 	line, err := r.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
@@ -364,6 +356,9 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(line)-1 > MaxLineLen {
+		return nil, ErrLineTooLong
 	}
 	return line[:len(line)-1], nil
 }
@@ -376,7 +371,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		s.testHook(cmd)
 	}
 	if s.halted.Load() && cmd.Kind != CmdPing && cmd.Kind != CmdQuit {
-		writeErr(w, s.b.failure())
+		writeErr(w, s.failure())
 		return false
 	}
 	switch cmd.Kind {
@@ -418,87 +413,195 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 	return false
 }
 
-// get and scan run read-only transactions under the reader lock. A panic
-// out of the device (injected crash) halts the server, like a failed
-// commit; any other panic is a bug and propagates.
+// get and scan run read-only transactions under the owning shard's
+// reader lock. A panic out of a device (injected crash) fences that
+// shard, like a failed commit; any other panic is a bug and propagates.
 func (s *Server) get(key uint64) (val uint64, found bool, err error) {
-	defer s.recoverPoolFailure(&err)
-	s.lock.RLock()
-	defer s.lock.RUnlock()
-	return s.kv.Get(key)
+	sh := s.shards[workloads.ShardFor(key, len(s.shards))]
+	if err = sh.down(); err != nil {
+		return 0, false, err
+	}
+	defer s.recoverShardFailure(sh, &err)
+	sh.lock.RLock()
+	defer sh.lock.RUnlock()
+	return sh.kv.Get(key)
 }
 
+// scan walks every shard in shard order. A down shard fails the scan —
+// serving a silently partial keyspace would be worse than an error the
+// client can see and route around.
 func (s *Server) scan(limit int) (pairs []uint64, err error) {
-	defer s.recoverPoolFailure(&err)
-	s.lock.RLock()
-	defer s.lock.RUnlock()
-	scanErr := s.kv.Scan(func(k, v uint64) bool {
-		pairs = append(pairs, k, v)
-		return limit == 0 || len(pairs)/2 < limit
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	for _, sh := range s.shards {
+		if err = sh.down(); err != nil {
+			return nil, err
+		}
+		if pairs, err = s.scanShard(sh, limit, pairs); err != nil {
+			return nil, err
+		}
+		if limit > 0 && len(pairs)/2 >= limit {
+			break
+		}
 	}
 	return pairs, nil
 }
 
-// runScrub runs one online media-scrub pass — pool metadata mirrors and
-// allocator checksums via pool.Scrub, then a full verified walk of the
-// store under the reader lock — and renders the findings. Unrepairable
-// damage leaves the pool degraded (and the report says so); the pass
-// itself never takes the server down.
-func (s *Server) runScrub() string {
-	rep, scrubErr := s.pool.Scrub()
-	storeErr := func() (err error) {
-		defer s.recoverPoolFailure(&err)
-		s.lock.RLock()
-		defer s.lock.RUnlock()
-		return s.kv.VerifyIntegrity()
-	}()
+func (s *Server) scanShard(sh *shard, limit int, pairs []uint64) (out []uint64, err error) {
+	out = pairs
+	defer s.recoverShardFailure(sh, &err)
+	sh.lock.RLock()
+	defer sh.lock.RUnlock()
+	scanErr := sh.kv.Scan(func(k, v uint64) bool {
+		out = append(out, k, v)
+		return limit == 0 || len(out)/2 < limit
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
 
-	out := fmt.Sprintf("arenas_scrubbed: %d\nrepairs: %d\nproblems: %d\n",
-		rep.Arenas, rep.Repairs, len(rep.Problems))
-	for _, pr := range rep.Problems {
-		out += fmt.Sprintf("problem: %s\n", oneLine(pr.String()))
+// runScrub runs one online media-scrub pass over every live shard —
+// pool metadata mirrors and allocator checksums via pool.Scrub, then a
+// full verified walk of each shard's store under its reader lock — and
+// renders the aggregated findings with per-shard attributions.
+// Unrepairable damage leaves that shard's pool degraded (and the report
+// says so); the pass itself never takes the server down.
+func (s *Server) runScrub() string {
+	multi := len(s.shards) > 1
+	prefix := func(id int) string {
+		if !multi {
+			return ""
+		}
+		return fmt.Sprintf("shard %d: ", id)
 	}
-	if scrubErr != nil {
-		out += fmt.Sprintf("scrub_error: %s\n", oneLine(scrubErr.Error()))
+	arenas, repairs, problems, quarantined := 0, 0, 0, 0
+	var detail string
+	storeIntegrity := "ok"
+	degraded := false
+	for _, sh := range s.shards {
+		if err := sh.down(); err != nil {
+			degraded = true
+			detail += fmt.Sprintf("shard_down: %d %s\n", sh.id, oneLine(err.Error()))
+			continue
+		}
+		rep, scrubErr := sh.pool.Scrub()
+		storeErr := func() (err error) {
+			defer s.recoverShardFailure(sh, &err)
+			sh.lock.RLock()
+			defer sh.lock.RUnlock()
+			return sh.kv.VerifyIntegrity()
+		}()
+		arenas += rep.Arenas
+		repairs += rep.Repairs
+		problems += len(rep.Problems)
+		for _, pr := range rep.Problems {
+			detail += fmt.Sprintf("problem: %s%s\n", prefix(sh.id), oneLine(pr.String()))
+		}
+		if scrubErr != nil {
+			detail += fmt.Sprintf("scrub_error: %s%s\n", prefix(sh.id), oneLine(scrubErr.Error()))
+		}
+		if storeErr != nil {
+			s.m.corruptionErrs.Inc()
+			if storeIntegrity == "ok" {
+				storeIntegrity = prefix(sh.id) + oneLine(storeErr.Error())
+			}
+		}
+		if sh.pool.Degraded() {
+			degraded = true
+			if why := sh.pool.DegradedReason(); why != "" {
+				detail += fmt.Sprintf("degraded_reason: %s%s\n", prefix(sh.id), oneLine(why))
+			}
+		}
+		q := sh.pool.Quarantine()
+		quarantined += len(q)
+		for _, r := range q {
+			if multi {
+				detail += fmt.Sprintf("quarantined: shard=%d off=%d len=%d\n", sh.id, r.Off, r.Len)
+			} else {
+				detail += fmt.Sprintf("quarantined: off=%d len=%d\n", r.Off, r.Len)
+			}
+		}
 	}
-	if storeErr != nil {
-		s.m.corruptionErrs.Inc()
-		out += fmt.Sprintf("store_integrity: %s\n", oneLine(storeErr.Error()))
-	} else {
-		out += "store_integrity: ok\n"
-	}
-	out += fmt.Sprintf("degraded: %v\n", s.pool.Degraded())
-	if why := s.pool.DegradedReason(); why != "" {
-		out += fmt.Sprintf("degraded_reason: %s\n", oneLine(why))
-	}
-	q := s.pool.Quarantine()
-	out += fmt.Sprintf("quarantined_ranges: %d\n", len(q))
-	for _, r := range q {
-		out += fmt.Sprintf("quarantined: off=%d len=%d\n", r.Off, r.Len)
-	}
+	out := fmt.Sprintf("arenas_scrubbed: %d\nrepairs: %d\nproblems: %d\n", arenas, repairs, problems)
+	out += fmt.Sprintf("store_integrity: %s\n", storeIntegrity)
+	out += fmt.Sprintf("degraded: %v\n", degraded)
+	out += fmt.Sprintf("quarantined_ranges: %d\n", quarantined)
+	out += detail
 	return out
 }
 
-func (s *Server) recoverPoolFailure(err *error) {
+// recoverShardFailure converts an injected-crash panic out of sh's
+// device into that shard's permanent failure, leaving the other shards
+// serving.
+func (s *Server) recoverShardFailure(sh *shard, err *error) {
 	if r := recover(); r != nil {
 		if r != pmem.ErrInjectedCrash {
 			panic(r)
 		}
 		e := fmt.Errorf("%w: %v", ErrServerHalted, r)
-		s.b.fail(e)
+		sh.fail(e)
 		*err = e
 	}
 }
 
 func (s *Server) renderInfo() string {
-	rb, rf := s.pool.Recovery()
-	dev := s.pool.Device()
+	var (
+		sizeBytes, gen, rootOff   uint64
+		journals, inUse           int
+		rolledBack, rolledForward int
+		heapInUse, heapFree       uint64
+		quarantined, downCount    int
+		degraded, generationSet   bool
+	)
+	var perShard string
+	multi := len(s.shards) > 1
+	for _, sh := range s.shards {
+		if downErr := sh.down(); downErr != nil || sh.pool == nil {
+			degraded = true
+			downCount++
+			if multi {
+				why := "pool failed to open"
+				if downErr != nil {
+					why = oneLine(downErr.Error())
+				}
+				perShard += fmt.Sprintf("shard%d_down: %s\n", sh.id, why)
+			}
+			if sh.pool == nil {
+				continue
+			}
+		}
+		p := sh.pool
+		sizeBytes += uint64(p.Device().Size())
+		if !generationSet {
+			gen, rootOff = p.Generation(), uint64(p.RootOff())
+			generationSet = true
+		}
+		journals += p.Journals()
+		inUse += p.Journals() - p.JournalsFree()
+		rb, rf := p.Recovery()
+		rolledBack += rb
+		rolledForward += rf
+		heapInUse += p.InUse()
+		heapFree += p.FreeBytes()
+		if p.Degraded() {
+			degraded = true
+		}
+		quarantined += len(p.Quarantine())
+		if multi {
+			perShard += fmt.Sprintf(
+				"shard%d_generation: %d\nshard%d_root_offset: %d\n"+
+					"shard%d_journals_in_use: %d\nshard%d_recovery_rolled_back: %d\n"+
+					"shard%d_recovery_rolled_forward: %d\nshard%d_degraded: %v\n",
+				sh.id, p.Generation(), sh.id, p.RootOff(),
+				sh.id, p.Journals()-p.JournalsFree(), sh.id, rb,
+				sh.id, rf, sh.id, p.Degraded())
+		}
+	}
 	return fmt.Sprintf(
 		"server: corundum-server\n"+
 			"uptime_seconds: %d\n"+
+			"shards: %d\n"+
+			"shards_down: %d\n"+
 			"pool_size_bytes: %d\n"+
 			"pool_generation: %d\n"+
 			"pool_root_offset: %d\n"+
@@ -512,25 +615,56 @@ func (s *Server) renderInfo() string {
 			"degraded: %v\n"+
 			"quarantined_ranges: %d\n",
 		int(time.Since(s.start).Seconds()),
-		dev.Size(),
-		s.pool.Generation(),
-		s.pool.RootOff(),
-		s.pool.Journals(),
-		s.pool.Journals()-s.pool.JournalsFree(),
-		rb, rf,
-		s.pool.InUse(),
-		s.pool.FreeBytes(),
+		len(s.shards),
+		downCount,
+		sizeBytes,
+		gen,
+		rootOff,
+		journals,
+		inUse,
+		rolledBack, rolledForward,
+		heapInUse,
+		heapFree,
 		s.halted.Load(),
-		s.pool.Degraded(),
-		len(s.pool.Quarantine()),
-	)
+		degraded,
+		quarantined,
+	) + perShard
 }
 
 func (s *Server) renderStats() string {
-	st := s.pool.Device().Stats()
-	bs := s.b.Stats()
-	batches := bs.Batches.Load()
-	ops := bs.BatchedOps.Load()
+	var st pmem.Stats
+	var batches, ops uint64
+	var hist [HistBuckets]uint64
+	var perShard string
+	multi := len(s.shards) > 1
+	for _, sh := range s.shards {
+		var shardFences uint64
+		if sh.pool != nil {
+			ds := sh.pool.Device().Stats()
+			st.Writes += ds.Writes
+			st.Flushes += ds.Flushes
+			st.Fences += ds.Fences
+			for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
+				st.ByScope[sc].Fences += ds.ByScope[sc].Fences
+			}
+			shardFences = ds.Fences
+		}
+		var shardBatches, shardOps uint64
+		if sh.b != nil {
+			bs := sh.b.Stats()
+			shardBatches = bs.Batches.Load()
+			shardOps = bs.BatchedOps.Load()
+			batches += shardBatches
+			ops += shardOps
+			for i := 0; i < HistBuckets; i++ {
+				hist[i] += bs.Hist[i].Load()
+			}
+		}
+		if multi {
+			perShard += fmt.Sprintf("shard%d_batches_committed: %d\nshard%d_batched_ops: %d\nshard%d_pmem_fences: %d\n",
+				sh.id, shardBatches, sh.id, shardOps, sh.id, shardFences)
+		}
+	}
 	mean := 0.0
 	if batches > 0 {
 		mean = float64(ops) / float64(batches)
@@ -538,20 +672,22 @@ func (s *Server) renderStats() string {
 	out := fmt.Sprintf(
 		"ops_get: %d\nops_set: %d\nops_del: %d\nops_scan: %d\n"+
 			"connections_total: %d\n"+
+			"shards: %d\n"+
 			"batches_committed: %d\nbatched_ops: %d\nmean_batch: %.2f\n",
 		s.m.opsGet.Value(), s.m.opsSet.Value(), s.m.opsDel.Value(), s.m.opsScan.Value(),
 		s.m.connsTotal.Value(),
+		len(s.shards),
 		batches, ops, mean,
 	)
 	for i := 0; i < HistBuckets; i++ {
-		out += fmt.Sprintf("batch_hist_%s: %d\n", HistLabel(i), bs.Hist[i].Load())
+		out += fmt.Sprintf("batch_hist_%s: %d\n", HistLabel(i), hist[i])
 	}
 	out += fmt.Sprintf("pmem_writes: %d\npmem_flushes: %d\npmem_fences: %d\n",
 		st.Writes, st.Flushes, st.Fences)
 	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
 		out += fmt.Sprintf("pmem_fences_%s: %d\n", scopeKey(sc), st.ByScope[sc].Fences)
 	}
-	return out
+	return out + perShard
 }
 
 // Response writers (RESP-like).
@@ -565,8 +701,9 @@ func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(er
 
 // writeReplyErr distinguishes the two machine-actionable refusals — the
 // retryable journal-exhaustion condition (-BUSY, see RetryBusy) and the
-// degraded-pool write rejection (-READONLY) — from terminal -ERR replies,
-// and counts detected media corruption surfacing through the read path.
+// read-only rejection (-READONLY: a degraded pool, or a down shard's
+// keyspace slice) — from terminal -ERR replies, and counts detected
+// media corruption surfacing through the read path.
 func (s *Server) writeReplyErr(w io.Writer, err error) {
 	switch {
 	case errors.Is(err, pool.ErrBusy):
