@@ -65,13 +65,15 @@ func main() {
 	seeds := flag.Int("seeds", 8, "random mode: number of independent campaigns")
 	iterations := flag.Int("iterations", 500, "random mode: transactions per campaign")
 	workers := flag.Int("workers", 0, fmt.Sprintf("goroutines (random mode: 1..%d concurrent transactions, default 1; exhaust mode: crash-point shards, default GOMAXPROCS)", torture.MaxWorkers))
-	workload := flag.String("workload", "kvstore", "exhaust mode: structure under test (kvstore | bst | btree)")
+	workload := flag.String("workload", "kvstore", "exhaust mode: structure under test (kvstore | allocheavy | bst | btree)")
 	depth := flag.Int("depth", 2, "exhaust mode: nested crashes injected during recovery (0 = none)")
 	steps := flag.Int("steps", 8, "exhaust mode: script mutations to enumerate crash points over")
 	evictSeeds := flag.Int("evict-seeds", 0, "exhaust mode: additionally replay each crash point with eviction seeds 1..N")
 	dumpDir := flag.String("dump-dir", "", "exhaust/faults mode: write flight-recorder dumps for violations into this directory")
 	stride := flag.Int("stride", 1, "faults mode: explore every stride-th crash point")
 	tornBudget := flag.Int("torn-budget", 16, "faults mode: max torn-word schedules per crash point")
+	slabRefill := flag.Int("slab-refill", 0, "exhaust mode: slab refill batch size (0 = pool default, -1 = disable the cache)")
+	slabCap := flag.Int("slab-cap", 0, "exhaust mode: parked blocks per class before a spill (0 = pool default)")
 	flips := flag.Int("flips", 4, "faults mode: bit flips probed per crash point")
 	shards := flag.Int("shards", 1, "exhaust/faults mode: run the campaign on shard 0 of an N-shard deployment; shards 1..N-1 serve live traffic throughout and are verified at the end")
 	flag.Parse()
@@ -85,7 +87,7 @@ func main() {
 		runRandom(*seeds, *iterations, *workers)
 	case "exhaust":
 		sib := startSiblings(*shards - 1)
-		runExhaust(*workload, *depth, *steps, *evictSeeds, *workers, *dumpDir)
+		runExhaust(*workload, *depth, *steps, *evictSeeds, *workers, *slabRefill, *slabCap, *dumpDir)
 		stopSiblings(sib)
 	case "faults":
 		sib := startSiblings(*shards - 1)
@@ -167,13 +169,15 @@ func runRandom(seeds, iterations, workers int) {
 		seeds, modeName, totalCrashes, time.Since(start).Seconds())
 }
 
-func runExhaust(workload string, depth, steps, evictSeeds, workers int, dumpDir string) {
+func runExhaust(workload string, depth, steps, evictSeeds, workers, slabRefill, slabCap int, dumpDir string) {
 	cfg := explore.Config{
 		Workload:      workload,
 		Steps:         steps,
 		Depth:         depth,
 		EvictionSeeds: evictSeeds,
 		Workers:       workers,
+		SlabRefill:    slabRefill,
+		SlabCap:       slabCap,
 	}
 	if depth == 0 {
 		cfg.Depth = -1 // Config treats 0 as "default"; the CLI's 0 means none

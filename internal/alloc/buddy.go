@@ -49,6 +49,7 @@ var (
 //	free heads    maxOrders * 8 bytes   (offset of first free block per order)
 //	order map     heapSize/Granule bytes
 //	checksums     8 * (1 + ceil(map/mapChunkSize)) bytes
+//	slab ledger   slabLedgerSize bytes  (parked-block entries, see slab.go)
 //
 // The checksum area holds one CRC32 (in a u64 slot) over the free-heads
 // region, then one per mapChunkSize-byte chunk of the order map. Every
@@ -60,19 +61,21 @@ var (
 // Free blocks form doubly-linked lists threaded through their own storage:
 // the first 16 bytes of a free block hold next and prev offsets (0 = none).
 type Buddy struct {
-	mu       sync.Mutex
-	dev      *pmem.Device
-	logOff   uint64
-	headsOff uint64
-	mapOff   uint64
-	crcOff   uint64
-	mapBytes uint64
-	heapOff  uint64
-	heapSize uint64
-	maxOrder uint
+	mu        sync.Mutex
+	dev       *pmem.Device
+	logOff    uint64
+	headsOff  uint64
+	mapOff    uint64
+	crcOff    uint64
+	mapBytes  uint64
+	ledgerOff uint64
+	heapOff   uint64
+	heapSize  uint64
+	maxOrder  uint
 
 	inUse uint64     // volatile accounting of allocated bytes
 	batch *redoBatch // reusable staging buffer (guarded by mu)
+	slab  slabCache  // per-size-class free cache (guarded by mu)
 }
 
 // mapChunkSize is the order-map granularity of checksum protection: one
@@ -82,11 +85,18 @@ const mapChunkSize = 256
 
 func mapChunks(mapBytes uint64) uint64 { return (mapBytes + mapChunkSize - 1) / mapChunkSize }
 
+// align8 rounds n up to the device's atomic word size. The order map is
+// byte-granular, so everything laid out after it must be re-aligned: the
+// checksum words and ledger slots rely on aligned-8-byte-store atomicity,
+// and a word that straddles two device words can tear under eviction.
+func align8(n uint64) uint64 { return (n + 7) &^ uint64(7) }
+
 // MetaSize returns the metadata footprint an arena with the given heap size
 // needs, rounded to a cache line.
 func MetaSize(heapSize uint64) uint64 {
 	mapBytes := heapSize / Granule
-	n := uint64(logAreaSize) + maxOrders*8 + mapBytes + 8*(1+mapChunks(mapBytes))
+	crcEnd := align8(uint64(logAreaSize)+maxOrders*8+mapBytes) + 8*(1+mapChunks(mapBytes))
+	n := align8(crcEnd) + slabLedgerSize
 	return (n + pmem.CacheLineSize - 1) &^ uint64(pmem.CacheLineSize-1)
 }
 
@@ -121,7 +131,14 @@ func layout(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 		heapSize: heapSize,
 		maxOrder: uint(bits.Len64(heapSize) - 1),
 	}
-	b.crcOff = b.mapOff + b.mapBytes
+	b.crcOff = align8(b.mapOff + b.mapBytes)
+	b.ledgerOff = align8(b.crcOff + 8*(1+mapChunks(b.mapBytes)))
+	if b.crcOff%8 != 0 || b.ledgerOff%8 != 0 {
+		// Only possible if metaOff itself is misaligned: the checksum and
+		// ledger words depend on aligned-8-byte-store atomicity.
+		panic("alloc: metadata region must be 8-byte aligned")
+	}
+	b.initSlab()
 	return b
 }
 
@@ -130,9 +147,10 @@ func layout(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 func Format(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 	b := layout(dev, metaOff, heapOff, heapSize)
 
-	// Clear log and heads.
+	// Clear log and heads, and the slab ledger at the region's far end.
 	zero := make([]byte, logAreaSize+maxOrders*8)
 	dev.Write(b.logOff, zero)
+	dev.Write(b.ledgerOff, make([]byte, slabLedgerSize))
 
 	// All interior until blocks are carved.
 	om := make([]byte, heapSize/Granule)
@@ -163,10 +181,12 @@ func Format(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 }
 
 // Open attaches to an existing arena, finishing any redo log a crash left
-// committed but unapplied.
+// committed but unapplied, then draining the slab ledger: blocks a
+// crashed incarnation had parked in its cache go back to the free lists.
 func Open(dev *pmem.Device, metaOff, heapOff, heapSize uint64) *Buddy {
 	b := layout(dev, metaOff, heapOff, heapSize)
 	replayLog(dev, b.logOff)
+	b.replayLedger()
 	b.inUse = b.heapSize - b.freeBytesLocked()
 	return b
 }
@@ -250,12 +270,21 @@ func (b *Buddy) AllocEx(size uint64, payload []byte, extra func(off uint64) []Up
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	replayLog(b.dev, b.logOff) // finish any interrupted prior commit
+	// Parked blocks are NOT served here: handing one out without a fence is
+	// only sound when a journal's durable state word can arbitrate ownership
+	// after a crash, which is exactly what AllocClaim implements. AllocEx
+	// keeps full crash-atomic semantics for every other caller, and still
+	// pays the cache forward by stocking spares into its own redo cycle.
 	batch := b.batch
 	batch.reset()
-	off, err := b.allocInBatch(batch, size)
+	off, err := b.allocSlowInBatch(batch, size)
 	if err != nil {
 		return 0, err
 	}
+	// While the redo cycle is being paid anyway, stock the cache with
+	// spares for this class: the batch's three fences amortize over the
+	// next refill-many allocations.
+	stocked := b.slabRefillInBatch(batch, size)
 	if payload != nil {
 		// The block's first 16 bytes still hold its free-list links on the
 		// media, and the links must survive if this batch never commits (a
@@ -281,6 +310,7 @@ func (b *Buddy) AllocEx(size uint64, payload []byte, extra func(off uint64) []Up
 	}
 	b.stageChecksums(batch)
 	batch.commit()
+	b.adoptStocked(stocked, orderFor(size))
 	b.inUse += BlockSize(size)
 	return off, nil
 }
@@ -294,12 +324,46 @@ func (b *Buddy) IsAllocated(off, size uint64) bool {
 	if off < b.heapOff || off >= b.heapOff+b.heapSize {
 		return false
 	}
+	if _, parked := b.slab.cached[off]; parked {
+		// Parked blocks keep their allocated map byte but are logically
+		// free; reporting them allocated would let an idempotent recovery
+		// replay free them a second time.
+		return false
+	}
 	return b.dev.Bytes()[b.granuleMapOff(off)] == byte(orderFor(size))
 }
 
 // Owns reports whether off falls inside this arena's heap.
 func (b *Buddy) Owns(off uint64) bool {
 	return off >= b.heapOff && off < b.heapOff+b.heapSize
+}
+
+// allocSlowInBatch is allocInBatch plus the memory-pressure fallback:
+// when the buddy lists are exhausted but the slab cache holds parked
+// blocks, those blocks are still free space and must remain reachable.
+// A parked block of the exact class is consumed through the batch (its
+// map byte already reads allocated; only its ledger slot needs clearing,
+// staged crash-atomically with the rest); otherwise the whole cache is
+// spilled so smaller parked blocks can coalesce upward, and the search
+// retries.
+func (b *Buddy) allocSlowInBatch(batch *redoBatch, size uint64) (uint64, error) {
+	off, err := b.allocInBatch(batch, size)
+	if err == nil || !errors.Is(err, ErrOutOfMemory) || b.slab.bytes == 0 {
+		return off, err
+	}
+	if ci := slabOrderIndex(orderFor(size)); ci >= 0 && len(b.slab.classes[ci]) > 0 {
+		class := b.slab.classes[ci]
+		blk := class[len(class)-1]
+		b.slab.classes[ci] = class[:len(class)-1]
+		delete(b.slab.cached, blk.off)
+		b.slab.bytes -= BlockSize(size)
+		batch.stage8(b.slabSlotOff(blk.slot)+8, 0)
+		b.slab.freeSlots = append(b.slab.freeSlots, blk.slot)
+		return blk.off, nil
+	}
+	b.drainSlabLocked()
+	batch.reset()
+	return b.allocInBatch(batch, size)
 }
 
 func (b *Buddy) allocInBatch(batch *redoBatch, size uint64) (uint64, error) {
@@ -338,11 +402,32 @@ func (b *Buddy) Free(off, size uint64) error {
 		return fmt.Errorf("%w: offset %#x", ErrBadFree, off)
 	}
 	replayLog(b.dev, b.logOff) // finish any interrupted prior commit
-	batch := b.batch
-	batch.reset()
-	if got := batch.read1(b.granuleMapOff(off)); got != byte(order) {
+	// A parked block's order-map byte still reads allocated, so the map
+	// check below cannot catch a second free of it; the cache itself can.
+	if _, parked := b.slab.cached[off]; parked {
+		return fmt.Errorf("%w: offset %#x already freed (parked)", ErrBadFree, off)
+	}
+	if got := b.dev.Bytes()[b.granuleMapOff(off)]; got != byte(order) {
 		return fmt.Errorf("%w: offset %#x marked %#x, freeing order %d", ErrBadFree, off, got, order)
 	}
+	// Slab fast path: park the block instead of running a redo cycle.
+	if b.slabFree(off, order) {
+		b.inUse -= BlockSize(size)
+		return nil
+	}
+	batch := b.batch
+	batch.reset()
+	b.freeInBatch(batch, off, order)
+	b.stageChecksums(batch)
+	batch.commit()
+	b.inUse -= BlockSize(size)
+	return nil
+}
+
+// freeInBatch stages one block's free — coalescing with its buddy at
+// each order while possible — into an open redo batch. The caller has
+// already validated the block's map byte.
+func (b *Buddy) freeInBatch(batch *redoBatch, off uint64, order uint) {
 	for order < b.maxOrder {
 		rel := off - b.heapOff
 		buddyRel := rel ^ (uint64(1) << order)
@@ -362,10 +447,6 @@ func (b *Buddy) Free(off, size uint64) error {
 		order++
 	}
 	b.push(batch, order, off)
-	b.stageChecksums(batch)
-	batch.commit()
-	b.inUse -= BlockSize(size)
-	return nil
 }
 
 // push stages linking off at the head of the free list for order.
@@ -402,11 +483,12 @@ func (b *Buddy) InUse() uint64 {
 	return b.inUse
 }
 
-// FreeBytes walks the free lists and reports the total free space.
+// FreeBytes walks the free lists and reports the total free space,
+// counting slab-parked blocks: they are allocatable, just staged closer.
 func (b *Buddy) FreeBytes() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.freeBytesLocked()
+	return b.freeBytesLocked() + b.slab.bytes
 }
 
 // FreeSummary describes the arena's free-space shape for fragmentation
@@ -512,6 +594,23 @@ func (b *Buddy) checkConsistencyLocked() error {
 		for j, c := range spans {
 			if i != j && a.start < c.end && c.start < a.end {
 				return fmt.Errorf("alloc: free blocks overlap: [%#x,%#x) and [%#x,%#x)", a.start, a.end, c.start, c.end)
+			}
+		}
+	}
+	// Slab cache coherence: every parked block must still read allocated
+	// in the order map (so no free-list walk can reach it) and its ledger
+	// slot must hold a matching, CRC-valid entry.
+	for ci := range b.slab.classes {
+		order := uint(ci + MinOrder)
+		for _, blk := range b.slab.classes[ci] {
+			if got := b.dev.Bytes()[b.granuleMapOff(blk.off)]; got != byte(order) {
+				return fmt.Errorf("alloc: parked block %#x order %d has map byte %#x", blk.off, order, got)
+			}
+			pos := b.slabSlotOff(blk.slot)
+			gotOff := binary.LittleEndian.Uint64(b.dev.Bytes()[pos:])
+			gotMeta := binary.LittleEndian.Uint64(b.dev.Bytes()[pos+8:])
+			if gotOff != blk.off || gotMeta != slabMeta(blk.off, order) {
+				return fmt.Errorf("alloc: parked block %#x order %d has stale ledger slot %d", blk.off, order, blk.slot)
 			}
 		}
 	}

@@ -21,9 +21,12 @@ import (
 // group-commit story in one number: the undo-log commit's flush+fence
 // cost amortized over the batch.
 type ServerRow struct {
-	MaxBatch    int     `json:"max_batch"`
-	Shards      int     `json:"shards"`
-	Clients     int     `json:"clients"`
+	MaxBatch int `json:"max_batch"`
+	Shards   int `json:"shards"`
+	Clients  int `json:"clients"`
+	// ReadPct is the percentage of operations that are GETs (0 = the
+	// pure-SET rows of the batch and shard axes).
+	ReadPct     int     `json:"read_pct,omitempty"`
 	Ops         int     `json:"ops"`
 	Seconds     float64 `json:"seconds"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
@@ -50,9 +53,34 @@ func ServerThroughput(clients, opsPerClient int, batchSizes []int, mem pmem.Opti
 		if window > 64 {
 			window = 64
 		}
-		row, err := serverRun(clients, opsPerClient, b, 1, window, mem)
+		row, err := serverRun(clients, opsPerClient, b, 1, window, 0, mem)
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", b, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ServerReadWriteMix measures the group-commit batcher under mixed
+// GET/SET traffic, one row per read percentage. Reads bypass the
+// journal entirely (no fences), so fences/op must fall roughly linearly
+// with the read fraction; a flat curve would mean reads are paying
+// write-path costs. Writes stay unique-key SETs, so the write-side work
+// per op is the same as the pure-SET axes.
+func ServerReadWriteMix(clients, opsPerClient, maxBatch int, readPcts []int, mem pmem.Options) ([]ServerRow, error) {
+	window := maxBatch
+	if window > 64 {
+		window = 64
+	}
+	rows := make([]ServerRow, 0, len(readPcts))
+	for _, pct := range readPcts {
+		if pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("read pct %d out of range", pct)
+		}
+		row, err := serverRun(clients, opsPerClient, maxBatch, 1, window, pct, mem)
+		if err != nil {
+			return nil, fmt.Errorf("read pct %d: %w", pct, err)
 		}
 		rows = append(rows, row)
 	}
@@ -86,7 +114,7 @@ func ServerShardScaling(clients, opsPerClient, maxBatch, trials int, shardCounts
 	for _, n := range shardCounts {
 		var best ServerRow
 		for t := 0; t < trials; t++ {
-			row, err := serverRun(clients, opsPerClient, maxBatch, n, 512, mem)
+			row, err := serverRun(clients, opsPerClient, maxBatch, n, 512, 0, mem)
 			if err != nil {
 				return nil, fmt.Errorf("shards %d: %w", n, err)
 			}
@@ -99,7 +127,7 @@ func ServerShardScaling(clients, opsPerClient, maxBatch, trials int, shardCounts
 	return rows, nil
 }
 
-func serverRun(clients, opsPerClient, maxBatch, shards, window int, mem pmem.Options) (ServerRow, error) {
+func serverRun(clients, opsPerClient, maxBatch, shards, window, readPct int, mem pmem.Options) (ServerRow, error) {
 	pools := make([]*pool.Pool, shards)
 	for i := range pools {
 		p, err := pool.Create("", pool.Config{Size: 256 << 20, Journals: 16, Mem: mem})
@@ -140,7 +168,7 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window int, mem pmem.Opt
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := serverClient(ln.Addr().String(), id, opsPerClient, window); err != nil {
+			if err := serverClient(ln.Addr().String(), id, opsPerClient, window, readPct); err != nil {
 				errs <- fmt.Errorf("client %d: %w", id, err)
 			}
 		}(id)
@@ -174,6 +202,7 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window int, mem pmem.Opt
 		MaxBatch:      maxBatch,
 		Shards:        shards,
 		Clients:       clients,
+		ReadPct:       readPct,
 		Ops:           ops,
 		Seconds:       elapsed,
 		OpsPerSec:     float64(ops) / elapsed,
@@ -185,10 +214,13 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window int, mem pmem.Opt
 	}, nil
 }
 
-// serverClient streams ops SETs in pipelined windows: write a window,
-// flush, read the window's replies. Keys are unique per client so the
-// store grows realistically instead of rewriting one hot entry.
-func serverClient(addr string, id, ops, window int) error {
+// serverClient streams ops in pipelined windows: write a window, flush,
+// read the window's replies. Written keys are unique per client so the
+// store grows realistically instead of rewriting one hot entry. With
+// readPct > 0 that percentage of operations are GETs of keys this
+// client already wrote (striped deterministically through the stream),
+// each verified against the value the SET stored.
+func serverClient(addr string, id, ops, window, readPct int) error {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -196,16 +228,31 @@ func serverClient(addr string, id, ops, window int) error {
 	defer c.Close()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
+	written := 0 // SETs issued so far; GETs draw from [0, written)
+	expect := make([]string, 0, window)
 	for sent := 0; sent < ops; {
 		n := window
 		if remaining := ops - sent; n > remaining {
 			n = remaining
 		}
+		expect = expect[:0]
 		for i := 0; i < n; i++ {
-			key := uint64(id+1)<<40 | uint64(sent+i)
+			op := sent + i
+			if written > 0 && op%100 < readPct {
+				k := uint64(op) * 2654435761 % uint64(written)
+				key := uint64(id+1)<<40 | k
+				if _, err := fmt.Fprintf(w, "GET %d\n", key); err != nil {
+					return err
+				}
+				expect = append(expect, fmt.Sprintf(":%d\r\n", key^0x5DEECE66D))
+				continue
+			}
+			key := uint64(id+1)<<40 | uint64(written)
+			written++
 			if _, err := fmt.Fprintf(w, "SET %d %d\n", key, key^0x5DEECE66D); err != nil {
 				return err
 			}
+			expect = append(expect, "+OK\r\n")
 		}
 		if err := w.Flush(); err != nil {
 			return err
@@ -215,8 +262,8 @@ func serverClient(addr string, id, ops, window int) error {
 			if err != nil {
 				return err
 			}
-			if line != "+OK\r\n" {
-				return fmt.Errorf("SET reply %q", line)
+			if line != expect[i] {
+				return fmt.Errorf("reply %q, want %q", line, expect[i])
 			}
 		}
 		sent += n
@@ -226,24 +273,25 @@ func serverClient(addr string, id, ops, window int) error {
 
 // PrintServer renders the throughput table.
 func PrintServer(w io.Writer, rows []ServerRow) {
-	fmt.Fprintf(w, "%-10s %7s %8s %10s %12s %12s %12s %14s\n",
-		"max-batch", "shards", "clients", "ops", "ops/sec", "mean batch", "fences", "fences/op")
+	fmt.Fprintf(w, "%-10s %7s %6s %8s %10s %12s %12s %12s %14s\n",
+		"max-batch", "shards", "read%", "clients", "ops", "ops/sec", "mean batch", "fences", "fences/op")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10d %7d %8d %10d %12.0f %12.2f %12d %14.3f\n",
-			r.MaxBatch, r.Shards, r.Clients, r.Ops, r.OpsPerSec, r.MeanBatch, r.Fences, r.FencesPerOp)
+		fmt.Fprintf(w, "%-10d %7d %6d %8d %10d %12.0f %12.2f %12d %14.3f\n",
+			r.MaxBatch, r.Shards, r.ReadPct, r.Clients, r.Ops, r.OpsPerSec, r.MeanBatch, r.Fences, r.FencesPerOp)
 	}
 }
 
 // WriteServerCSV writes the artifact-style CSV (server.csv).
 func WriteServerCSV(w io.Writer, rows []ServerRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"max_batch", "shards", "clients", "ops", "seconds", "ops_per_sec", "mean_batch", "fences", "flushes", "fences_per_op"}); err != nil {
+	if err := cw.Write([]string{"max_batch", "shards", "read_pct", "clients", "ops", "seconds", "ops_per_sec", "mean_batch", "fences", "flushes", "fences_per_op"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		rec := []string{
 			strconv.Itoa(r.MaxBatch),
 			strconv.Itoa(r.Shards),
+			strconv.Itoa(r.ReadPct),
 			strconv.Itoa(r.Clients),
 			strconv.Itoa(r.Ops),
 			fmt.Sprintf("%.4f", r.Seconds),

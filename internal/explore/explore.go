@@ -67,8 +67,20 @@ type Config struct {
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// FlightCap is the per-device flight-recorder capacity used for
-	// violation dumps (default 512).
+	// violation dumps (default 4096: recovery may replay bulk slab
+	// refill/spill batches of several hundred ops, and the CRASH marker
+	// must stay in the ring through them).
 	FlightCap int
+	// SlabRefill and SlabCap, when either is non-zero, retune every
+	// arena's slab cache (pool.SetSlabParams) after each attach, so the
+	// tuning holds across the pristine build, the census, and every
+	// replay. Tiny values (1 or 2) force refill, claim, park, and spill
+	// batches INSIDE the explored crash window on short scripts, which is
+	// how the allocator campaign reaches the slab layer's crash paths
+	// without thousand-op scripts. SlabRefill < 0 disables the cache
+	// entirely (the pre-slab ablation). Zero/zero keeps pool defaults.
+	SlabRefill int
+	SlabCap    int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,7 +114,7 @@ func (c Config) withDefaults() Config {
 		c.Log = func(string, ...any) {}
 	}
 	if c.FlightCap <= 0 {
-		c.FlightCap = 512
+		c.FlightCap = 4096
 	}
 	return c
 }
@@ -183,6 +195,13 @@ type shared struct {
 	models   []map[uint64]uint64
 	pristine []byte
 
+	// inUseByStep[k] is the heap's in-use byte count after k completed
+	// steps of a clean run (recorded during census). Replays are
+	// deterministic, so a recovered state that matches models[k] must
+	// also sit at exactly inUseByStep[k]: anything higher is a leak,
+	// anything lower a double-free or lost allocation.
+	inUseByStep []uint64
+
 	seen  sync.Map // durable-image hash -> struct{}
 	stats *Stats
 
@@ -200,7 +219,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	script, models := buildScript(cfg.Steps)
+	script, models := scriptFor(cfg.Workload, cfg.Steps)
 	sh := &shared{cfg: cfg, def: def, script: script, models: models, stats: cfg.Stats}
 	if sh.stats == nil {
 		sh.stats = &Stats{}
@@ -261,6 +280,7 @@ func (sh *shared) buildPristine() error {
 	if err != nil {
 		return err
 	}
+	sh.tune(p)
 	if _, err := sh.def.setup(corundumeng.Wrap(p)); err != nil {
 		return fmt.Errorf("explore: workload setup: %w", err)
 	}
@@ -269,6 +289,21 @@ func (sh *shared) buildPristine() error {
 	// after setup was acknowledged".
 	sh.pristine = p.Device().DurableSnapshot()
 	return nil
+}
+
+// tune applies the configured slab parameters to a freshly attached
+// pool. Caches start cold, so the call itself issues no device ops and
+// cannot perturb the crash-point universe; only subsequent allocator
+// behaviour changes, identically in census and every replay.
+func (sh *shared) tune(p *pool.Pool) {
+	if sh.cfg.SlabRefill == 0 && sh.cfg.SlabCap == 0 {
+		return
+	}
+	refill := sh.cfg.SlabRefill
+	if refill < 0 {
+		refill = 0 // pool.SetSlabParams(<1, _) disables the cache
+	}
+	p.SetSlabParams(refill, sh.cfg.SlabCap)
 }
 
 // census replays the script once, uninterrupted, recording the total op
@@ -281,6 +316,7 @@ func (sh *shared) census() (T uint64, fences []uint64, err error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("explore: census attach: %w", err)
 	}
+	sh.tune(p)
 	st, err := sh.def.attach(corundumeng.Wrap(p))
 	if err != nil {
 		return 0, nil, fmt.Errorf("explore: census attach structure: %w", err)
@@ -291,11 +327,13 @@ func (sh *shared) census() (T uint64, fences []uint64, err error) {
 			fences = append(fences, w.dev.OpCount()-base)
 		}
 	})
+	sh.inUseByStep = append(sh.inUseByStep[:0], p.InUse())
 	for _, op := range sh.script {
 		if err := st.step(op); err != nil {
 			w.dev.SetOpHook(nil)
 			return 0, nil, fmt.Errorf("explore: census step: %w", err)
 		}
+		sh.inUseByStep = append(sh.inUseByStep, p.InUse())
 	}
 	w.dev.SetOpHook(nil)
 	T = w.dev.OpCount() - base
@@ -439,6 +477,7 @@ func (w *worker) replayArm(m uint64) (acked int, crashed bool, err error) {
 	if err != nil {
 		return 0, false, fmt.Errorf("clean attach failed: %w", err)
 	}
+	w.sh.tune(p)
 	st, err := w.sh.def.attach(corundumeng.Wrap(p))
 	if err != nil {
 		return 0, false, fmt.Errorf("clean attach structure: %w", err)
@@ -549,17 +588,32 @@ func (w *worker) recoverAndVerify(img []byte, acked int, m uint64, trail []uint6
 		w.fail(m, trail, seed, acked, fmt.Errorf("structure invariant: %w", err))
 		return false
 	}
+	matched := -1
 	errA := st.verify(w.sh.models[acked])
 	if errA == nil {
-		w.sh.stats.Explored.Add(1)
-		return true
-	}
-	if acked+1 < len(w.sh.models) {
+		matched = acked
+	} else if acked+1 < len(w.sh.models) {
 		if errB := st.verify(w.sh.models[acked+1]); errB == nil {
-			w.sh.stats.Explored.Add(1)
-			return true
+			matched = acked + 1
 		}
 	}
-	w.fail(m, trail, seed, acked, fmt.Errorf("state matches neither %d nor %d acked steps: %w", acked, acked+1, errA))
-	return false
+	if matched < 0 {
+		w.fail(m, trail, seed, acked, fmt.Errorf("state matches neither %d nor %d acked steps: %w", acked, acked+1, errA))
+		return false
+	}
+	// Heap conservation: the models are pairwise distinct, so the matched
+	// step count is unique, and a clean run at that step count holds
+	// exactly inUseByStep[matched] bytes. A recovered image must agree —
+	// this is the allocator's no-leak/no-double-alloc contract, and it is
+	// exactly the invariant an unresolved slab claim or a discarded
+	// ledger entry would break.
+	if matched < len(w.sh.inUseByStep) {
+		if got, want := p.InUse(), w.sh.inUseByStep[matched]; got != want {
+			w.fail(m, trail, seed, acked, fmt.Errorf(
+				"heap in-use %d after recovery, want %d at %d acked steps (leak or double-alloc)", got, want, matched))
+			return false
+		}
+	}
+	w.sh.stats.Explored.Add(1)
+	return true
 }

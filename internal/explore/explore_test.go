@@ -167,6 +167,110 @@ func TestExhaustiveCatchesBrokenRecovery(t *testing.T) {
 	}
 }
 
+// TestExhaustiveAllocHeavy is the allocator crash campaign: the churn
+// script (put, put, delete, re-put) under deliberately tiny slab tuning
+// (refill 2, cap 2) drives refill batches, zero-fence parks, deferred
+// claims, and spill batches inside the explored window, and every crash
+// point — including eviction variants, where any subset of unfenced
+// ledger words may persist — must recover to the exact model AND the
+// exact clean-run heap occupancy (no leak, no double-alloc).
+func TestExhaustiveAllocHeavy(t *testing.T) {
+	cfg := testConfig("allocheavy")
+	cfg.Steps = 8
+	cfg.Depth = 1
+	cfg.EvictionSeeds = 2
+	cfg.SlabRefill = 2
+	cfg.SlabCap = 2
+	if testing.Short() {
+		cfg.Steps = 4
+		cfg.EvictionSeeds = 1
+	}
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s\nflight:\n%s", v, v.Flight)
+	}
+	if res.Stats.Explored.Load() == 0 {
+		t.Fatal("nothing was verified")
+	}
+	if res.Stats.Evictions.Load() == 0 {
+		t.Fatal("no eviction variants ran")
+	}
+
+	// The tuning must actually reach the explored window: with the cache
+	// disabled the same script issues a different device-op stream (full
+	// redo cycles instead of parks and claims), so the op universes differ.
+	abl := cfg
+	abl.Depth = -1
+	abl.EvictionSeeds = 0
+	abl.SlabRefill = -1
+	ablRes, err := explore.Run(abl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablRes.TotalOps == res.TotalOps {
+		t.Fatalf("slab tuning did not change the op universe (%d ops with and without the cache)", res.TotalOps)
+	}
+	for _, v := range ablRes.Violations {
+		t.Errorf("ablation violation: %s", v)
+	}
+}
+
+// TestExhaustiveAllocHeavyDepth2 pushes the same campaign through nested
+// recovery crashes: slab-ledger replay and claim resolution run during
+// recovery, so they are crash targets themselves.
+func TestExhaustiveAllocHeavyDepth2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-2 exploration is slow")
+	}
+	cfg := testConfig("allocheavy")
+	cfg.Steps = 4
+	cfg.Depth = 2
+	cfg.SlabRefill = 2
+	cfg.SlabCap = 2
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s\nflight:\n%s", v, v.Flight)
+	}
+	if res.Stats.RecoveryCrashes.Load() == 0 {
+		t.Fatal("no crashes were injected during recovery")
+	}
+}
+
+// TestExhaustiveCatchesHeapLeak proves the heap-conservation invariant
+// has teeth: a recovery path that allocates a block and drops it on the
+// floor passes every structural and model check, and only the in-use
+// comparison against the clean-run census can convict it.
+func TestExhaustiveCatchesHeapLeak(t *testing.T) {
+	cfg := testConfig("kvstore")
+	cfg.MaxViolations = 4
+	cfg.AttachFn = func(dev *pmem.Device) (*pool.Pool, error) {
+		p, err := pool.Attach(dev)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.AllocEx(0, 64, nil, nil); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("leaky recovery (allocates and abandons a block) was not detected")
+	}
+	if v := res.Violations[0]; !strings.Contains(v.Err.Error(), "in-use") {
+		t.Errorf("violation does not name the heap-conservation invariant: %v", v.Err)
+	}
+}
+
 func TestExhaustiveRegistersMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	cfg := testConfig("kvstore")

@@ -25,7 +25,11 @@
 // Flips are deliberately not aimed at journal buffers or allocator
 // redo-log areas: a flip in an unretired log entry is indistinguishable
 // from a torn in-flight append, which the torn-write dimension already
-// covers exhaustively; see pool.FlipTargets.
+// covers exhaustively; see pool.FlipTargets. The slab ledger IS in
+// scope (it sits inside each arena's metadata range): although it is
+// transient like the redo log, its entries are individually CRC-gated
+// and open-time replay must discard damaged ones — masked or detected,
+// never silent (TestSlabLedgerFlipsNeverSilent pins this bit-by-bit).
 package explore
 
 import (
@@ -175,7 +179,7 @@ func RunFaults(cfg FaultsConfig) (*FaultsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	script, models := buildScript(cfg.Steps)
+	script, models := scriptFor(cfg.Workload, cfg.Steps)
 	inner := Config{
 		Workload:      cfg.Workload,
 		Steps:         cfg.Steps,

@@ -160,6 +160,107 @@ func TestJournalDirFlipsNeverSilent(t *testing.T) {
 	}
 }
 
+// TestSlabLedgerFlipsNeverSilent aims the rot contract at the slab
+// ledger specifically: the churn workload under tiny slab tuning leaves
+// parked-block entries (and possibly an in-flight claim) in the ledger
+// at the crash point, and every bit of every nonzero ledger byte is
+// flipped in the post-crash image. Ledger entries are CRC-gated and
+// replay discards what fails — at worst the block quietly returns to
+// the free space on a later recovery pass — so each flip must classify
+// as masked, repaired, or detected. Silent data corruption from ledger
+// damage would mean the CRC gate leaks free-space state into user data.
+func TestSlabLedgerFlipsNeverSilent(t *testing.T) {
+	cfg := FaultsConfig{Workload: "allocheavy", Steps: 8}.withDefaults()
+	def, err := workloadFor(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, models := scriptFor(cfg.Workload, cfg.Steps)
+	inner := Config{Workload: cfg.Workload, Steps: cfg.Steps, Depth: -1,
+		SlabRefill: 2, SlabCap: 2}.withDefaults()
+	sh := &shared{cfg: inner, def: def, script: script, models: models, stats: &Stats{}}
+	if err := sh.buildPristine(); err != nil {
+		t.Fatal(err)
+	}
+	T, _, err := sh.census()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ledger spans are a pure function of the image's geometry.
+	gdev := pmem.New(len(sh.pristine), pmem.Options{TrackCrash: true})
+	gdev.RestoreDurable(sh.pristine)
+	gp, err := pool.Attach(gdev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledgers []pool.Range
+	for i := 0; i < gp.Journals(); i++ {
+		ledgers = append(ledgers, gp.ArenaLedgerRange(i))
+	}
+
+	fr := &faultsRun{sh: sh, cfg: cfg, fst: &FaultsStats{}, targets: nil}
+	fw := &faultsWorker{fr: fr, w: sh.newWorker()}
+
+	// Find a crash point whose durable image has live ledger entries:
+	// walk back from late in the workload until one shows nonzero bytes.
+	var rest []byte
+	var acked int
+	nonzero := 0
+	for _, frac := range []uint64{7, 6, 5, 4, 3} {
+		m := T * frac / 8
+		a, crashed, err := fw.w.replayArm(m)
+		if err != nil || !crashed {
+			t.Fatalf("arming crash point %d: crashed=%v err=%v", m, crashed, err)
+		}
+		fw.w.dev.Crash()
+		img := fw.w.dev.DurableSnapshot()
+		n := 0
+		for _, r := range ledgers {
+			for _, b := range img[r.Off : r.Off+r.Len] {
+				if b != 0 {
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			rest, acked, nonzero = img, a, n
+			break
+		}
+	}
+	if rest == nil {
+		t.Fatal("no crash point left live ledger entries — the churn script is not parking blocks")
+	}
+	t.Logf("crash image has %d nonzero ledger bytes after %d acked steps", nonzero, acked)
+
+	flips := 0
+	for _, r := range ledgers {
+		for rel := uint64(0); rel < r.Len; rel++ {
+			off := r.Off + rel
+			// Every bit of live entries; a sparse sample of the zero gaps
+			// (a flip there forges a partial entry, which the CRC must
+			// also reject).
+			step := uint8(1)
+			if rest[off] == 0 {
+				if rel%64 != 0 {
+					continue
+				}
+				step = 4
+			}
+			for bit := uint8(0); bit < 8; bit += step {
+				flips++
+				if fw.classifyFlip(rest, off, bit, acked) == flipSilent {
+					t.Fatalf("ledger byte %#x bit %d: SILENT corruption", off, bit)
+				}
+			}
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no flips were applied")
+	}
+	t.Logf("%d ledger flips, none silent", flips)
+}
+
 // TestTornEnumeration pins the schedule decoder: flattening candidates
 // and re-assembling masks from an index must cover every subset exactly
 // once and round-trip each word to its source line.

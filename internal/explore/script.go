@@ -37,7 +37,51 @@ func buildScript(steps int) ([]scriptOp, []map[uint64]uint64) {
 			ops[i] = scriptOp{del: true, key: k0}
 		}
 	}
-	models := make([]map[uint64]uint64, steps+1)
+	return ops, foldModels(ops)
+}
+
+// buildChurnScript is the allocator-campaign variant: every group of 4
+// is put k0, put k1, delete k0, re-put k0 — a delete immediately
+// followed by a same-size-class insert, so with a warm (or tiny-tuned)
+// slab cache the window covers park (the delete's entry block), claim
+// (the re-put consumes it), refill (the fresh puts), and spill (caps of
+// 1–2 overflow on the second park). Every step still changes the
+// abstract state — the re-put's value differs and k1 accumulates — so
+// the models stay pairwise distinct and durable-hash pruning stays
+// sound.
+func buildChurnScript(steps int) ([]scriptOp, []map[uint64]uint64) {
+	ops := make([]scriptOp, steps)
+	for i := 0; i < steps; i++ {
+		group := uint64(i / 4)
+		k0 := group*2 + 1
+		k1 := group*2 + 2
+		switch i % 4 {
+		case 0:
+			ops[i] = scriptOp{key: k0, val: uint64(i)*1000 + 13}
+		case 1:
+			ops[i] = scriptOp{key: k1, val: uint64(i)*1000 + 13}
+		case 2:
+			ops[i] = scriptOp{del: true, key: k0}
+		case 3:
+			ops[i] = scriptOp{key: k0, val: uint64(i)*1000 + 91} // re-insert: claims the parked block
+		}
+	}
+	return ops, foldModels(ops)
+}
+
+// scriptFor selects the step sequence for a workload name: the
+// "allocheavy" alias runs the kvstore structure under the churn script.
+func scriptFor(workload string, steps int) ([]scriptOp, []map[uint64]uint64) {
+	if workload == "allocheavy" {
+		return buildChurnScript(steps)
+	}
+	return buildScript(steps)
+}
+
+// foldModels derives models[0..len(ops)] by folding the script over the
+// empty map.
+func foldModels(ops []scriptOp) []map[uint64]uint64 {
+	models := make([]map[uint64]uint64, len(ops)+1)
 	models[0] = map[uint64]uint64{}
 	for i, op := range ops {
 		m := make(map[uint64]uint64, len(models[i])+1)
@@ -51,5 +95,5 @@ func buildScript(steps int) ([]scriptOp, []map[uint64]uint64) {
 		}
 		models[i+1] = m
 	}
-	return ops, models
+	return models
 }

@@ -31,7 +31,9 @@ type workloadDef struct {
 
 func workloadFor(name string) (workloadDef, error) {
 	switch name {
-	case "kvstore", "hashmap":
+	case "kvstore", "hashmap", "allocheavy":
+		// "allocheavy" is the kvstore structure under the allocator-churn
+		// script (see buildChurnScript); scriptFor makes the swap.
 		return workloadDef{
 			setup: func(p engine.Pool) (structure, error) {
 				kv, err := workloads.NewKVStore(p, 8)
@@ -63,7 +65,7 @@ func workloadFor(name string) (workloadDef, error) {
 			},
 		}, nil
 	}
-	return workloadDef{}, fmt.Errorf("explore: unknown workload %q (want kvstore, bst, or btree)", name)
+	return workloadDef{}, fmt.Errorf("explore: unknown workload %q (want kvstore, allocheavy, bst, or btree)", name)
 }
 
 type kvStructure struct{ kv *workloads.KVStore }

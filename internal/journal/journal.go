@@ -22,6 +22,15 @@ type Heap interface {
 	// AllocEx allocates from the arena bound to this journal, folding the
 	// extra updates into the allocation's crash-atomic step.
 	AllocEx(arena int, size uint64, payload []byte, extra func(off uint64) []alloc.Update) (uint64, error)
+	// AllocClaim serves the request from the arena's slab cache with zero
+	// fences (deferred-fence mode), stamping the block's ledger slot with
+	// (arena, epoch) so a crash resolves ownership against this journal's
+	// durable state word; reports false when the cache cannot serve it.
+	AllocClaim(arena int, size uint64, payload []byte, epoch uint64) (uint64, bool)
+	// RetireClaims recycles the arena's claim ledger slots. The journal
+	// calls it only once the claiming transaction's outcome (commit or
+	// abort) is already durably fenced.
+	RetireClaims(arena int)
 	// Free returns a block to whichever arena owns it.
 	Free(off, size uint64) error
 	// IsAllocated reports whether off is an allocated block of size's order.
@@ -77,8 +86,9 @@ type Journal struct {
 	live      []entry  // entries this tx appended (commit/rollback use
 	//                             these instead of re-scanning and re-checksumming
 	//                             the persistent log; recovery scans)
-	logged   map[uint64]struct{} // data offsets already undo-logged this tx
-	held     map[uint64]struct{} // lock keys held until transaction end
+	allocSpans []span              // blocks allocated this tx (fresh-block undo skip)
+	logged     map[uint64]struct{} // data offsets already undo-logged this tx
+	held       map[uint64]struct{} // lock keys held until transaction end
 	depth    int                 // flattened-nesting depth
 	defers   []func()            // run after commit or abort (lock releases)
 	aborted  bool
@@ -155,6 +165,7 @@ func (j *Journal) Begin() {
 		j.aborted = false
 		j.logBytes = 0
 		j.live = j.live[:0]
+		j.allocSpans = j.allocSpans[:0]
 		if j.logged == nil {
 			j.logged = make(map[uint64]struct{}, 16)
 		}
@@ -238,11 +249,37 @@ func (j *Journal) DataLog(off, n uint64) error {
 	if _, done := j.logged[off]; done {
 		return nil
 	}
+	if j.freshSpan(off, n) {
+		// The range lies wholly inside a block this same transaction
+		// allocated: its pre-transaction bytes are free-space garbage nobody
+		// can observe after a rollback (the block itself is reclaimed via its
+		// alloc record), so an undo entry buys nothing and costs a fence.
+		// Record a volatile flush-only entry so commit still persists the
+		// mutated range before the commit point.
+		j.live = append(j.live, entry{kind: entryFlushOnly, off: off, size: n})
+		j.logged[off] = struct{}{}
+		return nil
+	}
 	if err := j.appendChunked(off, n); err != nil {
 		return err
 	}
 	j.logged[off] = struct{}{}
 	return nil
+}
+
+// span is a half-open range of heap bytes allocated by the live
+// transaction.
+type span struct{ start, end uint64 }
+
+// freshSpan reports whether [off, off+n) lies wholly inside a block this
+// transaction allocated.
+func (j *Journal) freshSpan(off, n uint64) bool {
+	for _, s := range j.allocSpans {
+		if off >= s.start && off+n <= s.end {
+			return true
+		}
+	}
+	return false
 }
 
 // maxDataPayload bounds one data entry's payload so that an entry plus a
@@ -289,6 +326,18 @@ func (j *Journal) AllocInit(data []byte) (uint64, error) {
 }
 
 func (j *Journal) allocEx(size uint64, payload []byte) (uint64, error) {
+	// Deferred-fence fast path: a slab claim hands the block out with zero
+	// fences and no log entry at all. The ledger's claim word — stamped
+	// with this journal's index and epoch in one atomic 8-byte write —
+	// replaces the sealed alloc entry: after a crash the pool frees the
+	// block exactly when this transaction provably never committed, which
+	// is what the entry would have bought, minus its redo-cycle fences.
+	if off, ok := j.heap.AllocClaim(j.arena, size, payload, j.epoch); ok {
+		j.ensureStarted()
+		j.live = append(j.live, entry{kind: entryAlloc, off: off, size: size})
+		j.allocSpans = append(j.allocSpans, span{off, off + alloc.BlockSize(size)})
+		return off, nil
+	}
 	hdr, payloadOff, err := j.reserve(entryAlloc, size)
 	if err != nil {
 		return 0, err
@@ -304,7 +353,20 @@ func (j *Journal) allocEx(size uint64, payload []byte) (uint64, error) {
 	}
 	j.finishAppend(hdr)
 	j.live = append(j.live, entry{kind: entryAlloc, off: off, size: size})
+	j.allocSpans = append(j.allocSpans, span{off, off + alloc.BlockSize(size)})
 	return off, nil
+}
+
+// ensureStarted durably-activates the journal's volatile side without an
+// append: the stateRunning word is written (and its directory mirror
+// flushed) but not fenced — it rides the transaction's next append or the
+// commit's tail flush, exactly as it does when the first append writes it.
+func (j *Journal) ensureStarted() {
+	if j.started {
+		return
+	}
+	j.writeState(stateRunning)
+	j.started = true
 }
 
 // DropLog records that the block at off (of the given size) should be freed
@@ -343,7 +405,7 @@ func (j *Journal) commit() {
 		return
 	}
 	for _, e := range entries {
-		if e.kind == entryData {
+		if e.kind == entryData || e.kind == entryFlushOnly {
 			j.dev.MarkDirty(e.off, e.size)
 			j.dev.Flush(e.off, e.size)
 		}
@@ -369,8 +431,10 @@ func (j *Journal) commit() {
 	j.dev.Fence()
 	if !hasDrops && len(j.pages) == 0 {
 		// The idle transition is the commit point; nothing destructive
-		// follows, so one persist retires the log.
+		// follows, so one persist retires the log. The outcome is now
+		// durably fenced, so claim slots may recycle.
 		j.setState(stateIdle)
+		j.heap.RetireClaims(j.arena)
 		j.tail = j.bufOff + stateSize
 		return
 	}
@@ -380,6 +444,7 @@ func (j *Journal) commit() {
 	// until the last page is freed, or a crash in between would leak the
 	// pages forever (idle journals are invisible to recovery).
 	j.setState(stateCommitting) // commit point: drops and frees may now apply
+	j.heap.RetireClaims(j.arena)
 	for _, e := range entries {
 		if e.kind == entryDrop {
 			if err := j.heap.Free(e.off, e.size); err != nil {
@@ -388,6 +453,16 @@ func (j *Journal) commit() {
 		}
 	}
 	j.freePages()
+	if hasDrops {
+		// A dropped block may have parked in the slab cache: a flushed but
+		// unfenced ledger write. The lazy idle retire below must never reach
+		// the media ahead of it (an evicted idle word paired with a lost
+		// park would leak the block — recovery ignores idle journals), so
+		// fence the parks before the retire is even written.
+		prev := pmem.EnterScope(pmem.ScopeAllocRedo)
+		j.dev.Fence()
+		pmem.ExitScope(prev)
+	}
 	// Lazy retire: flushed but not fenced. Any later fence carries it, and
 	// a crash that still observes stateCommitting merely re-applies the
 	// drops and page frees idempotently; epoch-seeded checksums stop any
@@ -422,10 +497,19 @@ func (j *Journal) freePages() {
 
 // rollback undoes the transaction: restore old bytes in reverse order,
 // reclaim logged allocations, skip drops.
+//
+// The journal retires with epoch+1, the same bump recovery's rollback
+// applies: an aborted epoch must never durably read idle at its own
+// number, because that is indistinguishable from a commit. The case that
+// needs it is a crash panic inside the allocator between a slab claim's
+// media write and its volatile registration — the block is in no live
+// list, so only the claim word survives, and the pool's resolver frees
+// it iff the claiming epoch provably aborted.
 func (j *Journal) rollback() {
 	if !j.started {
 		return
 	}
+	j.epoch++
 	entries := j.live
 	if len(entries) == 0 {
 		j.freePages()
@@ -453,6 +537,7 @@ func (j *Journal) rollback() {
 	// truncated scan still reaches; the rest are already freed.
 	j.freePages()
 	j.setState(stateIdle)
+	j.heap.RetireClaims(j.arena)
 	j.tail = j.bufOff + stateSize
 }
 

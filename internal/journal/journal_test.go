@@ -15,6 +15,10 @@ type testHeap struct{ b *alloc.Buddy }
 func (h testHeap) AllocEx(arena int, size uint64, payload []byte, extra func(off uint64) []alloc.Update) (uint64, error) {
 	return h.b.AllocEx(size, payload, extra)
 }
+func (h testHeap) AllocClaim(arena int, size uint64, payload []byte, epoch uint64) (uint64, bool) {
+	return h.b.AllocClaim(size, payload, arena, epoch)
+}
+func (h testHeap) RetireClaims(arena int)            { h.b.RetireClaims() }
 func (h testHeap) Free(off, size uint64) error       { return h.b.Free(off, size) }
 func (h testHeap) IsAllocated(off, size uint64) bool { return h.b.IsAllocated(off, size) }
 
@@ -52,6 +56,12 @@ func (f *fixture) reopen(t *testing.T) (rolledBack, rolledForward int) {
 	b := alloc.Open(f.dev, f.allocMeta, f.heapOff, f.heapSize)
 	f.heap = testHeap{b}
 	rb, rf := Recover(f.dev, f.heap, f.dirOff, f.bufOff, f.bufCap, f.n)
+	b.ResolveClaims(func(jIdx int, e16 uint16) bool {
+		if jIdx < 0 || jIdx >= f.n {
+			return false
+		}
+		return ClaimAborted(f.dev, f.bufOff+uint64(jIdx)*f.bufCap, e16)
+	})
 	f.js = Attach(f.dev, f.heap, f.dirOff, f.bufOff, f.bufCap, f.n)
 	return rb, rf
 }

@@ -20,6 +20,13 @@ const (
 	entryAlloc = 2 // allocation to reclaim on abort
 	entryDrop  = 3 // deallocation to apply on commit
 	entryLink  = 4 // continuation: the log continues in the page at off
+
+	// entryFlushOnly is volatile-only and never reaches the media: it marks
+	// a mutated range inside a block this same transaction freshly
+	// allocated. There are no old bytes to restore — rollback reclaims the
+	// whole block through its alloc record — but commit must still flush
+	// the range before the commit fence. See Journal.DataLog.
+	entryFlushOnly = 0xFE
 )
 
 // chainPageSize is the size of journal continuation pages. When a

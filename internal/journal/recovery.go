@@ -55,8 +55,12 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 			rolledForward++
 		default: // stateRunning
 			if len(entries) == 0 {
-				// Activated but nothing valid logged: nothing to undo.
-				clearSlot(dev, dirOff, bOff, i)
+				// Activated but nothing valid logged: nothing to undo in the
+				// buffer — but the transaction may still own slab claims
+				// (claim-only transactions log no entries at all), so this is
+				// a rollback and must bump like one.
+				clearSlot(dev, dirOff, bOff, i, true)
+				rolledBack++
 				continue
 			}
 			for k := len(entries) - 1; k >= 0; k-- {
@@ -95,16 +99,56 @@ func Recover(dev *pmem.Device, heap Heap, dirOff, bufOff, bufCap uint64, n int) 
 				}
 			}
 		}
-		clearSlot(dev, dirOff, bOff, i)
+		clearSlot(dev, dirOff, bOff, i, state != stateCommitting)
 	}
 	return rolledBack, rolledForward
 }
 
-// clearSlot retires a recovered journal: state idle, epoch preserved (the
-// next attach resumes above it), directory mirror resynced. One fence
-// covers both words.
-func clearSlot(dev *pmem.Device, dirOff, bufOff uint64, index int) {
-	word := (stateWord(dev, bufOff)>>8)<<8 | stateIdle
+// ClaimAborted reports whether a slab claim stamped with the low 16 epoch
+// bits e16 by the journal whose buffer starts at bufOff belongs to a
+// transaction that provably never committed. The pool calls it after
+// Recover (every journal idle) to resolve crash-surviving claims:
+//
+//   - word epoch == e16+1: recovery just rolled the claiming transaction
+//     back (clearSlot bumped it) — aborted, free the block.
+//   - word epoch behind e16 (within half the 16-bit window): the claiming
+//     transaction never durably started, let alone committed — free.
+//     Begin bumps the epoch without touching the media, so a claim may
+//     legitimately sit several epochs above the durable word.
+//   - word epoch == e16: the transaction committed (its commit fence made
+//     the word durable; an in-process abort would have re-parked the block
+//     and the park outranks the claim at replay) — the block is owned.
+//   - anything else (word epochs further ahead): later transactions'
+//     fences would have persisted the claim's pending retire, so the claim
+//     should not exist; default to owned, which can at worst leak — never
+//     double-allocate.
+func ClaimAborted(dev *pmem.Device, bufOff uint64, e16 uint16) bool {
+	word := stateWord(dev, bufOff)
+	if byte(word) != stateIdle {
+		return false // not settled: be leak-safe, never free
+	}
+	we := uint16(word >> 8)
+	if we == e16+1 {
+		return true
+	}
+	d := e16 - we
+	return d > 0 && d < 0x8000
+}
+
+// clearSlot retires a recovered journal: state idle, directory mirror
+// resynced, one fence covering both words. A rolled-back transaction
+// (bump) retires with epoch+1 — that is what lets the pool's slab-claim
+// resolver tell "epoch e rolled back in recovery" (idle at e+1) apart
+// from "epoch e committed" (idle at e), since neither leaves log entries
+// behind for a claim-only transaction. A rolled-forward commit keeps its
+/// epoch, marking its claims as owned. Idempotent under re-crash: the
+// bumped word is itself idle, so a second recovery pass skips the slot.
+func clearSlot(dev *pmem.Device, dirOff, bufOff uint64, index int, bump bool) {
+	epoch := stateWord(dev, bufOff) >> 8
+	if bump {
+		epoch++
+	}
+	word := epoch<<8 | stateIdle
 	var w [8]byte
 	putUint64(w[:], word)
 	dev.Write(bufOff, w[:])

@@ -288,7 +288,7 @@ func (d *Device) Write(off uint64, data []byte) {
 	copy(d.buf[off:], data)
 	d.MarkDirty(off, uint64(len(data)))
 	d.observe(OpWrite, sc, off, uint64(len(data)))
-	spin(d.prof.WriteDelay)
+	d.prof.delay(d.prof.WriteDelay)
 }
 
 // Read copies n bytes at off into a fresh slice, charging read latency once.
@@ -296,7 +296,7 @@ func (d *Device) Read(off, n uint64) []byte {
 	d.bounds(off, n)
 	out := make([]byte, n)
 	copy(out, d.buf[off:off+n])
-	spin(d.prof.ReadDelay)
+	d.prof.delay(d.prof.ReadDelay)
 	return out
 }
 
@@ -322,7 +322,7 @@ func (d *Device) Flush(off, n uint64) {
 				d.stageLine(uint32(line))
 			}
 		}
-		spin(d.prof.FlushDelay)
+		d.prof.delay(d.prof.FlushDelay)
 	}
 	d.observe(OpFlush, sc, off, last-first+1)
 }
@@ -342,7 +342,7 @@ func (d *Device) Fence() {
 		d.shadowMu.Unlock()
 	}
 	d.observe(OpFence, sc, 0, 0)
-	spin(d.prof.FenceDelay)
+	d.prof.delay(d.prof.FenceDelay)
 }
 
 // Persist is the common Flush-then-Fence sequence.

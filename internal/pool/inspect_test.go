@@ -67,10 +67,15 @@ func TestInspectCrashedPoolShowsPendingJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := p.Device()
-	var count int
+	// Crash at the second fence: the allocation batch's first fence has
+	// made the journal's running word durable, but the transaction is far
+	// from its commit point — robust to op-count shifts in the alloc path.
+	var fences int
 	dev.SetFaultInjector(func(op pmem.Op) bool {
-		count++
-		return count == 30
+		if op == pmem.OpFence {
+			fences++
+		}
+		return fences == 2
 	})
 	func() {
 		defer func() { recover() }()

@@ -3,6 +3,7 @@ package pool
 import (
 	"time"
 
+	"corundum/internal/alloc"
 	"corundum/internal/journal"
 	"corundum/internal/obs"
 	"corundum/internal/pmem"
@@ -65,6 +66,29 @@ func (p *Pool) EnableMetricsLabeled(r *obs.Registry, base obs.Labels) {
 		func() float64 { return float64(p.FreeBytes()) })
 	r.GaugeFunc("pool_heap_fragmentation_ratio", "1 - largest free block / free bytes, worst arena", lbl(nil),
 		p.fragmentation)
+	slabSum := func(pick func(alloc.SlabStats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for i := range p.arenas {
+				n += pick(p.ArenaSlabStats(i))
+			}
+			return n
+		}
+	}
+	r.CounterFunc("pool_slab_hits_total", "allocations served from the slab cache (zero redo fences)", lbl(nil),
+		slabSum(func(s alloc.SlabStats) uint64 { return s.Hits }))
+	r.CounterFunc("pool_slab_misses_total", "allocations that fell through to a refill batch", lbl(nil),
+		slabSum(func(s alloc.SlabStats) uint64 { return s.Misses }))
+	r.CounterFunc("pool_slab_frees_total", "frees parked in the slab cache (zero redo fences)", lbl(nil),
+		slabSum(func(s alloc.SlabStats) uint64 { return s.Frees }))
+	r.CounterFunc("pool_slab_refills_total", "bulk slab refill batches", lbl(nil),
+		slabSum(func(s alloc.SlabStats) uint64 { return s.Refills }))
+	r.CounterFunc("pool_slab_spills_total", "bulk slab spill batches", lbl(nil),
+		slabSum(func(s alloc.SlabStats) uint64 { return s.Spills }))
+	r.GaugeFunc("pool_slab_cached_blocks", "blocks currently parked in slab caches", lbl(nil),
+		func() float64 { return float64(slabSum(func(s alloc.SlabStats) uint64 { return s.Cached })()) })
+	r.GaugeFunc("pool_slab_cached_bytes", "bytes currently parked in slab caches", lbl(nil),
+		func() float64 { return float64(slabSum(func(s alloc.SlabStats) uint64 { return s.Bytes })()) })
 	r.GaugeFunc("pool_degraded", "1 when the pool is in degraded read-only mode", lbl(nil),
 		func() float64 {
 			if p.Degraded() {

@@ -19,8 +19,10 @@ import (
 const (
 	magic = 0x434F52554E44554D // "CORUNDUM"
 	// formatVersion 2 introduced the mirrored static header and root
-	// slots (see header.go); v1 single-header pools are refused.
-	formatVersion = 2
+	// slots (see header.go); 3 added the per-arena slab ledger to the
+	// allocator metadata region (see alloc/slab.go), which moves every
+	// arena boundary. Older pools are refused.
+	formatVersion = 3
 )
 
 // Pool state errors.
@@ -271,6 +273,19 @@ func Attach(dev *pmem.Device) (*Pool, error) {
 		p.arenas = append(p.arenas, alloc.Open(dev, meta, heap, g.arenaHeap))
 	}
 	p.recoveredBack, p.recoveredFwd = journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
+	// Settle slab claims only after journal recovery: a rolled-back
+	// transaction's undo restores may target bytes inside a block it had
+	// claimed, and those restores must land while the block is still
+	// allocated. Every journal is idle now, so each claim's fate is decided
+	// by its journal's durable epoch.
+	for _, a := range p.arenas {
+		a.ResolveClaims(func(jIdx int, e16 uint16) bool {
+			if jIdx < 0 || jIdx >= g.nJournals {
+				return false
+			}
+			return journal.ClaimAborted(dev, g.bufOff+uint64(jIdx)*g.bufCap, e16)
+		})
+	}
 	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
 	p.initFreeList()
 
@@ -429,11 +444,20 @@ func (p *Pool) Quarantine() []Range {
 }
 
 // ArenaMetaRange reports arena i's allocator-metadata region (redo log,
-// free heads, order map, checksum slots). Fault-injection harnesses use
-// it to place at-rest media damage precisely.
+// free heads, order map, checksum slots, slab ledger). Fault-injection
+// harnesses use it to place at-rest media damage precisely.
 func (p *Pool) ArenaMetaRange(i int) Range {
 	meta := alloc.MetaSize(p.geo.arenaHeap)
 	return Range{Off: p.geo.metaOff + uint64(i)*meta, Len: meta}
+}
+
+// ArenaLedgerRange reports arena i's slab-ledger span (a sub-range of
+// ArenaMetaRange). Every entry there is CRC-gated and replay discards
+// what fails, so fault campaigns aiming at the ledger specifically must
+// see damage masked, never silent.
+func (p *Pool) ArenaLedgerRange(i int) Range {
+	off, size := p.arenas[i].LedgerRange()
+	return Range{Off: off, Len: size}
 }
 
 // AllocEx, Free and IsAllocated implement journal.Heap by routing to the
@@ -446,6 +470,21 @@ func (p *Pool) AllocEx(arena int, size uint64, payload []byte, extra func(off ui
 		return 0, err
 	}
 	return p.arenas[arena].AllocEx(size, payload, extra)
+}
+
+// AllocClaim serves an allocation from the arena's slab cache in
+// deferred-fence mode (see alloc.Buddy.AllocClaim). Degraded pools
+// report a miss so no mutation path opens.
+func (p *Pool) AllocClaim(arena int, size uint64, payload []byte, epoch uint64) (uint64, bool) {
+	if p.Writable() != nil {
+		return 0, false
+	}
+	return p.arenas[arena].AllocClaim(size, payload, arena, epoch)
+}
+
+// RetireClaims recycles the arena's settled claim ledger slots.
+func (p *Pool) RetireClaims(arena int) {
+	p.arenas[arena].RetireClaims()
 }
 
 // Free returns a block to the arena that owns it. Degraded pools refuse
@@ -526,3 +565,16 @@ func (p *Pool) Close() error {
 
 // ArenaInUse reports allocated bytes in one arena (diagnostics).
 func (p *Pool) ArenaInUse(i int) uint64 { return p.arenas[i].InUse() }
+
+// ArenaSlabStats reports one arena's slab-cache counters (metrics and
+// diagnostics).
+func (p *Pool) ArenaSlabStats(i int) alloc.SlabStats { return p.arenas[i].SlabStats() }
+
+// SetSlabParams tunes every arena's slab cache: refill spares per miss
+// and parked blocks per class before a spill; refill < 1 disables the
+// caches (the pre-slab, full-fence behaviour, kept for ablations).
+func (p *Pool) SetSlabParams(refill, capPerClass int) {
+	for _, a := range p.arenas {
+		a.SetSlabParams(refill, capPerClass)
+	}
+}

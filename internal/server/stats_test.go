@@ -170,6 +170,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pool_tx_seconds_bucket",
 		"pool_tx_log_bytes_sum",
 		"pool_heap_free_bytes",
+		"pool_slab_hits_total",
+		"pool_slab_cached_blocks",
 		"# TYPE pmem_fences_total counter",
 	} {
 		if !strings.Contains(text, want) {

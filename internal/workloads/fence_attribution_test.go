@@ -54,6 +54,62 @@ func TestSetFenceAttribution(t *testing.T) {
 	}
 }
 
+// TestInsertFenceBudget pins the slab layer's headline win: a SET that
+// ALLOCATES (fresh key, entry node carved for it) costs at most four
+// fences once the arena's slab cache is warm — at most three journal
+// fences plus the one user-data commit fence, and exactly zero in the
+// alloc-redo scope. Before the slab layer the same insert paid a full
+// three-fence redo cycle in the allocator on top of its journal work
+// (~6 fences total); a regression here reintroduces the fence tax the
+// deferred-fence claim protocol exists to kill.
+func TestInsertFenceBudget(t *testing.T) {
+	p, err := corundumeng.Lib{}.Open(engine.Config{Size: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	kv, err := NewKVStore(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transactions round-robin across the pool's journals and each journal
+	// allocates from its own arena, so one warm-up insert per journal
+	// (plus slack) leaves every arena's entry-size class stocked: the
+	// warm-up misses run refill batches that carve spares.
+	const warmup = 24
+	for i := 0; i < warmup; i++ {
+		if err := kv.Put(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dev := p.Device()
+	const probes = 8 // one per journal: every arena must satisfy the budget
+	for i := 0; i < probes; i++ {
+		before := dev.Stats()
+		if err := kv.Put(uint64(warmup+i), 7); err != nil {
+			t.Fatal(err)
+		}
+		after := dev.Stats()
+		delta := func(sc pmem.Scope) uint64 {
+			return after.ByScope[sc].Fences - before.ByScope[sc].Fences
+		}
+		if got := delta(pmem.ScopeAllocRedo); got != 0 {
+			t.Errorf("probe %d: alloc-redo fences = %d, want 0 (claim missed a warm cache)", i, got)
+		}
+		if got := delta(pmem.ScopeJournal); got > 3 {
+			t.Errorf("probe %d: journal fences = %d, want <= 3", i, got)
+		}
+		if got := delta(pmem.ScopeUserData); got != 1 {
+			t.Errorf("probe %d: user-data fences = %d, want 1 (commit fence)", i, got)
+		}
+		total := after.Fences - before.Fences
+		if total > 4 {
+			t.Errorf("probe %d: total fences = %d, want <= 4", i, total)
+		}
+	}
+}
+
 // TestSetFenceAttributionConcurrent holds the same 2:1 journal:user-data
 // ratio in aggregate when many goroutines overwrite disjoint keys — the
 // per-goroutine scope table must not bleed labels across concurrent
