@@ -216,6 +216,17 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 				first.ReadPct, last.ReadPct, first.FencesPerOp, last.FencesPerOp)
 		}
 		fmt.Println()
+		off, on, err := bench.ServerTraceOverhead(srvClients, srvOps, 64, pmem.Options{Profile: prof})
+		if err != nil {
+			return err
+		}
+		overhead := &bench.TraceOverheadRow{
+			OffOpsPerSec: off.OpsPerSec,
+			OnOpsPerSec:  on.OpsPerSec,
+			OverheadPct:  (off.OpsPerSec - on.OpsPerSec) / off.OpsPerSec * 100,
+		}
+		fmt.Printf("tracing overhead: off %.0f ops/sec, on %.0f ops/sec (%.1f%%)\n\n",
+			overhead.OffOpsPerSec, overhead.OnOpsPerSec, overhead.OverheadPct)
 		rows = append(rows, shardRows...)
 		rows = append(rows, mixRows...)
 		if csvDir != "" {
@@ -241,7 +252,7 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			if err != nil {
 				return err
 			}
-			err = bench.WriteServerJSON(f, rows, cov)
+			err = bench.WriteServerJSON(f, rows, cov, overhead)
 			f.Close()
 			if err != nil {
 				return err

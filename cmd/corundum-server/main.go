@@ -19,6 +19,16 @@
 // when sharded. With -metrics-addr the same numbers are served as
 // Prometheus text on GET /metrics, alongside net/http/pprof.
 //
+// Every op is traced by default (-trace-sample 1): its latency is
+// decomposed into queue/journal/fence/apply/ack phases, the SLOWLOG
+// admin command lists the slowest recent ops with their breakdown, and
+// GET /debug/trace on the metrics address exports recent traces as
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+// -trace-sample N traces every Nth op; -trace-sample -1 disables
+// tracing. Recovery emits a phased timeline (fsck, heap-open,
+// journal-replay, claim-resolution, publish) per shard in the startup
+// log, INFO, and pool_recovery_seconds metrics.
+//
 // With -shards N (N > 1) the keyspace is hash-partitioned across N
 // independent pools stored as "<pool>.<i>". Shards share nothing: each
 // has its own journals, allocator arenas, and group-commit batcher, so
@@ -69,16 +79,17 @@ func main() {
 		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max wait for group-commit stragglers")
 		busyTO   = flag.Duration("busy-timeout", 100*time.Millisecond, "max wait for a journal slot before replying -BUSY (0 blocks forever)")
 		profile  = flag.String("profile", "NoDelay", "emulated PM latency profile: OptaneDC|DRAM|NoDelay")
-		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof on this address, e.g. :9100")
+		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text), /debug/trace, and /debug/pprof on this address, e.g. :9100")
+		traceSmp = flag.Int("trace-sample", 1, "op-trace sampling: 1 traces every op, N every Nth, -1 disables tracing")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *profile, *metrics); err != nil {
+	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *traceSmp, *profile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, profName, metricsAddr string) error {
+func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, traceSample int, profName, metricsAddr string) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -116,6 +127,13 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 			rb, rf := p.Recovery()
 			fmt.Printf("opened pool %s: generation %d, recovery rolled back %d / forward %d txs\n",
 				paths[i], p.Generation(), rb, rf)
+			if tl := p.RecoveryTimeline(); len(tl) > 0 {
+				line := fmt.Sprintf("shard %d recovery timeline: total %.3fms", i, p.RecoverySeconds()*1e3)
+				for _, ph := range tl {
+					line += fmt.Sprintf(", %s %.3fms", ph.Name, ph.Seconds*1e3)
+				}
+				fmt.Println(line)
+			}
 			if p.Degraded() {
 				fmt.Printf("WARNING: pool %s is DEGRADED (read-only): %s\n", paths[i], p.DegradedReason())
 				for _, r := range p.Quarantine() {
@@ -138,7 +156,7 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	if busyTO == 0 {
 		busyTO = -1 // 0 on the command line means "block forever", Options' disable value
 	}
-	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO})
+	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO, TraceSample: traceSample})
 	if err != nil {
 		return err
 	}

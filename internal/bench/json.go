@@ -18,15 +18,29 @@ type serverJSON struct {
 	// FaultCampaign, when present, is the media-fault coverage snapshot
 	// (explore_faults_* and pmem_media_faults_* counters).
 	FaultCampaign *FaultCoverage `json:"fault_campaign,omitempty"`
+	// TraceOverhead, when present, records what always-on tracing costs
+	// against the same configuration with tracing disabled.
+	TraceOverhead *TraceOverheadRow `json:"trace_overhead,omitempty"`
+}
+
+// TraceOverheadRow summarizes the tracing-off vs tracing-on comparison.
+type TraceOverheadRow struct {
+	OffOpsPerSec float64 `json:"off_ops_per_sec"`
+	OnOpsPerSec  float64 `json:"on_ops_per_sec"`
+	// OverheadPct is (off−on)/off·100: positive means tracing slowed the
+	// run. Wall-clock on shared runners is noisy, so this is recorded,
+	// not gated.
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // WriteServerJSON writes the server experiment's rows, including each
-// configuration's ops/sec, fences/op, and per-scope fence attribution,
-// plus the fault-campaign coverage counters when cov is non-nil.
-func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage) error {
+// configuration's ops/sec, fences/op, latency percentiles, phase means,
+// and per-scope fence attribution, plus the fault-campaign coverage
+// counters and the tracing-overhead comparison when non-nil.
+func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov})
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead})
 }
 
 // microJSON is the BENCH_micro.json document: Table 5 latencies keyed by

@@ -38,6 +38,14 @@ type ServerRow struct {
 	// issued them (journal, user-data, alloc-redo, recovery), the paper's
 	// Fig. 9 breakdown measured rather than estimated.
 	FencesByScope map[string]uint64 `json:"fences_by_scope"`
+	// Mutation latency: end-to-end percentiles plus the mean microseconds
+	// each phase (queue, journal, fence, apply, ack) contributed — the
+	// time dimension next to fences/op. The phase means sum to ~LatMeanUs
+	// by construction (the phases tile each op's latency).
+	LatMeanUs float64            `json:"lat_mean_us"`
+	LatP50Us  float64            `json:"lat_p50_us"`
+	LatP99Us  float64            `json:"lat_p99_us"`
+	PhaseUs   map[string]float64 `json:"phase_mean_us"`
 }
 
 // ServerThroughput measures SET throughput against an in-process
@@ -128,6 +136,13 @@ func ServerShardScaling(clients, opsPerClient, maxBatch, trials int, shardCounts
 }
 
 func serverRun(clients, opsPerClient, maxBatch, shards, window, readPct int, mem pmem.Options) (ServerRow, error) {
+	return serverRunTraced(clients, opsPerClient, maxBatch, shards, window, readPct, 0, mem)
+}
+
+// serverRunTraced is serverRun with the tracing knob exposed:
+// traceSample 0 keeps the server default (trace every op), negative
+// disables tracing entirely (the overhead-comparison configuration).
+func serverRunTraced(clients, opsPerClient, maxBatch, shards, window, readPct, traceSample int, mem pmem.Options) (ServerRow, error) {
 	pools := make([]*pool.Pool, shards)
 	for i := range pools {
 		p, err := pool.Create("", pool.Config{Size: 256 << 20, Journals: 16, Mem: mem})
@@ -141,7 +156,7 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window, readPct int, mem
 			p.Close()
 		}
 	}()
-	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond})
+	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond, TraceSample: traceSample})
 	if err != nil {
 		return ServerRow{}, err
 	}
@@ -198,6 +213,7 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window, readPct int, mem
 			}
 		}
 	}
+	lat := srv.LatencySummary()
 	return ServerRow{
 		MaxBatch:      maxBatch,
 		Shards:        shards,
@@ -211,7 +227,32 @@ func serverRun(clients, opsPerClient, maxBatch, shards, window, readPct int, mem
 		Flushes:       flushes,
 		FencesPerOp:   float64(fences) / float64(ops),
 		FencesByScope: byScope,
+		LatMeanUs:     lat.MeanUs,
+		LatP50Us:      lat.P50Us,
+		LatP99Us:      lat.P99Us,
+		PhaseUs:       lat.PhaseMeanUs,
 	}, nil
+}
+
+// ServerTraceOverhead measures what always-on tracing costs: the same
+// configuration run with tracing disabled and with every op traced.
+// Returns (offRow, onRow). The published overhead number is the ops/sec
+// delta; it is printed, not gated — wall clock on shared hosts is noise,
+// but an order-of-magnitude regression would still be visible.
+func ServerTraceOverhead(clients, opsPerClient, maxBatch int, mem pmem.Options) (off, on ServerRow, err error) {
+	window := maxBatch
+	if window > 64 {
+		window = 64
+	}
+	off, err = serverRunTraced(clients, opsPerClient, maxBatch, 1, window, 0, -1, mem)
+	if err != nil {
+		return off, on, fmt.Errorf("tracing off: %w", err)
+	}
+	on, err = serverRunTraced(clients, opsPerClient, maxBatch, 1, window, 0, 1, mem)
+	if err != nil {
+		return off, on, fmt.Errorf("tracing on: %w", err)
+	}
+	return off, on, nil
 }
 
 // serverClient streams ops in pipelined windows: write a window, flush,
@@ -273,18 +314,27 @@ func serverClient(addr string, id, ops, window, readPct int) error {
 
 // PrintServer renders the throughput table.
 func PrintServer(w io.Writer, rows []ServerRow) {
-	fmt.Fprintf(w, "%-10s %7s %6s %8s %10s %12s %12s %12s %14s\n",
-		"max-batch", "shards", "read%", "clients", "ops", "ops/sec", "mean batch", "fences", "fences/op")
+	fmt.Fprintf(w, "%-10s %7s %6s %8s %10s %12s %12s %12s %14s %10s %10s %10s\n",
+		"max-batch", "shards", "read%", "clients", "ops", "ops/sec", "mean batch", "fences", "fences/op", "p50 µs", "p99 µs", "mean µs")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10d %7d %6d %8d %10d %12.0f %12.2f %12d %14.3f\n",
-			r.MaxBatch, r.Shards, r.ReadPct, r.Clients, r.Ops, r.OpsPerSec, r.MeanBatch, r.Fences, r.FencesPerOp)
+		fmt.Fprintf(w, "%-10d %7d %6d %8d %10d %12.0f %12.2f %12d %14.3f %10.1f %10.1f %10.1f\n",
+			r.MaxBatch, r.Shards, r.ReadPct, r.Clients, r.Ops, r.OpsPerSec, r.MeanBatch, r.Fences, r.FencesPerOp,
+			r.LatP50Us, r.LatP99Us, r.LatMeanUs)
 	}
 }
+
+// serverPhaseOrder fixes the CSV phase-column order (the op lifecycle
+// order, matching obs.OpTrace phases).
+var serverPhaseOrder = []string{"queue", "journal", "fence", "apply", "ack"}
 
 // WriteServerCSV writes the artifact-style CSV (server.csv).
 func WriteServerCSV(w io.Writer, rows []ServerRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"max_batch", "shards", "read_pct", "clients", "ops", "seconds", "ops_per_sec", "mean_batch", "fences", "flushes", "fences_per_op"}); err != nil {
+	head := []string{"max_batch", "shards", "read_pct", "clients", "ops", "seconds", "ops_per_sec", "mean_batch", "fences", "flushes", "fences_per_op", "lat_mean_us", "lat_p50_us", "lat_p99_us"}
+	for _, ph := range serverPhaseOrder {
+		head = append(head, "phase_"+ph+"_us")
+	}
+	if err := cw.Write(head); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -300,6 +350,12 @@ func WriteServerCSV(w io.Writer, rows []ServerRow) error {
 			strconv.FormatUint(r.Fences, 10),
 			strconv.FormatUint(r.Flushes, 10),
 			fmt.Sprintf("%.4f", r.FencesPerOp),
+			fmt.Sprintf("%.1f", r.LatMeanUs),
+			fmt.Sprintf("%.1f", r.LatP50Us),
+			fmt.Sprintf("%.1f", r.LatP99Us),
+		}
+		for _, ph := range serverPhaseOrder {
+			rec = append(rec, fmt.Sprintf("%.1f", r.PhaseUs[ph]))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

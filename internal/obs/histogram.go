@@ -23,6 +23,12 @@ func newHistogram(bounds []float64) *Histogram {
 	if !sort.Float64sAreSorted(bounds) {
 		panic("obs: histogram buckets must be sorted ascending")
 	}
+	// An explicit trailing +Inf bound would duplicate the implicit +Inf
+	// bucket in the exposition (two le="+Inf" lines, invalid Prometheus
+	// text format) — fold it into the implicit one instead.
+	for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], +1) {
+		bounds = bounds[:len(bounds)-1]
+	}
 	return &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Uint64, len(bounds)+1),
@@ -51,6 +57,54 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket that holds the target rank — the same
+// estimate Prometheus' histogram_quantile computes. Returns 0 with no
+// observations. A rank landing in the +Inf bucket returns the highest
+// finite bound (the estimate is a floor, not an extrapolation).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (b-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // writeTo renders the Prometheus histogram series (cumulative _bucket
 // lines, then _sum and _count), merging the series labels with le.

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped tracing half of the package: where the
+// metrics side answers "how many" (counters, histograms), spans answer
+// "where did the time go" for individual operations. An OpTrace is one
+// completed operation's phase-by-phase latency decomposition; a Tracer
+// owns a sampling knob and a bounded sharded ring of recent traces, cheap
+// enough to leave on in production. The serving layer feeds it; SLOWLOG
+// and /debug/trace read it back.
+
+// epoch anchors the package's monotonic clock. NowNS readings are
+// comparable to each other within one process; wallAt converts one back
+// to wall time for display.
+var epoch = time.Now()
+
+// NowNS returns nanoseconds since the process-local epoch, read from the
+// monotonic clock (immune to wall-clock steps). It is the timestamp
+// currency of every span and phase in the system.
+func NowNS() int64 { return int64(time.Since(epoch)) }
+
+// wallAt converts a NowNS reading back to wall-clock time.
+func wallAt(ns int64) time.Time { return epoch.Add(time.Duration(ns)) }
+
+// PhaseNS is one phase of an operation: a named sub-interval of the op's
+// lifetime. Start is relative to the op's own start, so a trace is
+// self-contained. Phases that aggregate interleaved stalls (fence time
+// inside a commit) are rendered sequentially; Start orders them for
+// display, Dur carries the measurement.
+type PhaseNS struct {
+	Name  string
+	Start int64 // ns offset from the op's start
+	Dur   int64 // ns
+}
+
+// OpTrace is one completed operation's record: identity, end-to-end
+// duration, and its phase decomposition. All times are NowNS values.
+type OpTrace struct {
+	ID     uint64
+	Name   string // operation ("SET", "GET", "batch", ...)
+	Shard  int    // owning shard, -1 when not applicable
+	Key    uint64
+	Start  int64 // NowNS at which the op began (parse time)
+	Dur    int64 // end-to-end ns
+	Phases []PhaseNS
+}
+
+// Sum returns the total of the phase durations — callers compare it to
+// Dur to check the decomposition accounts for the whole latency.
+func (t OpTrace) Sum() int64 {
+	var s int64
+	for _, p := range t.Phases {
+		s += p.Dur
+	}
+	return s
+}
+
+// ringShards bounds lock contention on the completed-trace ring the same
+// way the flight recorder's shards do: one uncontended mutex around a
+// single slot store in the common case.
+const ringShards = 8
+
+type opRingShard struct {
+	mu   sync.Mutex
+	buf  []OpTrace
+	next int
+	full bool
+	_    [24]byte
+}
+
+// Tracer is the op-trace subsystem: a sampling gate in front of a bounded
+// sharded ring of completed OpTraces. With sampling off the hot path is a
+// single atomic load; with sampling 1/N only every Nth operation pays the
+// record cost, so it can stay on under production load.
+type Tracer struct {
+	sample atomic.Int64 // 0 = off, 1 = every op, N = every Nth
+	tick   atomic.Uint64
+	ids    atomic.Uint64
+	shards [ringShards]opRingShard
+}
+
+// NewTracer returns a tracer retaining about capacity completed traces
+// (rounded up to a multiple of the shard count), with sampling set to
+// sample (see SetSample).
+func NewTracer(capacity, sample int) *Tracer {
+	per := (capacity + ringShards - 1) / ringShards
+	if per < 1 {
+		per = 1
+	}
+	t := &Tracer{}
+	for i := range t.shards {
+		t.shards[i].buf = make([]OpTrace, 0, per)
+	}
+	t.sample.Store(int64(sample))
+	return t
+}
+
+// SetSample tunes the sampling knob: 0 disables tracing entirely, 1
+// traces every operation, N>1 traces every Nth. Safe to flip at runtime.
+func (t *Tracer) SetSample(n int) { t.sample.Store(int64(n)) }
+
+// SampleRate reports the current sampling setting.
+func (t *Tracer) SampleRate() int { return int(t.sample.Load()) }
+
+// Sampled reports whether the current operation should be traced. The
+// caller is expected to build and Record an OpTrace only when it returns
+// true, keeping the untraced path to this one check.
+func (t *Tracer) Sampled() bool {
+	n := t.sample.Load()
+	switch {
+	case n <= 0:
+		return false
+	case n == 1:
+		return true
+	default:
+		return t.tick.Add(1)%uint64(n) == 0
+	}
+}
+
+// Record stores one completed trace, assigning its ID. The trace's phase
+// slice must not be mutated afterwards.
+func (t *Tracer) Record(tr OpTrace) {
+	tr.ID = t.ids.Add(1)
+	sh := &t.shards[tr.ID%ringShards]
+	sh.mu.Lock()
+	if len(sh.buf) < cap(sh.buf) {
+		sh.buf = append(sh.buf, tr)
+	} else {
+		sh.buf[sh.next] = tr
+		sh.next++
+		if sh.next == cap(sh.buf) {
+			sh.next = 0
+		}
+		sh.full = true
+	}
+	sh.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, most recent last (by ID).
+func (t *Tracer) Snapshot() []OpTrace {
+	var out []OpTrace
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.buf...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Slowest returns up to n retained traces ordered by descending duration
+// — the SLOWLOG view.
+func (t *Tracer) Slowest(n int) []OpTrace {
+	all := t.Snapshot()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Dur > all[j].Dur })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Recent returns up to n of the most recently completed traces, oldest
+// first — the /debug/trace view.
+func (t *Tracer) Recent(n int) []OpTrace {
+	all := t.Snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// FormatSlowlog renders traces as the SLOWLOG text reply: a header line
+// then one line per entry, slowest first, each phase in microseconds.
+func FormatSlowlog(traces []OpTrace) string {
+	out := fmt.Sprintf("slowlog_entries: %d\n", len(traces))
+	now := NowNS()
+	for i, tr := range traces {
+		out += fmt.Sprintf("#%d op=%s key=%d shard=%d total_us=%.1f", i, tr.Name, tr.Key, tr.Shard, float64(tr.Dur)/1e3)
+		for _, p := range tr.Phases {
+			out += fmt.Sprintf(" %s_us=%.1f", p.Name, float64(p.Dur)/1e3)
+		}
+		out += fmt.Sprintf(" age_s=%.3f\n", float64(now-tr.Start-tr.Dur)/1e9)
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). The
+// format is what chrome://tracing and Perfetto load natively: ts and dur
+// in microseconds, pid/tid grouping rows.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders traces as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Each op becomes a complete
+// event on its own track (pid = shard, tid = op id) with its phases as
+// nested events, so a slow op visually explains itself.
+func WriteChromeTrace(w io.Writer, traces []OpTrace) error {
+	events := make([]chromeEvent, 0, 4*len(traces))
+	for _, tr := range traces {
+		pid := tr.Shard
+		if pid < 0 {
+			pid = 0
+		}
+		events = append(events, chromeEvent{
+			Name: tr.Name, Ph: "X",
+			Ts: float64(tr.Start) / 1e3, Dur: float64(tr.Dur) / 1e3,
+			Pid: pid, Tid: tr.ID,
+			Args: map[string]any{
+				"key":  tr.Key,
+				"wall": wallAt(tr.Start).Format(time.RFC3339Nano),
+			},
+		})
+		for _, p := range tr.Phases {
+			events = append(events, chromeEvent{
+				Name: p.Name, Ph: "X",
+				Ts: float64(tr.Start+p.Start) / 1e3, Dur: float64(p.Dur) / 1e3,
+				Pid: pid, Tid: tr.ID,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -9,6 +9,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corundum/internal/obs"
 )
@@ -82,10 +83,14 @@ type mediaCounters struct {
 	tornLines, tornWords, bitFlips, badLines atomic.Uint64
 }
 
-// opCounters is one scope's cumulative operation counts.
+// opCounters is one scope's cumulative operation counts, plus the
+// wall-clock nanoseconds spent inside Flush and Fence (including the
+// profile's injected delays) so latency decomposition can charge stall
+// time to the layer that issued it, not just count the operations.
 type opCounters struct {
 	writes, flushes, fences atomic.Uint64
-	_                       [40]byte // one scope per cache line
+	flushNS, fenceNS        atomic.Uint64
+	_                       [24]byte // one scope per cache line
 }
 
 // OpHook observes completed device operations. n is the byte count for
@@ -133,8 +138,12 @@ func (o Op) String() string {
 }
 
 // OpCounts is a point-in-time snapshot of write/flush/fence counts.
+// FlushNanos and FenceNanos are the cumulative wall-clock time spent in
+// Flush and Fence calls; the delta of two snapshots bounds how much of an
+// interval was stalled on persistence.
 type OpCounts struct {
 	Writes, Flushes, Fences uint64
+	FlushNanos, FenceNanos  uint64
 }
 
 // Stats is a point-in-time snapshot of the device's cumulative operation
@@ -225,14 +234,18 @@ func (d *Device) Stats() Stats {
 	var st Stats
 	for sc := Scope(0); sc < NumScopes; sc++ {
 		c := OpCounts{
-			Writes:  d.ctrs[sc].writes.Load(),
-			Flushes: d.ctrs[sc].flushes.Load(),
-			Fences:  d.ctrs[sc].fences.Load(),
+			Writes:     d.ctrs[sc].writes.Load(),
+			Flushes:    d.ctrs[sc].flushes.Load(),
+			Fences:     d.ctrs[sc].fences.Load(),
+			FlushNanos: d.ctrs[sc].flushNS.Load(),
+			FenceNanos: d.ctrs[sc].fenceNS.Load(),
 		}
 		st.ByScope[sc] = c
 		st.Writes += c.Writes
 		st.Flushes += c.Flushes
 		st.Fences += c.Fences
+		st.FlushNanos += c.FlushNanos
+		st.FenceNanos += c.FenceNanos
 	}
 	return st
 }
@@ -309,6 +322,7 @@ func (d *Device) Flush(off, n uint64) {
 	}
 	d.bounds(off, n)
 	sc := CurrentScope()
+	start := time.Now()
 	first := off / CacheLineSize
 	last := (off + n - 1) / CacheLineSize
 	for line := first; line <= last; line++ {
@@ -324,6 +338,7 @@ func (d *Device) Flush(off, n uint64) {
 		}
 		d.prof.delay(d.prof.FlushDelay)
 	}
+	d.ctrs[sc].flushNS.Add(uint64(time.Since(start)))
 	d.observe(OpFlush, sc, off, last-first+1)
 }
 
@@ -332,6 +347,7 @@ func (d *Device) Flush(off, n uint64) {
 func (d *Device) Fence() {
 	d.maybeInject(OpFence)
 	sc := CurrentScope()
+	start := time.Now()
 	d.ctrs[sc].fences.Add(1)
 	if d.track {
 		d.shadowMu.Lock()
@@ -343,6 +359,7 @@ func (d *Device) Fence() {
 	}
 	d.observe(OpFence, sc, 0, 0)
 	d.prof.delay(d.prof.FenceDelay)
+	d.ctrs[sc].fenceNS.Add(uint64(time.Since(start)))
 }
 
 // Persist is the common Flush-then-Fence sequence.

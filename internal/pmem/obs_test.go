@@ -51,14 +51,26 @@ func TestStatsAttributesByScope(t *testing.T) {
 	ExitScope(prev)
 
 	st := d.Stats()
-	if got := st.ByScope[ScopeUserData]; got != (OpCounts{Writes: 1, Flushes: 1, Fences: 1}) {
+	counts := func(c OpCounts) OpCounts {
+		c.FlushNanos, c.FenceNanos = 0, 0
+		return c
+	}
+	if got := counts(st.ByScope[ScopeUserData]); got != (OpCounts{Writes: 1, Flushes: 1, Fences: 1}) {
 		t.Errorf("user-data counts = %+v", got)
 	}
-	if got := st.ByScope[ScopeJournal]; got != (OpCounts{Writes: 1, Flushes: 1, Fences: 2}) {
+	if got := counts(st.ByScope[ScopeJournal]); got != (OpCounts{Writes: 1, Flushes: 1, Fences: 2}) {
 		t.Errorf("journal counts = %+v", got)
 	}
 	if st.Writes != 2 || st.Flushes != 2 || st.Fences != 3 {
 		t.Errorf("totals = %d/%d/%d, want 2/2/3", st.Writes, st.Flushes, st.Fences)
+	}
+	// Wall-clock time inside Flush/Fence is charged to the issuing scope
+	// and summed into the totals.
+	if st.ByScope[ScopeJournal].FenceNanos == 0 || st.ByScope[ScopeUserData].FenceNanos == 0 {
+		t.Errorf("fence nanos not attributed: %+v", st)
+	}
+	if st.FenceNanos != st.ByScope[ScopeUserData].FenceNanos+st.ByScope[ScopeJournal].FenceNanos {
+		t.Errorf("fence nanos total %d != sum of scopes", st.FenceNanos)
 	}
 }
 

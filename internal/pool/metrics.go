@@ -98,6 +98,13 @@ func (p *Pool) EnableMetricsLabeled(r *obs.Registry, base obs.Labels) {
 		})
 	r.GaugeFunc("pool_quarantined_ranges", "byte ranges condemned by repair/scrub", lbl(nil),
 		func() float64 { return float64(len(p.Quarantine())) })
+	// Open-time recovery timeline: one gauge per phase. The timeline is
+	// immutable after Attach, so the closure only captures a value.
+	for _, ph := range p.recoveryTimeline {
+		secs := ph.Seconds
+		r.GaugeFunc("pool_recovery_seconds", "open-time recovery phase duration", lbl(obs.Labels{"phase": ph.Name}),
+			func() float64 { return secs })
+	}
 	r.CounterFunc("pool_scrub_runs_total", "online scrub passes", lbl(nil), p.scrubRuns.Load)
 	r.CounterFunc("pool_scrub_repairs_total", "mirror/checksum repairs performed by scrubs", lbl(nil), p.scrubRepairs.Load)
 	r.CounterFunc("pool_scrub_problems_total", "problems found by scrubs (repaired or not)", lbl(nil), p.scrubProblems.Load)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corundum/internal/alloc"
 	"corundum/internal/journal"
@@ -50,6 +51,16 @@ var (
 // owning structure failed verification and could not be repaired.
 type Range struct {
 	Off, Len uint64
+}
+
+// RecoveryPhase is one step of the open-time recovery timeline: a named
+// phase and the wall-clock seconds it took. The phases, in order, cover
+// the whole span between the process deciding to open a pool and that
+// pool accepting transactions — recovery as an observable, phased
+// process rather than an opaque startup stall.
+type RecoveryPhase struct {
+	Name    string
+	Seconds float64
 }
 
 // Config sizes a pool at creation. The parameters are persisted in the pool
@@ -119,6 +130,12 @@ type Pool struct {
 	// Recovery statistics from Attach (zero for freshly created pools).
 	recoveredBack int
 	recoveredFwd  int
+
+	// recoveryTimeline records how long each phase of the open-time
+	// recovery pass took, in order (fsck, repair, heap-open,
+	// journal-replay, claim-resolution, publish). Written once during
+	// Open/Attach/AttachRepair, read-only afterwards.
+	recoveryTimeline []RecoveryPhase
 
 	// acquireTO, when positive (nanoseconds), bounds how long Transaction
 	// waits for a free journal slot before failing with ErrBusy.
@@ -238,10 +255,17 @@ func Open(path string, mem pmem.Options) (*Pool, error) {
 	// Refuse structurally corrupt images before recovery touches them:
 	// recovery assumes well-formed journal state words and allocator
 	// metadata, and running it over garbage could destroy evidence.
+	fsckStart := time.Now()
 	if err := Fsck(dev); err != nil {
 		return nil, err
 	}
-	return Attach(dev)
+	fsckSecs := time.Since(fsckStart).Seconds()
+	p, err := Attach(dev)
+	if err != nil {
+		return nil, err
+	}
+	p.prependRecoveryPhase("fsck", fsckSecs)
+	return p, nil
 }
 
 // Attach builds a Pool over an already-loaded device that contains a
@@ -267,12 +291,20 @@ func Attach(dev *pmem.Device) (*Pool, error) {
 	}
 
 	p := &Pool{dev: dev, heapStart: g.heapOff, arenaSpan: g.arenaHeap, geo: g, active: make(map[uint64]*journal.Journal)}
+	phaseStart := time.Now()
+	mark := func(name string) {
+		now := time.Now()
+		p.recoveryTimeline = append(p.recoveryTimeline, RecoveryPhase{Name: name, Seconds: now.Sub(phaseStart).Seconds()})
+		phaseStart = now
+	}
 	for i := 0; i < g.nJournals; i++ {
 		meta := g.metaOff + uint64(i)*alloc.MetaSize(g.arenaHeap)
 		heap := g.heapOff + uint64(i)*g.arenaHeap
 		p.arenas = append(p.arenas, alloc.Open(dev, meta, heap, g.arenaHeap))
 	}
+	mark("heap-open")
 	p.recoveredBack, p.recoveredFwd = journal.Recover(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
+	mark("journal-replay")
 	// Settle slab claims only after journal recovery: a rolled-back
 	// transaction's undo restores may target bytes inside a block it had
 	// claimed, and those restores must land while the block is still
@@ -286,6 +318,7 @@ func Attach(dev *pmem.Device) (*Pool, error) {
 			return journal.ClaimAborted(dev, g.bufOff+uint64(jIdx)*g.bufCap, e16)
 		})
 	}
+	mark("claim-resolution")
 	p.journals = journal.Attach(dev, p, g.dirOff, g.bufOff, g.bufCap, g.nJournals)
 	p.initFreeList()
 
@@ -298,6 +331,7 @@ func Attach(dev *pmem.Device) (*Pool, error) {
 	p.hdr = h
 	p.generation = h.generation
 	p.open = true
+	mark("publish")
 	return p, nil
 }
 
@@ -346,6 +380,31 @@ func (p *Pool) JournalsFree() int { return len(p.freeJ) }
 // pools and for pools that shut down cleanly.
 func (p *Pool) Recovery() (rolledBack, rolledForward int) {
 	return p.recoveredBack, p.recoveredFwd
+}
+
+// RecoveryTimeline returns the open-time recovery phases in order with
+// their durations. Empty for pools built by Create (nothing to recover).
+func (p *Pool) RecoveryTimeline() []RecoveryPhase {
+	out := make([]RecoveryPhase, len(p.recoveryTimeline))
+	copy(out, p.recoveryTimeline)
+	return out
+}
+
+// RecoverySeconds returns the total open-time recovery duration (the sum
+// of the timeline phases).
+func (p *Pool) RecoverySeconds() float64 {
+	var s float64
+	for _, ph := range p.recoveryTimeline {
+		s += ph.Seconds
+	}
+	return s
+}
+
+// prependRecoveryPhase records a phase that ran before Attach (fsck,
+// image repair) at the front of the timeline, keeping phase order equal
+// to execution order.
+func (p *Pool) prependRecoveryPhase(name string, seconds float64) {
+	p.recoveryTimeline = append([]RecoveryPhase{{Name: name, Seconds: seconds}}, p.recoveryTimeline...)
 }
 
 // RootOff returns the offset of the root object, or 0 if none was set.

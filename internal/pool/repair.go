@@ -2,6 +2,7 @@ package pool
 
 import (
 	"fmt"
+	"time"
 
 	"corundum/internal/alloc"
 	"corundum/internal/journal"
@@ -35,12 +36,19 @@ func OpenRepair(path string, mem pmem.Options) (*Pool, error) {
 // OpenRepair policy for damaged images: repair from mirrors and
 // checksums where possible, degrade to read-only where not.
 func AttachRepair(dev *pmem.Device) (*Pool, error) {
+	fsckStart := time.Now()
 	rep, err := FsckDevice(dev)
 	if err != nil {
 		return nil, err
 	}
 	if rep.Clean() {
-		return Attach(dev)
+		fsckSecs := time.Since(fsckStart).Seconds()
+		p, err := Attach(dev)
+		if err != nil {
+			return nil, err
+		}
+		p.prependRecoveryPhase("fsck", fsckSecs)
+		return p, nil
 	}
 	if rep.Pending && !dirProblemsOnly(rep) {
 		// Corruption alongside journals awaiting recovery: rollback and
@@ -51,15 +59,22 @@ func AttachRepair(dev *pmem.Device) (*Pool, error) {
 		// authority), so rewriting a mirror and then recovering is safe.
 		return nil, rep.Err()
 	}
+	repairStart := time.Now()
+	fsckSecs := repairStart.Sub(fsckStart).Seconds()
 	repairImage(dev, rep)
 	rep, err = FsckDevice(dev)
 	if err != nil {
 		return nil, err
 	}
+	repairSecs := time.Since(repairStart).Seconds()
 	p, err := Attach(dev)
 	if err != nil {
 		return nil, err
 	}
+	// The re-fsck after repair is part of the repair phase: it validates
+	// the rewrite before recovery trusts it.
+	p.prependRecoveryPhase("repair", repairSecs)
+	p.prependRecoveryPhase("fsck", fsckSecs)
 	if rep.Clean() {
 		return p, nil
 	}

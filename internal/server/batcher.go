@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"corundum/internal/obs"
+	"corundum/internal/pmem"
 	"corundum/internal/workloads"
 )
 
@@ -54,13 +55,35 @@ func HistLabel(bucket int) string {
 	}
 }
 
+// PhaseTimes is one mutation's group-commit latency decomposition, as
+// measured by the committer. QueueNS is how long the op waited between
+// submission and its batch's commit starting (including straggler wait
+// and any prior batch's commit). JournalNS and FenceNS split the commit
+// itself into durable-write time (device Flush wall-clock: undo-log
+// entries, data stores, allocator redo) and fence-stall time (device
+// Fence wall-clock); ApplyNS is the remaining commit wall-clock (store
+// bookkeeping, lock hold). Commit costs are shared by the whole batch and
+// reported in full to every op in it — the batch IS each op's critical
+// path — so QueueNS+JournalNS+FenceNS+ApplyNS spans submission to commit
+// end exactly. DoneNS is the obs.NowNS timestamp of commit end, from
+// which the serving layer derives the ack phase.
+type PhaseTimes struct {
+	QueueNS   int64
+	JournalNS int64
+	FenceNS   int64
+	ApplyNS   int64
+	DoneNS    int64
+}
+
 type reply struct {
 	removed bool
 	err     error
+	ph      PhaseTimes
 }
 
 type setReq struct {
 	op    workloads.Op
+	subNS int64      // obs.NowNS at submission (parse time for server ops)
 	reply chan reply // buffered(1): the committer never blocks on it
 }
 
@@ -76,6 +99,7 @@ type setReq struct {
 type Batcher struct {
 	kv       *workloads.KVStore
 	lock     *sync.RWMutex
+	dev      *pmem.Device // for flush/fence wall-clock deltas; may be nil
 	maxBatch int
 	maxDelay time.Duration
 
@@ -94,10 +118,11 @@ type Batcher struct {
 	sizes atomic.Pointer[obs.Histogram]
 }
 
-func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
+func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, dev *pmem.Device, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
 	b := &Batcher{
 		kv:       kv,
 		lock:     lock,
+		dev:      dev,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
 		reqs:     make(chan setReq, 4*maxBatch),
@@ -110,10 +135,12 @@ func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, maxBatch int, maxDela
 }
 
 // SubmitResult is one mutation's group-commit outcome. For deletes,
-// Removed reports whether the key existed.
+// Removed reports whether the key existed. Phases carries the latency
+// decomposition of a successful commit (zero on failure).
 type SubmitResult struct {
 	Removed bool
 	Err     error
+	Phases  PhaseTimes
 }
 
 // Submit enqueues one mutation and blocks until the transaction holding
@@ -130,12 +157,25 @@ func (b *Batcher) Submit(op workloads.Op) (bool, error) {
 // single connection fill a group-commit batch; the committer may still
 // split a run across transactions or merge runs from many connections.
 func (b *Batcher) SubmitMany(ops []workloads.Op) []SubmitResult {
+	return b.SubmitManyTimed(ops, nil)
+}
+
+// SubmitManyTimed is SubmitMany with per-op submission timestamps
+// (obs.NowNS values, e.g. each op's parse time) so queue wait is measured
+// from when the op actually arrived rather than from this call. A nil
+// startNS stamps every op with now.
+func (b *Batcher) SubmitManyTimed(ops []workloads.Op, startNS []int64) []SubmitResult {
 	out := make([]SubmitResult, len(ops))
 	reqs := make([]setReq, len(ops))
+	now := obs.NowNS()
 	enqueued := 0
 enqueue:
 	for ; enqueued < len(ops); enqueued++ {
-		reqs[enqueued] = setReq{op: ops[enqueued], reply: make(chan reply, 1)}
+		sub := now
+		if startNS != nil {
+			sub = startNS[enqueued]
+		}
+		reqs[enqueued] = setReq{op: ops[enqueued], subNS: sub, reply: make(chan reply, 1)}
 		select {
 		case b.reqs <- reqs[enqueued]:
 		case <-b.dead:
@@ -147,13 +187,13 @@ enqueue:
 		// committer's shutdown, and an op that did commit should be acked.
 		select {
 		case rep := <-reqs[i].reply:
-			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err}
+			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err, Phases: rep.ph}
 			continue
 		default:
 		}
 		select {
 		case rep := <-reqs[i].reply:
-			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err}
+			out[i] = SubmitResult{Removed: rep.removed, Err: rep.err, Phases: rep.ph}
 		case <-b.dead:
 			// The committer died before this op committed: no ack. The op
 			// is either entirely absent or (crash after the commit point)
@@ -270,11 +310,38 @@ func (b *Batcher) run() {
 		for i, r := range batch {
 			ops[i] = r.op
 		}
+		// Bracket the commit with device-counter snapshots: the flush/fence
+		// wall-clock delta splits commit time into durable-write and
+		// fence-stall phases. The committer is the only writer on this
+		// shard's device and readers never flush, so the delta is this
+		// batch's own persistence cost.
+		commitStart := obs.NowNS()
+		var st0 pmem.Stats
+		if b.dev != nil {
+			st0 = b.dev.Stats()
+		}
 		res, err := b.commit(ops)
+		commitEnd := obs.NowNS()
+		var ph PhaseTimes
+		ph.DoneNS = commitEnd
+		if b.dev != nil {
+			st1 := b.dev.Stats()
+			ph.JournalNS = int64(st1.FlushNanos - st0.FlushNanos)
+			ph.FenceNS = int64(st1.FenceNanos - st0.FenceNanos)
+		}
+		ph.ApplyNS = commitEnd - commitStart - ph.JournalNS - ph.FenceNS
+		if ph.ApplyNS < 0 {
+			ph.ApplyNS = 0
+		}
 		for i, r := range batch {
 			rep := reply{err: err}
 			if err == nil {
 				rep.removed = res[i]
+				rep.ph = ph
+				rep.ph.QueueNS = commitStart - r.subNS
+				if rep.ph.QueueNS < 0 {
+					rep.ph.QueueNS = 0
+				}
 			}
 			r.reply <- rep
 		}

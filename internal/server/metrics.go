@@ -19,6 +19,17 @@ func scopeKey(sc pmem.Scope) string { return strings.ReplaceAll(sc.String(), "-"
 // batcher never packs more than MaxBatch (default 64) ops.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
+// opLatencyBuckets is a ×2 ladder from 500ns to ~4s: finer than
+// obs.LatencyBuckets so the interpolated p99/p999 of microsecond-scale
+// ops have sub-bucket resolution.
+var opLatencyBuckets = func() []float64 {
+	out := make([]float64, 0, 24)
+	for b := 500e-9; b < 4.5; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}()
+
 // serverMetrics is the registry-backed instrument set: the request
 // counters the hot path bumps directly plus live read-outs of state owned
 // elsewhere (batcher tallies, pool occupancy, device scope counters —
@@ -40,6 +51,36 @@ type serverMetrics struct {
 	readonlyRejects *obs.Counter
 	corruptionErrs  *obs.Counter
 	batchSizes      *obs.Histogram
+
+	// Per-op latency decomposition (seconds). opSeconds* are end-to-end
+	// (parse to reply written); the phase histograms split a mutation's
+	// lifetime into batch-queue wait, durable journal writes, fence
+	// stalls, store apply, and reply serialization.
+	opSecondsMut  *obs.Histogram
+	opSecondsRead *obs.Histogram
+	phaseQueue    *obs.Histogram
+	phaseJournal  *obs.Histogram
+	phaseFence    *obs.Histogram
+	phaseApply    *obs.Histogram
+	phaseAck      *obs.Histogram
+}
+
+// mutationPhases orders the phase histograms for rendering (STATS keys,
+// bench columns); the names match the OpTrace phase names.
+func (m *serverMetrics) mutationPhases() []struct {
+	Name string
+	H    *obs.Histogram
+} {
+	return []struct {
+		Name string
+		H    *obs.Histogram
+	}{
+		{"queue", m.phaseQueue},
+		{"journal", m.phaseJournal},
+		{"fence", m.phaseFence},
+		{"apply", m.phaseApply},
+		{"ack", m.phaseAck},
+	}
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -61,6 +102,20 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"connection handler panics isolated (connection dropped, server kept serving)", nil),
 		batchSizes: reg.Histogram("server_batch_size",
 			"operations folded into one group-commit transaction", nil, batchSizeBuckets),
+		opSecondsMut: reg.Histogram("server_op_seconds",
+			"end-to-end op latency, parse to reply written", obs.Labels{"kind": "mutation"}, opLatencyBuckets),
+		opSecondsRead: reg.Histogram("server_op_seconds",
+			"end-to-end op latency, parse to reply written", obs.Labels{"kind": "read"}, opLatencyBuckets),
+		phaseQueue: reg.Histogram("server_op_phase_seconds",
+			"mutation latency by phase", obs.Labels{"phase": "queue"}, opLatencyBuckets),
+		phaseJournal: reg.Histogram("server_op_phase_seconds",
+			"mutation latency by phase", obs.Labels{"phase": "journal"}, opLatencyBuckets),
+		phaseFence: reg.Histogram("server_op_phase_seconds",
+			"mutation latency by phase", obs.Labels{"phase": "fence"}, opLatencyBuckets),
+		phaseApply: reg.Histogram("server_op_phase_seconds",
+			"mutation latency by phase", obs.Labels{"phase": "apply"}, opLatencyBuckets),
+		phaseAck: reg.Histogram("server_op_phase_seconds",
+			"mutation latency by phase", obs.Labels{"phase": "ack"}, opLatencyBuckets),
 	}
 	reg.CounterFunc("server_batches_total", "group-commit transactions committed", nil,
 		func() uint64 { b, _ := s.BatchTotals(); return b })
@@ -128,12 +183,34 @@ func (s *Server) MetricsHandler() http.Handler {
 	})
 }
 
-// DebugMux bundles the observability endpoints: GET /metrics plus the
+// TraceHandler serves the most recent sampled op traces as Chrome
+// trace-event JSON — load the response in chrome://tracing or Perfetto
+// to see each op's phase timeline. ?n= bounds how many traces (default
+// 256, capped at the trace ring size).
+func (s *Server) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, s.tracer.Recent(n))
+	})
+}
+
+// DebugMux bundles the observability endpoints: GET /metrics, GET
+// /debug/trace (Chrome trace-event JSON of recent sampled ops), plus the
 // standard pprof handlers under /debug/pprof/. Serve it on a side
 // listener (corundum-server's -metrics-addr), never on the data port.
 func (s *Server) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.MetricsHandler())
+	mux.Handle("/debug/trace", s.TraceHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -20,6 +20,8 @@
 //	INFO               -> $<len> bulk string of "name: value" lines
 //	STATS              -> $<len> bulk string of "name: value" lines
 //	SCRUB              -> $<len> bulk string: online media-scrub report
+//	SLOWLOG [n]        -> $<len> bulk string: the n slowest recent ops
+//	                      with their phase breakdown (default 16)
 //	PING               -> +PONG
 //	QUIT               -> +OK, then the server closes the connection
 //
@@ -53,6 +55,7 @@ const (
 	CmdPing
 	CmdQuit
 	CmdScrub
+	CmdSlowlog
 )
 
 // MaxLineLen bounds a request line (verb + arguments + terminator). A
@@ -140,6 +143,22 @@ func ParseCommand(line []byte) (Command, error) {
 				return Command{}, fmt.Errorf("limit %d too large", limit)
 			}
 			cmd.Limit = int(limit)
+		}
+		return cmd, nil
+	case "SLOWLOG":
+		if len(fields) > 2 {
+			return Command{}, fmt.Errorf("SLOWLOG expects at most 1 argument, got %d", len(fields)-1)
+		}
+		cmd := Command{Kind: CmdSlowlog, Limit: 16}
+		if len(fields) == 2 {
+			n, err := parseU64(fields[1])
+			if err != nil {
+				return Command{}, fmt.Errorf("bad count: %v", err)
+			}
+			if n > 4096 {
+				return Command{}, fmt.Errorf("count %d too large", n)
+			}
+			cmd.Limit = int(n)
 		}
 		return cmd, nil
 	case "INFO", "STATS", "SCRUB", "PING", "QUIT":

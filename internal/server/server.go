@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"corundum/internal/obs"
 	"corundum/internal/pmem"
 	"corundum/internal/pool"
 	"corundum/internal/workloads"
@@ -32,6 +34,15 @@ type Options struct {
 	// instead of blocking the connection forever (default 100ms; negative
 	// disables and restores unbounded blocking).
 	BusyTimeout time.Duration
+	// TraceSample tunes op tracing: 1 (the default) traces every
+	// operation, N>1 every Nth, negative disables tracing and per-op
+	// latency recording entirely (the hot path pays one atomic load).
+	// Phase histograms, STATS latency keys, SLOWLOG, and /debug/trace all
+	// feed from this.
+	TraceSample int
+	// TraceRing bounds how many completed op traces SLOWLOG and
+	// /debug/trace can look back over (default 4096).
+	TraceRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +57,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BusyTimeout == 0 {
 		o.BusyTimeout = 100 * time.Millisecond
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
+	if o.TraceSample < 0 {
+		o.TraceSample = 0 // obs.Tracer's "off"
+	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 4096
 	}
 	return o
 }
@@ -80,6 +100,10 @@ type Server struct {
 	// m holds the registry-backed metrics; STATS and GET /metrics render
 	// from the same instruments.
 	m *serverMetrics
+
+	// tracer retains sampled op traces for SLOWLOG and /debug/trace; its
+	// sample knob also gates all per-op latency recording.
+	tracer *obs.Tracer
 }
 
 // Batcher exposes shard 0's group-commit engine (stats, benchmarks on
@@ -218,7 +242,7 @@ func (s *Server) handleConn(c net.Conn) {
 	// submission: each shard's slice of a full run still averages
 	// MaxBatch ops.
 	runCap := s.opts.MaxBatch * len(s.shards)
-	pending := make([]Command, 0, runCap)
+	pending := make([]pendingMut, 0, runCap)
 	for {
 		line, err := readLine(r)
 		switch {
@@ -245,7 +269,10 @@ func (s *Server) handleConn(c net.Conn) {
 				return
 			}
 		case cmd.Kind == CmdSet || cmd.Kind == CmdDel:
-			pending = append(pending, cmd)
+			// The parse timestamp is the op's birth for latency purposes:
+			// everything from here to the durable-commit ack is decomposed
+			// into phases.
+			pending = append(pending, pendingMut{cmd: cmd, startNS: obs.NowNS()})
 			if len(pending) < runCap && hasFullLine(r) {
 				continue
 			}
@@ -267,23 +294,33 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// pendingMut is one pipelined mutation awaiting submission, stamped with
+// its parse time so queue wait is measured from when the op arrived.
+type pendingMut struct {
+	cmd     Command
+	startNS int64
+}
+
 // flushMutations partitions the connection's pipelined run of mutations
 // by owning shard, submits each slice to that shard's batcher — all
 // shards concurrently — and writes the replies back in submission
 // order. Ack-after-commit holds per op: a reply is written only after
-// the shard transaction holding that op has durably committed.
-func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
+// the shard transaction holding that op has durably committed. Each
+// successful op's latency is decomposed into queue / journal / fence /
+// apply / ack phases (see PhaseTimes) and recorded into the latency
+// histograms and — when sampled — the trace ring.
+func (s *Server) flushMutations(pending *[]pendingMut, w *bufio.Writer) {
 	cmds := *pending
 	if len(cmds) == 0 {
 		return
 	}
 	*pending = cmds[:0]
 	ops := make([]workloads.Op, len(cmds))
-	for i, cmd := range cmds {
-		if cmd.Kind == CmdDel {
-			ops[i] = workloads.Op{Del: true, Key: cmd.Key}
+	for i, pm := range cmds {
+		if pm.cmd.Kind == CmdDel {
+			ops[i] = workloads.Op{Del: true, Key: pm.cmd.Key}
 		} else {
-			ops[i] = workloads.Op{Key: cmd.Key, Val: cmd.Val}
+			ops[i] = workloads.Op{Key: pm.cmd.Key, Val: pm.cmd.Val}
 		}
 	}
 	results := make([]SubmitResult, len(cmds))
@@ -301,26 +338,31 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 			continue
 		}
 		for _, oi := range idx[si] {
-			if cmds[oi].Kind == CmdDel {
+			if cmds[oi].cmd.Kind == CmdDel {
 				s.m.opsDel.Inc()
 			} else {
 				s.m.opsSet.Inc()
 			}
 		}
+		sNS := make([]int64, len(idx[si]))
+		for k, oi := range idx[si] {
+			sNS[k] = cmds[oi].startNS
+		}
 		wg.Add(1)
-		go func(sh *shard, sOps []workloads.Op, sIdx []int) {
+		go func(sh *shard, sOps []workloads.Op, sNS []int64, sIdx []int) {
 			defer wg.Done()
-			for k, r := range sh.b.SubmitMany(sOps) {
+			for k, r := range sh.b.SubmitManyTimed(sOps, sNS) {
 				results[sIdx[k]] = r
 			}
-		}(sh, byShard[si], idx[si])
+		}(sh, byShard[si], sNS, idx[si])
 	}
 	wg.Wait()
+	traceOn := s.tracer.SampleRate() > 0
 	for i, res := range results {
 		switch {
 		case res.Err != nil:
 			s.writeReplyErr(w, res.Err)
-		case cmds[i].Kind == CmdDel:
+		case cmds[i].cmd.Kind == CmdDel:
 			if res.Removed {
 				writeInt(w, 1)
 			} else {
@@ -329,7 +371,58 @@ func (s *Server) flushMutations(pending *[]Command, w *bufio.Writer) {
 		default:
 			writeOK(w)
 		}
+		if traceOn && res.Err == nil {
+			s.recordMutation(cmds[i], res.Phases)
+		}
 	}
+}
+
+// recordMutation feeds one acked mutation's phase decomposition into the
+// latency histograms and, when this op is sampled, the trace ring. The
+// reply timestamp is taken here — after the reply bytes were written —
+// so the ack phase covers reply serialization and the five phases tile
+// the op's end-to-end latency exactly.
+func (s *Server) recordMutation(pm pendingMut, ph PhaseTimes) {
+	repNS := obs.NowNS()
+	ackNS := repNS - ph.DoneNS
+	if ackNS < 0 {
+		ackNS = 0
+	}
+	e2e := repNS - pm.startNS
+	m := s.m
+	m.opSecondsMut.Observe(float64(e2e) / 1e9)
+	m.phaseQueue.Observe(float64(ph.QueueNS) / 1e9)
+	m.phaseJournal.Observe(float64(ph.JournalNS) / 1e9)
+	m.phaseFence.Observe(float64(ph.FenceNS) / 1e9)
+	m.phaseApply.Observe(float64(ph.ApplyNS) / 1e9)
+	m.phaseAck.Observe(float64(ackNS) / 1e9)
+	if !s.tracer.Sampled() {
+		return
+	}
+	name := "SET"
+	if pm.cmd.Kind == CmdDel {
+		name = "DEL"
+	}
+	off := int64(0)
+	phase := func(n string, dur int64) obs.PhaseNS {
+		p := obs.PhaseNS{Name: n, Start: off, Dur: dur}
+		off += dur
+		return p
+	}
+	s.tracer.Record(obs.OpTrace{
+		Name:  name,
+		Shard: workloads.ShardFor(pm.cmd.Key, len(s.shards)),
+		Key:   pm.cmd.Key,
+		Start: pm.startNS,
+		Dur:   e2e,
+		Phases: []obs.PhaseNS{
+			phase("queue", ph.QueueNS),
+			phase("journal", ph.JournalNS),
+			phase("fence", ph.FenceNS),
+			phase("apply", ph.ApplyNS),
+			phase("ack", ackNS),
+		},
+	})
 }
 
 // hasFullLine reports whether the reader's buffer already holds a
@@ -377,7 +470,9 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 	switch cmd.Kind {
 	case CmdGet:
 		s.m.opsGet.Inc()
+		startNS := obs.NowNS()
 		val, found, err := s.get(cmd.Key)
+		readNS := obs.NowNS() - startNS
 		switch {
 		case err != nil:
 			s.writeReplyErr(w, err)
@@ -386,9 +481,14 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		default:
 			writeNil(w)
 		}
+		if err == nil {
+			s.recordRead("GET", cmd.Key, startNS, readNS)
+		}
 	case CmdScan:
 		s.m.opsScan.Inc()
+		startNS := obs.NowNS()
 		pairs, err := s.scan(cmd.Limit)
+		readNS := obs.NowNS() - startNS
 		if err != nil {
 			s.writeReplyErr(w, err)
 		} else {
@@ -396,6 +496,7 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 			for i := 0; i < len(pairs); i += 2 {
 				fmt.Fprintf(w, "%d %d\r\n", pairs[i], pairs[i+1])
 			}
+			s.recordRead("SCAN", 0, startNS, readNS)
 		}
 	case CmdInfo:
 		writeBulk(w, s.renderInfo())
@@ -404,6 +505,8 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 	case CmdScrub:
 		s.m.opsScrub.Inc()
 		writeBulk(w, s.runScrub())
+	case CmdSlowlog:
+		writeBulk(w, obs.FormatSlowlog(s.tracer.Slowest(cmd.Limit)))
 	case CmdPing:
 		w.WriteString("+PONG\r\n")
 	case CmdQuit:
@@ -411,6 +514,36 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		return true
 	}
 	return false
+}
+
+// recordRead feeds one successful read's latency into the read histogram
+// and, when sampled, the trace ring: a "read" phase (store access under
+// the shard reader lock) and an "ack" phase (reply serialization).
+func (s *Server) recordRead(name string, key uint64, startNS, readNS int64) {
+	if s.tracer.SampleRate() <= 0 {
+		return
+	}
+	repNS := obs.NowNS()
+	e2e := repNS - startNS
+	s.m.opSecondsRead.Observe(float64(e2e) / 1e9)
+	if !s.tracer.Sampled() {
+		return
+	}
+	shardID := -1
+	if name == "GET" {
+		shardID = workloads.ShardFor(key, len(s.shards))
+	}
+	s.tracer.Record(obs.OpTrace{
+		Name:  name,
+		Shard: shardID,
+		Key:   key,
+		Start: startNS,
+		Dur:   e2e,
+		Phases: []obs.PhaseNS{
+			{Name: "read", Start: 0, Dur: readNS},
+			{Name: "ack", Start: readNS, Dur: e2e - readNS},
+		},
+	})
 }
 
 // get and scan run read-only transactions under the owning shard's
@@ -554,6 +687,12 @@ func (s *Server) renderInfo() string {
 		degraded, generationSet   bool
 	)
 	var perShard string
+	// The recovery timeline aggregates phase durations across shards in
+	// first-seen order (phases differ by open path: fsck/repair only
+	// appear when an image needed checking or healing).
+	var recoveryOrder []string
+	recoverySecs := make(map[string]float64)
+	recoveryTotal := 0.0
 	multi := len(s.shards) > 1
 	for _, sh := range s.shards {
 		if downErr := sh.down(); downErr != nil || sh.pool == nil {
@@ -583,6 +722,13 @@ func (s *Server) renderInfo() string {
 		rolledForward += rf
 		heapInUse += p.InUse()
 		heapFree += p.FreeBytes()
+		for _, phase := range p.RecoveryTimeline() {
+			if _, seen := recoverySecs[phase.Name]; !seen {
+				recoveryOrder = append(recoveryOrder, phase.Name)
+			}
+			recoverySecs[phase.Name] += phase.Seconds
+			recoveryTotal += phase.Seconds
+		}
 		if p.Degraded() {
 			degraded = true
 		}
@@ -595,7 +741,12 @@ func (s *Server) renderInfo() string {
 				sh.id, p.Generation(), sh.id, p.RootOff(),
 				sh.id, p.Journals()-p.JournalsFree(), sh.id, rb,
 				sh.id, rf, sh.id, p.Degraded())
+			perShard += fmt.Sprintf("shard%d_recovery_seconds_total: %.6f\n", sh.id, p.RecoverySeconds())
 		}
+	}
+	recoveryLines := fmt.Sprintf("recovery_seconds_total: %.6f\n", recoveryTotal)
+	for _, name := range recoveryOrder {
+		recoveryLines += fmt.Sprintf("recovery_seconds_%s: %.6f\n", strings.ReplaceAll(name, "-", "_"), recoverySecs[name])
 	}
 	return fmt.Sprintf(
 		"server: corundum-server\n"+
@@ -628,7 +779,7 @@ func (s *Server) renderInfo() string {
 		s.halted.Load(),
 		degraded,
 		quarantined,
-	) + perShard
+	) + recoveryLines + perShard
 }
 
 func (s *Server) renderStats() string {
@@ -687,8 +838,59 @@ func (s *Server) renderStats() string {
 	for sc := pmem.Scope(0); sc < pmem.NumScopes; sc++ {
 		out += fmt.Sprintf("pmem_fences_%s: %d\n", scopeKey(sc), st.ByScope[sc].Fences)
 	}
+	us := func(sec float64) float64 { return sec * 1e6 }
+	hm := s.m.opSecondsMut
+	out += fmt.Sprintf("lat_mutation_ops: %d\nlat_mutation_mean_us: %.1f\n"+
+		"lat_mutation_p50_us: %.1f\nlat_mutation_p99_us: %.1f\nlat_mutation_p999_us: %.1f\n",
+		hm.Count(), us(hm.Mean()), us(hm.Quantile(0.5)), us(hm.Quantile(0.99)), us(hm.Quantile(0.999)))
+	hr := s.m.opSecondsRead
+	out += fmt.Sprintf("lat_read_ops: %d\nlat_read_mean_us: %.1f\nlat_read_p50_us: %.1f\nlat_read_p99_us: %.1f\n",
+		hr.Count(), us(hr.Mean()), us(hr.Quantile(0.5)), us(hr.Quantile(0.99)))
+	for _, p := range s.m.mutationPhases() {
+		out += fmt.Sprintf("phase_%s_mean_us: %.1f\nphase_%s_p50_us: %.1f\nphase_%s_p99_us: %.1f\n",
+			p.Name, us(p.H.Mean()), p.Name, us(p.H.Quantile(0.5)), p.Name, us(p.H.Quantile(0.99)))
+	}
 	return out + perShard
 }
+
+// LatencySummary condenses the per-op latency instruments for benchmark
+// output: end-to-end mutation percentiles plus the mean time each phase
+// contributed, all in microseconds.
+type LatencySummary struct {
+	Ops                          uint64
+	MeanUs, P50Us, P99Us, P999Us float64
+	PhaseMeanUs                  map[string]float64
+}
+
+// LatencySummary reads the mutation latency decomposition accumulated so
+// far (zero-valued with tracing disabled or no traffic).
+func (s *Server) LatencySummary() LatencySummary {
+	h := s.m.opSecondsMut
+	sum := LatencySummary{
+		Ops:         h.Count(),
+		MeanUs:      h.Mean() * 1e6,
+		P50Us:       h.Quantile(0.5) * 1e6,
+		P99Us:       h.Quantile(0.99) * 1e6,
+		P999Us:      h.Quantile(0.999) * 1e6,
+		PhaseMeanUs: make(map[string]float64, 5),
+	}
+	for _, p := range s.m.mutationPhases() {
+		sum.PhaseMeanUs[p.Name] = p.H.Mean() * 1e6
+	}
+	return sum
+}
+
+// SetTraceSample retunes the tracer's sampling knob at runtime (see
+// Options.TraceSample; values ≤ 0 disable).
+func (s *Server) SetTraceSample(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.tracer.SetSample(n)
+}
+
+// Tracer exposes the server's op tracer (tests, embedding).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Response writers (RESP-like).
 

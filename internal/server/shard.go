@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/obs"
 	"corundum/internal/pmem"
 	"corundum/internal/pool"
 	"corundum/internal/workloads"
@@ -124,6 +125,7 @@ func NewSharded(pools []*pool.Pool, opts Options) (*Server, error) {
 		start:  time.Now(),
 		conns:  make(map[net.Conn]struct{}),
 		shards: make([]*shard, len(pools)),
+		tracer: obs.NewTracer(opts.TraceRing, opts.TraceSample),
 	}
 	down := 0
 	for i, p := range pools {
@@ -183,7 +185,7 @@ func (s *Server) initShard(sh *shard) error {
 		}
 		sh.kv = attached
 	}
-	sh.b = newBatcher(sh.kv, &sh.lock, s.opts.MaxBatch, s.opts.MaxDelay,
+	sh.b = newBatcher(sh.kv, &sh.lock, p.Device(), s.opts.MaxBatch, s.opts.MaxDelay,
 		func(err error) { s.onShardFailure(sh, err) })
 	// Store setup above needed a journal slot unconditionally; only live
 	// traffic gets the bounded wait.
