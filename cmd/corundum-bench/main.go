@@ -229,12 +229,25 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			overhead.OffOpsPerSec, overhead.OnOpsPerSec, overhead.OverheadPct)
 		rows = append(rows, shardRows...)
 		rows = append(rows, mixRows...)
+		// Serving through a live 1->2 split: the migrating row is the
+		// tentpole claim (nonzero throughput while keys move) and CI gates
+		// on it in the JSON artifact.
+		fmt.Printf("=== corundum-server: serving through an online 1->2 reshard (%d clients) ===\n", srvClients)
+		migRows, err := bench.ServerMigration(srvClients, 20000, 1, 2, pmem.Options{Profile: prof})
+		if err != nil {
+			return err
+		}
+		bench.PrintMigration(os.Stdout, migRows)
+		fmt.Println()
 		if csvDir != "" {
 			f, err := os.Create(filepath.Join(csvDir, "server.csv"))
 			if err != nil {
 				return err
 			}
 			if err := bench.WriteServerCSV(f, rows); err != nil {
+				return err
+			}
+			if err := bench.AppendMigrationCSV(f, migRows); err != nil {
 				return err
 			}
 			f.Close()
@@ -252,7 +265,7 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			if err != nil {
 				return err
 			}
-			err = bench.WriteServerJSON(f, rows, cov, overhead)
+			err = bench.WriteServerJSON(f, rows, cov, overhead, migRows)
 			f.Close()
 			if err != nil {
 				return err

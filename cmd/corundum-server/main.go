@@ -36,6 +36,21 @@
 // recover is fenced — its keyspace slice answers -READONLY — while
 // every other shard serves normally.
 //
+// The shard count is a durable property of the deployment, not of the
+// command line: the first boot commits -shards into the cluster config
+// on shard 0, and every later boot discovers the committed layout from
+// the pool files themselves (ignoring a disagreeing -shards). The
+// RESHARD N admin command changes it online — keys migrate between
+// pools in small crash-atomic batches while traffic keeps being served;
+// writes to a key mid-move answer -MOVED <shard> (retryable:
+// server.RetryTransient). New shard pools are created as "<pool>.<i>".
+// A crash or SIGTERM mid-migration parks it at a durable cursor; the
+// next boot resumes it automatically. BACKUP <file> streams a
+// CRC-framed, crash-consistent snapshot of the whole keyspace to a file
+// while mutations continue; RESTORE <file> validates the file end to
+// end, then atomically replaces the keyspace with the snapshot (a crash
+// mid-restore wipes to empty at next boot rather than serving a blend).
+//
 // When every journal slot stays busy for longer than -busy-timeout the
 // affected request is answered with -BUSY, a retryable backpressure
 // signal (clients: server.RetryBusy backs off with jitter). On SIGTERM or
@@ -106,6 +121,34 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	}
 	cfg := pool.Config{Size: size, Journals: journals, Mem: pmem.Options{Profile: prof}}
 
+	// Boot discovery: the shard count a deployment is committed to lives
+	// in the pools (the cluster config an online RESHARD rewrites), not in
+	// -shards. Read it from shard 0 — along with any interrupted
+	// migration's manifest, which raises the count to cover the target
+	// pools the resume needs — and open exactly that layout. -shards only
+	// decides the layout of a fresh deployment.
+	lay, err := server.DiscoverLayout(path, shards, cfg.Mem)
+	if err != nil {
+		return fmt.Errorf("discovering shard layout: %w", err)
+	}
+	switch {
+	case lay.FromFlag:
+		// Fresh deployment (or a pool predating cluster configs): -shards
+		// decides, and adoptPersistentState commits it.
+	case lay.CfgShards != shards:
+		fmt.Printf("pools are committed to %d shard(s) (config epoch %d); ignoring -shards %d\n",
+			lay.CfgShards, lay.Epoch, shards)
+	}
+	if m := lay.Resume; m != nil {
+		fmt.Printf("interrupted %d->%d migration found (epoch %d, cursor at bucket %d); resuming after recovery\n",
+			m.OldN, m.NewN, m.Epoch, m.Cursor)
+	}
+	for _, stale := range lay.Stale {
+		fmt.Printf("WARNING: %s exists but is not part of the committed %d-shard layout (merge leftover?); not opening it\n",
+			stale, lay.N)
+	}
+	shards = lay.N
+
 	// Open (recovering and repairing) or create every shard, all
 	// concurrently; no traffic is accepted before recovery completes and
 	// the consistency checks in server.NewSharded pass. OpenRepair behaves
@@ -114,7 +157,7 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	// read-only serving instead of refusing. A shard that fails to open
 	// outright is fenced (-READONLY for its slice) rather than vetoing
 	// its siblings — unless it is the only shard.
-	paths := server.ShardPaths(path, shards)
+	paths := lay.Paths
 	pools, errs := server.OpenShards(paths, cfg)
 	for i, p := range pools {
 		switch {
@@ -156,7 +199,13 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	if busyTO == 0 {
 		busyTO = -1 // 0 on the command line means "block forever", Options' disable value
 	}
-	srv, err := server.NewSharded(pools, server.Options{MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets, BusyTimeout: busyTO, TraceSample: traceSample})
+	srv, err := server.NewSharded(pools, server.Options{
+		MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets,
+		BusyTimeout: busyTO, TraceSample: traceSample,
+		// RESHARD grows past the booted pools by creating "<pool>.<i>"
+		// files with the same geometry.
+		ShardOpener: server.FileShardOpener(path, cfg),
+	})
 	if err != nil {
 		return err
 	}

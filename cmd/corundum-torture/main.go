@@ -36,6 +36,16 @@
 //	                 [-stride N] [-torn-budget N] [-flips N]
 //	                 [-workers N] [-dump-dir D]
 //
+// Migrate mode exhaustively power-cuts a scripted 1->2 shard split: every
+// device op of the migration protocol (manifest publication, per-batch
+// copies, the source hand-off transaction, the config commit) across both
+// pools is a crash point, each recovered-and-resumed — with nested cuts
+// during the recovery itself to -depth — and every terminal state must
+// hold each key exactly once at its new home:
+//
+//	corundum-torture -mode migrate [-depth K] [-mig-keys N] [-mig-batch W]
+//	                 [-max-points N] [-workers N] [-dump-dir D]
+//
 // In exhaust and faults modes, -shards N emulates an N-shard deployment:
 // the campaign crashes shard 0 over and over while shards 1..N-1 serve
 // live KV traffic on their own independent pools. When the campaign
@@ -61,7 +71,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "random", "campaign mode: random | exhaust")
+	mode := flag.String("mode", "random", "campaign mode: random | exhaust | faults | migrate")
 	seeds := flag.Int("seeds", 8, "random mode: number of independent campaigns")
 	iterations := flag.Int("iterations", 500, "random mode: transactions per campaign")
 	workers := flag.Int("workers", 0, fmt.Sprintf("goroutines (random mode: 1..%d concurrent transactions, default 1; exhaust mode: crash-point shards, default GOMAXPROCS)", torture.MaxWorkers))
@@ -75,6 +85,9 @@ func main() {
 	slabRefill := flag.Int("slab-refill", 0, "exhaust mode: slab refill batch size (0 = pool default, -1 = disable the cache)")
 	slabCap := flag.Int("slab-cap", 0, "exhaust mode: parked blocks per class before a spill (0 = pool default)")
 	flips := flag.Int("flips", 4, "faults mode: bit flips probed per crash point")
+	migKeys := flag.Int("mig-keys", 12, "migrate mode: keys seeded on the source shard")
+	migBatch := flag.Int("mig-batch", 4, "migrate mode: buckets moved per crash-atomic batch")
+	maxPoints := flag.Int("max-points", 0, "migrate mode: explore only the first N top-level crash points (0 = all) — the CI budget knob")
 	shards := flag.Int("shards", 1, "exhaust/faults mode: run the campaign on shard 0 of an N-shard deployment; shards 1..N-1 serve live traffic throughout and are verified at the end")
 	flag.Parse()
 
@@ -93,8 +106,10 @@ func main() {
 		sib := startSiblings(*shards - 1)
 		runFaults(*workload, *steps, *stride, *tornBudget, *flips, *workers, *dumpDir)
 		stopSiblings(sib)
+	case "migrate":
+		runMigrate(*migKeys, *migBatch, *depth, *maxPoints, *workers, *dumpDir)
 	default:
-		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, or faults)\n", *mode)
+		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, faults, or migrate)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -303,6 +318,72 @@ func runFaults(workload string, steps, stride, tornBudget, flips, workers int, d
 		os.Exit(1)
 	}
 	fmt.Printf("OK: no silent corruption — every injected fault was masked, repaired, or detected\n")
+}
+
+func runMigrate(keys, batch, depth, maxPoints, workers int, dumpDir string) {
+	st := &explore.Stats{}
+	cfg := explore.MigrateConfig{
+		Keys:         keys,
+		BatchBuckets: batch,
+		Depth:        depth,
+		MaxPoints:    maxPoints,
+		Workers:      workers,
+		Stats:        st,
+	}
+	if depth == 0 {
+		cfg.Depth = -1 // MigrateConfig treats 0 as "default"; the CLI's 0 means none
+	}
+
+	stop := make(chan struct{})
+	progressDone := make(chan struct{})
+	go func() {
+		defer close(progressDone)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "  ... %d/%d crash points (%d recovered+verified, %d pruned, %d recovery crashes)\n",
+					st.CrashPoints.Load(), st.TotalOps.Load(), st.Explored.Load(),
+					st.Pruned.Load(), st.RecoveryCrashes.Load())
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, err := explore.RunMigrate(cfg)
+	close(stop)
+	<-progressDone
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: migrate: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("migration: %d keys, 1->2 split, %d device ops across both pools, %d crash points enumerated\n",
+		res.Keys, res.TotalOps, res.ExploredPoints)
+	fmt.Printf("explored %d terminal states (%d pruned by durable-image-pair hash), %d nested recovery crashes (%.1fs)\n",
+		st.Explored.Load(), st.Pruned.Load(), st.RecoveryCrashes.Load(), time.Since(start).Seconds())
+
+	if len(res.Violations) > 0 {
+		for i, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "corundum-torture: VIOLATION: %v\n", v)
+			if dumpDir != "" {
+				writeFlightDump(dumpDir, i, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "corundum-torture: migrate: %d violations — keys lost, duplicated, or torn across the split\n", len(res.Violations))
+		os.Exit(1)
+	}
+	// Exhaustiveness check (only meaningful on a clean run: violations
+	// stop the sweep early by design).
+	if st.CrashPoints.Load() != res.ExploredPoints {
+		fmt.Fprintf(os.Stderr, "corundum-torture: migrate: processed %d of %d crash points\n",
+			st.CrashPoints.Load(), res.ExploredPoints)
+		os.Exit(2)
+	}
+	fmt.Printf("OK: every power cut resumes to a completed migration with all %d keys intact\n", res.Keys)
 }
 
 // writeFlightDump names the file after the crash point and trail so a

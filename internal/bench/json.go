@@ -21,6 +21,10 @@ type serverJSON struct {
 	// TraceOverhead, when present, records what always-on tracing costs
 	// against the same configuration with tracing disabled.
 	TraceOverhead *TraceOverheadRow `json:"trace_overhead,omitempty"`
+	// Migration, when present, holds the serving-through-a-reshard
+	// measurement: steady state, split in flight, committed layout. CI
+	// gates on the migrating row showing nonzero throughput.
+	Migration []MigrationRow `json:"migration,omitempty"`
 }
 
 // TraceOverheadRow summarizes the tracing-off vs tracing-on comparison.
@@ -37,10 +41,10 @@ type TraceOverheadRow struct {
 // configuration's ops/sec, fences/op, latency percentiles, phase means,
 // and per-scope fence attribution, plus the fault-campaign coverage
 // counters and the tracing-overhead comparison when non-nil.
-func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow) error {
+func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow, migration []MigrationRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead})
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead, Migration: migration})
 }
 
 // microJSON is the BENCH_micro.json document: Table 5 latencies keyed by

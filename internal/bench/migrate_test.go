@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corundum/internal/pmem"
+)
+
+// TestServerMigrationSmall runs the serving-through-a-reshard
+// measurement at small scale: three phases must come back in order,
+// every phase must show real throughput (the tentpole claim: the
+// migrating window serves), and the migrating row must have moved keys.
+func TestServerMigrationSmall(t *testing.T) {
+	rows, err := ServerMigration(4, 4000, 1, 2, pmem.Options{Profile: pmem.NoDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 phases", len(rows))
+	}
+	for i, phase := range []string{"steady", "migrating", "after"} {
+		r := rows[i]
+		if r.Phase != phase {
+			t.Fatalf("row %d phase = %q, want %q", i, r.Phase, phase)
+		}
+		if r.Ops == 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("%s phase served nothing: %+v", phase, r)
+		}
+		if r.P99Us < r.MeanUs/10 || r.MeanUs <= 0 {
+			t.Fatalf("%s phase latencies look wrong: mean %.1fµs p99 %.1fµs", phase, r.MeanUs, r.P99Us)
+		}
+		if r.FromShards != 1 || r.ToShards != 2 {
+			t.Fatalf("%s phase shape = %d->%d, want 1->2", phase, r.FromShards, r.ToShards)
+		}
+	}
+	if rows[1].MovedKeys == 0 || rows[1].Batches == 0 {
+		t.Fatalf("migrating row shows no migration progress: %+v", rows[1])
+	}
+
+	var tbl, csvBuf bytes.Buffer
+	PrintMigration(&tbl, rows)
+	if !strings.Contains(tbl.String(), "migrating") {
+		t.Fatal("rendered table lacks the migrating row")
+	}
+	if err := AppendMigrationCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csvBuf.String(), "\n"); got != 5 { // blank + header + 3 rows
+		t.Fatalf("CSV block has %d lines, want 5:\n%s", got, csvBuf.String())
+	}
+}

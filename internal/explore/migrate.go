@@ -1,0 +1,520 @@
+// Migration crash campaign: exhaustive power-cut exploration of a
+// scripted 1->2 shard split. Where explore.Run enumerates crash points
+// of a single-pool workload, RunMigrate enumerates every device op of
+// the whole migration protocol — manifest publication, per-batch target
+// copies, the source delete+cursor-advance transaction, and the config
+// commit — across BOTH pools, cutting power at each, then recursively
+// cutting power again during the recovery-and-resume that follows, to
+// the configured depth. Terminal states must always resume to a
+// completed migration with every key exactly once at its new home: zero
+// lost, zero duplicated, zero torn.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/obs"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/workloads"
+)
+
+// MigrateConfig parameterizes one migration crash campaign.
+type MigrateConfig struct {
+	// Keys seeds this many keys on the source shard (default 12).
+	Keys int
+	// Buckets is each store's directory size (default 8; small so a
+	// single batch spans a meaningful key population).
+	Buckets int
+	// BatchBuckets is the migration batch width (default 4, giving a
+	// multi-batch migration whose cursor genuinely advances).
+	BatchBuckets int
+	// Depth is how many nested cuts may land during recovery+resume on
+	// top of the initial cut (default 2; negative for none).
+	Depth int
+	// Workers shards top-level crash points (default GOMAXPROCS, cap 8).
+	Workers int
+	// PoolSize per pool (default 4 MiB).
+	PoolSize int
+	// MaxViolations stops the run early (default 8).
+	MaxViolations int
+	// MaxPoints, when positive, bounds how many top-level crash points
+	// are explored (the first MaxPoints of the op stream) — the CI
+	// budget knob. Zero means all of them.
+	MaxPoints int
+	// Registry, when set, receives live explore_* counters.
+	Registry *obs.Registry
+	// Stats, when set, is updated live; otherwise allocated internally.
+	Stats *Stats
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+	// FlightCap is the per-device flight-recorder capacity (default 4096).
+	FlightCap int
+}
+
+func (c MigrateConfig) withDefaults() MigrateConfig {
+	if c.Keys <= 0 {
+		c.Keys = 12
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 8
+	}
+	if c.BatchBuckets <= 0 {
+		c.BatchBuckets = 4
+	}
+	if c.Depth < 0 {
+		c.Depth = 0
+	} else if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4 << 20
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 8
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	if c.FlightCap <= 0 {
+		c.FlightCap = 4096
+	}
+	return c
+}
+
+// MigrateResult summarizes a completed migration campaign.
+type MigrateResult struct {
+	// TotalOps is the device-op length of the uninterrupted migration
+	// (summed across both pools) — the top-level crash-point universe.
+	TotalOps uint64
+	// ExploredPoints is how many of those were actually enumerated
+	// (TotalOps unless MaxPoints trimmed the universe).
+	ExploredPoints uint64
+	// Keys echoes the seeded key count.
+	Keys int
+	// Stats is the final counter snapshot source.
+	Stats *Stats
+	// Violations holds up to MaxViolations failures, with flight dumps.
+	Violations []Violation
+}
+
+type migShared struct {
+	cfg      MigrateConfig
+	pristine [2][]byte
+	model    map[uint64]uint64
+	stats    *Stats
+
+	seen  sync.Map // combined durable-image hash -> struct{}
+	mu    sync.Mutex
+	viols []Violation
+	stop  atomic.Bool
+}
+
+// RunMigrate explores every crash point of the scripted shard split. As
+// with Run, the returned error covers infrastructure failures only;
+// safety violations land in MigrateResult.Violations.
+func RunMigrate(cfg MigrateConfig) (*MigrateResult, error) {
+	cfg = cfg.withDefaults()
+	sh := &migShared{cfg: cfg, stats: cfg.Stats}
+	if sh.stats == nil {
+		sh.stats = &Stats{}
+	}
+	if cfg.Registry != nil {
+		registerMetrics(cfg.Registry, sh.stats)
+	}
+	if err := sh.buildPristine(); err != nil {
+		return nil, err
+	}
+
+	// Census: one uninterrupted migration fixes the op universe. The
+	// protocol is single-threaded and deterministic, so the shared
+	// op-ordinal of every device op is exact across replays.
+	w := sh.newWorker()
+	w.restore(sh.pristine)
+	T, err := w.countedResume()
+	if err != nil {
+		return nil, fmt.Errorf("explore: migration census: %w", err)
+	}
+	if T == 0 {
+		return nil, fmt.Errorf("explore: migration issued no device ops")
+	}
+	sh.stats.TotalOps.Store(T)
+	points := T
+	if cfg.MaxPoints > 0 && uint64(cfg.MaxPoints) < points {
+		points = uint64(cfg.MaxPoints)
+	}
+	cfg.Log("explore: migrate keys=%d buckets=%d batch=%d ops=%d points=%d depth=%d workers=%d",
+		cfg.Keys, cfg.Buckets, cfg.BatchBuckets, T, points, cfg.Depth, cfg.Workers)
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < cfg.Workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := sh.newWorker()
+			for m := uint64(wid + 1); m <= points; m += uint64(cfg.Workers) {
+				if sh.stop.Load() {
+					return
+				}
+				w.explorePoint(m)
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	res := &MigrateResult{TotalOps: T, ExploredPoints: points, Keys: cfg.Keys, Stats: sh.stats}
+	sh.mu.Lock()
+	res.Violations = sh.viols
+	sh.mu.Unlock()
+	return res, nil
+}
+
+// buildPristine formats both pools, seeds the source store, commits the
+// one-shard config, and snapshots the images every replay starts from.
+func (sh *migShared) buildPristine() error {
+	var kvs [2]*workloads.KVStore
+	var devs [2]*pmem.Device
+	for i := 0; i < 2; i++ {
+		p, err := pool.Create("", pool.Config{
+			Size:       sh.cfg.PoolSize,
+			Journals:   2,
+			JournalCap: 16 << 10,
+			Mem:        pmem.Options{TrackCrash: true},
+		})
+		if err != nil {
+			return err
+		}
+		kv, err := workloads.NewKVStore(corundumeng.Wrap(p), sh.cfg.Buckets)
+		if err != nil {
+			return fmt.Errorf("explore: building store %d: %w", i, err)
+		}
+		kvs[i], devs[i] = kv, p.Device()
+	}
+	if err := kvs[0].WriteConfig(1, 1); err != nil {
+		return fmt.Errorf("explore: committing seed config: %w", err)
+	}
+	sh.model = make(map[uint64]uint64, sh.cfg.Keys)
+	for i := 0; i < sh.cfg.Keys; i++ {
+		// Golden-ratio keys spread across buckets and across the 2-shard
+		// split, so batches genuinely move some keys and keep others.
+		k := uint64(i)*0x9E3779B97F4A7C15 + 11
+		v := k*7 + 1
+		if err := kvs[0].Put(k, v); err != nil {
+			return fmt.Errorf("explore: seeding key %d: %w", i, err)
+		}
+		sh.model[k] = v
+	}
+	sh.pristine[0] = devs[0].DurableSnapshot()
+	sh.pristine[1] = devs[1].DurableSnapshot()
+	return nil
+}
+
+// migWorker owns the device pair one goroutine replays on.
+type migWorker struct {
+	sh   *migShared
+	devs [2]*pmem.Device
+}
+
+func (sh *migShared) newWorker() *migWorker {
+	w := &migWorker{sh: sh}
+	for i := 0; i < 2; i++ {
+		w.devs[i] = pmem.New(len(sh.pristine[i]), pmem.Options{TrackCrash: true})
+		w.devs[i].SetFlightRecorder(sh.cfg.FlightCap)
+	}
+	return w
+}
+
+func (w *migWorker) restore(imgs [2][]byte) {
+	for i := 0; i < 2; i++ {
+		w.devs[i].RestoreDurable(imgs[i])
+		w.devs[i].SetFlightRecorder(w.sh.cfg.FlightCap)
+	}
+}
+
+// arm installs a shared fault injector across both devices: the n-th
+// device op of the pair — in protocol order, whichever pool it lands on
+// — panics with ErrInjectedCrash. target 0 disarms.
+func (w *migWorker) arm(target uint64) {
+	if target == 0 {
+		for i := 0; i < 2; i++ {
+			w.devs[i].SetFaultInjector(nil)
+		}
+		return
+	}
+	var n atomic.Uint64
+	fire := func(pmem.Op) bool { return n.Add(1) == target }
+	for i := 0; i < 2; i++ {
+		w.devs[i].SetFaultInjector(fire)
+	}
+}
+
+// crashBoth models the machine losing power: every pool on it reverts to
+// its durable image, not just the one whose op tripped the injector.
+func (w *migWorker) crashBoth() {
+	w.devs[0].Crash()
+	w.devs[1].Crash()
+}
+
+func (w *migWorker) hash() uint64 {
+	return w.devs[0].DurableHash()*0x100000001b3 ^ w.devs[1].DurableHash()
+}
+
+func (w *migWorker) snapshot() [2][]byte {
+	return [2][]byte{w.devs[0].DurableSnapshot(), w.devs[1].DurableSnapshot()}
+}
+
+func (w *migWorker) fail(m uint64, trail []uint64, err error) {
+	w.sh.stats.Violations.Add(1)
+	v := Violation{
+		CrashPoint: m,
+		Trail:      append([]uint64(nil), trail...),
+		Err:        err,
+		Flight: "shard 0:\n" + pmem.FormatFlight(w.devs[0].FlightEvents()) +
+			"\nshard 1:\n" + pmem.FormatFlight(w.devs[1].FlightEvents()),
+	}
+	w.sh.mu.Lock()
+	w.sh.viols = append(w.sh.viols, v)
+	if len(w.sh.viols) >= w.sh.cfg.MaxViolations {
+		w.sh.stop.Store(true)
+	}
+	w.sh.mu.Unlock()
+	w.sh.cfg.Log("explore: MIGRATE VIOLATION %s", v)
+}
+
+// resumeOnce attaches both pools and drives the migration from whatever
+// durable state they hold to completion — exactly what a rebooted server
+// does. It is used for the pristine run (census and top-level replays,
+// where it starts the migration), for every recovery, and for every
+// recovery-of-a-recovery. Injected crashes propagate as panics for the
+// caller to field.
+func (w *migWorker) resumeOnce() (kv0, kv1 *workloads.KVStore, p0, p1 *pool.Pool, err error) {
+	if p0, err = pool.Attach(w.devs[0]); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("attach shard 0: %w", err)
+	}
+	if p1, err = pool.Attach(w.devs[1]); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("attach shard 1: %w", err)
+	}
+	if kv0, err = workloads.AttachKVStore(corundumeng.Wrap(p0)); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("attach store 0: %w", err)
+	}
+	if kv1, err = workloads.AttachKVStore(corundumeng.Wrap(p1)); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("attach store 1: %w", err)
+	}
+	cfgShards, cfgEpoch, err := kv0.ReadConfig()
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("read config: %w", err)
+	}
+	m, err := kv0.ReadManifest()
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("read manifest: %w", err)
+	}
+	stores := []*workloads.KVStore{kv0, kv1}
+	switch {
+	case m != nil && m.Epoch > cfgEpoch:
+		// Interrupted mid-migration: adopt the durable cursor and resume.
+		rs, err := workloads.NewResharder(stores, int(m.OldN), int(m.NewN), m.Epoch,
+			w.sh.cfg.BatchBuckets, workloads.NopCoordinator{})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if err := rs.Attach(); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("resharder attach: %w", err)
+		}
+		if _, err := rs.Run(nil, nil); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("resume run: %w", err)
+		}
+	case m != nil:
+		// Stale manifest: the config write (the commit point) landed but
+		// cleanup didn't. Finish the cleanup.
+		if err := kv0.ClearManifest(); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("clearing stale manifest: %w", err)
+		}
+	case cfgShards == 1:
+		// Not started (or cut before the manifest became durable): run the
+		// whole split.
+		rs, err := workloads.NewResharder(stores, 1, 2, cfgEpoch+1,
+			w.sh.cfg.BatchBuckets, workloads.NopCoordinator{})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if err := rs.Init(); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("resharder init: %w", err)
+		}
+		if _, err := rs.Run(nil, nil); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("run: %w", err)
+		}
+	default:
+		// cfgShards == 2 with no manifest: fully committed and cleaned.
+	}
+	return kv0, kv1, p0, p1, nil
+}
+
+// countedResume runs resumeOnce while counting shared device ops.
+func (w *migWorker) countedResume() (uint64, error) {
+	var n atomic.Uint64
+	count := func(pmem.Op) bool { n.Add(1); return false }
+	w.devs[0].SetFaultInjector(count)
+	w.devs[1].SetFaultInjector(count)
+	_, _, _, _, err := w.resumeOnce()
+	w.arm(0)
+	return n.Load(), err
+}
+
+// tryResume is resumeOnce with the injected-crash panic converted to a
+// flag.
+func (w *migWorker) tryResume() (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrInjectedCrash {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	_, _, _, _, err = w.resumeOnce()
+	return
+}
+
+// explorePoint cuts power at shared op m of the pristine migration, then
+// explores recovery from the surviving image pair.
+func (w *migWorker) explorePoint(m uint64) {
+	w.restore(w.sh.pristine)
+	w.arm(m)
+	crashed, err := w.tryResume()
+	w.arm(0)
+	w.sh.stats.CrashPoints.Add(1)
+	if err != nil {
+		w.fail(m, nil, fmt.Errorf("error before crash point: %w", err))
+		return
+	}
+	if !crashed {
+		w.fail(m, nil, fmt.Errorf("crash point %d never fired (op universe shrank?)", m))
+		return
+	}
+	w.crashBoth()
+	if _, dup := w.sh.seen.LoadOrStore(w.hash(), struct{}{}); dup {
+		w.sh.stats.Pruned.Add(1)
+		return
+	}
+	w.exploreRecovery(w.snapshot(), m, nil, 0)
+}
+
+// exploreRecovery verifies the clean recovery+resume of imgs, then — to
+// the configured depth — enumerates every op of that recovery+resume as
+// a further crash point.
+func (w *migWorker) exploreRecovery(imgs [2][]byte, m uint64, trail []uint64, crashes int) {
+	if !w.recoverAndVerify(imgs, m, trail) {
+		return
+	}
+	if crashes >= w.sh.cfg.Depth {
+		return
+	}
+	for r := uint64(1); ; r++ {
+		if w.sh.stop.Load() {
+			return
+		}
+		w.restore(imgs)
+		w.arm(r)
+		crashed, err := w.tryResume()
+		w.arm(0)
+		if err != nil && !crashed {
+			w.fail(m, append(trail, r), fmt.Errorf("recovery error: %w", err))
+			return
+		}
+		if !crashed {
+			return // recovery+resume finished in fewer than r ops: level done
+		}
+		w.sh.stats.RecoveryCrashes.Add(1)
+		w.crashBoth()
+		if _, dup := w.sh.seen.LoadOrStore(w.hash(), struct{}{}); dup {
+			w.sh.stats.Pruned.Add(1)
+			continue
+		}
+		subTrail := append(append([]uint64(nil), trail...), r)
+		w.exploreRecovery(w.snapshot(), m, subTrail, crashes+1)
+	}
+}
+
+// recoverAndVerify runs fsck on both crashed images, recovery+resume to
+// migration completion, then the full safety contract: committed config,
+// cleared manifest, allocator consistency, store integrity, and every
+// key exactly once at its 2-shard home with its original value.
+func (w *migWorker) recoverAndVerify(imgs [2][]byte, m uint64, trail []uint64) bool {
+	w.restore(imgs)
+	for i := 0; i < 2; i++ {
+		if err := pool.Fsck(w.devs[i]); err != nil {
+			w.fail(m, trail, fmt.Errorf("post-crash fsck shard %d: %w", i, err))
+			return false
+		}
+	}
+	kv0, kv1, p0, p1, err := w.resumeOnce()
+	if err != nil {
+		w.fail(m, trail, fmt.Errorf("recovery/resume: %w", err))
+		return false
+	}
+	for i, p := range []*pool.Pool{p0, p1} {
+		if err := p.CheckConsistency(); err != nil {
+			w.fail(m, trail, fmt.Errorf("allocator inconsistent on shard %d: %w", i, err))
+			return false
+		}
+	}
+	cfgShards, cfgEpoch, err := kv0.ReadConfig()
+	if err != nil || cfgShards != 2 {
+		w.fail(m, trail, fmt.Errorf("config after resume = (%d shards, epoch %d, %v), want 2 shards", cfgShards, cfgEpoch, err))
+		return false
+	}
+	if mf, err := kv0.ReadManifest(); err != nil || mf != nil {
+		w.fail(m, trail, fmt.Errorf("manifest not cleared after completed migration (m=%v err=%v)", mf, err))
+		return false
+	}
+	got := make(map[uint64]uint64, len(w.sh.model))
+	for i, kv := range []*workloads.KVStore{kv0, kv1} {
+		if err := kv.VerifyIntegrity(); err != nil {
+			w.fail(m, trail, fmt.Errorf("store %d integrity: %w", i, err))
+			return false
+		}
+		shard := i
+		var walkErr error
+		err := kv.ScanRange(0, kv.Buckets(), func(k, v uint64) bool {
+			if workloads.ShardFor(k, 2) != shard {
+				walkErr = fmt.Errorf("key %d found on shard %d, belongs to %d", k, shard, workloads.ShardFor(k, 2))
+				return false
+			}
+			if _, dup := got[k]; dup {
+				walkErr = fmt.Errorf("key %d present on both shards", k)
+				return false
+			}
+			got[k] = v
+			return true
+		})
+		if err == nil {
+			err = walkErr
+		}
+		if err != nil {
+			w.fail(m, trail, err)
+			return false
+		}
+	}
+	if len(got) != len(w.sh.model) {
+		w.fail(m, trail, fmt.Errorf("%d keys after migration, want %d", len(got), len(w.sh.model)))
+		return false
+	}
+	for k, v := range w.sh.model {
+		if gv, ok := got[k]; !ok || gv != v {
+			w.fail(m, trail, fmt.Errorf("key %d = (%d, %v) after migration, want %d", k, gv, ok, v))
+			return false
+		}
+	}
+	w.sh.stats.Explored.Add(1)
+	return true
+}

@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"testing"
+)
+
+// TestMigrateCampaign runs the exhaustive power-cut sweep of a scripted
+// 1->2 shard split at a budget small enough for CI: every top-level
+// device op is cut, with one nested cut allowed during each recovery.
+// Any key lost, duplicated, or torn across the split is a violation.
+func TestMigrateCampaign(t *testing.T) {
+	cfg := MigrateConfig{
+		Keys:         10,
+		Buckets:      8,
+		BatchBuckets: 4,
+		Depth:        1,
+		Log:          t.Logf,
+	}
+	if testing.Short() || raceEnabled {
+		// Top-level cuts only, bounded: the nested-recovery depth costs a
+		// near-complete recovery enumeration per unique image, which the
+		// race detector's slowdown turns into minutes. CI's migrate job
+		// runs the full race-enabled sweep through the CLI.
+		cfg.Depth = -1
+		cfg.MaxPoints = 400
+	}
+	res, err := RunMigrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if len(res.Violations) > 0 {
+		t.FailNow()
+	}
+	if res.TotalOps == 0 || res.ExploredPoints == 0 {
+		t.Fatalf("campaign enumerated nothing (ops=%d points=%d)", res.TotalOps, res.ExploredPoints)
+	}
+	st := res.Stats
+	if st.CrashPoints.Load() != res.ExploredPoints {
+		t.Fatalf("processed %d of %d crash points", st.CrashPoints.Load(), res.ExploredPoints)
+	}
+	if st.Explored.Load() == 0 {
+		t.Fatal("no terminal state was ever verified")
+	}
+	if cfg.Depth >= 1 && st.RecoveryCrashes.Load() == 0 {
+		t.Fatal("depth 1 requested but no nested recovery crash fired")
+	}
+	t.Logf("ops=%d points=%d explored=%d pruned=%d recoveryCrashes=%d",
+		res.TotalOps, res.ExploredPoints, st.Explored.Load(), st.Pruned.Load(), st.RecoveryCrashes.Load())
+}
+
+// TestMigrateCampaignDeep exercises depth-2 nesting (cuts during the
+// recovery of a recovery) over a trimmed point budget.
+func TestMigrateCampaignDeep(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("depth-2 sweep skipped in -short and under race (CI's migrate job runs it via the CLI)")
+	}
+	res, err := RunMigrate(MigrateConfig{
+		Keys:         8,
+		Buckets:      8,
+		BatchBuckets: 4,
+		Depth:        2,
+		MaxPoints:    120,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if res.Stats.Explored.Load() == 0 {
+		t.Fatal("no terminal state was ever verified")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package explore
+
+// raceEnabled lets heavyweight sweeps trim themselves under the race
+// detector, whose 10-20x slowdown would blow CI budgets; the
+// race-enabled full sweeps run in CI's dedicated campaign jobs via
+// cmd/corundum-torture instead.
+const raceEnabled = true

@@ -82,9 +82,10 @@ type reply struct {
 }
 
 type setReq struct {
-	op    workloads.Op
-	subNS int64      // obs.NowNS at submission (parse time for server ops)
-	reply chan reply // buffered(1): the committer never blocks on it
+	op      workloads.Op
+	subNS   int64      // obs.NowNS at submission (parse time for server ops)
+	barrier bool       // not a mutation: ack once every prior req has committed
+	reply   chan reply // buffered(1): the committer never blocks on it
 }
 
 // Batcher is the group-commit engine: mutations from all connections are
@@ -116,6 +117,19 @@ type Batcher struct {
 	// into the registry histogram (atomic: it is installed after the
 	// committer goroutine has started).
 	sizes atomic.Pointer[obs.Histogram]
+
+	// fence, when set, vets every mutation at batch assembly — after any
+	// Barrier that preceded it in the queue, before the op can reach the
+	// store. A non-nil return refuses the op with that error (the rest of
+	// the batch still commits). The migration engine installs it so no
+	// write lands in a key range that is mid-move.
+	fence atomic.Pointer[func(workloads.Op) error]
+	// tap, when set, observes every committed batch from inside the
+	// commit critical section (store lock held, Apply succeeded). Taps
+	// therefore see batches in exactly commit order — the property the
+	// backup delta stream depends on. Taps must be brief and must not
+	// touch the store.
+	tap atomic.Pointer[func([]workloads.Op)]
 }
 
 func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, dev *pmem.Device, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
@@ -211,6 +225,54 @@ enqueue:
 // Stats exposes the batch counters.
 func (b *Batcher) Stats() *BatchStats { return &b.stats }
 
+// SetFence installs (or, with nil, removes) the mutation vet run at
+// batch assembly. Ops the fence refuses are answered with its error
+// without touching the store.
+func (b *Batcher) SetFence(fn func(workloads.Op) error) {
+	if fn == nil {
+		b.fence.Store(nil)
+		return
+	}
+	b.fence.Store(&fn)
+}
+
+// SetTap installs (or, with nil, removes) the committed-batch observer.
+// It is invoked under the store lock immediately after a successful
+// Apply, so installing a tap under the same lock gives the caller a
+// clean cut: every batch committed after the lock is released is seen.
+func (b *Batcher) SetTap(fn func([]workloads.Op)) {
+	if fn == nil {
+		b.tap.Store(nil)
+		return
+	}
+	b.tap.Store(&fn)
+}
+
+// Barrier blocks until every mutation submitted before it has been
+// durably committed (or refused): the committer drains the FIFO queue up
+// to the barrier and commits the batch it lands in first. The migration
+// engine barriers a shard after publishing a fence so that the batch
+// scan sees every pre-fence write.
+func (b *Batcher) Barrier() error {
+	req := setReq{barrier: true, subNS: obs.NowNS(), reply: make(chan reply, 1)}
+	select {
+	case b.reqs <- req:
+	case <-b.dead:
+		return b.failure()
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.err
+	case <-b.dead:
+		select {
+		case rep := <-req.reply:
+			return rep.err
+		default:
+		}
+		return b.failure()
+	}
+}
+
 // Stop shuts the committer down after draining queued requests. The
 // caller must guarantee no Submit is concurrent with or after Stop.
 func (b *Batcher) Stop() {
@@ -261,7 +323,15 @@ func (b *Batcher) run() {
 		if !ok {
 			return
 		}
+		if first.barrier {
+			// FIFO means everything before this barrier was already
+			// assembled into earlier batches and committed (run() only
+			// returns to the channel after its commit completes).
+			first.reply <- reply{}
+			continue
+		}
 		batch := append(make([]setReq, 0, b.maxBatch), first)
+		var barriers []chan reply
 		if b.maxBatch > 1 {
 			if timer == nil {
 				timer = time.NewTimer(b.maxDelay)
@@ -281,6 +351,12 @@ func (b *Batcher) run() {
 					if !ok {
 						break collect
 					}
+					if r.barrier {
+						// Commit what is collected, then ack: the barrier's
+						// contract is "everything before me is durable".
+						barriers = append(barriers, r.reply)
+						break collect
+					}
 					batch = append(batch, r)
 					continue
 				default:
@@ -291,6 +367,10 @@ func (b *Batcher) run() {
 				select {
 				case r, ok := <-b.reqs:
 					if !ok {
+						break collect
+					}
+					if r.barrier {
+						barriers = append(barriers, r.reply)
 						break collect
 					}
 					batch = append(batch, r)
@@ -304,6 +384,27 @@ func (b *Batcher) run() {
 				default:
 				}
 			}
+		}
+
+		// Vet the batch against the migration fence, if one is installed:
+		// refused ops are answered here and never reach the store; the
+		// rest of the batch commits as usual.
+		if fp := b.fence.Load(); fp != nil {
+			kept := batch[:0]
+			for _, r := range batch {
+				if ferr := (*fp)(r.op); ferr != nil {
+					r.reply <- reply{err: ferr}
+					continue
+				}
+				kept = append(kept, r)
+			}
+			batch = kept
+		}
+		if len(batch) == 0 {
+			for _, br := range barriers {
+				br <- reply{}
+			}
+			continue
 		}
 
 		ops := make([]workloads.Op, len(batch))
@@ -345,6 +446,9 @@ func (b *Batcher) run() {
 			}
 			r.reply <- rep
 		}
+		for _, br := range barriers {
+			br <- reply{err: err}
+		}
 		if err == nil {
 			b.stats.Batches.Add(1)
 			b.stats.BatchedOps.Add(uint64(len(batch)))
@@ -376,5 +480,14 @@ func (b *Batcher) commit(ops []workloads.Op) (res []bool, err error) {
 	}()
 	b.lock.Lock()
 	defer b.lock.Unlock()
-	return b.kv.Apply(ops)
+	res, err = b.kv.Apply(ops)
+	if err == nil {
+		if t := b.tap.Load(); t != nil {
+			// Inside the lock on purpose: taps observe batches in commit
+			// order, with no later batch able to slip between Apply and the
+			// observation. The backup delta stream relies on exactly this.
+			(*t)(ops)
+		}
+	}
+	return res, err
 }

@@ -1,0 +1,217 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+)
+
+// migrationWait bounds how long tests poll INFO for a migration to
+// finish; generous because CI machines stall.
+const migrationWait = 30 * time.Second
+
+// bootFromDisk is the corundum-server startup path in miniature:
+// discover the committed layout under base, open it, serve it with a
+// file-backed opener.
+func bootFromDisk(t *testing.T, base string, flagN int, cfg pool.Config) (server.Layout, *server.Server, []*pool.Pool, string) {
+	t.Helper()
+	lay, err := server.DiscoverLayout(base, flagN, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, errs := server.OpenShards(lay.Paths, cfg)
+	for i, p := range pools {
+		if p == nil {
+			t.Fatalf("shard %d (%s) failed to open: %v", i, lay.Paths[i], errs[i])
+		}
+	}
+	srv, err := server.NewSharded(pools, server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 32,
+		ShardOpener: server.FileShardOpener(base, cfg),
+	})
+	if err != nil {
+		for _, p := range pools {
+			p.Close()
+		}
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return lay, srv, pools, ln.Addr().String()
+}
+
+// TestDiscoverLayoutLifecycle walks a deployment through its layout
+// transitions on real pool files: fresh single-file boot, online grow to
+// 3 shards, a restart whose stale -shards flag must lose to the
+// committed config, and an online merge back to 1 that leaves the grown
+// files behind as flagged leftovers.
+func TestDiscoverLayoutLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "kv.pool")
+	cfg := pool.Config{Size: 16 << 20, Journals: 8, Mem: pmem.Options{}}
+
+	// Boot 1: nothing on disk — the flag decides, the bare base is used.
+	lay, srv, pools, addr := bootFromDisk(t, base, 1, cfg)
+	if !lay.FromFlag || lay.N != 1 || lay.Paths[0] != base {
+		t.Fatalf("fresh layout = %+v, want 1 shard at %s from flag", lay, base)
+	}
+	cl := dial(t, addr)
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 300; k++ {
+		mustReply(t, cl, fmt.Sprintf("SET %d %d", k, valFor(k)), "+OK")
+		model[k] = valFor(k)
+	}
+	mustReply(t, cl, "RESHARD 3", "+OK")
+	waitMigration(t, cl, migrationWait)
+	cl.close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closeShardPools(pools) // grown pools are server-owned and already closed
+
+	// The grow must have materialized real files.
+	for _, p := range []string{base, base + ".1", base + ".2"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("expected shard file %s after RESHARD 3: %v", p, err)
+		}
+	}
+
+	// Boot 2: the operator passes a stale -shards 1; the committed config
+	// must win and all 300 keys must be there across the 3 shards.
+	lay2, srv2, pools2, addr2 := bootFromDisk(t, base, 1, cfg)
+	if lay2.FromFlag || lay2.N != 3 || lay2.CfgShards != 3 {
+		t.Fatalf("post-grow layout = %+v, want 3 committed shards", lay2)
+	}
+	if lay2.Paths[0] != base || lay2.Paths[2] != base+".2" {
+		t.Fatalf("post-grow paths = %v", lay2.Paths)
+	}
+	if len(lay2.Stale) != 0 {
+		t.Fatalf("post-grow stale files = %v, want none", lay2.Stale)
+	}
+	cl2 := dial(t, addr2)
+	info := parseKV(t, mustCmd(t, cl2, "INFO"))
+	if info["shards"] != "3" {
+		t.Fatalf("INFO shards = %q, want 3", info["shards"])
+	}
+	for k, v := range model {
+		mustReply(t, cl2, fmt.Sprintf("GET %d", k), fmt.Sprintf(":%d", v))
+	}
+
+	// Merge back online, then shut down.
+	mustReply(t, cl2, "RESHARD 1", "+OK")
+	waitMigration(t, cl2, migrationWait)
+	cl2.close()
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closeShardPools(pools2)
+
+	// Boot 3: config says 1 shard; the .1/.2 files still exist on disk and
+	// must be reported stale, not opened.
+	lay3, srv3, pools3, addr3 := bootFromDisk(t, base, 4, cfg)
+	if lay3.N != 1 || lay3.CfgShards != 1 {
+		t.Fatalf("post-merge layout = %+v, want 1 committed shard", lay3)
+	}
+	if len(lay3.Stale) != 2 || lay3.Stale[0] != base+".1" || lay3.Stale[1] != base+".2" {
+		t.Fatalf("post-merge stale files = %v, want [.1 .2]", lay3.Stale)
+	}
+	cl3 := dial(t, addr3)
+	defer cl3.close()
+	defer closeShardPools(pools3)
+	defer srv3.Close()
+	if info := parseKV(t, mustCmd(t, cl3, "INFO")); info["shards"] != "1" {
+		t.Fatalf("INFO shards = %q, want 1", info["shards"])
+	}
+	got := scanToMap(t, mustCmd(t, cl3, "SCAN"))
+	if len(got) != len(model) {
+		t.Fatalf("post-merge walk holds %d keys, want %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("post-merge key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestDiscoverLayoutResume interrupts a file-backed migration with
+// SIGTERM-style shutdown and verifies discovery reports the parked
+// manifest, opens the target pools, and the next boot completes it.
+func TestDiscoverLayoutResume(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "kv.pool")
+	cfg := pool.Config{Size: 16 << 20, Journals: 8, Mem: pmem.Options{}}
+
+	_, srv, pools, addr := bootFromDisk(t, base, 1, cfg)
+	cl := dial(t, addr)
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 300; k++ {
+		mustReply(t, cl, fmt.Sprintf("SET %d %d", k, valFor(k)), "+OK")
+		model[k] = valFor(k)
+	}
+	cl.close()
+
+	// Slow the migration down so Close parks it mid-flight.
+	srv.Close()
+	closeShardPools(pools)
+	lay, err := server.DiscoverLayout(base, 1, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools2, _ := server.OpenShards(lay.Paths, cfg)
+	srv2, err := server.NewSharded(pools2, server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 8,
+		MigrationThrottle: 10 * time.Millisecond,
+		ShardOpener:       server.FileShardOpener(base, cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln)
+	cl2 := dial(t, ln.Addr().String())
+	mustReply(t, cl2, "RESHARD 2", "+OK")
+	time.Sleep(40 * time.Millisecond)
+	cl2.close()
+	if err := srv2.Close(); err != nil { // drains and checkpoints the cursor
+		t.Fatal(err)
+	}
+	closeShardPools(pools2)
+
+	lay2, err := server.DiscoverLayout(base, 1, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay2.Resume == nil {
+		t.Skip("migration completed before shutdown; nothing to resume")
+	}
+	if lay2.N != 2 || lay2.Resume.OldN != 1 || lay2.Resume.NewN != 2 {
+		t.Fatalf("parked layout = %+v (resume %+v), want 1->2 over 2 pools", lay2, lay2.Resume)
+	}
+
+	_, srv3, pools3, addr3 := bootFromDisk(t, base, 1, cfg)
+	defer closeShardPools(pools3)
+	defer srv3.Close()
+	cl3 := dial(t, addr3)
+	defer cl3.close()
+	waitMigration(t, cl3, migrationWait)
+	if info := parseKV(t, mustCmd(t, cl3, "INFO")); info["shards"] != "2" {
+		t.Fatalf("INFO shards = %q, want 2 after resumed migration", info["shards"])
+	}
+	got := scanToMap(t, mustCmd(t, cl3, "SCAN"))
+	if len(got) != len(model) {
+		t.Fatalf("resumed walk holds %d keys, want %d", len(got), len(model))
+	}
+}

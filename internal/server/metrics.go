@@ -47,9 +47,11 @@ type serverMetrics struct {
 	// readonlyRejects counts mutations refused with -READONLY while a
 	// shard serves degraded (or is down); corruptionErrs counts checksum
 	// failures the verified read path surfaced to a client (never a
-	// silent wrong value).
+	// silent wrong value); movedRejects counts ops answered -MOVED while
+	// their key's range was mid-migration (retryable, never lost).
 	readonlyRejects *obs.Counter
 	corruptionErrs  *obs.Counter
+	movedRejects    *obs.Counter
 	batchSizes      *obs.Histogram
 
 	// Per-op latency decomposition (seconds). opSeconds* are end-to-end
@@ -96,6 +98,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"mutations refused with -READONLY while serving degraded", nil),
 		corruptionErrs: reg.Counter("server_corruption_errors_total",
 			"media corruption detections surfaced to clients instead of silent wrong values", nil),
+		movedRejects: reg.Counter("server_moved_rejected_total",
+			"ops answered -MOVED because their key range was mid-migration", nil),
 		connsTotal: reg.Counter("server_connections_total",
 			"client connections accepted", nil),
 		connPanics: reg.Counter("server_conn_panics_total",
@@ -132,43 +136,75 @@ func newServerMetrics(s *Server) *serverMetrics {
 		})
 	reg.GaugeFunc("server_degraded", "1 when any shard serves read-only over a degraded pool or is down", nil,
 		func() float64 {
-			for _, sh := range s.shards {
+			for _, sh := range s.st().shards {
 				if sh.degraded() {
 					return 1
 				}
 			}
 			return 0
 		})
-	reg.GaugeFunc("server_shards", "configured shard count", nil,
-		func() float64 { return float64(len(s.shards)) })
-	for _, sh := range s.shards {
-		sh := sh
-		lbl := obs.Labels{"shard": strconv.Itoa(sh.id)}
-		reg.GaugeFunc("server_shard_degraded", "1 when this shard serves read-only (degraded pool) or is down", lbl,
-			func() float64 {
-				if sh.degraded() {
-					return 1
-				}
+	reg.GaugeFunc("server_shards", "serving layout shard count", nil,
+		func() float64 { return float64(s.st().n) })
+	reg.GaugeFunc("server_migration_active", "1 while a RESHARD migration is moving keys", nil,
+		func() float64 {
+			if s.st().rs != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("server_migration_progress", "fraction of source buckets handed over by the active migration (1 when idle)", nil,
+		func() float64 {
+			rs := s.st().rs
+			if rs == nil {
+				return 1
+			}
+			_, _, frac := rs.Progress()
+			return frac
+		})
+	reg.CounterFunc("server_migration_moved_keys_total", "keys moved to their new shard homes by migrations", nil,
+		func() uint64 {
+			rs := s.st().rs
+			if rs == nil {
 				return 0
-			})
-		reg.GaugeFunc("server_shard_down", "1 when this shard serves nothing for its keyspace slice", lbl,
-			func() float64 {
-				if sh.down() != nil {
-					return 1
-				}
-				return 0
-			})
+			}
+			moved, _, _ := rs.Progress()
+			return moved
+		})
+	initial := s.st().shards
+	for _, sh := range initial {
+		m.registerShardGauges(sh)
 	}
-	if len(s.shards) == 1 && s.shards[0].pool != nil {
-		s.shards[0].pool.EnableMetrics(reg)
+	if len(initial) == 1 && initial[0].pool != nil {
+		initial[0].pool.EnableMetrics(reg)
 	} else {
-		for _, sh := range s.shards {
+		for _, sh := range initial {
 			if sh.pool != nil {
 				sh.pool.EnableMetricsLabeled(reg, obs.Labels{"shard": strconv.Itoa(sh.id)})
 			}
 		}
 	}
 	return m
+}
+
+// registerShardGauges adds one shard's health gauges; the registry is
+// mutex-guarded, so shards added later (migration targets) register
+// safely at runtime.
+func (m *serverMetrics) registerShardGauges(sh *shard) {
+	lbl := obs.Labels{"shard": strconv.Itoa(sh.id)}
+	m.reg.GaugeFunc("server_shard_degraded", "1 when this shard serves read-only (degraded pool) or is down", lbl,
+		func() float64 {
+			if sh.degraded() {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("server_shard_down", "1 when this shard serves nothing for its keyspace slice", lbl,
+		func() float64 {
+			if sh.down() != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Registry exposes the server's metrics registry (tests, embedding).

@@ -1,0 +1,365 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corundum/internal/baselines/corundumeng"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+	"corundum/internal/workloads"
+)
+
+// waitMigration polls INFO until the background migration driver reports
+// done, returning the final INFO map. It fails the test if the driver
+// parks on an error instead of finishing.
+func waitMigration(t *testing.T, cl *client, timeout time.Duration) map[string]string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info := parseKV(t, mustCmd(t, cl, "INFO"))
+		if err, ok := info["migration_error"]; ok {
+			t.Fatalf("migration parked on error: %s", err)
+		}
+		if info["migration_active"] == "false" {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("migration still active after %v: %v", timeout, info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runReshardLive drives a live fromN->toN migration with concurrent
+// writers running through RetryTransient, then verifies no acknowledged
+// write was lost and no key duplicated or left behind.
+func runReshardLive(t *testing.T, fromN, toN int) {
+	t.Helper()
+	n := fromN
+	if toN > n {
+		n = toN
+	}
+	pools := newShardPools(t, n, 16<<20)
+	// Pools beyond fromN are handed to the server via ShardOpener and
+	// become server-owned (its Close closes them); only the initial fromN
+	// stay ours to close.
+	defer closeShardPools(pools[:fromN])
+	opener := func(i int) (*pool.Pool, error) { return pools[i], nil }
+	srv, addr := startShardedServer(t, pools[:fromN], server.Options{
+		MaxBatch: 8, Buckets: 512, MigrateBatchBuckets: 32,
+		ShardOpener: opener,
+	})
+	defer srv.Close()
+	cl := dial(t, addr)
+	defer cl.close()
+
+	// Seed a keyspace the migration must carry over intact.
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 400; k++ {
+		mustReply(t, cl, fmt.Sprintf("SET %d %d", k, valFor(k)), "+OK")
+		model[k] = valFor(k)
+	}
+
+	// Writers keep mutating disjoint key ranges throughout the migration.
+	// Every acknowledged write must survive; -MOVED and -BUSY refusals
+	// never executed, so RetryTransient re-sends them safely.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var acked, movedSeen atomic.Int64
+	var modelMu sync.Mutex
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc := dial(t, addr)
+			defer wc.close()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			lo := uint64(1000 * (w + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := lo + rng.Uint64()%200
+				v := rng.Uint64()%1_000_000 + 1
+				line, err := server.RetryTransient(nil, 12, time.Millisecond, 50*time.Millisecond,
+					func() (string, error) {
+						rep, err := wc.cmd(fmt.Sprintf("SET %d %d", k, v))
+						if err == nil && server.IsMovedReply(rep) {
+							movedSeen.Add(1)
+						}
+						return rep, err
+					})
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				switch {
+				case line == "+OK":
+					acked.Add(1)
+					modelMu.Lock()
+					model[k] = v
+					modelMu.Unlock()
+				case server.IsRetryableReply(line):
+					// Exhausted the retry budget; the op never executed, so the
+					// model keeps the last acknowledged value.
+				default:
+					t.Errorf("writer %d: unexpected reply %q", w, line)
+					return
+				}
+			}
+		}()
+	}
+
+	mustReply(t, cl, fmt.Sprintf("RESHARD %d", toN), "+OK")
+	info := waitMigration(t, cl, 30*time.Second)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := info["shards"]; got != fmt.Sprint(toN) {
+		t.Fatalf("INFO shards = %s after migration, want %d", got, toN)
+	}
+	if acked.Load() == 0 {
+		t.Fatal("no writer op was acknowledged during the migration")
+	}
+	t.Logf("%d->%d: %d acked writes, %d -MOVED refusals, moved_keys=%s",
+		fromN, toN, acked.Load(), movedSeen.Load(), info["migration_moved_keys"])
+
+	// Every acknowledged write reads back; the total key population is
+	// exactly the model (nothing lost, duplicated, or left behind).
+	for k, v := range model {
+		mustReply(t, cl, fmt.Sprintf("GET %d", k), fmt.Sprintf(":%d", v))
+	}
+	scan := mustCmd(t, cl, "SCAN")
+	if want := fmt.Sprintf("*%d", len(model)); !strings.HasPrefix(scan, want) {
+		t.Fatalf("SCAN header = %q, want %s", strings.SplitN(scan, "\n", 2)[0], want)
+	}
+}
+
+// TestReshardSplitLive grows 1 -> 3 shards while serving writes.
+func TestReshardSplitLive(t *testing.T) { runReshardLive(t, 1, 3) }
+
+// TestReshardMergeLive shrinks 3 -> 1 shard while serving writes.
+func TestReshardMergeLive(t *testing.T) { runReshardLive(t, 3, 1) }
+
+// TestMigrationShutdownResume is the graceful-SIGTERM satellite: Close
+// mid-migration must park the driver at a batch boundary with the cursor
+// durable, and a restarted server must adopt the manifests and resume the
+// migration to completion without losing a key.
+func TestMigrationShutdownResume(t *testing.T) {
+	pools := newShardPools(t, 2, 16<<20)
+	devs := []*pmem.Device{pools[0].Device(), pools[1].Device()}
+	opener := func(i int) (*pool.Pool, error) { return pools[i], nil }
+	srv, addr := startShardedServer(t, pools[:1], server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 8,
+		MigrationThrottle: 10 * time.Millisecond,
+		ShardOpener:       opener,
+	})
+	cl := dial(t, addr)
+
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 300; k++ {
+		mustReply(t, cl, fmt.Sprintf("SET %d %d", k, valFor(k)), "+OK")
+		model[k] = valFor(k)
+	}
+
+	mustReply(t, cl, "RESHARD 2", "+OK")
+	time.Sleep(60 * time.Millisecond) // let a few throttled batches land
+	cl.close()
+	srv.Close() // graceful: driver parks at a batch boundary
+	pools[0].Close()
+
+	// The pools must witness a mid-flight migration: manifests present,
+	// config still committed to the old layout.
+	p0, err := pool.Attach(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := pool.Attach(devs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv0, err := workloads.AttachKVStore(corundumeng.Wrap(p0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgShards, _, err := kv0.ReadConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kv0.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgShards != 1 || m == nil {
+		t.Fatalf("expected a parked mid-flight migration (config says %d shards, manifest %v)", cfgShards, m)
+	}
+	t.Logf("parked at cursor %d/%d", m.Cursor, kv0.Buckets())
+
+	// Restart: the server adopts the manifests and finishes the job.
+	srv2, addr2 := startShardedServer(t, []*pool.Pool{p0, p1}, server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 8,
+	})
+	defer srv2.Close()
+	defer p0.Close()
+	defer p1.Close()
+	cl2 := dial(t, addr2)
+	defer cl2.close()
+	info := waitMigration(t, cl2, 30*time.Second)
+	if got := info["shards"]; got != "2" {
+		t.Fatalf("INFO shards = %s after resume, want 2", got)
+	}
+	for k, v := range model {
+		mustReply(t, cl2, fmt.Sprintf("GET %d", k), fmt.Sprintf(":%d", v))
+	}
+	scan := mustCmd(t, cl2, "SCAN")
+	if want := fmt.Sprintf("*%d", len(model)); !strings.HasPrefix(scan, want) {
+		t.Fatalf("SCAN header = %q, want %s", strings.SplitN(scan, "\n", 2)[0], want)
+	}
+}
+
+// TestMigrationCrashResume power-cuts the source device mid-migration:
+// the driver's injected-crash panic halts the server, and a reboot from
+// the durable images must adopt the manifests, resume the migration, and
+// end with every key exactly once.
+func TestMigrationCrashResume(t *testing.T) {
+	pools := newShardPools(t, 2, 16<<20)
+	devs := []*pmem.Device{pools[0].Device(), pools[1].Device()}
+	opener := func(i int) (*pool.Pool, error) { return pools[i], nil }
+	srv, addr := startShardedServer(t, pools[:1], server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 8,
+		MigrationThrottle: 5 * time.Millisecond,
+		ShardOpener:       opener,
+	})
+	cl := dial(t, addr)
+
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 300; k++ {
+		mustReply(t, cl, fmt.Sprintf("SET %d %d", k, valFor(k)), "+OK")
+		model[k] = valFor(k)
+	}
+
+	// Arm the cut after RESHARD replies: the manifests are durable by
+	// then, and with only the driver writing this device the cut lands
+	// inside a migration transaction.
+	mustReply(t, cl, "RESHARD 2", "+OK")
+	devs[0].CrashAt(devs[0].OpCount() + 300)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for !srv.Halted() {
+		if time.Now().After(deadline) {
+			t.Fatal("injected crash never halted the server")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.MigrationError(); err == nil {
+		t.Fatal("halted server reports no migration error")
+	} else {
+		t.Logf("halt reason: %v", err)
+	}
+	cl.close()
+	srv.Close()
+
+	// Reboot from the durable images, running journal recovery.
+	devs[0].Crash()
+	ps, errs := server.AttachShards(devs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reattaching shard %d: %v", i, err)
+		}
+	}
+	kv0, err := workloads.AttachKVStore(corundumeng.Wrap(ps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := kv0.ReadManifest(); err != nil || m == nil {
+		t.Fatalf("expected an interrupted migration manifest after the cut (m=%v err=%v)", m, err)
+	}
+
+	srv2, addr2 := startShardedServer(t, ps, server.Options{
+		MaxBatch: 8, Buckets: 256, MigrateBatchBuckets: 8,
+	})
+	defer srv2.Close()
+	defer closeShardPools(ps)
+	cl2 := dial(t, addr2)
+	defer cl2.close()
+	info := waitMigration(t, cl2, 30*time.Second)
+	if got := info["shards"]; got != "2" {
+		t.Fatalf("INFO shards = %s after crash resume, want 2", got)
+	}
+	for k, v := range model {
+		mustReply(t, cl2, fmt.Sprintf("GET %d", k), fmt.Sprintf(":%d", v))
+	}
+	scan := mustCmd(t, cl2, "SCAN")
+	if want := fmt.Sprintf("*%d", len(model)); !strings.HasPrefix(scan, want) {
+		t.Fatalf("SCAN header = %q, want %s", strings.SplitN(scan, "\n", 2)[0], want)
+	}
+}
+
+// TestMovedReplyHelpers pins the client-side -MOVED parsing helpers.
+func TestMovedReplyHelpers(t *testing.T) {
+	cases := []struct {
+		line  string
+		moved bool
+		shard int
+	}{
+		{"-MOVED 3 moved to shard 3", true, 3},
+		{"-MOVED 0", true, 0},
+		{"-MOVED", true, -1},
+		{"-MOVED x", true, -1},
+		{"-MOVED 99999999999", true, -1},
+		{"-BUSY journal slots exhausted", false, -1},
+		{"+OK", false, -1},
+	}
+	for _, c := range cases {
+		if got := server.IsMovedReply(c.line); got != c.moved {
+			t.Errorf("IsMovedReply(%q) = %v, want %v", c.line, got, c.moved)
+		}
+		if got := server.MovedShard(c.line); got != c.shard {
+			t.Errorf("MovedShard(%q) = %d, want %d", c.line, got, c.shard)
+		}
+	}
+	if !server.IsRetryableReply("-MOVED 1 x") || !server.IsRetryableReply("-BUSY x") {
+		t.Error("IsRetryableReply must accept -MOVED and -BUSY")
+	}
+	if server.IsRetryableReply("-READONLY pool degraded") {
+		t.Error("IsRetryableReply must not retry -READONLY")
+	}
+	if !server.IsReadonlyReply("-READONLY pool degraded") {
+		t.Error("IsReadonlyReply(-READONLY ...) = false")
+	}
+}
+
+// TestRetryTransientBackoff verifies RetryTransient re-sends -MOVED (and
+// only transient) replies with bounded attempts.
+func TestRetryTransientBackoff(t *testing.T) {
+	replies := []string{"-MOVED 2 moved", "-BUSY full", "+OK"}
+	i := 0
+	line, err := server.RetryTransient(nil, 5, time.Microsecond, time.Millisecond,
+		func() (string, error) { r := replies[i]; i++; return r, nil })
+	if err != nil || line != "+OK" {
+		t.Fatalf("RetryTransient = (%q, %v), want (+OK, nil)", line, err)
+	}
+	if i != 3 {
+		t.Fatalf("do ran %d times, want 3", i)
+	}
+
+	// A terminal reply returns immediately, no retries.
+	i = 0
+	line, err = server.RetryTransient(nil, 5, time.Microsecond, time.Millisecond,
+		func() (string, error) { i++; return "-READONLY degraded", nil })
+	if err != nil || !server.IsReadonlyReply(line) || i != 1 {
+		t.Fatalf("RetryTransient on -READONLY = (%q, %v) after %d tries", line, err, i)
+	}
+}

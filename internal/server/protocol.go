@@ -22,6 +22,14 @@
 //	SCRUB              -> $<len> bulk string: online media-scrub report
 //	SLOWLOG [n]        -> $<len> bulk string: the n slowest recent ops
 //	                      with their phase breakdown (default 16)
+//	RESHARD <n>        -> +OK once the live migration to n shards is
+//	                      durably underway (it completes in the background;
+//	                      watch INFO's migration_* keys)
+//	BACKUP <path>      -> $<len> bulk string report: streams a consistent
+//	                      snapshot of the whole keyspace to a server-side
+//	                      file while serving reads and writes
+//	RESTORE <path>     -> $<len> bulk string report: validates the backup
+//	                      end-to-end, then replaces the keyspace with it
 //	PING               -> +PONG
 //	QUIT               -> +OK, then the server closes the connection
 //
@@ -29,10 +37,13 @@
 // Errors are reported as "-ERR <message>" and never close the connection
 // except for oversized or non-textual request lines, where the stream
 // can no longer be trusted to be in sync. Two refinements of -ERR carry
-// machine-actionable meaning: "-BUSY" (journal slots exhausted; the
-// request never ran and can be re-sent, see RetryBusy) and "-READONLY"
-// (the pool is serving degraded after unrepairable media damage; reads
-// still work, mutations are refused).
+// machine-actionable meaning: "-BUSY" (journal slots exhausted, or an
+// admin stream command holding writes off; the request never ran and can
+// be re-sent, see RetryBusy), "-READONLY" (the pool is serving degraded
+// after unrepairable media damage; reads still work, mutations are
+// refused), and "-MOVED <shard>" (the key's range is mid-migration;
+// retry after a short backoff and the new owner answers — see
+// RetryTransient).
 package server
 
 import (
@@ -56,6 +67,9 @@ const (
 	CmdQuit
 	CmdScrub
 	CmdSlowlog
+	CmdReshard
+	CmdBackup
+	CmdRestore
 )
 
 // MaxLineLen bounds a request line (verb + arguments + terminator). A
@@ -75,7 +89,8 @@ var (
 type Command struct {
 	Kind     Kind
 	Key, Val uint64
-	Limit    int // SCAN: max pairs to return; 0 means no limit
+	Limit    int    // SCAN: max pairs to return; 0 means no limit
+	Path     string // BACKUP/RESTORE: the server-side file
 }
 
 // ParseCommand parses one request line (without its '\n'; a trailing '\r'
@@ -161,6 +176,27 @@ func ParseCommand(line []byte) (Command, error) {
 			cmd.Limit = int(n)
 		}
 		return cmd, nil
+	case "RESHARD":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("RESHARD expects 1 argument (shard count), got %d", len(fields)-1)
+		}
+		n, err := parseU64(fields[1])
+		if err != nil {
+			return Command{}, fmt.Errorf("bad shard count: %v", err)
+		}
+		if n < 1 || n > 1024 {
+			return Command{}, fmt.Errorf("shard count %d out of range [1, 1024]", n)
+		}
+		return Command{Kind: CmdReshard, Key: n}, nil
+	case "BACKUP", "RESTORE":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%s expects 1 argument (file path), got %d", verb, len(fields)-1)
+		}
+		k := CmdBackup
+		if verb == "RESTORE" {
+			k = CmdRestore
+		}
+		return Command{Kind: k, Path: string(fields[1])}, nil
 	case "INFO", "STATS", "SCRUB", "PING", "QUIT":
 		if len(fields) != 1 {
 			return Command{}, fmt.Errorf("%s takes no arguments", verb)

@@ -28,6 +28,56 @@ var retrySleep = func(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// IsMovedReply reports whether a reply line is the migration re-route
+// signal (-MOVED <shard> ...): the key's range is moving (or has moved)
+// to another shard. The op never executed; re-sending it after a short
+// backoff is safe and, once the batch in flight lands, the owner
+// answers.
+func IsMovedReply(line string) bool {
+	return strings.HasPrefix(line, "-MOVED")
+}
+
+// MovedShard extracts the new owner from a -MOVED reply, or -1 when the
+// line is not one. Clients talking to a single endpoint can ignore it
+// (the server routes internally); shard-aware clients use it to re-aim.
+func MovedShard(line string) int {
+	if !IsMovedReply(line) {
+		return -1
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return -1
+	}
+	n := 0
+	for _, c := range fields[1] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return -1
+		}
+	}
+	return n
+}
+
+// IsReadonlyReply reports whether a reply line is the degraded-service
+// signal (-READONLY ...): the shard serving this key is read-only (media
+// damage) or down. Retrying helps only if the operator repairs or
+// restarts; clients typically surface it rather than spin.
+func IsReadonlyReply(line string) bool {
+	return strings.HasPrefix(line, "-READONLY")
+}
+
+// IsRetryableReply reports whether a reply is worth re-sending after a
+// backoff: -BUSY (backpressure) and -MOVED (mid-migration hand-off) both
+// name requests that never executed and will succeed once the transient
+// passes. -READONLY is deliberately excluded — it does not resolve on
+// its own.
+func IsRetryableReply(line string) bool {
+	return IsBusyReply(line) || IsMovedReply(line)
+}
+
 // RetryBusy runs do until its reply is not -BUSY, attempts are exhausted,
 // or ctx is done, sleeping between tries with exponential backoff plus
 // jitter (full-jitter on the current window, doubling up to cap). It
@@ -65,6 +115,51 @@ func RetryBusy(ctx context.Context, attempts int, base, cap time.Duration, do fu
 		}
 		// Full jitter: a uniform draw over the window, so synchronized
 		// clients spread out instead of re-colliding in lockstep.
+		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
+			return line, err
+		}
+		if window *= 2; window > cap {
+			window = cap
+		}
+	}
+	return line, err
+}
+
+// RetryTransient is RetryBusy widened to every transient refusal a
+// migration or admin stream can produce: -BUSY and -MOVED replies are
+// retried with the same full-jitter exponential backoff; anything else —
+// including -READONLY, which needs an operator — returns immediately.
+// This is the client loop to run mutations through while a RESHARD,
+// BACKUP, or RESTORE is in flight: acknowledged writes stay exactly-once
+// (refused ops never executed), and the retries land on the new owner as
+// soon as the batch hand-off completes.
+func RetryTransient(ctx context.Context, attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	window := base
+	var line string
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return line, err
+		}
+		line, err = do()
+		if err != nil || !IsRetryableReply(line) {
+			return line, err
+		}
+		if a == attempts-1 {
+			break
+		}
 		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
 			return line, err
 		}

@@ -43,6 +43,22 @@ type Options struct {
 	// TraceRing bounds how many completed op traces SLOWLOG and
 	// /debug/trace can look back over (default 4096).
 	TraceRing int
+	// ShardOpener opens (or creates) the pool for shard i when a RESHARD
+	// grows the cluster beyond the pools the server booted with. The
+	// server owns pools it opens this way and closes them on Close. The
+	// default opener creates an in-memory pool with shard 0's geometry —
+	// right for tests and benchmarks; corundum-server installs a
+	// file-backed opener.
+	ShardOpener func(i int) (*pool.Pool, error)
+	// MigrationThrottle is slept between migration batches so a RESHARD
+	// trades completion time for serving throughput (default 0: as fast
+	// as the batches commit).
+	MigrationThrottle time.Duration
+	// MigrateBatchBuckets is how many directory buckets one crash-atomic
+	// migration batch covers (default 64). Smaller batches mean finer
+	// fence windows (less -MOVED churn per batch) and more manifest
+	// writes.
+	MigrateBatchBuckets int
 }
 
 func (o Options) withDefaults() Options {
@@ -67,17 +83,66 @@ func (o Options) withDefaults() Options {
 	if o.TraceRing <= 0 {
 		o.TraceRing = 4096
 	}
+	if o.MigrateBatchBuckets <= 0 {
+		o.MigrateBatchBuckets = 64
+	}
 	return o
+}
+
+// routeState is the server's routing view, swapped atomically when a
+// migration starts or commits. shards is the full live set (during a
+// migration it includes both the old layout's sources and the new
+// layout's targets); n is the serving layout's shard count; rs, when
+// non-nil, is the active migration whose cursors refine key ownership.
+type routeState struct {
+	shards []*shard
+	n      int
+	rs     *workloads.Resharder
+}
+
+// owner answers which shard serves key under this routing view.
+func (st *routeState) owner(key uint64) int {
+	if st.rs != nil {
+		return st.rs.Owner(key)
+	}
+	return workloads.ShardFor(key, st.n)
 }
 
 // Server is one corundum-server instance over one or more shard pools.
 // Keys route to shards by hash; each shard commits, recovers, degrades,
-// and fails independently of its siblings.
+// and fails independently of its siblings. The shard set itself is
+// dynamic: RESHARD migrates the keyspace to a different shard count
+// while serving (see migrate.go), atomically swapping the routing view.
 type Server struct {
-	shards []*shard
-	opts   Options
+	state atomic.Pointer[routeState]
+	opts  Options
 
 	start time.Time
+
+	// all tracks every shard this server ever created — including
+	// migration targets and sources retired by a merge — so Close stops
+	// every batcher exactly once, whatever the routing view says.
+	// ownedPools are pools the server itself opened (via ShardOpener) and
+	// therefore closes.
+	allMu      sync.Mutex
+	all        []*shard
+	ownedPools []*pool.Pool
+
+	// Migration driver lifecycle: the background goroutine that steps an
+	// active Resharder. Close stops it at a batch boundary (the manifest
+	// cursor is durable there — that IS the SIGTERM checkpoint).
+	migMu      sync.Mutex
+	migStop    chan struct{}
+	migWG      sync.WaitGroup
+	migLastErr error
+	// adminOp names the exclusive admin command in flight (BACKUP,
+	// RESTORE), guarded by migMu; RESHARD and the stream commands exclude
+	// each other.
+	adminOp string
+
+	// restoreWiped records that boot found a crashed RESTORE's marker and
+	// wiped the pools back to empty (surfaced in INFO).
+	restoreWiped atomic.Bool
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -97,6 +162,11 @@ type Server struct {
 	// it must be set before Serve and is nil in production.
 	testHook func(Command)
 
+	// backupChunkHook, when non-nil, runs after each BACKUP scan chunk
+	// (shard id, first bucket of the window) — tests use it to interleave
+	// mutations with the walk deterministically. Nil in production.
+	backupChunkHook func(shard int, bucket uint64)
+
 	// m holds the registry-backed metrics; STATS and GET /metrics render
 	// from the same instruments.
 	m *serverMetrics
@@ -106,20 +176,23 @@ type Server struct {
 	tracer *obs.Tracer
 }
 
+// st returns the current routing view.
+func (s *Server) st() *routeState { return s.state.Load() }
+
 // Batcher exposes shard 0's group-commit engine (stats, benchmarks on
 // single-shard servers). It is nil when shard 0 never came up.
-func (s *Server) Batcher() *Batcher { return s.shards[0].b }
+func (s *Server) Batcher() *Batcher { return s.st().shards[0].b }
 
-// Shards reports the configured shard count.
-func (s *Server) Shards() int { return len(s.shards) }
+// Shards reports the serving layout's shard count.
+func (s *Server) Shards() int { return s.st().n }
 
 // ShardDown reports why shard i is not serving, or nil when it is.
-func (s *Server) ShardDown(i int) error { return s.shards[i].down() }
+func (s *Server) ShardDown(i int) error { return s.st().shards[i].down() }
 
 // BatchTotals sums the group-commit counters across every shard's
 // batcher: committed transactions and the mutations inside them.
 func (s *Server) BatchTotals() (batches, ops uint64) {
-	for _, sh := range s.shards {
+	for _, sh := range s.st().shards {
 		if sh.b == nil {
 			continue
 		}
@@ -191,10 +264,24 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait() // after this no goroutine can Submit
-	for _, sh := range s.shards {
+	// Stop the migration driver BEFORE the batchers: it barriers into
+	// them, and stopping it at a batch boundary leaves the manifest
+	// cursor durable — the graceful-shutdown checkpoint a restart
+	// resumes from.
+	s.stopMigration()
+	s.allMu.Lock()
+	all := append([]*shard(nil), s.all...)
+	s.allMu.Unlock()
+	for _, sh := range all {
 		if sh.b != nil {
 			sh.b.Stop()
 		}
+	}
+	s.allMu.Lock()
+	owned := append([]*pool.Pool(nil), s.ownedPools...)
+	s.allMu.Unlock()
+	for _, p := range owned {
+		p.Close()
 	}
 	return nil
 }
@@ -241,7 +328,7 @@ func (s *Server) handleConn(c net.Conn) {
 	// with the shard count because the run is split by key hash before
 	// submission: each shard's slice of a full run still averages
 	// MaxBatch ops.
-	runCap := s.opts.MaxBatch * len(s.shards)
+	runCap := s.opts.MaxBatch * s.st().n
 	pending := make([]pendingMut, 0, runCap)
 	for {
 		line, err := readLine(r)
@@ -324,13 +411,25 @@ func (s *Server) flushMutations(pending *[]pendingMut, w *bufio.Writer) {
 		}
 	}
 	results := make([]SubmitResult, len(cmds))
-	byShard, idx := workloads.PartitionOps(ops, len(s.shards))
+	// Partition by current ownership: during a migration the Resharder's
+	// cursor refines the plain hash route, so an op lands at the shard
+	// that owns its key right now. The batcher's fence re-vets each op at
+	// commit time — an op that raced a cursor advance is answered -MOVED
+	// and retried by the client, never misapplied.
+	st := s.st()
+	byShard := make([][]workloads.Op, len(st.shards))
+	idx := make([][]int, len(st.shards))
+	for i, op := range ops {
+		si := st.owner(op.Key)
+		byShard[si] = append(byShard[si], op)
+		idx[si] = append(idx[si], i)
+	}
 	var wg sync.WaitGroup
-	for si := range s.shards {
+	for si := range st.shards {
 		if len(byShard[si]) == 0 {
 			continue
 		}
-		sh := s.shards[si]
+		sh := st.shards[si]
 		if err := sh.writable(); err != nil {
 			for _, oi := range idx[si] {
 				results[oi] = SubmitResult{Err: err}
@@ -411,7 +510,7 @@ func (s *Server) recordMutation(pm pendingMut, ph PhaseTimes) {
 	}
 	s.tracer.Record(obs.OpTrace{
 		Name:  name,
-		Shard: workloads.ShardFor(pm.cmd.Key, len(s.shards)),
+		Shard: s.st().owner(pm.cmd.Key),
 		Key:   pm.cmd.Key,
 		Start: pm.startNS,
 		Dur:   e2e,
@@ -507,6 +606,30 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		writeBulk(w, s.runScrub())
 	case CmdSlowlog:
 		writeBulk(w, obs.FormatSlowlog(s.tracer.Slowest(cmd.Limit)))
+	case CmdReshard:
+		if err := s.Reshard(int(cmd.Key)); err != nil {
+			s.writeReplyErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case CmdBackup:
+		rep, err := s.Backup(cmd.Path)
+		if err != nil {
+			s.writeReplyErr(w, err)
+		} else {
+			writeBulk(w, fmt.Sprintf(
+				"path: %s\nshards: %d\nepoch: %d\nbase_keys: %d\ndelta_ops: %d\n",
+				rep.Path, rep.Shards, rep.Epoch, rep.BaseKeys, rep.DeltaOps))
+		}
+	case CmdRestore:
+		rep, err := s.Restore(cmd.Path)
+		if err != nil {
+			s.writeReplyErr(w, err)
+		} else {
+			writeBulk(w, fmt.Sprintf(
+				"path: %s\nbackup_shards: %d\nbackup_epoch: %d\nbase_keys: %d\ndelta_ops: %d\n",
+				rep.Path, rep.Shards, rep.Epoch, rep.BaseKeys, rep.DeltaOps))
+		}
 	case CmdPing:
 		w.WriteString("+PONG\r\n")
 	case CmdQuit:
@@ -531,7 +654,7 @@ func (s *Server) recordRead(name string, key uint64, startNS, readNS int64) {
 	}
 	shardID := -1
 	if name == "GET" {
-		shardID = workloads.ShardFor(key, len(s.shards))
+		shardID = s.st().owner(key)
 	}
 	s.tracer.Record(obs.OpTrace{
 		Name:  name,
@@ -550,25 +673,50 @@ func (s *Server) recordRead(name string, key uint64, startNS, readNS int64) {
 // reader lock. A panic out of a device (injected crash) fences that
 // shard, like a failed commit; any other panic is a bug and propagates.
 func (s *Server) get(key uint64) (val uint64, found bool, err error) {
-	sh := s.shards[workloads.ShardFor(key, len(s.shards))]
-	if err = sh.down(); err != nil {
-		return 0, false, err
+	for {
+		st := s.st()
+		o := st.owner(key)
+		sh := st.shards[o]
+		if err = sh.down(); err != nil {
+			return 0, false, err
+		}
+		stable, val, found, err := s.getOnShard(sh, o, key)
+		if stable {
+			return val, found, err
+		}
+		// Ownership moved between the route decision and the lock (a
+		// migration batch handed this key's bucket over, or the migration
+		// committed). Re-route: the cursor only advances, so this loop
+		// takes at most a couple of iterations.
 	}
+}
+
+// getOnShard reads key on sh under its reader lock, first re-checking
+// ownership INSIDE the lock: migration cursors advance only under the
+// source shard's writer lock, so an ownership answer confirmed under the
+// reader lock cannot change until the read is done — reads are never
+// wrong mid-migration, they are re-routed.
+func (s *Server) getOnShard(sh *shard, o int, key uint64) (stable bool, val uint64, found bool, err error) {
 	defer s.recoverShardFailure(sh, &err)
 	sh.lock.RLock()
 	defer sh.lock.RUnlock()
-	return sh.kv.Get(key)
+	if s.st().owner(key) != o {
+		return false, 0, false, nil
+	}
+	val, found, err = sh.kv.Get(key)
+	return true, val, found, err
 }
 
 // scan walks every shard in shard order. A down shard fails the scan —
 // serving a silently partial keyspace would be worse than an error the
 // client can see and route around.
 func (s *Server) scan(limit int) (pairs []uint64, err error) {
-	for _, sh := range s.shards {
+	st := s.st()
+	for _, sh := range st.shards {
 		if err = sh.down(); err != nil {
 			return nil, err
 		}
-		if pairs, err = s.scanShard(sh, limit, pairs); err != nil {
+		if pairs, err = s.scanShard(st, sh, limit, pairs); err != nil {
 			return nil, err
 		}
 		if limit > 0 && len(pairs)/2 >= limit {
@@ -578,12 +726,19 @@ func (s *Server) scan(limit int) (pairs []uint64, err error) {
 	return pairs, nil
 }
 
-func (s *Server) scanShard(sh *shard, limit int, pairs []uint64) (out []uint64, err error) {
+func (s *Server) scanShard(st *routeState, sh *shard, limit int, pairs []uint64) (out []uint64, err error) {
 	out = pairs
 	defer s.recoverShardFailure(sh, &err)
 	sh.lock.RLock()
 	defer sh.lock.RUnlock()
 	scanErr := sh.kv.Scan(func(k, v uint64) bool {
+		// Mid-migration a key can transiently exist at both its source and
+		// its target (between the target insert and the source delete of
+		// its batch). Ownership picks exactly one copy, so the scan never
+		// shows duplicates or keys it should not.
+		if st.rs != nil && st.owner(k) != sh.id {
+			return true
+		}
 		out = append(out, k, v)
 		return limit == 0 || len(out)/2 < limit
 	})
@@ -600,7 +755,8 @@ func (s *Server) scanShard(sh *shard, limit int, pairs []uint64) (out []uint64, 
 // Unrepairable damage leaves that shard's pool degraded (and the report
 // says so); the pass itself never takes the server down.
 func (s *Server) runScrub() string {
-	multi := len(s.shards) > 1
+	shards := s.st().shards
+	multi := len(shards) > 1
 	prefix := func(id int) string {
 		if !multi {
 			return ""
@@ -611,7 +767,7 @@ func (s *Server) runScrub() string {
 	var detail string
 	storeIntegrity := "ok"
 	degraded := false
-	for _, sh := range s.shards {
+	for _, sh := range shards {
 		if err := sh.down(); err != nil {
 			degraded = true
 			detail += fmt.Sprintf("shard_down: %d %s\n", sh.id, oneLine(err.Error()))
@@ -693,8 +849,9 @@ func (s *Server) renderInfo() string {
 	var recoveryOrder []string
 	recoverySecs := make(map[string]float64)
 	recoveryTotal := 0.0
-	multi := len(s.shards) > 1
-	for _, sh := range s.shards {
+	st := s.st()
+	multi := len(st.shards) > 1
+	for _, sh := range st.shards {
 		if downErr := sh.down(); downErr != nil || sh.pool == nil {
 			degraded = true
 			downCount++
@@ -748,6 +905,23 @@ func (s *Server) renderInfo() string {
 	for _, name := range recoveryOrder {
 		recoveryLines += fmt.Sprintf("recovery_seconds_%s: %.6f\n", strings.ReplaceAll(name, "-", "_"), recoverySecs[name])
 	}
+	migLines := ""
+	if rs := st.rs; rs != nil {
+		oldN, newN := rs.Shape()
+		moved, batches, frac := rs.Progress()
+		migLines = fmt.Sprintf(
+			"migration_active: true\nmigration_from_shards: %d\nmigration_to_shards: %d\n"+
+				"migration_epoch: %d\nmigration_progress: %.4f\nmigration_moved_keys: %d\nmigration_batches: %d\n",
+			oldN, newN, rs.Epoch(), frac, moved, batches)
+	} else {
+		migLines = "migration_active: false\n"
+	}
+	if err := s.MigrationError(); err != nil {
+		migLines += fmt.Sprintf("migration_error: %s\n", oneLine(err.Error()))
+	}
+	if s.restoreWiped.Load() {
+		migLines += "restore_wiped_at_boot: true\n"
+	}
 	return fmt.Sprintf(
 		"server: corundum-server\n"+
 			"uptime_seconds: %d\n"+
@@ -766,7 +940,7 @@ func (s *Server) renderInfo() string {
 			"degraded: %v\n"+
 			"quarantined_ranges: %d\n",
 		int(time.Since(s.start).Seconds()),
-		len(s.shards),
+		st.n,
 		downCount,
 		sizeBytes,
 		gen,
@@ -779,7 +953,7 @@ func (s *Server) renderInfo() string {
 		s.halted.Load(),
 		degraded,
 		quarantined,
-	) + recoveryLines + perShard
+	) + recoveryLines + migLines + perShard
 }
 
 func (s *Server) renderStats() string {
@@ -787,8 +961,9 @@ func (s *Server) renderStats() string {
 	var batches, ops uint64
 	var hist [HistBuckets]uint64
 	var perShard string
-	multi := len(s.shards) > 1
-	for _, sh := range s.shards {
+	rst := s.st()
+	multi := len(rst.shards) > 1
+	for _, sh := range rst.shards {
 		var shardFences uint64
 		if sh.pool != nil {
 			ds := sh.pool.Device().Stats()
@@ -827,7 +1002,7 @@ func (s *Server) renderStats() string {
 			"batches_committed: %d\nbatched_ops: %d\nmean_batch: %.2f\n",
 		s.m.opsGet.Value(), s.m.opsSet.Value(), s.m.opsDel.Value(), s.m.opsScan.Value(),
 		s.m.connsTotal.Value(),
-		len(s.shards),
+		rst.n,
 		batches, ops, mean,
 	)
 	for i := 0; i < HistBuckets; i++ {
@@ -907,7 +1082,11 @@ func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(er
 // keyspace slice) — from terminal -ERR replies, and counts detected
 // media corruption surfacing through the read path.
 func (s *Server) writeReplyErr(w io.Writer, err error) {
+	var moved workloads.MovedError
 	switch {
+	case errors.As(err, &moved):
+		s.m.movedRejects.Inc()
+		fmt.Fprintf(w, "-MOVED %d %s\r\n", moved.Shard, oneLine(err.Error()))
 	case errors.Is(err, pool.ErrBusy):
 		fmt.Fprintf(w, "-BUSY %s\r\n", oneLine(err.Error()))
 	case errors.Is(err, pool.ErrReadOnly):

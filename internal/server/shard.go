@@ -124,13 +124,13 @@ func NewSharded(pools []*pool.Pool, opts Options) (*Server, error) {
 		opts:   opts,
 		start:  time.Now(),
 		conns:  make(map[net.Conn]struct{}),
-		shards: make([]*shard, len(pools)),
 		tracer: obs.NewTracer(opts.TraceRing, opts.TraceSample),
 	}
+	shards := make([]*shard, len(pools))
 	down := 0
 	for i, p := range pools {
 		sh := &shard{id: i, pool: p}
-		s.shards[i] = sh
+		shards[i] = sh
 		if p == nil {
 			if len(pools) == 1 {
 				return nil, errors.New("server: pool is nil")
@@ -147,16 +147,26 @@ func NewSharded(pools []*pool.Pool, opts Options) (*Server, error) {
 			down++
 		}
 	}
-	if down == len(s.shards) {
+	if down == len(shards) {
 		return nil, fmt.Errorf("server: all %d shards are down", down)
 	}
 	s.downShards.Store(int64(down))
+	s.all = shards
+	s.state.Store(&routeState{shards: shards, n: len(shards)})
+	// Adopt whatever sharding state the pools persist: write the initial
+	// cluster config on fresh deployments, wipe pools a crashed RESTORE
+	// left half-written, clear stale manifests, and resume an interrupted
+	// migration (see migrate.go).
+	if err := s.adoptPersistentState(); err != nil {
+		return nil, err
+	}
 	s.m = newServerMetrics(s)
-	for _, sh := range s.shards {
+	for _, sh := range s.st().shards {
 		if sh.b != nil {
 			sh.b.sizes.Store(s.m.batchSizes)
 		}
 	}
+	s.resumeMigration()
 	return s, nil
 }
 
@@ -202,7 +212,7 @@ func (s *Server) initShard(sh *shard) error {
 // down does the server halt as a whole.
 func (s *Server) onShardFailure(sh *shard, err error) {
 	sh.markDown(fmt.Errorf("%w: shard %d is down: %v", pool.ErrReadOnly, sh.id, err))
-	if s.downShards.Add(1) == int64(len(s.shards)) {
+	if s.downShards.Add(1) >= int64(len(s.st().shards)) {
 		s.haltAll(err)
 	}
 }

@@ -32,9 +32,23 @@ const (
 	kvEntry = 32
 )
 
-// Directory layout: [nBuckets][dirCRC][slots n×8][groupCRCs ⌈n/8⌉×8].
+// Directory layout:
+//
+//	[nBuckets][dirCRC][slots n×8][groupCRCs ⌈n/8⌉×8][cfg][cfgCRC][mani][maniCRC]
+//
 // dirCRC covers the nBuckets word; groupCRC i covers slots [8i, 8i+8).
-const slotGroup = 8
+// The four trailing meta words anchor the sharding machinery: cfg packs
+// the cluster config (epoch<<32 | shard count, 0 when never written) and
+// mani points at the migration/restore manifest block (0 when no
+// manifest is pending). Each carries its own single-word checksum so a
+// media fault in either is a loud ErrDataCorrupt, never silent misrouting.
+const (
+	slotGroup = 8
+	kvMetaLen = 32 // [cfg][cfgCRC][mani][maniCRC]
+
+	kvMetaCfg  = 0  // offset of the config word within the meta area
+	kvMetaMani = 16 // offset of the manifest-pointer word within the meta area
+)
 
 // KVStore is a persistent hash map over one engine pool.
 type KVStore struct {
@@ -42,6 +56,7 @@ type KVStore struct {
 	dir      uint64 // offset of the directory block
 	buckets  uint64 // offset of the slot array
 	groupCRC uint64 // offset of the slot-group checksum array
+	meta     uint64 // offset of the config/manifest meta words
 	nBuckets uint64
 }
 
@@ -66,13 +81,14 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 	}
 	kv := &KVStore{pool: p, nBuckets: n}
 	err := p.Tx(func(tx engine.Tx) error {
-		dir, err := tx.Alloc(16 + n*8 + groups(n)*8)
+		dir, err := tx.Alloc(16 + n*8 + groups(n)*8 + kvMetaLen)
 		if err != nil {
 			return err
 		}
 		kv.dir = dir
 		kv.buckets = dir + 16
 		kv.groupCRC = kv.buckets + n*8
+		kv.meta = kv.groupCRC + groups(n)*8
 		if err := tx.Store(dir, n); err != nil {
 			return err
 		}
@@ -89,6 +105,16 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 				return err
 			}
 		}
+		// Meta words start zeroed: no config written, no manifest pending.
+		// The checksums still cover them so later flips are detected.
+		for _, off := range []uint64{kvMetaCfg, kvMetaMani} {
+			if err := tx.Store(kv.meta+off, 0); err != nil {
+				return err
+			}
+			if err := tx.Store(kv.meta+off+8, wordsCRC(0)); err != nil {
+				return err
+			}
+		}
 		return tx.SetRoot(dir)
 	})
 	if err != nil {
@@ -98,7 +124,9 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 }
 
 // AttachKVStore reconnects to a store previously created in the pool,
-// verifying the directory header's checksum first.
+// verifying the directory header's checksum and the config/manifest meta
+// slots first: a store whose routing metadata cannot be trusted must not
+// serve at all, because a wrong shard count silently misroutes every key.
 func AttachKVStore(p engine.Pool) (*KVStore, error) {
 	dir := p.Root()
 	kv := &KVStore{pool: p, dir: dir, buckets: dir + 16}
@@ -108,12 +136,22 @@ func AttachKVStore(p engine.Pool) (*KVStore, error) {
 			return fmt.Errorf("%w: directory header", ErrDataCorrupt)
 		}
 		kv.nBuckets = n
+		kv.groupCRC = kv.buckets + n*8
+		kv.meta = kv.groupCRC + groups(n)*8
+		for _, m := range []struct {
+			off  uint64
+			name string
+		}{{kvMetaCfg, "config"}, {kvMetaMani, "manifest pointer"}} {
+			w := tx.Load(kv.meta + m.off)
+			if tx.Load(kv.meta+m.off+8) != wordsCRC(w) {
+				return fmt.Errorf("%w: %s meta slot", ErrDataCorrupt, m.name)
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	kv.groupCRC = kv.buckets + kv.nBuckets*8
 	return kv, nil
 }
 
@@ -341,6 +379,44 @@ func (kv *KVStore) Scan(fn func(key, val uint64) bool) error {
 	})
 }
 
+// ScanRange visits every key/value pair whose key hashes into a bucket in
+// [lo, hi) until fn returns false. Migration moves keys in bucket-index
+// windows, so "which keys does this batch cover" and "which keys has the
+// cursor passed" are both bucket-range questions; ScanRange is the verified
+// walk both use.
+func (kv *KVStore) ScanRange(lo, hi uint64, fn func(key, val uint64) bool) error {
+	if hi > kv.nBuckets {
+		hi = kv.nBuckets
+	}
+	return kv.pool.Tx(func(tx engine.Tx) error {
+		for b := lo; b < hi; b++ {
+			e, err := kv.loadSlot(tx, b)
+			if err != nil {
+				return err
+			}
+			for e != 0 {
+				k, next, v, err := loadEntry(tx, e)
+				if err != nil {
+					return err
+				}
+				if !fn(k, v) {
+					return nil
+				}
+				e = next
+			}
+		}
+		return nil
+	})
+}
+
+// Buckets reports the directory size. Migration cursors count buckets, so
+// callers need the bound; Bucket reports where a key hashes, which is the
+// coordinate system those cursors are compared in.
+func (kv *KVStore) Buckets() uint64 { return kv.nBuckets }
+
+// Bucket reports the directory index key hashes to in this store.
+func (kv *KVStore) Bucket(key uint64) uint64 { return kv.bucket(key) }
+
 // Len counts entries (test helper).
 func (kv *KVStore) Len() (int, error) {
 	n := 0
@@ -373,6 +449,20 @@ func (kv *KVStore) VerifyIntegrity() error {
 					return err
 				}
 				e = next
+			}
+		}
+		for _, m := range []struct {
+			off  uint64
+			name string
+		}{{kvMetaCfg, "config"}, {kvMetaMani, "manifest pointer"}} {
+			w := tx.Load(kv.meta + m.off)
+			if tx.Load(kv.meta+m.off+8) != wordsCRC(w) {
+				return fmt.Errorf("%w: %s meta slot", ErrDataCorrupt, m.name)
+			}
+		}
+		if mani := tx.Load(kv.meta + kvMetaMani); mani != 0 {
+			if _, err := decodeManifest(tx, mani); err != nil {
+				return err
 			}
 		}
 		return nil
