@@ -239,6 +239,16 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 		}
 		bench.PrintMigration(os.Stdout, migRows)
 		fmt.Println()
+		// Primary/replica pair: bootstrap, shipping cost, replica read
+		// offload, lag depth, failover outage. CI gates on the replica
+		// serving reads and on failover_seconds being present.
+		fmt.Printf("=== corundum-server: streaming replication (%d clients) ===\n", srvClients)
+		replRes, err := bench.ServerReplication(srvClients, 20000, pmem.Options{Profile: prof})
+		if err != nil {
+			return err
+		}
+		bench.PrintReplication(os.Stdout, replRes)
+		fmt.Println()
 		if csvDir != "" {
 			f, err := os.Create(filepath.Join(csvDir, "server.csv"))
 			if err != nil {
@@ -265,7 +275,7 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			if err != nil {
 				return err
 			}
-			err = bench.WriteServerJSON(f, rows, cov, overhead, migRows)
+			err = bench.WriteServerJSON(f, rows, cov, overhead, migRows, replRes)
 			f.Close()
 			if err != nil {
 				return err

@@ -51,11 +51,25 @@
 // end, then atomically replaces the keyspace with the snapshot (a crash
 // mid-restore wipes to empty at next boot rather than serving a blend).
 //
+// -repl-listen serves the replication stream: every committed batch is
+// shipped, in commit order, to any replicas that connect, with
+// heartbeats, lag accounting, and snapshot bootstrap for empty or
+// too-far-behind replicas. -replica-of <host:port> starts this server as
+// a read-only replica of a primary's -repl-listen address: GET/SCAN
+// serve locally, mutations answer -READONLY <primary-addr>, and the
+// replica resumes from its durable cursor across crashes of either
+// side. The REPLICAOF, PROMOTE, and REPLINFO admin commands drive
+// failover at runtime: PROMOTE fences the old epoch durably and starts
+// accepting writes (and serving the stream if -repl-listen was given);
+// the deposed primary is refused by epoch check when it rejoins and
+// re-syncs as a replica.
+//
 // When every journal slot stays busy for longer than -busy-timeout the
 // affected request is answered with -BUSY, a retryable backpressure
-// signal (clients: server.RetryBusy backs off with jitter). On SIGTERM or
-// SIGINT the server stops accepting, drains the group-commit batchers so
-// every acknowledged write is durable, and closes the pools cleanly.
+// signal (clients: server.Retry backs off with jitter). On SIGTERM or
+// SIGINT the server stops accepting, drains the group-commit batchers
+// and then the replication stream — connected replicas are at zero lag
+// before exit — and closes the pools cleanly.
 //
 // Startup uses pool.OpenRepair per shard: a cleanly recoverable image
 // opens as usual; an image with at-rest media damage is repaired from
@@ -96,15 +110,17 @@ func main() {
 		profile  = flag.String("profile", "NoDelay", "emulated PM latency profile: OptaneDC|DRAM|NoDelay")
 		metrics  = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text), /debug/trace, and /debug/pprof on this address, e.g. :9100")
 		traceSmp = flag.Int("trace-sample", 1, "op-trace sampling: 1 traces every op, N every Nth, -1 disables tracing")
+		replLn   = flag.String("repl-listen", "", "serve the replication stream to replicas on this address, e.g. :6381")
+		replOf   = flag.String("replica-of", "", "start as a read-only replica of a primary's -repl-listen address")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *traceSmp, *profile, *metrics); err != nil {
+	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *traceSmp, *profile, *metrics, *replLn, *replOf); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, traceSample int, profName, metricsAddr string) error {
+func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, traceSample int, profName, metricsAddr, replListen, replicaOf string) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -208,6 +224,31 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	})
 	if err != nil {
 		return err
+	}
+	// Enter the replica role before the source: a node given both flags
+	// parks its replication listener until PROMOTE makes it the primary.
+	if replicaOf != "" {
+		if err := srv.ReplicaOf(replicaOf); err != nil {
+			srv.Close()
+			return fmt.Errorf("starting as replica of %s: %w", replicaOf, err)
+		}
+		fmt.Printf("replicating from %s (mutations answer -READONLY; PROMOTE to fail over)\n", replicaOf)
+	}
+	if replListen != "" {
+		rln, err := net.Listen("tcp", replListen)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		if err := srv.EnableReplicationSource(rln); err != nil {
+			srv.Close()
+			return err
+		}
+		if replicaOf == "" {
+			fmt.Printf("replication stream on %s\n", rln.Addr())
+		} else {
+			fmt.Printf("replication stream on %s (parked until PROMOTE)\n", rln.Addr())
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

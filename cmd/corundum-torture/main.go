@@ -46,6 +46,17 @@
 //	corundum-torture -mode migrate [-depth K] [-mig-keys N] [-mig-batch W]
 //	                 [-max-points N] [-workers N] [-dump-dir D]
 //
+// Repl mode runs the replication chaos rotation on live primary/replica
+// pairs under a real client write stream: link cuts, a replica power cut
+// mid-apply, a promotion under load, a power cut mid-bootstrap, and a
+// primary power cut — each round must end in byte-exact convergence with
+// every acknowledged write of the surviving epoch present, and the
+// deposed epoch's acknowledged writes surviving as a clean prefix of ack
+// order:
+//
+//	corundum-torture -mode repl [-repl-rounds N] [-repl-writes N]
+//	                 [-repl-seed S]
+//
 // In exhaust and faults modes, -shards N emulates an N-shard deployment:
 // the campaign crashes shard 0 over and over while shards 1..N-1 serve
 // live KV traffic on their own independent pools. When the campaign
@@ -71,7 +82,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "random", "campaign mode: random | exhaust | faults | migrate")
+	mode := flag.String("mode", "random", "campaign mode: random | exhaust | faults | migrate | repl")
 	seeds := flag.Int("seeds", 8, "random mode: number of independent campaigns")
 	iterations := flag.Int("iterations", 500, "random mode: transactions per campaign")
 	workers := flag.Int("workers", 0, fmt.Sprintf("goroutines (random mode: 1..%d concurrent transactions, default 1; exhaust mode: crash-point shards, default GOMAXPROCS)", torture.MaxWorkers))
@@ -88,6 +99,9 @@ func main() {
 	migKeys := flag.Int("mig-keys", 12, "migrate mode: keys seeded on the source shard")
 	migBatch := flag.Int("mig-batch", 4, "migrate mode: buckets moved per crash-atomic batch")
 	maxPoints := flag.Int("max-points", 0, "migrate mode: explore only the first N top-level crash points (0 = all) — the CI budget knob")
+	replRounds := flag.Int("repl-rounds", 10, "repl mode: chaos rounds (the five scenarios rotate; 10 = two full rotations)")
+	replWrites := flag.Int("repl-writes", 200, "repl mode: client writes per round")
+	replSeed := flag.Int64("repl-seed", 1, "repl mode: campaign randomness seed")
 	shards := flag.Int("shards", 1, "exhaust/faults mode: run the campaign on shard 0 of an N-shard deployment; shards 1..N-1 serve live traffic throughout and are verified at the end")
 	flag.Parse()
 
@@ -108,8 +122,10 @@ func main() {
 		stopSiblings(sib)
 	case "migrate":
 		runMigrate(*migKeys, *migBatch, *depth, *maxPoints, *workers, *dumpDir)
+	case "repl":
+		runRepl(*replRounds, *replWrites, *replSeed)
 	default:
-		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, faults, or migrate)\n", *mode)
+		fmt.Fprintf(os.Stderr, "corundum-torture: unknown -mode %q (want random, exhaust, faults, migrate, or repl)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -384,6 +400,36 @@ func runMigrate(keys, batch, depth, maxPoints, workers int, dumpDir string) {
 		os.Exit(2)
 	}
 	fmt.Printf("OK: every power cut resumes to a completed migration with all %d keys intact\n", res.Keys)
+}
+
+func runRepl(rounds, writes int, seed int64) {
+	st := &explore.ReplStats{}
+	start := time.Now()
+	res, err := explore.RunRepl(explore.ReplConfig{
+		Rounds:         rounds,
+		WritesPerRound: writes,
+		Seed:           seed,
+		Stats:          st,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corundum-torture: repl: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("repl chaos: %d rounds, %d writes acked; %d link cuts, %d replica crashes, %d bootstrap crashes, %d primary crashes, %d promotions, %d reboots (%.1fs)\n",
+		res.Rounds, st.Acked.Load(), st.LinkCuts.Load(), st.ReplicaCrashes.Load(),
+		st.BootstrapCrashes.Load(), st.PrimaryCrashes.Load(), st.Promotes.Load(),
+		st.Reboots.Load(), time.Since(start).Seconds())
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "corundum-torture: VIOLATION: %v\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "corundum-torture: repl: %d violations — acked writes lost or replicas diverged\n", len(res.Violations))
+		os.Exit(1)
+	}
+	fmt.Printf("OK: every round converged byte-exact with zero acked-write loss on the surviving epoch\n")
 }
 
 // writeFlightDump names the file after the crash point and trail so a

@@ -25,6 +25,12 @@ type serverJSON struct {
 	// measurement: steady state, split in flight, committed layout. CI
 	// gates on the migrating row showing nonzero throughput.
 	Migration []MigrationRow `json:"migration,omitempty"`
+	// Replication, when present, holds the primary/replica pair
+	// measurement: bootstrap time, write throughput with a streaming
+	// replica, lag depth and catch-up, replica read offload, failover
+	// outage. CI gates on the replica serving reads and on the failover
+	// time being present.
+	Replication *ReplicationResult `json:"replication,omitempty"`
 }
 
 // TraceOverheadRow summarizes the tracing-off vs tracing-on comparison.
@@ -41,10 +47,10 @@ type TraceOverheadRow struct {
 // configuration's ops/sec, fences/op, latency percentiles, phase means,
 // and per-scope fence attribution, plus the fault-campaign coverage
 // counters and the tracing-overhead comparison when non-nil.
-func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow, migration []MigrationRow) error {
+func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow, migration []MigrationRow, replication *ReplicationResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead, Migration: migration})
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead, Migration: migration, Replication: replication})
 }
 
 // microJSON is the BENCH_micro.json document: Table 5 latencies keyed by

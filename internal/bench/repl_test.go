@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corundum/internal/pmem"
+)
+
+// TestServerReplicationSmall runs the replication measurement at small
+// scale: the replica must bootstrap, the primary must serve writes with
+// the replica streaming, the replica must serve reads, the pair must
+// drain back to zero lag, and the promotion must complete.
+func TestServerReplicationSmall(t *testing.T) {
+	res, err := ServerReplication(4, 4000, pmem.Options{Profile: pmem.NoDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BootstrapSeconds <= 0 {
+		t.Fatalf("bootstrap took %.3fs", res.BootstrapSeconds)
+	}
+	if res.WriteOpsPerSec <= 0 || res.WriteP99Us <= 0 {
+		t.Fatalf("write window served nothing: %+v", res)
+	}
+	if res.ReplicaReadOpsPerSec <= 0 || res.ReplicaReadP99Us <= 0 {
+		t.Fatalf("replica read window served nothing: %+v", res)
+	}
+	if res.SteadyLagFrames != 0 {
+		t.Fatalf("steady lag = %d frames, want drained", res.SteadyLagFrames)
+	}
+	if res.FailoverSeconds <= 0 {
+		t.Fatalf("failover took %.3fs", res.FailoverSeconds)
+	}
+
+	var tbl bytes.Buffer
+	PrintReplication(&tbl, res)
+	for _, want := range []string{"bootstrap", "replica reads", "failover"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("rendered table lacks %q:\n%s", want, tbl.String())
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"corundum/internal/workloads"
+)
+
+// fakeHost is an in-memory repl.Host: a map store with a cursor, counting
+// how many times each sequence was applied (the never-twice contract).
+type fakeHost struct {
+	mu         sync.Mutex
+	epoch, seq uint64
+	data       map[uint64]uint64
+	applies    map[uint64]int
+	bootstraps int
+	aborts     int
+	fatal      error
+}
+
+func newFakeHost(epoch, seq uint64) *fakeHost {
+	return &fakeHost{epoch: epoch, seq: seq, data: map[uint64]uint64{}, applies: map[uint64]int{}}
+}
+
+func (h *fakeHost) Cursor() (uint64, uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch, h.seq, nil
+}
+
+func (h *fakeHost) ApplyFrame(epoch, seq uint64, ops []workloads.Op) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, op := range ops {
+		if op.Del {
+			delete(h.data, op.Key)
+		} else {
+			h.data[op.Key] = op.Val
+		}
+	}
+	h.applies[seq]++
+	h.epoch, h.seq = epoch, seq
+	return nil
+}
+
+func (h *fakeHost) BeginBootstrap() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bootstraps++
+	h.data = map[uint64]uint64{}
+	h.seq = 0
+	return nil
+}
+
+func (h *fakeHost) BootstrapChunk(pairs []uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		h.data[pairs[i]] = pairs[i+1]
+	}
+	return nil
+}
+
+func (h *fakeHost) EndBootstrap(epoch, seq uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.epoch, h.seq = epoch, seq
+	return nil
+}
+
+func (h *fakeHost) AbortBootstrap() {
+	h.mu.Lock()
+	h.aborts++
+	h.mu.Unlock()
+}
+
+func (h *fakeHost) Fatal(err error) {
+	h.mu.Lock()
+	h.fatal = err
+	h.mu.Unlock()
+}
+
+func (h *fakeHost) snapshot() (map[uint64]uint64, map[uint64]int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := make(map[uint64]uint64, len(h.data))
+	for k, v := range h.data {
+		d[k] = v
+	}
+	a := make(map[uint64]int, len(h.applies))
+	for k, v := range h.applies {
+		a[k] = v
+	}
+	return d, a
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func writeDelta(t *testing.T, bw *bufio.Writer, f Frame) {
+	t.Helper()
+	if err := WriteFrame(bw, FrameDelta, deltaWords(f)); err != nil {
+		t.Error(err)
+	}
+}
+
+// heartbeats keeps a scripted link alive until stop closes.
+func heartbeats(bw *bufio.Writer, mu *sync.Mutex, epoch, seq uint64, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(30 * time.Millisecond):
+		}
+		mu.Lock()
+		err := WriteFrame(bw, FrameHeartbeat, []uint64{epoch, seq})
+		if err == nil {
+			err = bw.Flush()
+		}
+		mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestReplicaDedupNeverAppliesTwice scripts a primary that resends frame
+// 1 after the replica already applied it: the duplicate must be deduped
+// (acked, counted) and the store must see each sequence exactly once.
+// The handshake's advertised client address must surface in the status.
+func TestReplicaDedupNeverAppliesTwice(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	host := newFakeHost(1, 0)
+	stop := make(chan struct{})
+	defer close(stop)
+	syncLines := make(chan string, 4)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		syncLines <- strings.TrimSpace(line)
+		var mu sync.Mutex
+		bw := bufio.NewWriter(conn)
+		fmt.Fprintf(bw, "+CONT 1 10.0.0.9:6000\n")
+		writeDelta(t, bw, Frame{Epoch: 1, Seq: 1, Ops: []workloads.Op{{Key: 7, Val: 70}}})
+		writeDelta(t, bw, Frame{Epoch: 1, Seq: 1, Ops: []workloads.Op{{Key: 7, Val: 70}}}) // duplicate
+		writeDelta(t, bw, Frame{Epoch: 1, Seq: 2, Ops: []workloads.Op{{Key: 8, Val: 80}}})
+		bw.Flush()
+		heartbeats(bw, &mu, 1, 2, stop)
+	}()
+
+	r := NewReplica(ReplicaConfig{Addr: ln.Addr().String(), Host: host, Heartbeat: 100 * time.Millisecond})
+	defer r.Stop()
+	waitFor(t, "frames applied", func() bool {
+		st := r.Status()
+		return st.FramesApplied == 2 && st.FramesDeduped == 1
+	})
+	if got := <-syncLines; got != "SYNC 1 0" {
+		t.Fatalf("handshake = %q, want SYNC 1 0", got)
+	}
+	st := r.Status()
+	if st.AppliedSeq != 2 || st.Epoch != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.PrimaryClientAddr != "10.0.0.9:6000" {
+		t.Fatalf("advertised client addr = %q", st.PrimaryClientAddr)
+	}
+	data, applies := host.snapshot()
+	if data[7] != 70 || data[8] != 80 || len(data) != 2 {
+		t.Fatalf("store = %v", data)
+	}
+	if applies[1] != 1 || applies[2] != 1 {
+		t.Fatalf("apply counts = %v, want exactly once each", applies)
+	}
+}
+
+// TestReplicaCRCRejectThenResume corrupts one frame mid-stream: the
+// replica must count the reject, drop the link, and resume from its
+// durable cursor on reconnect — applying the redelivered frame once.
+func TestReplicaCRCRejectThenResume(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	host := newFakeHost(1, 0)
+	stop := make(chan struct{})
+	defer close(stop)
+	syncLines := make(chan string, 8)
+	var sessions sync.WaitGroup
+	go func() {
+		session := 0
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			session++
+			sessions.Add(1)
+			go func(conn net.Conn, session int) {
+				defer sessions.Done()
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				line, err := br.ReadString('\n')
+				if err != nil {
+					return
+				}
+				syncLines <- strings.TrimSpace(line)
+				var mu sync.Mutex
+				bw := bufio.NewWriter(conn)
+				fmt.Fprintf(bw, "+CONT 1\n")
+				if session == 1 {
+					writeDelta(t, bw, Frame{Epoch: 1, Seq: 1, Ops: []workloads.Op{{Key: 1, Val: 10}}})
+					bw.Flush()
+					// Frame 2, with one payload byte flipped after encode.
+					raw := encodeFrames(t, []Frame{{Epoch: 1, Seq: 2, Ops: []workloads.Op{{Key: 2, Val: 20}}}})
+					raw[12] ^= 0x01
+					conn.Write(raw)
+					return // replica drops the link on the CRC reject
+				}
+				writeDelta(t, bw, Frame{Epoch: 1, Seq: 2, Ops: []workloads.Op{{Key: 2, Val: 20}}})
+				bw.Flush()
+				heartbeats(bw, &mu, 1, 2, stop)
+			}(conn, session)
+		}
+	}()
+
+	r := NewReplica(ReplicaConfig{Addr: ln.Addr().String(), Host: host, Heartbeat: 100 * time.Millisecond})
+	defer r.Stop()
+	waitFor(t, "resume past the corrupt frame", func() bool {
+		st := r.Status()
+		return st.AppliedSeq == 2 && st.CRCRejects >= 1
+	})
+	if got := <-syncLines; got != "SYNC 1 0" {
+		t.Fatalf("first handshake = %q", got)
+	}
+	// The reconnect must re-anchor at the durable cursor, not restart.
+	if got := <-syncLines; got != "SYNC 1 1" {
+		t.Fatalf("resume handshake = %q, want SYNC 1 1", got)
+	}
+	_, applies := host.snapshot()
+	if applies[1] != 1 || applies[2] != 1 {
+		t.Fatalf("apply counts = %v, want exactly once each", applies)
+	}
+}
+
+// TestReplicaBootstrap scripts a +FULL handshake: snapshot chunks land
+// through BeginBootstrap/BootstrapChunk/EndBootstrap, the cursor commits
+// at the snapshot's anchor sequence, and the live tail continues from it.
+func TestReplicaBootstrap(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	host := newFakeHost(1, 0)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := br.ReadString('\n'); err != nil {
+			return
+		}
+		var mu sync.Mutex
+		bw := bufio.NewWriter(conn)
+		fmt.Fprintf(bw, "+FULL 3\n")
+		WriteFrame(bw, FrameSnapBegin, []uint64{3})
+		WriteFrame(bw, FrameSnapChunk, []uint64{2, 1, 10, 2, 20})
+		WriteFrame(bw, FrameSnapChunk, []uint64{1, 3, 30})
+		WriteFrame(bw, FrameSnapEnd, []uint64{3, 5, 3}) // epoch 3, startSeq 5, 3 keys
+		writeDelta(t, bw, Frame{Epoch: 3, Seq: 6, Ops: []workloads.Op{{Key: 2, Del: true}}})
+		bw.Flush()
+		heartbeats(bw, &mu, 3, 6, stop)
+	}()
+
+	r := NewReplica(ReplicaConfig{Addr: ln.Addr().String(), Host: host, Heartbeat: 100 * time.Millisecond})
+	defer r.Stop()
+	waitFor(t, "bootstrap + tail", func() bool { return r.Status().AppliedSeq == 6 })
+	st := r.Status()
+	if st.FullSyncs != 1 || st.Epoch != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	data, _ := host.snapshot()
+	if data[1] != 10 || data[3] != 30 || len(data) != 2 {
+		t.Fatalf("store after bootstrap+delta = %v", data)
+	}
+	host.mu.Lock()
+	boots, epoch, seq := host.bootstraps, host.epoch, host.seq
+	host.mu.Unlock()
+	if boots != 1 || epoch != 3 || seq != 6 {
+		t.Fatalf("bootstraps=%d cursor={%d,%d}", boots, epoch, seq)
+	}
+}
+
+// TestReplicaStaleOfPeer points a replica whose durable epoch is AHEAD
+// of the primary's at that primary: the -STALE refusal must be surfaced
+// (and the replica must not wipe or regress its store).
+func TestReplicaStaleOfPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	host := newFakeHost(5, 9)
+	host.data[1] = 10
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			br := bufio.NewReader(conn)
+			if _, err := br.ReadString('\n'); err == nil {
+				fmt.Fprintf(conn, "-STALE 2\n")
+			}
+			conn.Close()
+		}
+	}()
+
+	r := NewReplica(ReplicaConfig{Addr: ln.Addr().String(), Host: host, Heartbeat: 50 * time.Millisecond})
+	defer r.Stop()
+	waitFor(t, "stale flag", func() bool { return r.Status().StaleOfPeer })
+	data, applies := host.snapshot()
+	if data[1] != 10 || len(applies) != 0 {
+		t.Fatalf("stale refusal touched the store: data=%v applies=%v", data, applies)
+	}
+	host.mu.Lock()
+	boots := host.bootstraps
+	host.mu.Unlock()
+	if boots != 0 {
+		t.Fatal("stale refusal triggered a bootstrap")
+	}
+}

@@ -185,6 +185,12 @@ func readFrame(r *bufio.Reader) (typ uint32, payload []byte, err error) {
 // while the server keeps serving reads AND writes. See the file comment
 // for the format and the consistency argument.
 func (s *Server) Backup(path string) (BackupReport, error) {
+	// Refused on a replica: BACKUP's delta phase taps the batchers, but a
+	// replica's writes arrive through ApplyFrame (no batcher), so the tap
+	// would miss them and the backup would be torn. Back up the primary.
+	if addr := s.redirectAddr(); addr != "" {
+		return BackupReport{}, replicaRedirectError{addr: addr}
+	}
 	if err := s.beginAdmin("BACKUP"); err != nil {
 		return BackupReport{}, err
 	}
@@ -326,8 +332,9 @@ func (s *Server) Backup(path string) (BackupReport, error) {
 }
 
 // SetBackupChunkHook installs test instrumentation run after every
-// BACKUP scan chunk (shard id, first bucket of the window) — tests use
-// it to interleave mutations with the walk deterministically. Must be
+// BACKUP scan chunk and every replication-snapshot walk chunk (shard
+// id, first bucket of the window) — tests use it to interleave
+// mutations or admin commands with a walk deterministically. Must be
 // set before Serve; nil in production.
 func (s *Server) SetBackupChunkHook(fn func(shard int, bucket uint64)) { s.backupChunkHook = fn }
 
@@ -459,6 +466,11 @@ func validateBackup(path string) (*backupSummary, error) {
 // a blend (see adoptPersistentState). Mutations during the restore
 // answer -BUSY; reads keep serving (they observe the wipe and refill).
 func (s *Server) Restore(path string) (RestoreReport, error) {
+	// A replica's keyspace is owned by the stream; RESTORE would diverge
+	// it from the primary irrecoverably.
+	if addr := s.redirectAddr(); addr != "" {
+		return RestoreReport{}, replicaRedirectError{addr: addr}
+	}
 	if err := s.beginAdmin("RESTORE"); err != nil {
 		return RestoreReport{}, err
 	}

@@ -130,6 +130,12 @@ type Batcher struct {
 	// backup delta stream depends on. Taps must be brief and must not
 	// touch the store.
 	tap atomic.Pointer[func([]workloads.Op)]
+	// applier, when set, replaces kv.Apply as the commit body. The
+	// replication source installs one that fuses each batch with a
+	// durable stream-sequence advance (KVStore.ApplyWithCursor) and
+	// publishes the committed frame — a separate hook from tap so BACKUP
+	// can tap the stream while replication is active.
+	applier atomic.Pointer[func([]workloads.Op) ([]bool, error)]
 }
 
 func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, dev *pmem.Device, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
@@ -246,6 +252,20 @@ func (b *Batcher) SetTap(fn func([]workloads.Op)) {
 		return
 	}
 	b.tap.Store(&fn)
+}
+
+// SetApplier installs (or, with nil, removes) a replacement commit body:
+// when set, batches commit through fn instead of the store's plain
+// Apply. fn runs under the store lock and must preserve Apply's
+// contract (one failure-atomic transaction, per-op delete results). The
+// replication source uses it to ride a durable sequence advance on each
+// batch's own commit fence.
+func (b *Batcher) SetApplier(fn func([]workloads.Op) ([]bool, error)) {
+	if fn == nil {
+		b.applier.Store(nil)
+		return
+	}
+	b.applier.Store(&fn)
 }
 
 // Barrier blocks until every mutation submitted before it has been
@@ -480,7 +500,11 @@ func (b *Batcher) commit(ops []workloads.Op) (res []bool, err error) {
 	}()
 	b.lock.Lock()
 	defer b.lock.Unlock()
-	res, err = b.kv.Apply(ops)
+	if ap := b.applier.Load(); ap != nil {
+		res, err = (*ap)(ops)
+	} else {
+		res, err = b.kv.Apply(ops)
+	}
 	if err == nil {
 		if t := b.tap.Load(); t != nil {
 			// Inside the lock on purpose: taps observe batches in commit

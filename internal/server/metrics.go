@@ -170,6 +170,22 @@ func newServerMetrics(s *Server) *serverMetrics {
 			moved, _, _ := rs.Progress()
 			return moved
 		})
+	reg.GaugeFunc("server_repl_role", "replication role: 0 standalone, 1 primary, 2 replica", nil,
+		func() float64 {
+			if s.IsReplica() {
+				return 2
+			}
+			if _, ok := s.ReplPrimaryStatus(); ok {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("server_repl_lag_frames", "replication lag in stream frames (worst replica on a primary; own lag on a replica)", nil,
+		func() float64 { return float64(s.ReplLag().Frames) })
+	reg.GaugeFunc("server_repl_lag_bytes", "replication lag in retained wire bytes", nil,
+		func() float64 { return float64(s.ReplLag().Bytes) })
+	reg.GaugeFunc("server_repl_lag_seconds", "age of the oldest unacknowledged frame", nil,
+		func() float64 { return s.ReplLag().Seconds })
 	initial := s.st().shards
 	for _, sh := range initial {
 		m.registerShardGauges(sh)

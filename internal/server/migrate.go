@@ -49,6 +49,12 @@ func (s *Server) Reshard(newN int) error {
 	if newN < 1 {
 		return fmt.Errorf("reshard: shard count must be at least 1, got %d", newN)
 	}
+	if addr := s.redirectAddr(); addr != "" {
+		// A replica's layout follows its own config; resharding it while
+		// frames route by that layout is fine — but the operator drives
+		// topology from the primary, so refuse with the redirect.
+		return replicaRedirectError{addr: addr}
+	}
 	s.migMu.Lock()
 	defer s.migMu.Unlock()
 	if s.halted.Load() {
@@ -168,6 +174,13 @@ func (s *Server) openTargetShard(id int) (*shard, error) {
 	sh.b.sizes.Store(s.m.batchSizes)
 	s.m.registerShardGauges(sh)
 	p.EnableMetricsLabeled(s.m.reg, obs.Labels{"shard": strconv.Itoa(id)})
+	// A serving replication source stamps every shard's commits into the
+	// stream; a shard born mid-life must publish like the boot-time ones.
+	s.replMu.Lock()
+	if s.repl.log != nil {
+		s.installReplApplier(sh)
+	}
+	s.replMu.Unlock()
 	s.allMu.Lock()
 	s.all = append(s.all, sh)
 	s.ownedPools = append(s.ownedPools, p)
@@ -370,6 +383,12 @@ func (s *Server) adoptPersistentState() error {
 			}
 			if err := wipeStore(sh.kv); err != nil {
 				return fmt.Errorf("server: wiping shard %d after a crashed RESTORE: %w", sh.id, err)
+			}
+			// The same marker also covers a crashed replication bootstrap:
+			// zero the cursor so the wiped (empty) store cannot claim to be
+			// caught up to a stream position it no longer reflects.
+			if err := sh.kv.WriteReplCursor(0, 0); err != nil {
+				return fmt.Errorf("server: zeroing replication cursor on shard %d: %w", sh.id, err)
 			}
 		}
 		if err := sh0.kv.ClearManifest(); err != nil {

@@ -30,6 +30,13 @@
 //	                      file while serving reads and writes
 //	RESTORE <path>     -> $<len> bulk string report: validates the backup
 //	                      end-to-end, then replaces the keyspace with it
+//	REPLICAOF <addr>   -> +OK: become a read-only replica streaming from
+//	                      the primary's replication listener at addr
+//	                      ("REPLICAOF NO ONE" is PROMOTE)
+//	PROMOTE            -> +OK: failover — leave the replica role, bump the
+//	                      durable replication epoch, accept writes
+//	REPLINFO           -> $<len> bulk string: replication role, cursor,
+//	                      link state, and lag
 //	PING               -> +PONG
 //	QUIT               -> +OK, then the server closes the connection
 //
@@ -39,11 +46,12 @@
 // can no longer be trusted to be in sync. Two refinements of -ERR carry
 // machine-actionable meaning: "-BUSY" (journal slots exhausted, or an
 // admin stream command holding writes off; the request never ran and can
-// be re-sent, see RetryBusy), "-READONLY" (the pool is serving degraded
-// after unrepairable media damage; reads still work, mutations are
-// refused), and "-MOVED <shard>" (the key's range is mid-migration;
-// retry after a short backoff and the new owner answers — see
-// RetryTransient).
+// be re-sent, see Retry), "-READONLY" (the pool is serving degraded
+// after unrepairable media damage, or this server is a replica — then
+// the reply's first token is the primary's address, see
+// ReadonlyPrimary), and "-MOVED <shard>" (the key's range is
+// mid-migration; retry after a short backoff and the new owner answers).
+// All three are retryable through the Retry helper.
 package server
 
 import (
@@ -70,6 +78,9 @@ const (
 	CmdReshard
 	CmdBackup
 	CmdRestore
+	CmdReplicaOf
+	CmdPromote
+	CmdReplInfo
 )
 
 // MaxLineLen bounds a request line (verb + arguments + terminator). A
@@ -197,7 +208,18 @@ func ParseCommand(line []byte) (Command, error) {
 			k = CmdRestore
 		}
 		return Command{Kind: k, Path: string(fields[1])}, nil
-	case "INFO", "STATS", "SCRUB", "PING", "QUIT":
+	case "REPLICAOF":
+		// REPLICAOF <host:port> | REPLICAOF NO ONE. The address rides the
+		// Path field; "NO ONE" parses to an empty Path, which ReplicaOf
+		// treats as PROMOTE.
+		if len(fields) == 3 && asciiUpper(fields[1]) == "NO" && asciiUpper(fields[2]) == "ONE" {
+			return Command{Kind: CmdReplicaOf}, nil
+		}
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("REPLICAOF expects <host:port> or NO ONE")
+		}
+		return Command{Kind: CmdReplicaOf, Path: string(fields[1])}, nil
+	case "INFO", "STATS", "SCRUB", "PING", "QUIT", "PROMOTE", "REPLINFO":
 		if len(fields) != 1 {
 			return Command{}, fmt.Errorf("%s takes no arguments", verb)
 		}
@@ -210,6 +232,10 @@ func ParseCommand(line []byte) (Command, error) {
 			return Command{Kind: CmdScrub}, nil
 		case "PING":
 			return Command{Kind: CmdPing}, nil
+		case "PROMOTE":
+			return Command{Kind: CmdPromote}, nil
+		case "REPLINFO":
+			return Command{Kind: CmdReplInfo}, nil
 		default:
 			return Command{Kind: CmdQuit}, nil
 		}

@@ -1,0 +1,789 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"corundum/internal/pool"
+	"corundum/internal/repl"
+	"corundum/internal/workloads"
+)
+
+// This file wires internal/repl into the server: the primary side (a
+// replication log fed by every shard's group-commit batcher through
+// SetApplier, served to replicas over a dedicated listener) and the
+// replica side (a repl.Replica driving this server's stores through the
+// repl.Host interface, with mutations redirected to the primary).
+//
+// Durability split: the primary's stream sequence is durable because
+// every batch commits through KVStore.ApplyWithCursor — the sequence
+// rides the batch's own commit fence into that shard's cursor slot, so
+// recovery (max cursor across shards) never reuses or skips a sequence.
+// The replica's cursor lives on shard 0 only and advances LAST when a
+// frame spans shards, so a crash mid-frame re-applies the whole frame
+// idempotently rather than counting it done.
+
+// replState groups the replication fields; guarded by Server.replMu
+// except where noted.
+type replState struct {
+	// Primary side.
+	log        *repl.Log
+	primary    *repl.Primary
+	listenAddr string       // where the source serves (for re-listen on promote)
+	pendingLn  net.Listener // listener handed over while still a replica
+	// Replica side.
+	replica *repl.Replica
+	lastErr error
+}
+
+// replicaRedirectError is the refusal a replica answers mutations with:
+// it renders as "-READONLY <primary-addr> ..." so clients (see
+// ReadonlyPrimary) can follow the redirect.
+type replicaRedirectError struct{ addr string }
+
+func (e replicaRedirectError) Error() string {
+	return fmt.Sprintf("%s replica; send mutations to the primary", e.addr)
+}
+func (e replicaRedirectError) Unwrap() error { return pool.ErrReadOnly }
+
+// errNotReplica refuses PROMOTE on a server that is not a replica.
+var errNotReplica = fmt.Errorf("not a replica (see REPLICAOF)")
+
+// EnableReplicationSource serves the replication stream on ln. On a
+// primary the source starts immediately: the durable epoch and last
+// sequence are recovered from the shard cursors, every shard's batcher
+// gets the sequence-stamping applier, and replicas may connect. On a
+// server currently in the replica role the listener is parked and the
+// source starts when PROMOTE makes this node the primary.
+func (s *Server) EnableReplicationSource(ln net.Listener) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.repl.primary != nil || s.repl.pendingLn != nil {
+		return fmt.Errorf("replication source already enabled")
+	}
+	s.repl.listenAddr = ln.Addr().String()
+	if s.repl.replica != nil {
+		s.repl.pendingLn = ln
+		return nil
+	}
+	return s.startSourceLocked(ln)
+}
+
+// startSourceLocked recovers the durable stream position and starts the
+// primary. Caller holds replMu.
+func (s *Server) startSourceLocked(ln net.Listener) error {
+	epoch, lastSeq, err := s.recoverStreamPos()
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	s.replEpoch.Store(epoch)
+	s.repl.log = repl.NewLog(lastSeq, s.opts.ReplLogFrames, s.opts.ReplLogBytes)
+	s.allMu.Lock()
+	all := append([]*shard(nil), s.all...)
+	s.allMu.Unlock()
+	for _, sh := range all {
+		s.installReplApplier(sh)
+	}
+	s.repl.primary = repl.NewPrimary(ln, repl.PrimaryConfig{
+		Log:       s.repl.log,
+		Epoch:     s.replEpoch.Load,
+		Snapshot:  s.replSnapshot,
+		Heartbeat: s.opts.ReplHeartbeat,
+		Advertise: s.clientAddr,
+	})
+	return nil
+}
+
+// clientAddr is this server's client-facing listen address ("" before
+// Serve): what replicas advertise in their -READONLY redirects.
+func (s *Server) clientAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.listeners) > 0 {
+		return s.listeners[0].Addr().String()
+	}
+	return ""
+}
+
+// redirectAddr is where a replica points refused mutations: the
+// primary's advertised client address when the handshake carried one,
+// else the configured replication address. "" when not a replica.
+func (s *Server) redirectAddr() string {
+	addr := s.primaryAddrStr()
+	if addr == "" {
+		return ""
+	}
+	s.replMu.Lock()
+	rep := s.repl.replica
+	s.replMu.Unlock()
+	if rep != nil {
+		if a := rep.Status().PrimaryClientAddr; a != "" {
+			return a
+		}
+	}
+	return addr
+}
+
+// recoverStreamPos reads the durable replication position: epoch and
+// sequence are each the max across shard cursors (a batch's sequence is
+// durable on the shard that committed it; epoch history rides along).
+// A store that never replicated reports {1, 0}.
+func (s *Server) recoverStreamPos() (epoch, lastSeq uint64, err error) {
+	for _, sh := range s.st().shards {
+		if sh.kv == nil || sh.down() != nil {
+			continue
+		}
+		sh.lock.RLock()
+		e, q, rerr := sh.kv.ReadReplCursor()
+		sh.lock.RUnlock()
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("repl: cursor on shard %d: %w", sh.id, rerr)
+		}
+		if e > epoch {
+			epoch = e
+		}
+		if q > lastSeq {
+			lastSeq = q
+		}
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	return epoch, lastSeq, nil
+}
+
+// installReplApplier points sh's batcher at the sequence-stamping commit
+// body: reserve the next stream sequence, commit the batch WITH that
+// sequence in the shard's cursor (one transaction, no extra fence), then
+// publish the frame. A failed or crashed commit cancels the sequence so
+// the stream stays dense — replicas advance over the gap frame.
+func (s *Server) installReplApplier(sh *shard) {
+	if sh.b == nil {
+		return
+	}
+	log := s.repl.log
+	kv := sh.kv
+	id := sh.id
+	sh.b.SetApplier(func(ops []workloads.Op) (res []bool, err error) {
+		seq := log.Reserve()
+		epoch := s.replEpoch.Load()
+		defer func() {
+			if r := recover(); r != nil {
+				// Injected crash (power cut): the batch may or may not be
+				// durable, but this process's stream is over either way —
+				// gap-fill so surviving shards' frames still flow.
+				log.Cancel(epoch, seq)
+				panic(r)
+			}
+		}()
+		res, err = kv.ApplyWithCursor(ops, epoch, seq)
+		if err != nil {
+			log.Cancel(epoch, seq)
+			return res, err
+		}
+		log.Publish(repl.Frame{Epoch: epoch, Seq: seq, Shard: id, Ops: ops})
+		return res, nil
+	})
+}
+
+// replSnapshot claims a consistent full-keyspace snapshot for a
+// bootstrapping replica. It takes the exclusive admin slot (a snapshot
+// must not interleave with RESHARD's direct store writes, or with
+// BACKUP/RESTORE) and pins the log at the current contiguous sequence:
+// every frame ≤ the pin is durably in the stores the walk reads, and
+// every frame above it stays retained until Release so the delta tail
+// replays over the snapshot.
+func (s *Server) replSnapshot() (*repl.Snapshot, error) {
+	if err := s.beginAdmin("REPLSNAPSHOT"); err != nil {
+		return nil, err
+	}
+	st := s.st()
+	for i := 0; i < st.n; i++ {
+		if err := st.shards[i].down(); err != nil {
+			s.endAdmin()
+			return nil, fmt.Errorf("repl: snapshot: shard %d: %w", i, err)
+		}
+	}
+	pin := s.repl.log.Pin()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			pin.Release()
+			s.endAdmin()
+		})
+	}
+	walk := func(chunk func(pairs []uint64) error) (uint64, error) {
+		var keys uint64
+		for i := 0; i < st.n; i++ {
+			sh := st.shards[i]
+			nb := sh.kv.Buckets()
+			for lo := uint64(0); lo < nb; lo += backupScanBuckets {
+				hi := lo + backupScanBuckets
+				if hi > nb {
+					hi = nb
+				}
+				pairs, err := s.backupScanChunk(sh, lo, hi)
+				if err != nil {
+					return keys, fmt.Errorf("repl: snapshot walk on shard %d: %w", i, err)
+				}
+				if s.backupChunkHook != nil {
+					s.backupChunkHook(i, lo)
+				}
+				if len(pairs) == 0 {
+					continue
+				}
+				if err := chunk(pairs); err != nil {
+					return keys, err
+				}
+				keys += uint64(len(pairs) / 2)
+			}
+		}
+		return keys, nil
+	}
+	return &repl.Snapshot{StartSeq: pin.Seq, Walk: walk, Release: release}, nil
+}
+
+// ReplicaOf enters the replica role: mutations start answering
+// "-READONLY <addr>", RESHARD/RESTORE/BACKUP are refused, and a
+// repl.Replica begins syncing this server's stores from the primary at
+// addr (snapshot bootstrap if needed, then the live tail). An empty addr
+// means "REPLICAOF NO ONE", which is PROMOTE.
+func (s *Server) ReplicaOf(addr string) error {
+	if addr == "" {
+		return s.Promote()
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.repl.replica != nil {
+		if s.primaryAddrStr() == addr {
+			return nil
+		}
+		return fmt.Errorf("already a replica of %s; REPLICAOF NO ONE first", s.primaryAddrStr())
+	}
+	if s.st().rs != nil {
+		return fmt.Errorf("%w: migration in progress", pool.ErrBusy)
+	}
+	// A serving primary being demoted stops its source first: a stale
+	// primary must not keep feeding downstream replicas.
+	if s.repl.primary != nil {
+		s.repl.primary.Close()
+		s.repl.primary = nil
+		s.repl.log = nil
+		s.clearReplAppliers()
+	}
+	a := addr
+	s.primaryAddr.Store(&a)
+	s.repl.lastErr = nil
+	s.repl.replica = repl.NewReplica(repl.ReplicaConfig{
+		Addr:      addr,
+		Host:      &replHost{s: s},
+		Heartbeat: s.opts.ReplHeartbeat,
+	})
+	return nil
+}
+
+func (s *Server) clearReplAppliers() {
+	s.allMu.Lock()
+	all := append([]*shard(nil), s.all...)
+	s.allMu.Unlock()
+	for _, sh := range all {
+		if sh.b != nil {
+			sh.b.SetApplier(nil)
+		}
+	}
+}
+
+// Promote performs failover on a replica: stop the sync loop, durably
+// bump the replication epoch (the commit point — a crash before it
+// leaves the node a replica, after it a primary), leave the read-only
+// role, and — when a replication listener was configured — start serving
+// the stream to new replicas at the new epoch. The deposed primary's
+// next SYNC carries the old epoch and is answered with a full resync.
+func (s *Server) Promote() error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.repl.replica == nil {
+		return errNotReplica
+	}
+	if s.replLoading.Load() {
+		return fmt.Errorf("%w: snapshot bootstrap in progress; PROMOTE would lose the keyspace", pool.ErrBusy)
+	}
+	rep := s.repl.replica
+	rep.Stop()
+	sh0 := s.st().shards[0]
+	if err := sh0.writable(); err != nil {
+		// Can't persist the epoch bump: stay a (stopped) replica.
+		s.repl.replica = nil
+		s.primaryAddr.Store(nil)
+		return fmt.Errorf("promote: shard 0: %w", err)
+	}
+	sh0.lock.RLock()
+	epoch, seq, err := sh0.kv.ReadReplCursor()
+	sh0.lock.RUnlock()
+	if err != nil {
+		return fmt.Errorf("promote: reading cursor: %w", err)
+	}
+	newEpoch := epoch + 1
+	sh0.lock.Lock()
+	err = sh0.kv.WriteReplCursor(newEpoch, seq)
+	sh0.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("promote: bumping epoch: %w", err)
+	}
+	s.repl.replica = nil
+	s.primaryAddr.Store(nil)
+	s.replEpoch.Store(newEpoch)
+
+	if ln := s.repl.pendingLn; ln != nil {
+		s.repl.pendingLn = nil
+		if err := s.startSourceLocked(ln); err != nil {
+			return fmt.Errorf("promote: starting replication source: %w", err)
+		}
+	} else if s.repl.listenAddr != "" && s.repl.primary == nil {
+		ln, err := net.Listen("tcp", s.repl.listenAddr)
+		if err != nil {
+			return fmt.Errorf("promote: re-listening on %s: %w", s.repl.listenAddr, err)
+		}
+		if err := s.startSourceLocked(ln); err != nil {
+			return fmt.Errorf("promote: starting replication source: %w", err)
+		}
+	}
+	return nil
+}
+
+// primaryAddrStr is the primary's client address while in the replica
+// role, "" otherwise. Lock-free: the mutation path checks it per run.
+func (s *Server) primaryAddrStr() string {
+	if p := s.primaryAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// IsReplica reports whether the server is in the replica role.
+func (s *Server) IsReplica() bool { return s.primaryAddrStr() != "" }
+
+// ReplicaStatus exposes the replica link state (zero when not a replica).
+func (s *Server) ReplicaStatus() repl.ReplicaStatus {
+	s.replMu.Lock()
+	rep := s.repl.replica
+	s.replMu.Unlock()
+	if rep == nil {
+		return repl.ReplicaStatus{}
+	}
+	return rep.Status()
+}
+
+// ReplPrimaryStatus exposes the source-side state (zero when the source
+// is not serving).
+func (s *Server) ReplPrimaryStatus() (repl.PrimaryStatus, bool) {
+	s.replMu.Lock()
+	prim := s.repl.primary
+	s.replMu.Unlock()
+	if prim == nil {
+		return repl.PrimaryStatus{}, false
+	}
+	return prim.Status(), true
+}
+
+// ReplLag is the worst replication lag visible from this node: on a
+// primary, the furthest-behind connected replica; on a replica, its own
+// distance behind the primary's last advertised sequence.
+func (s *Server) ReplLag() repl.Lag {
+	s.replMu.Lock()
+	prim, rep := s.repl.primary, s.repl.replica
+	s.replMu.Unlock()
+	switch {
+	case rep != nil:
+		return rep.Lag()
+	case prim != nil:
+		return prim.Status().Lag
+	}
+	return repl.Lag{}
+}
+
+// ReplKickLink drops the replica's current connection (chaos/test
+// hook); the link loop reconnects with backoff and resumes from the
+// durable cursor. No-op when not a replica.
+func (s *Server) ReplKickLink() {
+	s.replMu.Lock()
+	rep := s.repl.replica
+	s.replMu.Unlock()
+	if rep != nil {
+		rep.KickLink()
+	}
+}
+
+// ReplDrain blocks until every connected replica has acknowledged the
+// full stream (or the timeout passes). No-op without a serving source.
+func (s *Server) ReplDrain(timeout time.Duration) error {
+	s.replMu.Lock()
+	prim := s.repl.primary
+	s.replMu.Unlock()
+	if prim == nil {
+		return nil
+	}
+	return prim.Drain(timeout)
+}
+
+// closeReplication tears both roles down; called from Close after the
+// batchers stop (so every committed batch is published) — the Drain
+// before Close is what leaves replicas at zero lag on graceful shutdown.
+func (s *Server) closeReplication() {
+	s.replMu.Lock()
+	prim, rep, log := s.repl.primary, s.repl.replica, s.repl.log
+	pending := s.repl.pendingLn
+	s.repl.primary, s.repl.replica, s.repl.pendingLn = nil, nil, nil
+	s.replMu.Unlock()
+	if rep != nil {
+		rep.Stop()
+	}
+	if prim != nil {
+		prim.Drain(s.opts.ReplDrainTimeout)
+		prim.Close()
+	}
+	if log != nil {
+		log.Close()
+	}
+	if pending != nil {
+		pending.Close()
+	}
+}
+
+func (s *Server) setReplErr(err error) {
+	s.replMu.Lock()
+	s.repl.lastErr = err
+	s.replMu.Unlock()
+}
+
+// renderReplInfo is the REPLINFO reply: role, cursor/epoch state, link
+// health, and lag, as "name: value" lines.
+func (s *Server) renderReplInfo() string {
+	s.replMu.Lock()
+	prim, rep := s.repl.primary, s.repl.replica
+	lastErr := s.repl.lastErr
+	s.replMu.Unlock()
+	role := "none"
+	if rep != nil {
+		role = "replica"
+	} else if prim != nil {
+		role = "primary"
+	}
+	out := fmt.Sprintf("repl_role: %s\n", role)
+	epoch, seq, err := s.cursorSnapshot()
+	if err == nil {
+		out += fmt.Sprintf("repl_cursor_epoch: %d\nrepl_cursor_seq: %d\n", epoch, seq)
+	}
+	if prim != nil {
+		st := prim.Status()
+		log := s.repl.log
+		out += fmt.Sprintf("repl_epoch: %d\nrepl_last_seq: %d\nrepl_contiguous_seq: %d\n",
+			s.replEpoch.Load(), log.LastSeq(), log.Contiguous())
+		out += fmt.Sprintf("repl_connected_replicas: %d\nrepl_full_syncs: %d\nrepl_partial_syncs: %d\n"+
+			"repl_stale_rejections: %d\nrepl_frames_sent: %d\n",
+			st.Replicas, st.FullSyncs, st.ContSyncs, st.StaleRejs, st.FramesSent)
+		out += formatLag(st.Lag)
+	}
+	if rep != nil {
+		st := rep.Status()
+		out += fmt.Sprintf("repl_primary_addr: %s\nrepl_link: %s\nrepl_epoch: %d\n"+
+			"repl_applied_seq: %d\nrepl_primary_seq: %d\n",
+			st.Addr, linkState(st), st.Epoch, st.AppliedSeq, st.PrimarySeq)
+		out += fmt.Sprintf("repl_full_syncs: %d\nrepl_reconnects: %d\nrepl_crc_rejects: %d\n"+
+			"repl_frames_applied: %d\nrepl_frames_deduped: %d\n",
+			st.FullSyncs, st.Reconnects, st.CRCRejects, st.FramesApplied, st.FramesDeduped)
+		out += formatLag(rep.Lag())
+	}
+	if s.replLoading.Load() {
+		out += "repl_bootstrap_loading: true\n"
+	}
+	if lastErr != nil {
+		out += fmt.Sprintf("repl_last_error: %s\n", oneLine(lastErr.Error()))
+	}
+	return out
+}
+
+func formatLag(l repl.Lag) string {
+	return fmt.Sprintf("repl_lag_frames: %d\nrepl_lag_bytes: %d\nrepl_lag_seconds: %.3f\n",
+		l.Frames, l.Bytes, l.Seconds)
+}
+
+func linkState(st repl.ReplicaStatus) string {
+	switch {
+	case st.Syncing:
+		return "syncing"
+	case st.Connected:
+		return "connected"
+	case st.StaleOfPeer:
+		return "refused-stale-primary"
+	default:
+		return "connecting"
+	}
+}
+
+// cursorSnapshot reads shard 0's durable cursor (the replica-side
+// resume point).
+func (s *Server) cursorSnapshot() (epoch, seq uint64, err error) {
+	sh0 := s.st().shards[0]
+	if sh0.kv == nil || sh0.down() != nil {
+		return 0, 0, fmt.Errorf("shard 0 down")
+	}
+	sh0.lock.RLock()
+	defer sh0.lock.RUnlock()
+	return sh0.kv.ReadReplCursor()
+}
+
+// ---- repl.Host: the store side the replica link drives ----
+
+// replHost adapts the server to repl.Host. Methods are called from the
+// replica's link goroutine only (one at a time).
+type replHost struct{ s *Server }
+
+func (h *replHost) Cursor() (uint64, uint64, error) { return h.s.cursorSnapshot() }
+
+// ApplyFrame applies one stream frame: ops are routed by THIS server's
+// layout (primary and replica may shard differently), non-shard-0 groups
+// commit as plain transactions first, and the shard-0 group commits
+// fused with the cursor advance LAST — so a crash at any point leaves
+// the cursor behind and the whole frame re-applies idempotently.
+func (h *replHost) ApplyFrame(epoch, seq uint64, ops []workloads.Op) error {
+	s := h.s
+	st := s.st()
+	if st.rs != nil {
+		// A boot-resumed migration is rearranging buckets with direct
+		// store writes; route by the live cursor-refined owner and
+		// re-check under each shard's lock (applyOpsOwned), then advance
+		// the cursor separately.
+		if err := s.applyOpsOwned(ops); err != nil {
+			return err
+		}
+		sh0 := st.shards[0]
+		sh0.lock.Lock()
+		defer sh0.lock.Unlock()
+		return sh0.kv.WriteReplCursor(epoch, seq)
+	}
+	groups := make([][]workloads.Op, st.n)
+	for _, op := range ops {
+		si := workloads.ShardFor(op.Key, st.n)
+		groups[si] = append(groups[si], op)
+	}
+	for si := st.n - 1; si >= 1; si-- {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		if err := s.applyOnShard(st.shards[si], groups[si]); err != nil {
+			return err
+		}
+	}
+	sh0 := st.shards[0]
+	if err := sh0.writable(); err != nil {
+		return err
+	}
+	var err error
+	func() {
+		defer s.recoverShardFailure(sh0, &err)
+		sh0.lock.Lock()
+		defer sh0.lock.Unlock()
+		_, err = sh0.kv.ApplyWithCursor(groups[0], epoch, seq)
+	}()
+	return err
+}
+
+// applyOnShard commits ops on sh in one failure-atomic transaction
+// under its write lock, converting an injected crash into the shard's
+// failure.
+func (s *Server) applyOnShard(sh *shard, ops []workloads.Op) (err error) {
+	if err := sh.writable(); err != nil {
+		return err
+	}
+	defer s.recoverShardFailure(sh, &err)
+	sh.lock.Lock()
+	defer sh.lock.Unlock()
+	_, err = sh.kv.Apply(ops)
+	return err
+}
+
+// applyOpsOwned routes each op by the current (migration-refined) owner
+// and re-checks ownership under the owning shard's write lock — the
+// write-side analogue of getOnShard's stability loop. Ops whose bucket
+// moved between routing and locking are re-routed; cursors only
+// advance, so this terminates.
+func (s *Server) applyOpsOwned(ops []workloads.Op) error {
+	rest := ops
+	for len(rest) > 0 {
+		st := s.st()
+		si := st.owner(rest[0].Key)
+		sh := st.shards[si]
+		var mine, other []workloads.Op
+		for _, op := range rest {
+			if st.owner(op.Key) == si {
+				mine = append(mine, op)
+			} else {
+				other = append(other, op)
+			}
+		}
+		if err := sh.writable(); err != nil {
+			return err
+		}
+		var applyErr error
+		stable := func() bool {
+			defer s.recoverShardFailure(sh, &applyErr)
+			sh.lock.Lock()
+			defer sh.lock.Unlock()
+			cur := s.st()
+			for _, op := range mine {
+				if cur.owner(op.Key) != si {
+					return false
+				}
+			}
+			_, applyErr = sh.kv.Apply(mine)
+			return true
+		}()
+		if applyErr != nil {
+			return applyErr
+		}
+		if !stable {
+			continue // ownership moved under us; re-route everything
+		}
+		rest = other
+	}
+	return nil
+}
+
+// BeginBootstrap prepares a full resync: claim the exclusive admin slot
+// (held until End/Abort — a bootstrap must not interleave with
+// RESHARD/BACKUP/RESTORE), drain the batchers, persist the wipe marker
+// (the same ManifestRestore a crashed RESTORE uses, so a power cut
+// mid-bootstrap is detected at boot and the half-loaded pools are wiped
+// rather than served), zero every cursor, and wipe the keyspace. Reads
+// answer -BUSY until the bootstrap commits.
+func (h *replHost) BeginBootstrap() error {
+	s := h.s
+	if err := s.beginAdmin("REPLSYNC"); err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			s.endAdmin()
+		}
+	}()
+	st := s.st()
+	for i := 0; i < st.n; i++ {
+		if err := st.shards[i].writable(); err != nil {
+			return fmt.Errorf("repl: bootstrap: shard %d: %w", i, err)
+		}
+	}
+	for i := 0; i < st.n; i++ {
+		if bt := st.shards[i].b; bt != nil {
+			if err := bt.Barrier(); err != nil {
+				return fmt.Errorf("repl: bootstrap: draining shard %d: %w", i, err)
+			}
+		}
+	}
+	s.replLoading.Store(true)
+	sh0 := st.shards[0]
+	_, cfgEpoch, err := sh0.kv.ReadConfig()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: reading config: %w", err)
+	}
+	marker := &workloads.Manifest{
+		Kind: workloads.ManifestRestore, Epoch: cfgEpoch + 1,
+		OldN: uint64(st.n), NewN: uint64(st.n),
+	}
+	sh0.lock.Lock()
+	err = sh0.kv.WriteManifest(marker)
+	sh0.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: writing wipe marker: %w", err)
+	}
+	// Point of no return: marker durable. A crash below wipes at boot —
+	// including the cursor, so a stale {epoch, seq} can never claim an
+	// empty store is caught up.
+	for i := 0; i < st.n; i++ {
+		sh := st.shards[i]
+		sh.lock.Lock()
+		err := sh.kv.WriteReplCursor(0, 0)
+		if err == nil {
+			err = wipeStore(sh.kv)
+		}
+		sh.lock.Unlock()
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap: wiping shard %d: %w", i, err)
+		}
+	}
+	ok = true
+	return nil
+}
+
+// BootstrapChunk loads snapshot pairs, routed by this server's layout.
+func (h *replHost) BootstrapChunk(pairs []uint64) error {
+	s := h.s
+	st := s.st()
+	groups := make([][]workloads.Op, st.n)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		si := workloads.ShardFor(pairs[i], st.n)
+		groups[si] = append(groups[si], workloads.Op{Key: pairs[i], Val: pairs[i+1]})
+	}
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := s.applyOnShard(st.shards[si], g); err != nil {
+			return fmt.Errorf("repl: bootstrap chunk on shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// EndBootstrap commits the resync: cursor to the snapshot's position,
+// then the config-epoch bump that retires the wipe marker (the commit
+// point), then the marker clear. A crash before the bump re-wipes and
+// re-bootstraps; after it, the replica resumes from {epoch, seq}.
+func (h *replHost) EndBootstrap(epoch, seq uint64) error {
+	s := h.s
+	defer s.endAdmin()
+	st := s.st()
+	sh0 := st.shards[0]
+	sh0.lock.Lock()
+	err := sh0.kv.WriteReplCursor(epoch, seq)
+	sh0.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: committing cursor: %w", err)
+	}
+	_, cfgEpoch, err := sh0.kv.ReadConfig()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: reading config: %w", err)
+	}
+	sh0.lock.Lock()
+	err = sh0.kv.WriteConfig(st.n, cfgEpoch+1)
+	sh0.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: committing: %w", err)
+	}
+	sh0.lock.Lock()
+	err = sh0.kv.ClearManifest()
+	sh0.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap: clearing wipe marker: %w", err)
+	}
+	s.replLoading.Store(false)
+	return nil
+}
+
+// AbortBootstrap abandons a failed resync. The wipe marker stays and
+// replLoading stays true: the store holds a partial snapshot, so reads
+// keep answering -BUSY until a retried bootstrap commits (or a restart
+// wipes at boot).
+func (h *replHost) AbortBootstrap() {
+	h.s.endAdmin()
+}
+
+// Fatal records an unrecoverable replication error (surfaced in
+// REPLINFO/INFO); the link loop has already stopped itself.
+func (h *replHost) Fatal(err error) {
+	h.s.setReplErr(err)
+}

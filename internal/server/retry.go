@@ -61,111 +61,106 @@ func MovedShard(line string) int {
 	return n
 }
 
-// IsReadonlyReply reports whether a reply line is the degraded-service
-// signal (-READONLY ...): the shard serving this key is read-only (media
-// damage) or down. Retrying helps only if the operator repairs or
-// restarts; clients typically surface it rather than spin.
+// IsReadonlyReply reports whether a reply line is the read-only refusal
+// (-READONLY ...): the shard serving this key is degraded or down, or
+// the server is a replica redirecting mutations to its primary (then the
+// reply's first token is the primary's address — see ReadonlyPrimary).
 func IsReadonlyReply(line string) bool {
 	return strings.HasPrefix(line, "-READONLY")
 }
 
+// ReadonlyPrimary extracts the primary's address from a replica's
+// -READONLY redirect, or "" when the reply is a plain degraded-pool
+// refusal (no address to follow). The address is recognized as the first
+// token after the verb containing a ':' — a host:port can never be
+// mistaken for refusal prose.
+func ReadonlyPrimary(line string) string {
+	if !IsReadonlyReply(line) {
+		return ""
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.Contains(fields[1], ":") {
+		return ""
+	}
+	return fields[1]
+}
+
 // IsRetryableReply reports whether a reply is worth re-sending after a
-// backoff: -BUSY (backpressure) and -MOVED (mid-migration hand-off) both
-// name requests that never executed and will succeed once the transient
-// passes. -READONLY is deliberately excluded — it does not resolve on
-// its own.
+// backoff: -BUSY (backpressure, admin streams, replica bootstrap) and
+// -MOVED (mid-migration hand-off) name requests that never executed and
+// succeed once the transient passes; a replica's -READONLY redirect
+// (the variant carrying a primary address) resolves as soon as the
+// client re-aims — or the replica is promoted. A plain -READONLY
+// (degraded media) is excluded: it needs an operator.
 func IsRetryableReply(line string) bool {
-	return IsBusyReply(line) || IsMovedReply(line)
+	return IsBusyReply(line) || IsMovedReply(line) || ReadonlyPrimary(line) != ""
 }
 
-// RetryBusy runs do until its reply is not -BUSY, attempts are exhausted,
-// or ctx is done, sleeping between tries with exponential backoff plus
-// jitter (full-jitter on the current window, doubling up to cap). It
-// returns the last reply; callers detect lingering exhaustion with
-// IsBusyReply. A transport error from do is returned immediately — only
-// the explicit backpressure signal is retried — and a context
-// cancellation during a backoff sleep returns ctx.Err() without another
-// attempt.
+// Retry runs do until predicate says its reply is final, attempts are
+// exhausted, or ctx is done, sleeping between tries with full-jitter
+// exponential backoff (uniform draw over the current window, doubling up
+// to cap — synchronized clients spread out instead of re-colliding in
+// lockstep). A nil predicate retries every transient refusal the server
+// can answer with: -BUSY, -MOVED, and a replica's -READONLY redirect
+// (see IsRetryableReply). It returns the last reply; a transport error
+// from do is returned immediately — only explicit protocol refusals are
+// retried — and a context cancellation during a backoff sleep returns
+// ctx.Err() without another attempt.
+func Retry(ctx context.Context, attempts int, base, cap time.Duration,
+	predicate func(line string) bool, do func() (string, error)) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	if predicate == nil {
+		predicate = IsRetryableReply
+	}
+	window := base
+	var line string
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return line, err
+		}
+		line, err = do()
+		if err != nil || !predicate(line) {
+			return line, err
+		}
+		if a == attempts-1 {
+			break
+		}
+		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
+			return line, err
+		}
+		if window *= 2; window > cap {
+			window = cap
+		}
+	}
+	return line, err
+}
+
+// RetryBusy retries only -BUSY replies.
+//
+// Deprecated: use Retry with IsBusyReply.
 func RetryBusy(ctx context.Context, attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if attempts <= 0 {
-		attempts = 1
-	}
-	if base <= 0 {
-		base = time.Millisecond
-	}
-	if cap < base {
-		cap = base
-	}
-	window := base
-	var line string
-	var err error
-	for a := 0; a < attempts; a++ {
-		if err := ctx.Err(); err != nil {
-			return line, err
-		}
-		line, err = do()
-		if err != nil || !IsBusyReply(line) {
-			return line, err
-		}
-		if a == attempts-1 {
-			break
-		}
-		// Full jitter: a uniform draw over the window, so synchronized
-		// clients spread out instead of re-colliding in lockstep.
-		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
-			return line, err
-		}
-		if window *= 2; window > cap {
-			window = cap
-		}
-	}
-	return line, err
+	return Retry(ctx, attempts, base, cap, IsBusyReply, do)
 }
 
-// RetryTransient is RetryBusy widened to every transient refusal a
-// migration or admin stream can produce: -BUSY and -MOVED replies are
-// retried with the same full-jitter exponential backoff; anything else —
-// including -READONLY, which needs an operator — returns immediately.
+// RetryTransient retries every transient refusal (see IsRetryableReply).
 // This is the client loop to run mutations through while a RESHARD,
-// BACKUP, or RESTORE is in flight: acknowledged writes stay exactly-once
-// (refused ops never executed), and the retries land on the new owner as
-// soon as the batch hand-off completes.
+// BACKUP, RESTORE, or failover is in flight: acknowledged writes stay
+// exactly-once (refused ops never executed), and the retries land on the
+// new owner as soon as the hand-off completes.
+//
+// Deprecated: use Retry with a nil predicate.
 func RetryTransient(ctx context.Context, attempts int, base, cap time.Duration, do func() (string, error)) (string, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if attempts <= 0 {
-		attempts = 1
-	}
-	if base <= 0 {
-		base = time.Millisecond
-	}
-	if cap < base {
-		cap = base
-	}
-	window := base
-	var line string
-	var err error
-	for a := 0; a < attempts; a++ {
-		if err := ctx.Err(); err != nil {
-			return line, err
-		}
-		line, err = do()
-		if err != nil || !IsRetryableReply(line) {
-			return line, err
-		}
-		if a == attempts-1 {
-			break
-		}
-		if err := retrySleep(ctx, time.Duration(rand.Int63n(int64(window))+1)); err != nil {
-			return line, err
-		}
-		if window *= 2; window > cap {
-			window = cap
-		}
-	}
-	return line, err
+	return Retry(ctx, attempts, base, cap, nil, do)
 }

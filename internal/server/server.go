@@ -59,6 +59,19 @@ type Options struct {
 	// fence windows (less -MOVED churn per batch) and more manifest
 	// writes.
 	MigrateBatchBuckets int
+	// ReplHeartbeat is the replication link's idle cadence (default
+	// 500ms); read/write deadlines and reconnect timing derive from it.
+	// Tests shrink it to tens of milliseconds.
+	ReplHeartbeat time.Duration
+	// ReplLogFrames / ReplLogBytes bound the primary's in-memory
+	// replication window (defaults 4096 frames / 8 MiB). A replica that
+	// falls out of the window is degraded to a full resync instead of
+	// stalling commits.
+	ReplLogFrames int
+	ReplLogBytes  int
+	// ReplDrainTimeout bounds how long a graceful Close waits for
+	// connected replicas to acknowledge the full stream (default 5s).
+	ReplDrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +98,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MigrateBatchBuckets <= 0 {
 		o.MigrateBatchBuckets = 64
+	}
+	if o.ReplHeartbeat <= 0 {
+		o.ReplHeartbeat = 500 * time.Millisecond
+	}
+	if o.ReplLogFrames <= 0 {
+		o.ReplLogFrames = 4096
+	}
+	if o.ReplLogBytes <= 0 {
+		o.ReplLogBytes = 8 << 20
+	}
+	if o.ReplDrainTimeout <= 0 {
+		o.ReplDrainTimeout = 5 * time.Second
 	}
 	return o
 }
@@ -143,6 +168,17 @@ type Server struct {
 	// restoreWiped records that boot found a crashed RESTORE's marker and
 	// wiped the pools back to empty (surfaced in INFO).
 	restoreWiped atomic.Bool
+
+	// Replication (see replication.go). replMu guards repl; the atomics
+	// are the hot-path gates: primaryAddr (non-nil ⇒ replica role ⇒
+	// mutations answer -READONLY <addr>), replLoading (snapshot bootstrap
+	// in flight ⇒ reads answer -BUSY), replEpoch (stamped into every
+	// published frame on a primary).
+	replMu      sync.Mutex
+	repl        replState
+	replEpoch   atomic.Uint64
+	primaryAddr atomic.Pointer[string]
+	replLoading atomic.Bool
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -277,6 +313,11 @@ func (s *Server) Close() error {
 			sh.b.Stop()
 		}
 	}
+	// After the batcher drain every committed batch is published to the
+	// replication log; closeReplication drains connected replicas to the
+	// stream's end before tearing the link down, so a graceful shutdown
+	// leaves replicas at zero lag.
+	s.closeReplication()
 	s.allMu.Lock()
 	owned := append([]*pool.Pool(nil), s.ownedPools...)
 	s.allMu.Unlock()
@@ -402,6 +443,16 @@ func (s *Server) flushMutations(pending *[]pendingMut, w *bufio.Writer) {
 		return
 	}
 	*pending = cmds[:0]
+	// A replica owns no write path: every mutation is redirected to the
+	// primary (-READONLY <addr>), never applied locally — local writes
+	// would silently diverge from the stream.
+	if addr := s.redirectAddr(); addr != "" {
+		err := replicaRedirectError{addr: addr}
+		for range cmds {
+			s.writeReplyErr(w, err)
+		}
+		return
+	}
 	ops := make([]workloads.Op, len(cmds))
 	for i, pm := range cmds {
 		if pm.cmd.Kind == CmdDel {
@@ -566,6 +617,13 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 		writeErr(w, s.failure())
 		return false
 	}
+	// During a snapshot bootstrap the keyspace is mid-load: reads would
+	// see an arbitrary partial state, so they answer -BUSY until the
+	// bootstrap commits.
+	if s.replLoading.Load() && (cmd.Kind == CmdGet || cmd.Kind == CmdScan) {
+		s.writeReplyErr(w, fmt.Errorf("%w: replica bootstrap in progress", pool.ErrBusy))
+		return false
+	}
 	switch cmd.Kind {
 	case CmdGet:
 		s.m.opsGet.Inc()
@@ -630,6 +688,20 @@ func (s *Server) dispatch(cmd Command, w *bufio.Writer) bool {
 				"path: %s\nbackup_shards: %d\nbackup_epoch: %d\nbase_keys: %d\ndelta_ops: %d\n",
 				rep.Path, rep.Shards, rep.Epoch, rep.BaseKeys, rep.DeltaOps))
 		}
+	case CmdReplicaOf:
+		if err := s.ReplicaOf(cmd.Path); err != nil {
+			s.writeReplyErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case CmdPromote:
+		if err := s.Promote(); err != nil {
+			s.writeReplyErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case CmdReplInfo:
+		writeBulk(w, s.renderReplInfo())
 	case CmdPing:
 		w.WriteString("+PONG\r\n")
 	case CmdQuit:
@@ -922,6 +994,7 @@ func (s *Server) renderInfo() string {
 	if s.restoreWiped.Load() {
 		migLines += "restore_wiped_at_boot: true\n"
 	}
+	replLines := s.renderInfoRepl()
 	return fmt.Sprintf(
 		"server: corundum-server\n"+
 			"uptime_seconds: %d\n"+
@@ -953,7 +1026,26 @@ func (s *Server) renderInfo() string {
 		s.halted.Load(),
 		degraded,
 		quarantined,
-	) + recoveryLines + migLines + perShard
+	) + recoveryLines + migLines + replLines + perShard
+}
+
+// renderInfoRepl is INFO's replication block: role, lag, link health.
+func (s *Server) renderInfoRepl() string {
+	s.replMu.Lock()
+	prim, rep := s.repl.primary, s.repl.replica
+	s.replMu.Unlock()
+	switch {
+	case rep != nil:
+		st := rep.Status()
+		lag := rep.Lag()
+		return fmt.Sprintf("repl_role: replica\nrepl_primary_addr: %s\nrepl_link_up: %v\n",
+			st.Addr, st.Connected) + formatLag(lag)
+	case prim != nil:
+		st := prim.Status()
+		return fmt.Sprintf("repl_role: primary\nrepl_epoch: %d\nrepl_connected_replicas: %d\n",
+			s.replEpoch.Load(), st.Replicas) + formatLag(st.Lag)
+	}
+	return "repl_role: none\n"
 }
 
 func (s *Server) renderStats() string {
@@ -1025,6 +1117,8 @@ func (s *Server) renderStats() string {
 		out += fmt.Sprintf("phase_%s_mean_us: %.1f\nphase_%s_p50_us: %.1f\nphase_%s_p99_us: %.1f\n",
 			p.Name, us(p.H.Mean()), p.Name, us(p.H.Quantile(0.5)), p.Name, us(p.H.Quantile(0.99)))
 	}
+	lag := s.ReplLag()
+	out += formatLag(lag)
 	return out + perShard
 }
 
@@ -1083,10 +1177,17 @@ func writeErr(w io.Writer, err error) { fmt.Fprintf(w, "-ERR %s\r\n", oneLine(er
 // media corruption surfacing through the read path.
 func (s *Server) writeReplyErr(w io.Writer, err error) {
 	var moved workloads.MovedError
+	var redir replicaRedirectError
 	switch {
 	case errors.As(err, &moved):
 		s.m.movedRejects.Inc()
 		fmt.Fprintf(w, "-MOVED %d %s\r\n", moved.Shard, oneLine(err.Error()))
+	// The replica redirect wraps ErrReadOnly, so it must be matched
+	// before the generic read-only case: its reply leads with the
+	// primary's address for clients to follow (see ReadonlyPrimary).
+	case errors.As(err, &redir):
+		s.m.readonlyRejects.Inc()
+		fmt.Fprintf(w, "-READONLY %s\r\n", oneLine(err.Error()))
 	case errors.Is(err, pool.ErrBusy):
 		fmt.Fprintf(w, "-BUSY %s\r\n", oneLine(err.Error()))
 	case errors.Is(err, pool.ErrReadOnly):

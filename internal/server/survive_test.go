@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -99,7 +100,40 @@ func TestServerGracefulShutdownDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := p.Device()
-	srv, addr := startServer(t, p, server.Options{})
+	srv, addr := startServer(t, p, server.Options{ReplHeartbeat: 20 * time.Millisecond})
+
+	// A replica rides along: the SIGTERM contract is that Close drains
+	// the batcher AND then the replication send queue, so every write the
+	// client saw +OK for is on the replica when the process exits.
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableReplicationSource(rln); err != nil {
+		t.Fatal(err)
+	}
+	pR, err := pool.Create("", pool.Config{Size: 16 << 20, Journals: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pR.Close()
+	srvR, addrR := startServer(t, pR, server.Options{ReplHeartbeat: 20 * time.Millisecond})
+	defer srvR.Close()
+	if err := srvR.ReplicaOf(rln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	// Drain only covers connected replicas: wait for the link before
+	// opening the write flood.
+	linkDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := srv.ReplPrimaryStatus(); ok && st.Replicas == 1 {
+			break
+		}
+		if time.Now().After(linkDeadline) {
+			t.Fatal("replica never connected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 
 	cl := dial(t, addr)
 	defer cl.close()
@@ -160,5 +194,15 @@ func TestServerGracefulShutdownDurability(t *testing.T) {
 			t.Fatalf("acked write %d lost after graceful shutdown (found=%v val=%d, %d acked)", i, found, val, got)
 		}
 	}
-	t.Logf("acked %d/%d writes before shutdown; all durable", got, n)
+	// Zero-lag handoff: every acked write is already on the replica — no
+	// catch-up needed after the primary's graceful exit.
+	clR := dial(t, addrR)
+	defer clR.close()
+	for i := uint64(1); i <= got; i++ {
+		mustReply(t, clR, fmt.Sprintf("GET %d", i), fmt.Sprintf(":%d", i*10))
+	}
+	if lag := srvR.ReplLag(); lag.Frames != 0 {
+		t.Fatalf("replica lag after graceful shutdown = %+v, want zero frames", lag)
+	}
+	t.Logf("acked %d/%d writes before shutdown; all durable and replicated", got, n)
 }

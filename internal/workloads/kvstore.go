@@ -34,20 +34,25 @@ const (
 
 // Directory layout:
 //
-//	[nBuckets][dirCRC][slots n×8][groupCRCs ⌈n/8⌉×8][cfg][cfgCRC][mani][maniCRC]
+//	[nBuckets][dirCRC][slots n×8][groupCRCs ⌈n/8⌉×8]
+//	[cfg][cfgCRC][mani][maniCRC][replEpoch][replSeq][replCRC][reserved]
 //
 // dirCRC covers the nBuckets word; groupCRC i covers slots [8i, 8i+8).
-// The four trailing meta words anchor the sharding machinery: cfg packs
-// the cluster config (epoch<<32 | shard count, 0 when never written) and
-// mani points at the migration/restore manifest block (0 when no
-// manifest is pending). Each carries its own single-word checksum so a
-// media fault in either is a loud ErrDataCorrupt, never silent misrouting.
+// The trailing meta words anchor the sharding and replication machinery:
+// cfg packs the cluster config (epoch<<32 | shard count, 0 when never
+// written), mani points at the migration/restore manifest block (0 when
+// no manifest is pending), and the repl pair is the durable replication
+// cursor {epoch, seq} — on a replica, the last frame applied; on a
+// primary, the last sequence this shard committed (see ApplyWithCursor).
+// Each slot carries its own checksum so a media fault in any of them is
+// a loud ErrDataCorrupt, never silent misrouting or silent re-apply.
 const (
 	slotGroup = 8
-	kvMetaLen = 32 // [cfg][cfgCRC][mani][maniCRC]
+	kvMetaLen = 64 // [cfg][cfgCRC][mani][maniCRC][replEpoch][replSeq][replCRC][reserved]
 
 	kvMetaCfg  = 0  // offset of the config word within the meta area
 	kvMetaMani = 16 // offset of the manifest-pointer word within the meta area
+	kvMetaRepl = 32 // offset of the replication cursor pair within the meta area
 )
 
 // KVStore is a persistent hash map over one engine pool.
@@ -115,6 +120,10 @@ func NewKVStore(p engine.Pool, nBuckets int) (*KVStore, error) {
 				return err
 			}
 		}
+		// Replication cursor {epoch, seq} starts at zero: never replicated.
+		if err := kv.writeReplCursorTx(tx, 0, 0); err != nil {
+			return err
+		}
 		return tx.SetRoot(dir)
 	})
 	if err != nil {
@@ -147,7 +156,7 @@ func AttachKVStore(p engine.Pool) (*KVStore, error) {
 				return fmt.Errorf("%w: %s meta slot", ErrDataCorrupt, m.name)
 			}
 		}
-		return nil
+		return kv.verifyReplCursorTx(tx)
 	})
 	if err != nil {
 		return nil, err
@@ -459,6 +468,9 @@ func (kv *KVStore) VerifyIntegrity() error {
 			if tx.Load(kv.meta+m.off+8) != wordsCRC(w) {
 				return fmt.Errorf("%w: %s meta slot", ErrDataCorrupt, m.name)
 			}
+		}
+		if err := kv.verifyReplCursorTx(tx); err != nil {
+			return err
 		}
 		if mani := tx.Load(kv.meta + kvMetaMani); mani != 0 {
 			if _, err := decodeManifest(tx, mani); err != nil {
