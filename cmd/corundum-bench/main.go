@@ -203,17 +203,29 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 				last.OpsPerSec/first.OpsPerSec)
 		}
 		fmt.Println()
-		fmt.Printf("=== corundum-server: read/write mix (%d clients x %d ops, max-batch 64) ===\n",
-			srvClients, srvOps)
-		mixRows, err := bench.ServerReadWriteMix(srvClients, srvOps, 64, []int{0, 50, 90}, pmem.Options{Profile: prof})
+		// The read-mix grid: read:write {50:50, 95:5, 100:0} × clients
+		// {16, 64, 256}, each cell through the seqlock lock-free read
+		// path AND the RLock fallback — the A/B pair pricing the read
+		// convoy the seqlock removes.
+		fmt.Printf("=== corundum-server: read/write mix x clients x read path (max-batch 64) ===\n")
+		mixRows, err := bench.ServerReadWriteMix(srvOps, 64, []int{50, 95, 100}, []int{16, 64, 256}, pmem.Options{Profile: prof})
 		if err != nil {
 			return err
 		}
 		bench.PrintServer(os.Stdout, mixRows)
-		if len(mixRows) > 1 {
-			first, last := mixRows[0], mixRows[len(mixRows)-1]
-			fmt.Printf("read/write mix: %d%% -> %d%% reads = %.3f -> %.3f fences/op (reads bypass the journal)\n",
-				first.ReadPct, last.ReadPct, first.FencesPerOp, last.FencesPerOp)
+		var lockfree95, locked95 float64
+		for _, r := range mixRows {
+			if r.ReadPct == 95 && r.Clients == 64 {
+				if r.ReadPath == "seqlock" {
+					lockfree95 = r.OpsPerSec
+				} else {
+					locked95 = r.OpsPerSec
+				}
+			}
+		}
+		if locked95 > 0 {
+			fmt.Printf("read path at 95%% reads / 64 clients: seqlock %.0f vs locked %.0f ops/sec (%.2fx)\n",
+				lockfree95, locked95, lockfree95/locked95)
 		}
 		fmt.Println()
 		off, on, err := bench.ServerTraceOverhead(srvClients, srvOps, 64, pmem.Options{Profile: prof})
@@ -271,11 +283,20 @@ func run(experiment string, n, microOps, segments, segBytes, consumers, srvClien
 			}
 			fmt.Printf("fault campaign: %d crash points, %d torn schedules, %d flips — %d masked, %d repaired, %d detected, %d violations\n",
 				cov.CrashPoints, cov.TornSchedules, cov.BitFlips, cov.Masked, cov.Repaired, cov.Detected, cov.Violations)
+			// The reader-vs-crash campaign rides along too: readers on the
+			// seqlock path through injected power cuts, with its violation
+			// counter gated at zero in CI.
+			readersCov, err := bench.ReaderCampaign(3, 300)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("reader campaign: %d rounds, %d reads + %d scan pairs verified through %d power cuts — %d violations\n",
+				readersCov.Rounds, readersCov.Reads, readersCov.ScanPairs, readersCov.Crashes, readersCov.Violations)
 			f, err := os.Create(filepath.Join(jsonDir, "BENCH_server.json"))
 			if err != nil {
 				return err
 			}
-			err = bench.WriteServerJSON(f, rows, cov, overhead, migRows, replRes)
+			err = bench.WriteServerJSON(f, rows, cov, overhead, migRows, replRes, readersCov)
 			f.Close()
 			if err != nil {
 				return err

@@ -112,15 +112,16 @@ func main() {
 		traceSmp = flag.Int("trace-sample", 1, "op-trace sampling: 1 traces every op, N every Nth, -1 disables tracing")
 		replLn   = flag.String("repl-listen", "", "serve the replication stream to replicas on this address, e.g. :6381")
 		replOf   = flag.String("replica-of", "", "start as a read-only replica of a primary's -repl-listen address")
+		lockedRd = flag.Bool("locked-reads", false, "ablation: serve GET/SCAN through the store RLock instead of the seqlock read path")
 	)
 	flag.Parse()
-	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *traceSmp, *profile, *metrics, *replLn, *replOf); err != nil {
+	if err := run(*addr, *path, *shards, *size, *journals, *buckets, *maxBatch, *maxDelay, *busyTO, *traceSmp, *profile, *metrics, *replLn, *replOf, *lockedRd); err != nil {
 		fmt.Fprintln(os.Stderr, "corundum-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, traceSample int, profName, metricsAddr, replListen, replicaOf string) error {
+func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDelay, busyTO time.Duration, traceSample int, profName, metricsAddr, replListen, replicaOf string, lockedReads bool) error {
 	var prof pmem.Profile
 	switch profName {
 	case "OptaneDC":
@@ -217,7 +218,7 @@ func run(addr, path string, shards, size, journals, buckets, maxBatch int, maxDe
 	}
 	srv, err := server.NewSharded(pools, server.Options{
 		MaxBatch: maxBatch, MaxDelay: maxDelay, Buckets: buckets,
-		BusyTimeout: busyTO, TraceSample: traceSample,
+		BusyTimeout: busyTO, TraceSample: traceSample, LockedReads: lockedReads,
 		// RESHARD grows past the booted pools by creating "<pool>.<i>"
 		// files with the same geometry.
 		ShardOpener: server.FileShardOpener(path, cfg),

@@ -298,7 +298,9 @@ func (b *Buddy) AllocEx(size uint64, payload []byte, extra func(off uint64) []Up
 		batch.stage8(off+8, binary.LittleEndian.Uint64(head[8:16]))
 		if len(payload) > 16 {
 			rest := payload[16:]
-			copy(b.dev.Bytes()[off+16:], rest)
+			// Word-atomic: lock-free seqlock readers chasing a stale next
+			// pointer can land on these bytes mid-store.
+			pmem.StoreBytes(b.dev.Bytes(), off+16, rest)
 			b.dev.MarkDirty(off+16, uint64(len(rest)))
 			b.dev.Persist(off+16, uint64(len(rest)))
 		}

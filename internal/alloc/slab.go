@@ -282,7 +282,9 @@ func (b *Buddy) AllocClaim(size uint64, payload []byte, journal int, epoch uint6
 		// The block is off every free list (its bytes are not live links),
 		// so the payload lands directly; flushed, unfenced, it becomes
 		// durable with the claim at the caller's next fence.
-		copy(b.dev.Bytes()[blk.off:], payload)
+		// Word-atomic: the block may become reachable to lock-free
+		// seqlock readers the moment the caller links it.
+		pmem.StoreBytes(b.dev.Bytes(), blk.off, payload)
 		b.dev.MarkDirty(blk.off, uint64(len(payload)))
 		b.dev.Flush(blk.off, uint64(len(payload)))
 	}

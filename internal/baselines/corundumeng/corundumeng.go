@@ -111,7 +111,10 @@ func (t *tx) Store(off, val uint64) error {
 	if err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(t.p.Device().Bytes()[off:], val)
+	// Word-atomic: lock-free seqlock readers (pool.ReadView) may race
+	// this store; the seq re-check discards what they saw, but the store
+	// itself must not tear under the Go memory model.
+	pmem.StoreWord(t.p.Device().Bytes(), off, val)
 	return nil
 }
 
@@ -122,7 +125,7 @@ func (t *tx) StoreBytes(off uint64, data []byte) error {
 	if err := t.j.DataLog(off, uint64(len(data))); err != nil {
 		return err
 	}
-	copy(t.p.Device().Bytes()[off:], data)
+	pmem.StoreBytes(t.p.Device().Bytes(), off, data)
 	return nil
 }
 

@@ -31,6 +31,11 @@ type serverJSON struct {
 	// outage. CI gates on the replica serving reads and on the failover
 	// time being present.
 	Replication *ReplicationResult `json:"replication,omitempty"`
+	// ReaderCampaign, when present, is the reader-vs-crash coverage
+	// snapshot (reader_chaos_* counters): readers on the seqlock
+	// lock-free path hammering through injected power cuts. CI gates on
+	// its violation counter staying at zero.
+	ReaderCampaign *ReaderCampaignResult `json:"reader_campaign,omitempty"`
 }
 
 // TraceOverheadRow summarizes the tracing-off vs tracing-on comparison.
@@ -47,10 +52,10 @@ type TraceOverheadRow struct {
 // configuration's ops/sec, fences/op, latency percentiles, phase means,
 // and per-scope fence attribution, plus the fault-campaign coverage
 // counters and the tracing-overhead comparison when non-nil.
-func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow, migration []MigrationRow, replication *ReplicationResult) error {
+func WriteServerJSON(w io.Writer, rows []ServerRow, cov *FaultCoverage, overhead *TraceOverheadRow, migration []MigrationRow, replication *ReplicationResult, readers *ReaderCampaignResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead, Migration: migration, Replication: replication})
+	return enc.Encode(serverJSON{Experiment: "server", Rows: rows, FaultCampaign: cov, TraceOverhead: overhead, Migration: migration, Replication: replication, ReaderCampaign: readers})
 }
 
 // microJSON is the BENCH_micro.json document: Table 5 latencies keyed by

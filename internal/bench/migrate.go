@@ -85,7 +85,7 @@ func ServerMigration(clients, seedKeys, fromN, toN int, mem pmem.Options) ([]Mig
 	// writer the other server experiments use.
 	seeders := 4
 	for id := 0; id < seeders; id++ {
-		if err := serverClient(addr, id, seedKeys/seeders, 64, 0); err != nil {
+		if err := serverClient(addr, id, seedKeys/seeders, 64, 0, 0); err != nil {
 			return nil, fmt.Errorf("seeding: %w", err)
 		}
 	}

@@ -1,0 +1,49 @@
+package bench
+
+import "corundum/internal/explore"
+
+// ReaderCampaignResult is the reader_campaign section of
+// BENCH_server.json: a snapshot of the reader_chaos_* counters from one
+// deterministic reader-vs-crash campaign — readers hammering the
+// seqlock lock-free read path while power cuts land mid-commit — so the
+// artifact trajectory tracks how much of that space each build
+// exercises (and that violations stay at zero) alongside the read-mix
+// throughput numbers.
+type ReaderCampaignResult struct {
+	Rounds        uint64 `json:"reader_chaos_rounds_total"`
+	Acked         uint64 `json:"reader_chaos_acked_total"`
+	Reads         uint64 `json:"reader_chaos_reads_total"`
+	ScanPairs     uint64 `json:"reader_chaos_scan_pairs_total"`
+	Crashes       uint64 `json:"reader_chaos_crashes_total"`
+	Reboots       uint64 `json:"reader_chaos_reboots_total"`
+	LockFreeReads uint64 `json:"reader_chaos_lockfree_reads_total"`
+	ReadRetries   uint64 `json:"reader_chaos_read_retries_total"`
+	Fallbacks     uint64 `json:"reader_chaos_fallbacks_total"`
+	Violations    uint64 `json:"reader_chaos_violations_total"`
+}
+
+// ReaderCampaign runs one bounded reader-vs-crash campaign and returns
+// its coverage counters for the JSON artifact.
+func ReaderCampaign(rounds, writes int) (*ReaderCampaignResult, error) {
+	st := &explore.ReadersStats{}
+	_, err := explore.RunReaders(explore.ReadersConfig{
+		Rounds:         rounds,
+		WritesPerRound: writes,
+		Stats:          st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReaderCampaignResult{
+		Rounds:        st.Rounds.Load(),
+		Acked:         st.Acked.Load(),
+		Reads:         st.Reads.Load(),
+		ScanPairs:     st.ScanPairs.Load(),
+		Crashes:       st.Crashes.Load(),
+		Reboots:       st.Reboots.Load(),
+		LockFreeReads: st.LockFreeReads.Load(),
+		ReadRetries:   st.ReadRetries.Load(),
+		Fallbacks:     st.Fallbacks.Load(),
+		Violations:    st.Violations.Load(),
+	}, nil
+}

@@ -97,7 +97,7 @@ func ServerReplication(clients, seedKeys int, mem pmem.Options) (*ReplicationRes
 	// Seed the keyspace the bootstrap will have to ship.
 	seeders := 4
 	for id := 0; id < seeders; id++ {
-		if err := serverClient(addrA, id, seedKeys/seeders, 64, 0); err != nil {
+		if err := serverClient(addrA, id, seedKeys/seeders, 64, 0, 0); err != nil {
 			return nil, fmt.Errorf("seeding: %w", err)
 		}
 	}

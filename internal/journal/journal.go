@@ -521,7 +521,9 @@ func (j *Journal) rollback() {
 		e := entries[i]
 		switch e.kind {
 		case entryData:
-			copy(j.dev.Bytes()[e.off:], e.payload)
+			// Word-atomic for aligned lanes: a rollback restores heap
+			// bytes that lock-free seqlock readers may be racing.
+			pmem.StoreBytes(j.dev.Bytes(), e.off, e.payload)
 			j.dev.MarkDirty(e.off, e.size)
 			j.dev.Flush(e.off, e.size)
 		case entryAlloc:

@@ -93,7 +93,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 				lo = h.bounds[i-1]
 			}
 			if c == 0 {
-				return b
+				// The cumulative rank landed exactly on this bucket's
+				// boundary but the bucket itself is empty: every counted
+				// observation sits at or below the previous finite bound.
+				// Returning b here would report an empty bucket's upper
+				// bound, inflating the quantile for data it never held.
+				return lo
 			}
 			frac := (rank - float64(cum)) / float64(c)
 			return lo + (b-lo)*frac

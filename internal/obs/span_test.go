@@ -225,3 +225,28 @@ func BenchmarkTracerSampledOn(b *testing.B) {
 		}
 	})
 }
+
+func TestHistogramQuantileEmptyBucketBoundary(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	// All mass above the first bucket: rank 0 (q=0) lands exactly on the
+	// empty first bucket's boundary. The estimate must be the previous
+	// finite bound (0 here — nothing sits below), not the empty bucket's
+	// own upper bound, which would report a quantile for data the bucket
+	// never held and inflate boundary-rank p99/p999 readouts.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) with empty first bucket = %v, want 0 (previous finite bound)", q)
+	}
+	// A populated first bucket agrees: rank 0 interpolates to the same 0.
+	h2 := newHistogram([]float64{10, 20, 40})
+	h2.Observe(5)
+	if q := h2.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) with populated first bucket = %v, want 0", q)
+	}
+	// Interpolation within populated buckets is unaffected by the fix.
+	if q := h.Quantile(1); math.Abs(q-20) > 1e-9 {
+		t.Fatalf("Quantile(1) = %v, want 20", q)
+	}
+}

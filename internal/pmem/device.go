@@ -290,7 +290,10 @@ func (d *Device) MarkDirty(off, n uint64) {
 
 // Write copies data into the device at off and marks it dirty, charging the
 // profile's write latency once. It models a small store done by library
-// metadata code (allocator words, log headers).
+// metadata code (allocator words, log headers). Aligned 8-byte lanes are
+// stored word-atomically so lock-free seqlock readers (pool.ReadView)
+// can race them without tearing — the emulated analogue of the hardware
+// guarantee on aligned PM stores.
 func (d *Device) Write(off uint64, data []byte) {
 	if len(data) == 0 {
 		return
@@ -298,7 +301,7 @@ func (d *Device) Write(off uint64, data []byte) {
 	d.maybeInject(OpWrite)
 	sc := CurrentScope()
 	d.ctrs[sc].writes.Add(1)
-	copy(d.buf[off:], data)
+	StoreBytes(d.buf, off, data)
 	d.MarkDirty(off, uint64(len(data)))
 	d.observe(OpWrite, sc, off, uint64(len(data)))
 	d.prof.delay(d.prof.WriteDelay)

@@ -1,0 +1,102 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Word-atomic access to the device buffer.
+//
+// The seqlock read path (pool.ReadView) loads heap words with no lock
+// held while the group-commit batcher is mutating them under the shard's
+// writer lock. The seqlock re-check makes any value read during a
+// conflict window *discarded*, but the Go memory model (and the race
+// detector) still requires both sides of such a race to use atomic
+// operations. Every store that can touch lock-free-readable heap bytes
+// therefore goes through StoreWord/StoreBytes below, and the read view
+// loads through LoadWord: plain-data races become pairs of relaxed
+// atomics, which is exactly the hardware contract real PM gives aligned
+// 8-byte stores (the same assumption the torn-write fault model makes).
+//
+// The device buffer is cache-line aligned (alignedBytes), so any
+// word-aligned device offset is an 8-byte-aligned address. Unaligned or
+// ragged spans fall back to plain copies — those regions (log headers,
+// backup scratch) are never read lock-free.
+
+// hostBigEndian is true on big-endian hosts, where the native uint64 view
+// of the buffer byte-swaps relative to the little-endian wire format the
+// pool uses everywhere. memWord compensates so the buffer bytes are
+// identical to what a plain little-endian copy would have produced.
+var hostBigEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 0
+}()
+
+// memWord converts between a little-endian-decoded value and its native
+// in-memory representation (an involution: applying it twice is the
+// identity).
+func memWord(v uint64) uint64 {
+	if hostBigEndian {
+		return bits.ReverseBytes64(v)
+	}
+	return v
+}
+
+func wordPtr(buf []byte, off uint64) *uint64 {
+	return (*uint64)(unsafe.Pointer(&buf[off]))
+}
+
+// WordAligned reports whether [off, off+n) is a word-aligned,
+// whole-word span — the precondition for tear-free atomic access.
+func WordAligned(off, n uint64) bool {
+	return off%WordSize == 0 && n%WordSize == 0
+}
+
+// LoadWord reads the little-endian uint64 at buf[off:] with an atomic
+// load when the offset is word-aligned (plain decode otherwise). buf
+// must be the device buffer (Bytes()) so alignment of off implies
+// alignment of the address.
+func LoadWord(buf []byte, off uint64) uint64 {
+	if off%WordSize == 0 {
+		return memWord(atomic.LoadUint64(wordPtr(buf, off)))
+	}
+	return binary.LittleEndian.Uint64(buf[off:])
+}
+
+// StoreWord writes val little-endian at buf[off:], atomically when the
+// offset is word-aligned.
+func StoreWord(buf []byte, off uint64, val uint64) {
+	if off%WordSize == 0 {
+		atomic.StoreUint64(wordPtr(buf, off), memWord(val))
+		return
+	}
+	binary.LittleEndian.PutUint64(buf[off:], val)
+}
+
+// StoreBytes copies data into buf[off:], using atomic word stores for
+// every aligned 8-byte lane so concurrent LoadWord readers never observe
+// a torn word and the race detector sees atomics on both sides. A ragged
+// head or tail (unaligned offset or length) is copied plainly — such
+// spans are never read lock-free.
+func StoreBytes(buf []byte, off uint64, data []byte) {
+	n := uint64(len(data))
+	if n == 0 {
+		return
+	}
+	i := uint64(0)
+	if head := off % WordSize; head != 0 {
+		i = WordSize - head
+		if i > n {
+			i = n
+		}
+		copy(buf[off:], data[:i])
+	}
+	for ; i+WordSize <= n; i += WordSize {
+		atomic.StoreUint64(wordPtr(buf, off+i), memWord(binary.LittleEndian.Uint64(data[i:])))
+	}
+	if i < n {
+		copy(buf[off+i:], data[i:])
+	}
+}

@@ -96,10 +96,14 @@ type setReq struct {
 //
 // The committer is the only writer to the store; lock is held exclusively
 // during a commit so that readers (GET/SCAN on connection goroutines)
-// never observe a half-applied batch.
+// never observe a half-applied batch. The storeLock fuses the shard's
+// commit sequence onto that exclusive section: Lock/Unlock bump it to
+// odd/even, which is the bracket the lock-free read path validates
+// against (readpath.go) — the batcher publishes it simply by taking the
+// lock around Apply, as it always has.
 type Batcher struct {
 	kv       *workloads.KVStore
-	lock     *sync.RWMutex
+	lock     *storeLock
 	dev      *pmem.Device // for flush/fence wall-clock deltas; may be nil
 	maxBatch int
 	maxDelay time.Duration
@@ -138,7 +142,7 @@ type Batcher struct {
 	applier atomic.Pointer[func([]workloads.Op) ([]bool, error)]
 }
 
-func newBatcher(kv *workloads.KVStore, lock *sync.RWMutex, dev *pmem.Device, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
+func newBatcher(kv *workloads.KVStore, lock *storeLock, dev *pmem.Device, maxBatch int, maxDelay time.Duration, onFail func(error)) *Batcher {
 	b := &Batcher{
 		kv:       kv,
 		lock:     lock,

@@ -54,6 +54,15 @@ type serverMetrics struct {
 	movedRejects    *obs.Counter
 	batchSizes      *obs.Histogram
 
+	// Seqlock read-path accounting: reads served without the store lock,
+	// bracket conflicts that retried, and reads that gave up on the
+	// optimistic path and took the RLock fallback (spin budget exhausted
+	// under write pressure, no view, or an anomaly needing the locked
+	// verified read to adjudicate).
+	readsLockFree *obs.Counter
+	readRetries   *obs.Counter
+	readFallbacks *obs.Counter
+
 	// Per-op latency decomposition (seconds). opSeconds* are end-to-end
 	// (parse to reply written); the phase histograms split a mutation's
 	// lifetime into batch-queue wait, durable journal writes, fence
@@ -100,6 +109,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"media corruption detections surfaced to clients instead of silent wrong values", nil),
 		movedRejects: reg.Counter("server_moved_rejected_total",
 			"ops answered -MOVED because their key range was mid-migration", nil),
+		readsLockFree: reg.Counter("server_reads_lockfree_total",
+			"GET/SCAN served by the seqlock read path, no store lock taken", nil),
+		readRetries: reg.Counter("server_read_retries_total",
+			"lock-free read bracket conflicts that retried (a commit overlapped the walk)", nil),
+		readFallbacks: reg.Counter("server_read_fallback_total",
+			"reads that abandoned the lock-free path for the RLock fallback", nil),
 		connsTotal: reg.Counter("server_connections_total",
 			"client connections accepted", nil),
 		connPanics: reg.Counter("server_conn_panics_total",

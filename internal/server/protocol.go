@@ -42,8 +42,11 @@
 //
 // Keys and values are decimal uint64s, matching the pool's KVStore.
 // Errors are reported as "-ERR <message>" and never close the connection
-// except for oversized or non-textual request lines, where the stream
-// can no longer be trusted to be in sync. Two refinements of -ERR carry
+// except for non-textual (binary) request lines, where the stream can no
+// longer be trusted to be in sync. An oversized line is refused with
+// "-ERR request line exceeds ..." and the stream resynchronizes at its
+// terminating newline: the pipelined requests behind it still run, in
+// order. Two refinements of -ERR carry
 // machine-actionable meaning: "-BUSY" (journal slots exhausted, or an
 // admin stream command holding writes off; the request never ran and can
 // be re-sent, see Retry), "-READONLY" (the pool is serving degraded
@@ -88,8 +91,10 @@ const (
 // bytes; the rest is slack for clients that pad.
 const MaxLineLen = 512
 
-// Parse errors. ErrLineTooLong and ErrBinaryLine poison the stream (the
-// connection is closed after reporting them); the others are per-command.
+// Parse errors. ErrBinaryLine poisons the stream (the connection is
+// closed after reporting it); ErrLineTooLong refuses the one oversized
+// request and the connection resyncs at the next newline; the others
+// are per-command.
 var (
 	ErrEmptyCommand = errors.New("empty command")
 	ErrLineTooLong  = fmt.Errorf("request line exceeds %d bytes", MaxLineLen)

@@ -1,0 +1,233 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"corundum/internal/journal"
+	"corundum/internal/pmem"
+	"corundum/internal/pool"
+	"corundum/internal/server"
+	"corundum/internal/workloads"
+)
+
+// committedHistory records, from the batcher tap (which runs inside the
+// commit critical section, in commit order), every value ever committed
+// for each key. A reader that observes (k, v) can then assert v was
+// committed at some point: the tap's append happens-before the commit's
+// lock release, which happens-before any read bracket that can see v.
+type committedHistory struct {
+	mu   sync.RWMutex
+	vals map[uint64]map[uint64]bool
+}
+
+func newCommittedHistory() *committedHistory {
+	return &committedHistory{vals: make(map[uint64]map[uint64]bool)}
+}
+
+func (h *committedHistory) record(ops []workloads.Op) {
+	h.mu.Lock()
+	for _, op := range ops {
+		if op.Del {
+			continue // absence is always a legitimate observation
+		}
+		m := h.vals[op.Key]
+		if m == nil {
+			m = make(map[uint64]bool)
+			h.vals[op.Key] = m
+		}
+		m[op.Val] = true
+	}
+	h.mu.Unlock()
+}
+
+func (h *committedHistory) committed(key, val uint64) bool {
+	h.mu.RLock()
+	ok := h.vals[key][val]
+	h.mu.RUnlock()
+	return ok
+}
+
+// TestReadPathHammer is the seqlock adversarial test: 8 reader
+// goroutines hammer GET and SCAN over live connections while the
+// committer churns overwrites, deletes, and alloc-heavy inserts of
+// fresh keys (entry allocation + freeing recycles blocks, which is what
+// makes stale chain pointers dangerous). Every value any reader
+// observes must have been committed by some batch — a torn, phantom, or
+// uncommitted value fails the run. Both read paths are exercised: the
+// lock-free seqlock path and the RLock fallback (LockedReads). Run with
+// -race in CI, where the atomic discipline of the device word stores is
+// also what is under test.
+func TestReadPathHammer(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		locked bool
+	}{{"lockfree", false}, {"locked", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			p, err := pool.Create("", pool.Config{
+				Size: 64 << 20, Journals: 8,
+				Mem: pmem.Options{Profile: pmem.NoDelay},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			srv, addr := startServer(t, p, server.Options{
+				MaxBatch: 32, MaxDelay: 50 * time.Microsecond, LockedReads: mode.locked,
+			})
+			defer srv.Close()
+
+			hist := newCommittedHistory()
+			srv.Batcher().SetTap(hist.record)
+			defer srv.Batcher().SetTap(nil)
+
+			const (
+				hotKeys = 64
+				rounds  = 50
+				readers = 8
+			)
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// Committer churn: each round overwrites the hot band with
+			// fresh values, deletes a sliding window of it, and inserts a
+			// band of brand-new keys (alloc-heavy: every insert allocates
+			// an entry, every delete frees one for recycling).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				wcl := dial(t, addr)
+				defer wcl.close()
+				cold := uint64(1 << 20)
+				for r := 0; r < rounds; r++ {
+					var b strings.Builder
+					n := 0
+					for k := uint64(0); k < hotKeys; k++ {
+						fmt.Fprintf(&b, "SET %d %d\n", k, uint64(r+1)<<32|k)
+						n++
+					}
+					for k := uint64(r % 8); k < hotKeys; k += 8 {
+						fmt.Fprintf(&b, "DEL %d\n", k)
+						n++
+					}
+					for i := 0; i < 16; i++ {
+						fmt.Fprintf(&b, "SET %d %d\n", cold, cold^0xABCD)
+						cold++
+						n++
+					}
+					if _, err := wcl.c.Write([]byte(b.String())); err != nil {
+						t.Errorf("writer: %v", err)
+						return
+					}
+					for i := 0; i < n; i++ {
+						if _, err := readReply(wcl.r); err != nil {
+							t.Errorf("writer reply: %v", err)
+							return
+						}
+					}
+				}
+			}()
+
+			for rdr := 0; rdr < readers; rdr++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rcl := dial(t, addr)
+					defer rcl.close()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						if i%32 == 31 {
+							reply, err := rcl.cmd("SCAN 40")
+							if err != nil {
+								t.Errorf("SCAN: %v", err)
+								return
+							}
+							for _, line := range strings.Split(reply, "\n")[1:] {
+								var k, v uint64
+								if _, err := fmt.Sscanf(line, "%d %d", &k, &v); err != nil {
+									t.Errorf("SCAN pair %q: %v", line, err)
+									return
+								}
+								if !hist.committed(k, v) {
+									t.Errorf("SCAN observed uncommitted pair %d=%d", k, v)
+									return
+								}
+							}
+							continue
+						}
+						k := uint64(rng.Intn(hotKeys))
+						reply, err := rcl.cmd(fmt.Sprintf("GET %d", k))
+						if err != nil {
+							t.Errorf("GET %d: %v", k, err)
+							return
+						}
+						if reply == "$-1" {
+							continue
+						}
+						var v uint64
+						if _, err := fmt.Sscanf(reply, ":%d", &v); err != nil {
+							t.Errorf("GET %d reply %q: %v", k, reply, err)
+							return
+						}
+						if !hist.committed(k, v) {
+							t.Errorf("GET %d observed uncommitted value %d", k, v)
+							return
+						}
+					}
+				}(int64(rdr))
+			}
+			wg.Wait()
+
+			lockFree, _, _ := srv.ReadPathStats()
+			if !mode.locked && lockFree == 0 {
+				t.Fatal("lock-free mode served zero reads through the seqlock path")
+			}
+			if mode.locked && lockFree != 0 {
+				t.Fatal("locked mode served reads through the seqlock path")
+			}
+		})
+	}
+}
+
+// TestLockFreeReadNeedsNoJournalSlot pins the seqlock path's resource
+// contract: a GET serves normally while every journal slot is occupied,
+// because the lock-free walk takes no transaction at all. (The locked
+// fallback competes for slots and answers -BUSY — see
+// TestServerBusyBackpressure.)
+func TestLockFreeReadNeedsNoJournalSlot(t *testing.T) {
+	p, err := pool.Create("", pool.Config{Size: 8 << 20, Journals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, p, server.Options{BusyTimeout: 20 * time.Millisecond})
+	defer srv.Close()
+
+	cl := dial(t, addr)
+	defer cl.close()
+	mustReply(t, cl, "SET 7 42", "+OK")
+
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = p.Transaction(func(j *journal.Journal) error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+	defer close(hold)
+
+	mustReply(t, cl, "GET 7", ":42")
+	mustReply(t, cl, "GET 9999", "$-1")
+}

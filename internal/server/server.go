@@ -72,6 +72,11 @@ type Options struct {
 	// ReplDrainTimeout bounds how long a graceful Close waits for
 	// connected replicas to acknowledge the full stream (default 5s).
 	ReplDrainTimeout time.Duration
+	// LockedReads disables the seqlock lock-free read path, forcing
+	// every GET/SCAN through the store RLock + transaction — the
+	// pre-seqlock behaviour, kept for A/B benchmarking and as an
+	// operational escape hatch. Default false: reads are lock-free.
+	LockedReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -376,11 +381,18 @@ func (s *Server) handleConn(c net.Conn) {
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrLineTooLong):
-			// The stream cannot be re-synchronized reliably; refuse and drop.
+			// readLine already resynchronized to the next newline: refuse
+			// this request alone and keep the connection — the pipelined
+			// requests behind the oversized line are still valid. The
+			// pending run flushes first so replies stay in request order.
 			s.flushMutations(&pending, w)
 			writeErr(w, err)
-			w.Flush()
-			return
+			if r.Buffered() == 0 {
+				if w.Flush() != nil {
+					return
+				}
+			}
+			continue
 		default:
 			// EOF, reset, or server-initiated close. Any still-pending run
 			// was never submitted: those ops are unacknowledged and may be
@@ -580,6 +592,13 @@ func (s *Server) recordMutation(pm pendingMut, ph PhaseTimes) {
 // line means the client is mid-write; waiting on it with unsubmitted
 // mutations pending could deadlock a client that expects those acks
 // before finishing its next request.
+//
+// The degenerate case — a buffer completely full with no newline — also
+// answers false, and cannot spin: the pending run flushes once, then the
+// loop blocks in readLine, whose ReadSlice sees the full buffer, returns
+// ErrBufferFull, and enters the oversized-line discard path, which
+// consumes the buffer each round and so terminates deterministically
+// (refused with -ERR, connection kept).
 func hasFullLine(r *bufio.Reader) bool {
 	buf, _ := r.Peek(r.Buffered())
 	return bytes.IndexByte(buf, '\n') >= 0
@@ -591,16 +610,30 @@ func hasFullLine(r *bufio.Reader) bool {
 const connReadBuf = 32 << 10
 
 // readLine returns the next '\n'-terminated line without its terminator.
-// Lines longer than MaxLineLen are rejected as ErrLineTooLong.
+// Lines longer than MaxLineLen are rejected as ErrLineTooLong — with the
+// stream already resynchronized to the byte after the offending line's
+// newline, so the caller can refuse just that request and keep serving
+// the pipelined requests behind it. A line that overflows the whole read
+// buffer is discarded chunk by chunk until its newline arrives; each
+// ReadSlice either finds the newline, refills a full buffer (bounded
+// progress — the chunk is consumed), or surfaces the connection error,
+// so the discard loop terminates deterministically.
 func readLine(r *bufio.Reader) ([]byte, error) {
 	line, err := r.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = r.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, err // EOF/reset mid-discard: the connection is gone
+		}
 		return nil, ErrLineTooLong
 	}
 	if err != nil {
 		return nil, err
 	}
 	if len(line)-1 > MaxLineLen {
+		// ReadSlice consumed through the newline, so the stream is in sync.
 		return nil, ErrLineTooLong
 	}
 	return line[:len(line)-1], nil
@@ -741,8 +774,12 @@ func (s *Server) recordRead(name string, key uint64, startNS, readNS int64) {
 	})
 }
 
-// get and scan run read-only transactions under the owning shard's
-// reader lock. A panic out of a device (injected crash) fences that
+// get and scan serve reads. The primary path is the seqlock lock-free
+// read (readpath.go): walk through the pool's read view bracketed by
+// the shard's commit sequence, no locks held. Bounded conflict retries
+// fall back to the read-only transaction under the owning shard's
+// reader lock — also the adjudicator for any anomaly the lock-free walk
+// cannot classify. A panic out of a device (injected crash) fences that
 // shard, like a failed commit; any other panic is a bug and propagates.
 func (s *Server) get(key uint64) (val uint64, found bool, err error) {
 	for {
@@ -751,6 +788,17 @@ func (s *Server) get(key uint64) (val uint64, found bool, err error) {
 		sh := st.shards[o]
 		if err = sh.down(); err != nil {
 			return 0, false, err
+		}
+		if !s.opts.LockedReads {
+			served, rerouted, val, found := s.viewGet(sh, o, key)
+			if served {
+				s.m.readsLockFree.Inc()
+				return val, found, nil
+			}
+			if rerouted {
+				continue
+			}
+			s.m.readFallbacks.Inc()
 		}
 		stable, val, found, err := s.getOnShard(sh, o, key)
 		if stable {
@@ -799,6 +847,14 @@ func (s *Server) scan(limit int) (pairs []uint64, err error) {
 }
 
 func (s *Server) scanShard(st *routeState, sh *shard, limit int, pairs []uint64) (out []uint64, err error) {
+	if !s.opts.LockedReads {
+		served, out := s.viewScan(st, sh, limit, pairs)
+		if served {
+			s.m.readsLockFree.Inc()
+			return out, nil
+		}
+		s.m.readFallbacks.Inc()
+	}
 	out = pairs
 	defer s.recoverShardFailure(sh, &err)
 	sh.lock.RLock()
@@ -1097,6 +1153,8 @@ func (s *Server) renderStats() string {
 		rst.n,
 		batches, ops, mean,
 	)
+	out += fmt.Sprintf("reads_lockfree: %d\nread_retries: %d\nread_fallbacks: %d\n",
+		s.m.readsLockFree.Value(), s.m.readRetries.Value(), s.m.readFallbacks.Value())
 	for i := 0; i < HistBuckets; i++ {
 		out += fmt.Sprintf("batch_hist_%s: %d\n", HistLabel(i), hist[i])
 	}

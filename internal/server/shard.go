@@ -27,11 +27,19 @@ type shard struct {
 	kv   *workloads.KVStore // nil when down from the start
 	b    *Batcher           // nil when down from the start
 
-	// lock is this shard's store-level reader/writer lock: connection
-	// goroutines read (GET/SCAN) under RLock, the shard's committer
-	// applies batches under Lock. The KVStore itself is not internally
+	// lock is this shard's store-level reader/writer lock: the shard's
+	// committer applies batches under Lock, and the fallback read path
+	// runs GET/SCAN under RLock. The fused commit sequence (storeLock)
+	// lets the primary read path skip the lock entirely: lock-free
+	// readers validate against the sequence instead of holding RLock
+	// (see readpath.go). The KVStore itself is not internally
 	// synchronized.
-	lock sync.RWMutex
+	lock storeLock
+
+	// view is the pool's lock-free read window for the seqlock read
+	// path; nil when the pool never opened (reads then always take the
+	// locked fallback).
+	view *pool.ReadView
 
 	downMu  sync.Mutex
 	downErr error
@@ -197,6 +205,9 @@ func (s *Server) initShard(sh *shard) error {
 	}
 	sh.b = newBatcher(sh.kv, &sh.lock, p.Device(), s.opts.MaxBatch, s.opts.MaxDelay,
 		func(err error) { s.onShardFailure(sh, err) })
+	if v, err := p.ReadView(); err == nil {
+		sh.view = v
+	}
 	// Store setup above needed a journal slot unconditionally; only live
 	// traffic gets the bounded wait.
 	if s.opts.BusyTimeout > 0 {

@@ -20,13 +20,16 @@ import (
 // TestServerBusyBackpressure exhausts the pool's only journal slot and
 // asserts the server answers -BUSY (a retryable signal) instead of
 // blocking the connection forever, and that RetryBusy rides out the
-// exhaustion once the slot frees.
+// exhaustion once the slot frees. Reads are the exception: the seqlock
+// read path holds no journal slot at all, so GET serves normally while
+// every slot is taken — only the locked fallback (exercised here via
+// Options.LockedReads) competes for slots and must answer -BUSY.
 func TestServerBusyBackpressure(t *testing.T) {
 	p, err := pool.Create("", pool.Config{Size: 8 << 20, Journals: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr := startServer(t, p, server.Options{BusyTimeout: 20 * time.Millisecond})
+	srv, addr := startServer(t, p, server.Options{BusyTimeout: 20 * time.Millisecond, LockedReads: true})
 	defer srv.Close()
 
 	// Occupy the only journal slot from outside the server.
@@ -48,7 +51,7 @@ func TestServerBusyBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !server.IsBusyReply(reply) {
-		t.Fatalf("GET under journal exhaustion = %q, want -BUSY", reply)
+		t.Fatalf("locked GET under journal exhaustion = %q, want -BUSY", reply)
 	}
 	if !srv.Halted() == false {
 		t.Fatal("server halted on BUSY")
